@@ -1,0 +1,1 @@
+bench/tcb_report.ml: Array Filename Fun List Printf Sbt_prim Sbt_tz String Sys

@@ -1,0 +1,1 @@
+bin/sbt_datagen.ml: Arg Bytes Cmd Cmdliner List Printf Sbt_io Sbt_net Sbt_workloads Term

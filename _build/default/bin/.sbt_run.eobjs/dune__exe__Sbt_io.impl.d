@@ -1,0 +1,1 @@
+bin/sbt_io.ml: Buffer Bytes Char Fun List Printf Sbt_attest Sbt_net

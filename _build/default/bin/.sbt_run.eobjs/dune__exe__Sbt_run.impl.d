@@ -1,0 +1,1 @@
+bin/sbt_run.ml: Arg Cmd Cmdliner Format Option Printf Sbt_attest Sbt_core Sbt_io Sbt_workloads Term

@@ -1,0 +1,1 @@
+bin/sbt_run.mli:

@@ -1,0 +1,1 @@
+bin/sbt_verify.ml: Arg Bytes Cmd Cmdliner Format List Printf Sbt_attest Sbt_io Term

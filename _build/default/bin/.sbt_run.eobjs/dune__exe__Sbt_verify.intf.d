@@ -1,0 +1,1 @@
+bin/sbt_verify.mli:

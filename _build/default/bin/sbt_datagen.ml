@@ -1,0 +1,46 @@
+(* sbt_datagen: generate a benchmark's source stream and write it to disk
+   in the frame format `sbt_run --frames` consumes — the offline stand-in
+   for the paper's Generator program. *)
+
+module B = Sbt_workloads.Benchmarks
+module Frame = Sbt_net.Frame
+
+let run name out windows events_per_window batch encrypted =
+  match B.by_name name with
+  | None ->
+      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|filter|power)\n" name;
+      exit 1
+  | Some mk ->
+      let bench = mk ~windows ~events_per_window ~batch_events:batch ~encrypted () in
+      let frames = B.frames bench in
+      Sbt_io.write_frames out frames;
+      let events, bytes_len =
+        List.fold_left
+          (fun (e, b) f ->
+            match f with
+            | Frame.Events { events; payload; _ } -> (e + events, b + Bytes.length payload)
+            | Frame.Watermark _ -> (e, b))
+          (0, 0) frames
+      in
+      Printf.printf "%s: wrote %d frames (%d events, %.1f MB%s) to %s\n" bench.B.name
+        (List.length frames) events
+        (float_of_int bytes_len /. 1e6)
+        (if encrypted then ", AES-128-CTR encrypted" else "")
+        out
+
+open Cmdliner
+
+let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+let out_arg = Arg.(value & opt string "stream.sbtd" & info [ "out"; "o" ] ~doc:"Output path")
+let windows_arg = Arg.(value & opt int 4 & info [ "windows"; "w" ] ~doc:"Number of windows")
+let epw_arg = Arg.(value & opt int 100_000 & info [ "events-per-window"; "e" ] ~doc:"Events per window")
+let batch_arg = Arg.(value & opt int 10_000 & info [ "batch"; "b" ] ~doc:"Events per batch")
+let enc_arg = Arg.(value & flag & info [ "encrypt" ] ~doc:"Encrypt payloads (untrusted source-edge link)")
+
+let cmd =
+  let doc = "Generate a StreamBox-TZ benchmark source stream" in
+  Cmd.v
+    (Cmd.info "sbt_datagen" ~doc)
+    Term.(const run $ name_arg $ out_arg $ windows_arg $ epw_arg $ batch_arg $ enc_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,135 @@
+(* Shared on-disk formats for the CLI tools:
+
+   - frame streams written by sbt_datagen and consumed by sbt_run;
+   - audit logs (verifier spec + signed batches) written by sbt_run and
+     consumed by sbt_verify. *)
+
+module Frame = Sbt_net.Frame
+module Log = Sbt_attest.Log
+module V = Sbt_attest.Verifier
+
+let frames_magic = "SBTD1"
+let audit_magic = "SBTA1"
+
+let write_u32 buf v =
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.unsafe_chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let read_u32 ic =
+  let a = input_byte ic in
+  let b = input_byte ic in
+  let c = input_byte ic in
+  let d = input_byte ic in
+  a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+
+let write_bytes_block buf b =
+  write_u32 buf (Bytes.length b);
+  Buffer.add_bytes buf b
+
+let read_bytes_block ic =
+  let n = read_u32 ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  b
+
+(* --- frames --------------------------------------------------------------- *)
+
+let write_frames path frames =
+  let buf = Buffer.create (1 lsl 20) in
+  Buffer.add_string buf frames_magic;
+  write_u32 buf (List.length frames);
+  List.iter
+    (fun f ->
+      match f with
+      | Frame.Watermark { seq; value } ->
+          Buffer.add_char buf '\001';
+          write_u32 buf seq;
+          write_u32 buf value
+      | Frame.Events { seq; stream; events; windows; payload; encrypted } ->
+          Buffer.add_char buf '\000';
+          write_u32 buf seq;
+          write_u32 buf stream;
+          write_u32 buf events;
+          write_u32 buf (List.length windows);
+          List.iter (write_u32 buf) windows;
+          Buffer.add_char buf (if encrypted then '\001' else '\000');
+          write_bytes_block buf payload)
+    frames;
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc buf;
+  close_out oc
+
+let read_frames path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let magic = really_input_string ic 5 in
+      if magic <> frames_magic then invalid_arg "sbt_io: not a frame file";
+      let n = read_u32 ic in
+      List.init n (fun _ ->
+          match input_byte ic with
+          | 1 ->
+              let seq = read_u32 ic in
+              let value = read_u32 ic in
+              Frame.Watermark { seq; value }
+          | 0 ->
+              let seq = read_u32 ic in
+              let stream = read_u32 ic in
+              let events = read_u32 ic in
+              let nw = read_u32 ic in
+              let windows = List.init nw (fun _ -> read_u32 ic) in
+              let encrypted = input_byte ic = 1 in
+              let payload = read_bytes_block ic in
+              Frame.Events { seq; stream; events; windows; payload; encrypted }
+          | k -> invalid_arg (Printf.sprintf "sbt_io: bad frame kind %d" k)))
+
+(* --- audit logs ------------------------------------------------------------ *)
+
+let write_audit path (spec : V.spec) batches =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf audit_magic;
+  write_u32 buf (List.length spec.V.batch_ops);
+  List.iter (write_u32 buf) spec.V.batch_ops;
+  write_u32 buf (List.length spec.V.window_ops);
+  List.iter (write_u32 buf) spec.V.window_ops;
+  write_u32 buf spec.V.window_size;
+  write_u32 buf spec.V.window_slide;
+  write_u32 buf (match spec.V.freshness_bound with None -> 0 | Some b -> b + 1);
+  write_u32 buf (List.length batches);
+  List.iter
+    (fun (b : Log.batch) ->
+      write_u32 buf b.Log.seq;
+      write_bytes_block buf b.Log.payload;
+      write_bytes_block buf b.Log.tag)
+    batches;
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc buf;
+  close_out oc
+
+let read_audit path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let magic = really_input_string ic 5 in
+      if magic <> audit_magic then invalid_arg "sbt_io: not an audit file";
+      let n_batch_ops = read_u32 ic in
+      let batch_ops = List.init n_batch_ops (fun _ -> read_u32 ic) in
+      let n_window_ops = read_u32 ic in
+      let window_ops = List.init n_window_ops (fun _ -> read_u32 ic) in
+      let window_size = read_u32 ic in
+      let window_slide = read_u32 ic in
+      let fb = read_u32 ic in
+      let freshness_bound = if fb = 0 then None else Some (fb - 1) in
+      let spec = { V.batch_ops; window_ops; window_size; window_slide; freshness_bound } in
+      let n = read_u32 ic in
+      let batches =
+        List.init n (fun _ ->
+            let seq = read_u32 ic in
+            let payload = read_bytes_block ic in
+            let tag = read_bytes_block ic in
+            { Log.seq; payload; tag })
+      in
+      (spec, batches))

@@ -1,0 +1,95 @@
+(* sbt_run: run one of the paper's benchmark pipelines under a chosen
+   engine version and report throughput, memory, and verification. *)
+
+module B = Sbt_workloads.Benchmarks
+module Runner = Sbt_core.Runner
+module D = Sbt_core.Dataplane
+
+let version_of_string = function
+  | "full" -> Ok D.Full
+  | "clear" -> Ok D.Clear_ingress
+  | "viaos" -> Ok D.Io_via_os
+  | "insecure" -> Ok D.Insecure
+  | s -> Error (`Msg (Printf.sprintf "unknown version %S (full|clear|viaos|insecure)" s))
+
+let run name version windows events_per_window batch cores_list target_ms hints verbose frames_in audit_out =
+  match B.by_name name with
+  | None ->
+      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|filter|power)\n" name;
+      exit 1
+  | Some mk ->
+      let encrypted = match version with D.Full | D.Io_via_os -> true | _ -> false in
+      let bench = mk ~windows ~events_per_window ~batch_events:batch ~encrypted () in
+      let target = Option.value ~default:bench.B.target_delay_ms target_ms in
+      let frames =
+        match frames_in with Some path -> Sbt_io.read_frames path | None -> B.frames bench
+      in
+      let outcome =
+        Runner.run ~cores_list ~target_delay_ms:target ~version ~hints_enabled:hints
+          bench.B.pipeline frames
+      in
+      (match audit_out with
+      | Some path ->
+          Sbt_io.write_audit path outcome.Runner.spec outcome.Runner.audit;
+          Printf.printf "audit log written to %s (verify with sbt_verify)\n" path
+      | None -> ());
+      Format.printf "%a" Runner.pp_outcome outcome;
+      if verbose then begin
+        let s = outcome.Runner.dp_stats in
+        Format.printf
+          "compute %.1f ms | mem %.1f ms | crypto %.1f ms | ingest %.1f ms | %d switch pairs | %d invocations@."
+          (s.D.compute_ns /. 1e6) (s.D.mem_ns /. 1e6) (s.D.crypto_ns /. 1e6)
+          (s.D.ingest_ns /. 1e6) s.D.switch_pairs s.D.invocations;
+        Format.printf "audit: %d records, raw %d B, compressed %d B@." outcome.Runner.audit_records
+          outcome.Runner.audit_raw_bytes outcome.Runner.audit_compressed_bytes;
+        Format.printf "verifier: %a" Sbt_attest.Verifier.pp_report outcome.Runner.verifier_report
+      end;
+      if not outcome.Runner.verified then exit 2
+
+open Cmdliner
+
+let name_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"topk, distinct, join, winsum, filter or power")
+
+let version_arg =
+  let version_conv =
+    Arg.conv
+      ( version_of_string,
+        fun fmt v -> Format.pp_print_string fmt (D.version_name v) )
+      ~docv:"VERSION"
+  in
+  Arg.(value & opt version_conv D.Full & info [ "version"; "v" ] ~doc:"Engine version: full, clear, viaos or insecure")
+
+let windows_arg = Arg.(value & opt int 4 & info [ "windows"; "w" ] ~doc:"Number of 1-second windows")
+
+let epw_arg =
+  Arg.(value & opt int 100_000 & info [ "events-per-window"; "e" ] ~doc:"Events per window")
+
+let batch_arg = Arg.(value & opt int 10_000 & info [ "batch"; "b" ] ~doc:"Events per input batch")
+
+let cores_arg =
+  Arg.(value & opt (list int) [ 2; 4; 8 ] & info [ "cores"; "c" ] ~doc:"Core counts to evaluate")
+
+let target_arg =
+  Arg.(value & opt (some float) None & info [ "target-ms" ] ~doc:"Output-delay target (default: paper's per-benchmark target)")
+
+let hints_arg =
+  Arg.(value & opt bool true & info [ "hints" ] ~doc:"Enable consumption hints")
+
+let verbose_arg = Arg.(value & flag & info [ "verbose" ] ~doc:"Print data-plane statistics")
+
+let frames_arg =
+  Arg.(value & opt (some file) None & info [ "frames" ] ~doc:"Read the source stream from a file written by sbt_datagen")
+
+let audit_arg =
+  Arg.(value & opt (some string) None & info [ "audit-out" ] ~doc:"Write the signed audit log to a file for sbt_verify")
+
+let cmd =
+  let doc = "Run a StreamBox-TZ benchmark pipeline" in
+  Cmd.v
+    (Cmd.info "sbt_run" ~doc)
+    Term.(
+      const run $ name_arg $ version_arg $ windows_arg $ epw_arg $ batch_arg $ cores_arg
+      $ target_arg $ hints_arg $ verbose_arg $ frames_arg $ audit_arg)
+
+let () = exit (Cmd.eval cmd)

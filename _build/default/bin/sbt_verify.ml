@@ -1,0 +1,43 @@
+(* sbt_verify: the cloud consumer's side of continuous attestation.
+   Reads an audit file written by `sbt_run --audit-out`, authenticates
+   every signed batch, replays the records against the embedded pipeline
+   declaration, and prints the verdict.  Exit code 0 = verified. *)
+
+module Log = Sbt_attest.Log
+module V = Sbt_attest.Verifier
+
+let run path key_string freshness_us =
+  let key = Bytes.of_string key_string in
+  let spec, batches = Sbt_io.read_audit path in
+  let spec =
+    match freshness_us with None -> spec | Some b -> { spec with V.freshness_bound = Some b }
+  in
+  let records =
+    List.concat_map
+      (fun b ->
+        try Log.open_batch ~key b
+        with Invalid_argument msg ->
+          Printf.eprintf "batch %d rejected: %s\n" b.Log.seq msg;
+          exit 3)
+      batches
+  in
+  Printf.printf "authenticated %d batches, %d records\n" (List.length batches) (List.length records);
+  let report = V.verify spec records in
+  Format.printf "%a" V.pp_report report;
+  if not (V.ok report) then exit 2
+
+open Cmdliner
+
+let path_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"AUDIT_FILE")
+
+let key_arg =
+  Arg.(value & opt string "sbt-egress-key16" & info [ "key" ] ~doc:"Shared edge/cloud key (16 bytes)")
+
+let freshness_arg =
+  Arg.(value & opt (some int) None & info [ "freshness-us" ] ~doc:"Override the freshness bound (microseconds)")
+
+let cmd =
+  let doc = "Verify a StreamBox-TZ audit log by symbolic replay" in
+  Cmd.v (Cmd.info "sbt_verify" ~doc) Term.(const run $ path_arg $ key_arg $ freshness_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/attested_winsum.ml: Bytes Char List Printf Sbt_attest Sbt_core Sbt_prim Sbt_workloads

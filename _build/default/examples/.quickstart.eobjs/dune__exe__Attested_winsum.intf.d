@@ -1,0 +1,1 @@
+examples/attested_winsum.mli:

@@ -1,0 +1,1 @@
+examples/power_grid.ml: Array Bytes Hashtbl Int32 List Option Printf Sbt_attest Sbt_core Sbt_workloads

@@ -1,0 +1,1 @@
+examples/sliding_stats.ml: Array Bytes Int64 List Printf Sbt_attest Sbt_core Sbt_workloads

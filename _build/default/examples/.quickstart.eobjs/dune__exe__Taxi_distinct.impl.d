@@ -1,0 +1,1 @@
+examples/taxi_distinct.ml: Array Bytes List Printf Sbt_core Sbt_workloads

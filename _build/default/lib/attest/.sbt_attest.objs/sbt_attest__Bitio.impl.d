@@ -1,0 +1,1 @@
+lib/attest/bitio.ml: Buffer Bytes Char

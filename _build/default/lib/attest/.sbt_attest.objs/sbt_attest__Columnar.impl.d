@@ -1,0 +1,1 @@
+lib/attest/columnar.ml: Buffer Bytes Char Huffman Int64 List Printf Record Varint

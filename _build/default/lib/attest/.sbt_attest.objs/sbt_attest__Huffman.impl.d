@@ -1,0 +1,1 @@
+lib/attest/huffman.ml: Array Bitio Buffer Bytes Char Hashtbl Int64 Varint

@@ -1,0 +1,1 @@
+lib/attest/log.ml: Bytes Char Columnar List Record Sbt_crypto

@@ -1,0 +1,1 @@
+lib/attest/log.mli: Record

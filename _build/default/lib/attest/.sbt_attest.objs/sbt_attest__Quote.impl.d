@@ -1,0 +1,1 @@
+lib/attest/quote.ml: Buffer Bytes List Sbt_crypto

@@ -1,0 +1,1 @@
+lib/attest/record.ml: Buffer Bytes Char Format Int64 List Printf String Varint

@@ -1,0 +1,1 @@
+lib/attest/record.mli: Buffer Format

@@ -1,0 +1,1 @@
+lib/attest/varint.ml: Buffer Bytes Char Int64

@@ -1,0 +1,1 @@
+lib/attest/varint.mli: Buffer

@@ -1,0 +1,1 @@
+lib/attest/verifier.ml: Format Hashtbl Int64 List Record String

@@ -1,0 +1,1 @@
+lib/attest/verifier.mli: Format Record

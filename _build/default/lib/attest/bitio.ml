@@ -1,0 +1,56 @@
+module Writer = struct
+  type t = { buf : Buffer.t; mutable acc : int; mutable used : int; mutable bits : int }
+
+  let create () = { buf = Buffer.create 256; acc = 0; used = 0; bits = 0 }
+
+  let put_bit t b =
+    t.acc <- (t.acc lsl 1) lor (b land 1);
+    t.used <- t.used + 1;
+    t.bits <- t.bits + 1;
+    if t.used = 8 then begin
+      Buffer.add_char t.buf (Char.unsafe_chr t.acc);
+      t.acc <- 0;
+      t.used <- 0
+    end
+
+  let put_bits t ~value ~bits =
+    if bits < 0 || bits > 62 then invalid_arg "Bitio.put_bits";
+    for i = bits - 1 downto 0 do
+      put_bit t ((value lsr i) land 1)
+    done
+
+  let contents t =
+    let b = Buffer.to_bytes t.buf in
+    if t.used = 0 then b
+    else begin
+      let padded = t.acc lsl (8 - t.used) in
+      let out = Bytes.create (Bytes.length b + 1) in
+      Bytes.blit b 0 out 0 (Bytes.length b);
+      Bytes.set out (Bytes.length b) (Char.unsafe_chr (padded land 0xFF));
+      out
+    end
+
+  let bit_length t = t.bits
+end
+
+module Reader = struct
+  type t = { data : bytes; mutable pos : int (* bit position *) }
+
+  let create data = { data; pos = 0 }
+
+  let get_bit t =
+    let byte = t.pos lsr 3 in
+    if byte >= Bytes.length t.data then raise End_of_file;
+    let bit = 7 - (t.pos land 7) in
+    t.pos <- t.pos + 1;
+    (Char.code (Bytes.get t.data byte) lsr bit) land 1
+
+  let get_bits t n =
+    let v = ref 0 in
+    for _ = 1 to n do
+      v := (!v lsl 1) lor get_bit t
+    done;
+    !v
+
+  let bits_remaining t = (8 * Bytes.length t.data) - t.pos
+end

@@ -1,0 +1,28 @@
+(** Bit-granular IO used by the Huffman coder. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val put_bit : t -> int -> unit
+  (** [put_bit w b] appends the low bit of [b]. *)
+
+  val put_bits : t -> value:int -> bits:int -> unit
+  (** Append [bits] bits of [value], most significant first. *)
+
+  val contents : t -> bytes
+  (** Pad the final byte with zero bits and return everything written. *)
+
+  val bit_length : t -> int
+end
+
+module Reader : sig
+  type t
+
+  val create : bytes -> t
+  val get_bit : t -> int
+  (** Raises [End_of_file] past the end. *)
+
+  val get_bits : t -> int -> int
+  val bits_remaining : t -> int
+end

@@ -1,0 +1,23 @@
+(** Columnar compression of audit records (paper §7).
+
+    Before upload, a batch of row-order records is split into columns and
+    each column is encoded with a scheme matched to its distribution,
+    exactly as the paper prescribes:
+
+    - Huffman coding for primitive/record types and data counts (heavily
+      skewed);
+    - delta + zigzag varint for timestamps, uArray identifiers, window
+      numbers and watermark values (near-monotonic);
+    - plain varint for optional hints.
+
+    [compress] and [decompress] are exact inverses; the verifier works on
+    the decompressed records. *)
+
+val compress : Record.t list -> bytes
+val decompress : bytes -> Record.t list
+
+val raw_size : Record.t list -> int
+(** Bytes of the uncompressed row encoding (Figure 12's "Raw" series). *)
+
+val ratio : Record.t list -> float
+(** [raw_size / compressed size]; 1.0 for an empty batch. *)

@@ -1,0 +1,201 @@
+(* Canonical Huffman: build code lengths with a simple two-queue-ish
+   heap, assign canonical codes, serialize lengths + symbol count +
+   payload bits. *)
+
+let max_symbols = 256
+
+(* Binary min-heap over (weight, node index). *)
+module Heap = struct
+  type t = { mutable data : (int * int) array; mutable len : int }
+
+  let create cap = { data = Array.make (max cap 1) (0, 0); len = 0 }
+
+  let swap h i j =
+    let t = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- t
+
+  let push h x =
+    if h.len = Array.length h.data then begin
+      let bigger = Array.make (2 * h.len) (0, 0) in
+      Array.blit h.data 0 bigger 0 h.len;
+      h.data <- bigger
+    end;
+    h.data.(h.len) <- x;
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    h.data.(0) <- h.data.(h.len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+      if r < h.len && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        swap h !i !smallest;
+        i := !smallest
+      end
+    done;
+    top
+
+  let size h = h.len
+end
+
+(* Compute code lengths via Huffman tree; cap depth by construction is not
+   needed for our block sizes (lengths stay < 64 for any input < 2^64). *)
+let code_lengths freqs =
+  let parent = Array.make (2 * max_symbols) (-1) in
+  let heap = Heap.create 64 in
+  let node_count = ref max_symbols in
+  Array.iteri (fun s f -> if f > 0 then Heap.push heap (f, s)) freqs;
+  if Heap.size heap = 1 then begin
+    (* Single-symbol block: give it a 1-bit code. *)
+    let _, s = Heap.pop heap in
+    let lengths = Array.make max_symbols 0 in
+    lengths.(s) <- 1;
+    lengths
+  end
+  else begin
+    while Heap.size heap > 1 do
+      let fa, a = Heap.pop heap in
+      let fb, b = Heap.pop heap in
+      let n = !node_count in
+      incr node_count;
+      parent.(a) <- n;
+      parent.(b) <- n;
+      Heap.push heap (fa + fb, n)
+    done;
+    let lengths = Array.make max_symbols 0 in
+    Array.iteri
+      (fun s f ->
+        if f > 0 then begin
+          let d = ref 0 and n = ref s in
+          while parent.(!n) >= 0 do
+            incr d;
+            n := parent.(!n)
+          done;
+          lengths.(s) <- !d
+        end)
+      freqs;
+    lengths
+  end
+
+(* Canonical code assignment from lengths. *)
+let canonical_codes lengths =
+  let codes = Array.make max_symbols 0 in
+  let max_len = Array.fold_left max 0 lengths in
+  let bl_count = Array.make (max_len + 1) 0 in
+  Array.iter (fun l -> if l > 0 then bl_count.(l) <- bl_count.(l) + 1) lengths;
+  let next_code = Array.make (max_len + 2) 0 in
+  let code = ref 0 in
+  for bits = 1 to max_len do
+    code := (!code + bl_count.(bits - 1)) lsl 1;
+    next_code.(bits) <- !code
+  done;
+  for s = 0 to max_symbols - 1 do
+    let l = lengths.(s) in
+    if l > 0 then begin
+      codes.(s) <- next_code.(l);
+      next_code.(l) <- next_code.(l) + 1
+    end
+  done;
+  codes
+
+let encode data =
+  let n = Bytes.length data in
+  let out = Buffer.create (n / 2) in
+  Varint.write_unsigned out (Int64.of_int n);
+  if n = 0 then Buffer.to_bytes out
+  else begin
+    let freqs = Array.make max_symbols 0 in
+    Bytes.iter (fun c -> freqs.(Char.code c) <- freqs.(Char.code c) + 1) data;
+    let lengths = code_lengths freqs in
+    let codes = canonical_codes lengths in
+    (* Sparse table header when the alphabet is small (audit-record op and
+       count columns use a handful of symbols): distinct-symbol count,
+       then (symbol, length) pairs.  0xFF marks a dense 256-byte table. *)
+    let distinct = Array.fold_left (fun acc l -> if l > 0 then acc + 1 else acc) 0 lengths in
+    if distinct < 128 then begin
+      Buffer.add_char out (Char.unsafe_chr distinct);
+      Array.iteri
+        (fun s l ->
+          if l > 0 then begin
+            Buffer.add_char out (Char.unsafe_chr s);
+            Buffer.add_char out (Char.unsafe_chr l)
+          end)
+        lengths
+    end
+    else begin
+      Buffer.add_char out '\xFF';
+      Array.iter (fun l -> Buffer.add_char out (Char.unsafe_chr l)) lengths
+    end;
+    let w = Bitio.Writer.create () in
+    Bytes.iter
+      (fun c ->
+        let s = Char.code c in
+        Bitio.Writer.put_bits w ~value:codes.(s) ~bits:lengths.(s))
+      data;
+    Buffer.add_bytes out (Bitio.Writer.contents w);
+    Buffer.to_bytes out
+  end
+
+let decode data =
+  let pos = ref 0 in
+  let n = Int64.to_int (Varint.read_unsigned data pos) in
+  if n = 0 then Bytes.create 0
+  else begin
+    if Bytes.length data <= !pos then invalid_arg "Huffman.decode: truncated table";
+    let marker = Char.code (Bytes.get data !pos) in
+    incr pos;
+    let lengths =
+      if marker = 0xFF then begin
+        if Bytes.length data < !pos + max_symbols then
+          invalid_arg "Huffman.decode: truncated table";
+        let l = Array.init max_symbols (fun i -> Char.code (Bytes.get data (!pos + i))) in
+        pos := !pos + max_symbols;
+        l
+      end
+      else begin
+        if Bytes.length data < !pos + (2 * marker) then
+          invalid_arg "Huffman.decode: truncated table";
+        let l = Array.make max_symbols 0 in
+        for i = 0 to marker - 1 do
+          let s = Char.code (Bytes.get data (!pos + (2 * i))) in
+          l.(s) <- Char.code (Bytes.get data (!pos + (2 * i) + 1))
+        done;
+        pos := !pos + (2 * marker);
+        l
+      end
+    in
+    let codes = canonical_codes lengths in
+    (* Decoding table: (length, code) -> symbol. *)
+    let table = Hashtbl.create 64 in
+    Array.iteri (fun s l -> if l > 0 then Hashtbl.replace table (l, codes.(s)) s) lengths;
+    let payload = Bytes.sub data !pos (Bytes.length data - !pos) in
+    let r = Bitio.Reader.create payload in
+    let out = Bytes.create n in
+    for i = 0 to n - 1 do
+      let len = ref 0 and code = ref 0 in
+      let sym = ref (-1) in
+      while !sym < 0 do
+        code := (!code lsl 1) lor Bitio.Reader.get_bit r;
+        incr len;
+        if !len > 62 then invalid_arg "Huffman.decode: bad stream";
+        match Hashtbl.find_opt table (!len, !code) with
+        | Some s -> sym := s
+        | None -> ()
+      done;
+      Bytes.set out i (Char.unsafe_chr !sym)
+    done;
+    out
+  end

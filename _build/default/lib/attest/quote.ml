@@ -1,0 +1,28 @@
+type measurement = bytes
+type quote = { measurement : bytes; tag : bytes }
+
+let measure ~components =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, version) ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '\000';
+      Buffer.add_string buf version;
+      Buffer.add_char buf '\000')
+    components;
+  Sbt_crypto.Sha256.digest (Buffer.to_bytes buf)
+
+let payload measurement ~nonce = Bytes.cat measurement nonce
+
+let issue ~device_key measurement ~nonce =
+  { measurement = Bytes.copy measurement; tag = Sbt_crypto.Hmac.mac ~key:device_key (payload measurement ~nonce) }
+
+let verify ~device_key ~expected ~nonce q =
+  Bytes.equal q.measurement expected
+  && Sbt_crypto.Hmac.verify ~key:device_key ~tag:q.tag (payload q.measurement ~nonce)
+
+let quote_bytes q = Bytes.cat q.measurement q.tag
+
+let quote_of_bytes b =
+  if Bytes.length b <> 64 then invalid_arg "Quote.quote_of_bytes: expected 64 bytes";
+  { measurement = Bytes.sub b 0 32; tag = Bytes.sub b 32 32 }

@@ -1,0 +1,29 @@
+(** TEE identity quotes.
+
+    The paper assumes TrustZone guarantees TEE code authenticity and
+    integrity ("only code trusted by the device vendor can run in
+    TrustZone", §3.1) and that the verifier trusts the audit stream
+    because it comes from a known data plane.  This module models the
+    glue: the device holds an attestation key; a quote binds the TEE's
+    measurement (a hash over the data-plane code identity) to a verifier
+    challenge, so the cloud can check both *what* is running and that the
+    response is fresh before trusting any audit records from it. *)
+
+type measurement = bytes
+(** 32-byte code-identity hash. *)
+
+type quote
+
+val measure : components:(string * string) list -> measurement
+(** Hash an ordered list of (component name, version/digest) pairs —
+    the data plane's build manifest. *)
+
+val issue : device_key:bytes -> measurement -> nonce:bytes -> quote
+(** The TEE's response to a challenge [nonce]. *)
+
+val verify :
+  device_key:bytes -> expected:measurement -> nonce:bytes -> quote -> bool
+(** Cloud-side check: right code, right challenge, valid MAC. *)
+
+val quote_bytes : quote -> bytes
+val quote_of_bytes : bytes -> quote

@@ -1,0 +1,137 @@
+type t =
+  | Ingress of { ts : int; uarray : int }
+  | Ingress_watermark of { ts : int; id : int; value : int }
+  | Windowing of { ts : int; data_in : int; win_no : int; data_out : int }
+  | Execution of { ts : int; op : int; inputs : int list; outputs : int list; hints : int64 list }
+  | Egress of { ts : int; uarray : int; win_no : int }
+
+let pp fmt = function
+  | Ingress { ts; uarray } -> Format.fprintf fmt "ts=%d INGRESS data=%d" ts uarray
+  | Ingress_watermark { ts; id; value } ->
+      Format.fprintf fmt "ts=%d INGRESS data=%d (watermark=%d)" ts id value
+  | Windowing { ts; data_in; win_no; data_out } ->
+      Format.fprintf fmt "ts=%d WND data_in=%d win_no=%d data_out=%d" ts data_in win_no data_out
+  | Execution { ts; op; inputs; outputs; hints } ->
+      let ints l = String.concat "," (List.map string_of_int l) in
+      Format.fprintf fmt "ts=%d EXEC op=%d in=%s out=%s hints=%d" ts op (ints inputs)
+        (ints outputs) (List.length hints)
+  | Egress { ts; uarray; win_no } ->
+      Format.fprintf fmt "ts=%d EGRESS data=%d win_no=%d" ts uarray win_no
+
+let tag = function
+  | Ingress _ -> 0
+  | Ingress_watermark _ -> 1
+  | Windowing _ -> 2
+  | Execution _ -> 3
+  | Egress _ -> 4
+
+let ts_of = function
+  | Ingress { ts; _ } | Ingress_watermark { ts; _ } | Windowing { ts; _ }
+  | Execution { ts; _ } | Egress { ts; _ } ->
+      ts
+
+let encode_row buf r =
+  Buffer.add_char buf (Char.unsafe_chr (tag r));
+  let u32 v =
+    for i = 0 to 3 do
+      Buffer.add_char buf (Char.unsafe_chr ((v lsr (8 * i)) land 0xFF))
+    done
+  in
+  let u16 v =
+    Buffer.add_char buf (Char.unsafe_chr (v land 0xFF));
+    Buffer.add_char buf (Char.unsafe_chr ((v lsr 8) land 0xFF))
+  in
+  match r with
+  | Ingress { ts; uarray } ->
+      u32 ts;
+      u32 uarray
+  | Ingress_watermark { ts; id; value } ->
+      u32 ts;
+      u32 id;
+      u32 value
+  | Windowing { ts; data_in; win_no; data_out } ->
+      u32 ts;
+      u32 data_in;
+      u16 win_no;
+      u32 data_out
+  | Execution { ts; op; inputs; outputs; hints } ->
+      u32 ts;
+      u16 op;
+      u16 (List.length inputs);
+      List.iter u32 inputs;
+      u16 (List.length outputs);
+      List.iter u32 outputs;
+      u16 (List.length hints);
+      List.iter
+        (fun h ->
+          u32 (Int64.to_int (Int64.logand h 0xFFFFFFFFL));
+          u32 (Int64.to_int (Int64.shift_right_logical h 32)))
+        hints
+  | Egress { ts; uarray; win_no } ->
+      u32 ts;
+      u32 uarray;
+      u16 win_no
+
+let decode_row data pos =
+  let byte () =
+    if !pos >= Bytes.length data then invalid_arg "Record.decode_row: truncated";
+    let c = Char.code (Bytes.get data !pos) in
+    incr pos;
+    c
+  in
+  let u32 () =
+    let a = byte () and b = byte () and c = byte () and d = byte () in
+    a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+  in
+  let u16 () =
+    let a = byte () and b = byte () in
+    a lor (b lsl 8)
+  in
+  match byte () with
+  | 0 ->
+      let ts = u32 () in
+      let uarray = u32 () in
+      Ingress { ts; uarray }
+  | 1 ->
+      let ts = u32 () in
+      let id = u32 () in
+      let value = u32 () in
+      Ingress_watermark { ts; id; value }
+  | 2 ->
+      let ts = u32 () in
+      let data_in = u32 () in
+      let win_no = u16 () in
+      let data_out = u32 () in
+      Windowing { ts; data_in; win_no; data_out }
+  | 3 ->
+      let ts = u32 () in
+      let op = u16 () in
+      let n_in = u16 () in
+      let inputs = List.init n_in (fun _ -> u32 ()) in
+      let n_out = u16 () in
+      let outputs = List.init n_out (fun _ -> u32 ()) in
+      let n_h = u16 () in
+      let hints =
+        List.init n_h (fun _ ->
+            let lo = u32 () in
+            let hi = u32 () in
+            Int64.logor (Int64.of_int lo) (Int64.shift_left (Int64.of_int hi) 32))
+      in
+      Execution { ts; op; inputs; outputs; hints }
+  | 4 ->
+      let ts = u32 () in
+      let uarray = u32 () in
+      let win_no = u16 () in
+      Egress { ts; uarray; win_no }
+  | t -> invalid_arg (Printf.sprintf "Record.decode_row: bad tag %d" t)
+
+let encode_all records =
+  let buf = Buffer.create 4096 in
+  Varint.write_unsigned buf (Int64.of_int (List.length records));
+  List.iter (encode_row buf) records;
+  Buffer.to_bytes buf
+
+let decode_all data =
+  let pos = ref 0 in
+  let n = Int64.to_int (Varint.read_unsigned data pos) in
+  List.init n (fun _ -> decode_row data pos)

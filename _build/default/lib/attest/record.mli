@@ -1,0 +1,40 @@
+(** Audit records (paper §7, Figure 6).
+
+    The data plane emits one record per boundary event: data/watermark
+    ingestion, window assignment, primitive execution, and result
+    externalization.  Records reference uArrays by the data plane's
+    monotonically increasing identifiers (never by address or opaque
+    reference) and carry the data-plane timestamp. *)
+
+type t =
+  | Ingress of { ts : int; uarray : int }
+      (** A batch entered the TEE and became uArray [uarray]. *)
+  | Ingress_watermark of { ts : int; id : int; value : int }
+      (** A watermark with event-time [value] was ingested; it gets an id
+          so later execution records can name it as a trigger. *)
+  | Windowing of { ts : int; data_in : int; win_no : int; data_out : int }
+      (** Segment assigned part of [data_in] to window [win_no],
+          producing [data_out]. *)
+  | Execution of {
+      ts : int;
+      op : int;  (** {!Sbt_prim.Primitive.to_id} *)
+      inputs : int list;
+      outputs : int list;
+      hints : int64 list;  (** encoded consumption hints, optional *)
+    }
+  | Egress of { ts : int; uarray : int; win_no : int }
+      (** A window result left the TEE (encrypted and signed). *)
+
+val pp : Format.formatter -> t -> unit
+
+val encode_row : Buffer.t -> t -> unit
+(** Raw row-order binary encoding (the uncompressed on-edge format whose
+    size Figure 12 reports as "Raw"). *)
+
+val decode_row : bytes -> int ref -> t
+(** Raises [Invalid_argument] on malformed input. *)
+
+val encode_all : t list -> bytes
+val decode_all : bytes -> t list
+
+val ts_of : t -> int

@@ -1,0 +1,14 @@
+(** LEB128 variable-length integers with zigzag signed mapping.
+
+    Delta-encoded audit-record columns (timestamps, uArray ids, window
+    numbers — all near-monotonic) shrink to one or two bytes per value
+    this way. *)
+
+val write_unsigned : Buffer.t -> int64 -> unit
+val read_unsigned : bytes -> int ref -> int64
+(** Reads at the position in the ref, advancing it. *)
+
+val zigzag : int64 -> int64
+val unzigzag : int64 -> int64
+val write_signed : Buffer.t -> int64 -> unit
+val read_signed : bytes -> int ref -> int64

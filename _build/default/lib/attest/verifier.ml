@@ -1,0 +1,307 @@
+type spec = {
+  batch_ops : int list;
+  window_ops : int list;
+  window_size : int;
+  window_slide : int;
+  freshness_bound : int option;
+}
+
+type violation =
+  | Unknown_uarray of { record_index : int; id : int }
+  | Unexpected_batch_op of { id : int; expected : int; got : int }
+  | Window_ops_mismatch of { window : int; expected : int list; got : int list }
+  | Unprocessed_batch of { id : int }
+  | Unprocessed_window_data of { window : int; ids : int list }
+  | Double_consumption of { record_index : int; id : int }
+  | Missing_egress of { window : int }
+  | Duplicate_egress of { window : int }
+  | Stale_result of { window : int; delay : int; bound : int }
+  | Mixed_window_inputs of { record_index : int }
+  | Watermark_regression of { id : int; value : int; prev : int }
+  | Egress_of_non_result of { record_index : int; id : int }
+
+let pp_violation fmt = function
+  | Unknown_uarray { record_index; id } ->
+      Format.fprintf fmt "record %d references unknown uArray %d" record_index id
+  | Unexpected_batch_op { id; expected; got } ->
+      Format.fprintf fmt "uArray %d: expected batch op %d, got %d" id expected got
+  | Window_ops_mismatch { window; expected; got } ->
+      let l ids = String.concat "," (List.map string_of_int ids) in
+      Format.fprintf fmt "window %d: expected ops {%s}, got {%s}" window (l expected) (l got)
+  | Unprocessed_batch { id } -> Format.fprintf fmt "ingested batch %d never windowed" id
+  | Unprocessed_window_data { window; ids } ->
+      Format.fprintf fmt "window %d: uArrays %s never processed" window
+        (String.concat "," (List.map string_of_int ids))
+  | Double_consumption { record_index; id } ->
+      Format.fprintf fmt "record %d consumes already-consumed uArray %d" record_index id
+  | Missing_egress { window } -> Format.fprintf fmt "window %d closed but produced no result" window
+  | Duplicate_egress { window } -> Format.fprintf fmt "window %d externalized more than once" window
+  | Stale_result { window; delay; bound } ->
+      Format.fprintf fmt "window %d result delayed %d > bound %d" window delay bound
+  | Mixed_window_inputs { record_index } ->
+      Format.fprintf fmt "record %d mixes inputs across windows/stages" record_index
+  | Watermark_regression { id; value; prev } ->
+      Format.fprintf fmt "watermark %d regresses (%d after %d)" id value prev
+  | Egress_of_non_result { record_index; id } ->
+      Format.fprintf fmt "record %d externalizes non-result uArray %d" record_index id
+
+type report = {
+  violations : violation list;
+  misleading_hints : int;
+  windows_verified : int;
+  records_replayed : int;
+  max_delay : int;
+  delays : (int * int) list;
+}
+
+let ok r = r.violations = []
+
+(* Provenance of every identifier the data plane has mentioned. *)
+type batch_info = { mutable windowed : bool }
+type seg_info = { seg_window : int; mutable stage : int; mutable consumed : bool }
+type ready_info = { ready_window : int; mutable read : bool }
+type mid_info = { mid_window : int; mutable mid_read : bool; mutable egressed : bool }
+
+type prov =
+  | Batch of batch_info
+  | Watermark of { value : int; ts : int }
+  | Segment of seg_info
+  | Ready of ready_info
+  | Group_mid of mid_info
+
+type win_state = {
+  mutable ready_ids : int list;
+  mutable group_ops : int list;
+  mutable egress_count : int;
+  mutable egress_ts : int option;
+}
+
+let verify spec records =
+  let table : (int, prov) Hashtbl.t = Hashtbl.create 256 in
+  let windows : (int, win_state) Hashtbl.t = Hashtbl.create 64 in
+  let violations = ref [] in
+  let violate v = violations := v :: !violations in
+  (* Consumption order is the index of the record that first consumed an
+     id; all inputs of one execution tie, so a hint between them is not
+     misleading. *)
+  let consumption_seq : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let note_consumed ~idx id =
+    if not (Hashtbl.mem consumption_seq id) then Hashtbl.replace consumption_seq id idx
+  in
+  (* hints recorded as (predecessor id, output id) pairs *)
+  let hints_seen = ref [] in
+  let watermarks = ref [] (* (value, ts), record order *) in
+  let prev_wm = ref min_int in
+  let win_state w =
+    match Hashtbl.find_opt windows w with
+    | Some s -> s
+    | None ->
+        let s = { ready_ids = []; group_ops = []; egress_count = 0; egress_ts = None } in
+        Hashtbl.replace windows w s;
+        s
+  in
+  let batch_op_count = List.length spec.batch_ops in
+  let register_output window stage_done id =
+    if Hashtbl.mem table id then violate (Double_consumption { record_index = -1; id })
+    else if stage_done then begin
+      Hashtbl.replace table id (Ready { ready_window = window; read = false });
+      let s = win_state window in
+      s.ready_ids <- id :: s.ready_ids
+    end
+    else Hashtbl.replace table id (Segment { seg_window = window; stage = 0; consumed = false })
+  in
+  List.iteri
+    (fun idx r ->
+      match r with
+      | Record.Ingress { ts = _; uarray } ->
+          if Hashtbl.mem table uarray then
+            violate (Double_consumption { record_index = idx; id = uarray })
+          else Hashtbl.replace table uarray (Batch { windowed = false })
+      | Record.Ingress_watermark { ts; id; value } ->
+          if value < !prev_wm then violate (Watermark_regression { id; value; prev = !prev_wm });
+          prev_wm := max !prev_wm value;
+          Hashtbl.replace table id (Watermark { value; ts });
+          watermarks := (value, ts) :: !watermarks
+      | Record.Windowing { ts = _; data_in; win_no; data_out } -> (
+          match Hashtbl.find_opt table data_in with
+          | Some (Batch b) ->
+              b.windowed <- true;
+              note_consumed ~idx data_in;
+              (* Segments with no batch stages are immediately window-ready. *)
+              register_output win_no (batch_op_count = 0) data_out
+          | Some (Watermark _ | Segment _ | Ready _ | Group_mid _) ->
+              violate (Mixed_window_inputs { record_index = idx })
+          | None -> violate (Unknown_uarray { record_index = idx; id = data_in }))
+      | Record.Execution { ts = _; op; inputs; outputs; hints } -> (
+          (* Classify the inputs. *)
+          let wm = ref None and segs = ref [] and window_inputs = ref [] in
+          let bad = ref false in
+          List.iter
+            (fun id ->
+              match Hashtbl.find_opt table id with
+              | None ->
+                  violate (Unknown_uarray { record_index = idx; id });
+                  bad := true
+              | Some (Watermark _) -> wm := Some id
+              | Some (Segment s) -> segs := (id, s) :: !segs
+              | Some (Ready r) -> window_inputs := (id, `Ready r) :: !window_inputs
+              | Some (Group_mid g) -> window_inputs := (id, `Mid g) :: !window_inputs
+              | Some (Batch _) ->
+                  violate (Mixed_window_inputs { record_index = idx });
+                  bad := true)
+            inputs;
+          (if not !bad then
+            match (!segs, !window_inputs, !wm) with
+            | [ (id, s) ], [], None ->
+                (* Batch-stage execution. *)
+                if s.consumed then violate (Double_consumption { record_index = idx; id })
+                else begin
+                  s.consumed <- true;
+                  note_consumed ~idx id;
+                  let expected = List.nth spec.batch_ops s.stage in
+                  if op <> expected then violate (Unexpected_batch_op { id; expected; got = op });
+                  let done_after = s.stage + 1 >= batch_op_count in
+                  List.iter
+                    (fun out ->
+                      if done_after then register_output s.seg_window true out
+                      else begin
+                        Hashtbl.replace table out
+                          (Segment { seg_window = s.seg_window; stage = s.stage + 1; consumed = false });
+                        ignore (win_state s.seg_window)
+                      end)
+                    outputs
+                end
+            | [], ((_ :: _) as wins), _ ->
+                (* Window-group execution.  The group belongs to the newest
+                   window among its inputs; Ready (segment) inputs must all
+                   belong to that window, while Group_mid inputs from
+                   earlier windows are legal - that is operator state
+                   flowing forward (paper 7: stateful operators). *)
+                let window_of (_, i) = match i with `Ready r -> r.ready_window | `Mid g -> g.mid_window in
+                let w0 = List.fold_left (fun acc x -> max acc (window_of x)) min_int wins in
+                let ok =
+                  List.for_all
+                    (fun (_, i) ->
+                      match i with
+                      | `Ready r -> r.ready_window = w0
+                      | `Mid g -> g.mid_window <= w0)
+                    wins
+                in
+                if ok then begin
+                  List.iter
+                    (fun (id, i) ->
+                      note_consumed ~idx id;
+                      match i with `Ready r -> r.read <- true | `Mid g -> g.mid_read <- true)
+                    wins;
+                  let s = win_state w0 in
+                  s.group_ops <- op :: s.group_ops;
+                  List.iter
+                    (fun out ->
+                      Hashtbl.replace table out
+                        (Group_mid { mid_window = w0; mid_read = false; egressed = false }))
+                    outputs
+                end
+                else violate (Mixed_window_inputs { record_index = idx })
+            | _, _, _ -> violate (Mixed_window_inputs { record_index = idx }));
+          (* Hints pair the first output with a predecessor uArray. *)
+          List.iter
+            (fun h ->
+              let pred = Int64.to_int (Int64.shift_right_logical h 32) in
+              let succ = Int64.to_int (Int64.logand h 0xFFFFFFFFL) in
+              hints_seen := (pred, succ) :: !hints_seen)
+            hints)
+      | Record.Egress { ts; uarray; win_no } -> (
+          match Hashtbl.find_opt table uarray with
+          | Some (Group_mid g) when g.mid_window = win_no && not g.egressed ->
+              g.egressed <- true;
+              note_consumed ~idx uarray;
+              let s = win_state win_no in
+              s.egress_count <- s.egress_count + 1;
+              if s.egress_count > 1 then violate (Duplicate_egress { window = win_no });
+              if s.egress_ts = None then s.egress_ts <- Some ts
+          | Some (Ready r) when r.ready_window = win_no && spec.window_ops = [] ->
+              r.read <- true;
+              note_consumed ~idx uarray;
+              let s = win_state win_no in
+              s.egress_count <- s.egress_count + 1;
+              if s.egress_count > 1 then violate (Duplicate_egress { window = win_no });
+              if s.egress_ts = None then s.egress_ts <- Some ts
+          | Some (Batch _ | Watermark _ | Segment _ | Ready _ | Group_mid _) ->
+              violate (Egress_of_non_result { record_index = idx; id = uarray })
+          | None -> violate (Unknown_uarray { record_index = idx; id = uarray })))
+    records;
+  (* Final sweep. *)
+  Hashtbl.iter
+    (fun id prov ->
+      match prov with
+      | Batch b -> if not b.windowed then violate (Unprocessed_batch { id })
+      | Watermark _ | Segment _ | Ready _ | Group_mid _ -> ())
+    table;
+  let windows_verified = ref 0 in
+  let delays = ref [] and max_delay = ref 0 in
+  (* Closing watermark of a window: the first (in record order) whose value
+     covers the window end.  Records may interleave watermarks ahead of a
+     window's stage records under parallel execution, so closing is decided
+     here, not while scanning. *)
+  let wms_in_order = List.rev !watermarks in
+  let closing_wm_ts w =
+    let win_end = (w * spec.window_slide) + spec.window_size in
+    List.find_map (fun (value, ts) -> if value >= win_end then Some ts else None) wms_in_order
+  in
+  Hashtbl.iter
+    (fun w s ->
+      match closing_wm_ts w with
+      | None -> () (* window still open at end of log: nothing to assert yet *)
+      | Some wm_ts ->
+          incr windows_verified;
+          if s.egress_count = 0 then violate (Missing_egress { window = w })
+          else begin
+            let expected = List.sort compare spec.window_ops in
+            let got = List.sort compare s.group_ops in
+            if expected <> got then violate (Window_ops_mismatch { window = w; expected; got });
+            let unread =
+              List.filter
+                (fun id ->
+                  match Hashtbl.find_opt table id with
+                  | Some (Ready r) -> not r.read
+                  | Some (Batch _ | Watermark _ | Segment _ | Group_mid _) | None -> false)
+                s.ready_ids
+            in
+            if unread <> [] then violate (Unprocessed_window_data { window = w; ids = unread });
+            match s.egress_ts with
+            | Some ets ->
+                let d = ets - wm_ts in
+                delays := (w, d) :: !delays;
+                if d > !max_delay then max_delay := d;
+                (match spec.freshness_bound with
+                | Some bound when d > bound -> violate (Stale_result { window = w; delay = d; bound })
+                | Some _ | None -> ())
+            | None -> ()
+          end)
+    windows;
+  (* Misleading hints: successor consumed before its predecessor. *)
+  let misleading =
+    List.fold_left
+      (fun acc (pred, succ) ->
+        match (Hashtbl.find_opt consumption_seq pred, Hashtbl.find_opt consumption_seq succ) with
+        | Some p, Some s when s < p -> acc + 1
+        | _, _ -> acc)
+      0 !hints_seen
+  in
+  {
+    violations = List.rev !violations;
+    misleading_hints = misleading;
+    windows_verified = !windows_verified;
+    records_replayed = List.length records;
+    max_delay = !max_delay;
+    delays = List.rev !delays;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "replayed %d records, %d windows verified, max delay %d, %d misleading hints@."
+    r.records_replayed r.windows_verified r.max_delay r.misleading_hints;
+  if r.violations = [] then Format.fprintf fmt "verdict: OK@."
+  else begin
+    Format.fprintf fmt "verdict: %d VIOLATION(S)@." (List.length r.violations);
+    List.iter (fun v -> Format.fprintf fmt "  - %a@." pp_violation v) r.violations
+  end

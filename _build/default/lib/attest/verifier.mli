@@ -1,0 +1,69 @@
+(** Cloud-side verification of edge analytics (paper §7).
+
+    The verifier holds its own copy of the pipeline declaration ({!spec})
+    and replays the audit records symbolically — no actual computation —
+    checking that
+
+    - every ingested batch was windowed, and every window's data flowed
+      through exactly the declared primitives once the window's watermark
+      arrived ({e correctness});
+    - each result was externalized within the declared delay bound after
+      its triggering watermark ({e freshness});
+    - no record references a uArray the data plane never produced
+      ({e fabricated dataflow});
+    - watermarks are monotone.
+
+    Consumption hints are additionally checked in retrospect: a
+    consumed-after hint contradicted by the observed consumption order is
+    reported as a {e misleading hint} warning — by design a performance
+    matter, never a correctness violation (paper §6.2). *)
+
+type spec = {
+  batch_ops : int list;
+      (** Primitive ids applied, in order, to each windowed segment as it
+          is produced (e.g. [\[Sort\]]); each stage is 1-in/1-out. *)
+  window_ops : int list;
+      (** Multiset of primitive ids executed per window when its watermark
+          arrives.  Connectivity inside the group is checked; order
+          between parallel branches is not over-constrained. *)
+  window_size : int;  (** event-time ticks a window spans *)
+  window_slide : int;
+      (** ticks between window starts; window [w] covers
+          [\[w*slide, w*slide + size)].  Equal to [window_size] for the
+          paper's fixed windows. *)
+  freshness_bound : int option;
+      (** Max tolerated output delay in data-plane timestamp ticks. *)
+}
+
+type violation =
+  | Unknown_uarray of { record_index : int; id : int }
+  | Unexpected_batch_op of { id : int; expected : int; got : int }
+  | Window_ops_mismatch of { window : int; expected : int list; got : int list }
+  | Unprocessed_batch of { id : int }
+  | Unprocessed_window_data of { window : int; ids : int list }
+  | Double_consumption of { record_index : int; id : int }
+  | Missing_egress of { window : int }
+  | Duplicate_egress of { window : int }
+  | Stale_result of { window : int; delay : int; bound : int }
+  | Mixed_window_inputs of { record_index : int }
+  | Watermark_regression of { id : int; value : int; prev : int }
+  | Egress_of_non_result of { record_index : int; id : int }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type report = {
+  violations : violation list;
+  misleading_hints : int;
+  windows_verified : int;
+  records_replayed : int;
+  max_delay : int;  (** worst observed output delay (ts ticks) *)
+  delays : (int * int) list;  (** (window, delay) per verified window *)
+}
+
+val ok : report -> bool
+(** No violations. *)
+
+val verify : spec -> Record.t list -> report
+(** Replay one contiguous record stream. *)
+
+val pp_report : Format.formatter -> report -> unit

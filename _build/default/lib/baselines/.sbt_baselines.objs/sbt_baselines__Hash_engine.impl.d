@@ -1,0 +1,1 @@
+lib/baselines/hash_engine.ml: Array Hashtbl Int32 Int64 List Sbt_net Sbt_sim

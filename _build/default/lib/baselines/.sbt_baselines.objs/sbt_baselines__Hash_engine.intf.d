@@ -1,0 +1,1 @@
+lib/baselines/hash_engine.mli: Sbt_net

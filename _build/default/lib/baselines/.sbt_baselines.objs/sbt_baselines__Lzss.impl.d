@@ -1,0 +1,1 @@
+lib/baselines/lzss.ml: Array Buffer Bytes Char Int64 Sbt_attest

@@ -1,0 +1,1 @@
+lib/baselines/secure_streams.ml: Array Bytes Hashtbl Int32 Int64 List Sbt_crypto Sbt_net Sbt_sim

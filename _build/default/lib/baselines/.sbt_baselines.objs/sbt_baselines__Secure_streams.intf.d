@@ -1,0 +1,1 @@
+lib/baselines/secure_streams.mli: Sbt_net

@@ -1,0 +1,82 @@
+type flavor = Flink_like | Esper_like | Sensorbee_like
+
+let flavor_name = function
+  | Flink_like -> "flink-like"
+  | Esper_like -> "esper-like"
+  | Sensorbee_like -> "sensorbee-like"
+
+(* Boxed per-event representation: the small-object churn commodity
+   engines pay (§4.1). *)
+type boxed_event = { key : int32 ref; value : int32 ref; ts : int32 ref }
+
+type result = {
+  window_sums : (int * int64) list;
+  elapsed_ns : float;
+  events : int;
+  peak_live_words : int;
+}
+
+let run_win_sum flavor ~window_ticks frames =
+  let t0 = Sbt_sim.Clock.now_ns () in
+  (* window -> (sum ref, count ref): hash-table state per window. *)
+  let state : (int, int64 ref * int ref) Hashtbl.t = Hashtbl.create 64 in
+  let events = ref 0 in
+  let peak = ref 0 in
+  let live = ref 0 in
+  let listener =
+    (* Esper/SensorBee dispatch events through listener closures. *)
+    match flavor with
+    | Flink_like -> None
+    | Esper_like | Sensorbee_like ->
+        Some (fun (e : boxed_event) k -> k e)
+  in
+  let process (e : boxed_event) =
+    let w = Int32.to_int !(e.ts) / window_ticks in
+    let sum, count =
+      match Hashtbl.find_opt state w with
+      | Some sc -> sc
+      | None ->
+          let sc = (ref 0L, ref 0) in
+          Hashtbl.replace state w sc;
+          sc
+    in
+    sum := Int64.add !sum (Int64.of_int32 !(e.value));
+    incr count
+  in
+  List.iter
+    (fun frame ->
+      match frame with
+      | Sbt_net.Frame.Watermark _ -> ()
+      | Sbt_net.Frame.Events { payload; encrypted; _ } ->
+          if encrypted then invalid_arg "Hash_engine.run_win_sum: cleartext frames only";
+          let records = Sbt_net.Frame.unpack_events ~width:3 payload in
+          Array.iter
+            (fun fields ->
+              incr events;
+              (* One fresh boxed object per event. *)
+              let e = { key = ref fields.(0); value = ref fields.(1); ts = ref fields.(2) } in
+              live := !live + 8;
+              if !live > !peak then peak := !live;
+              let e =
+                match flavor with
+                | Sensorbee_like ->
+                    (* Extra intermediate tuple copy. *)
+                    { key = ref !(e.key); value = ref !(e.value); ts = ref !(e.ts) }
+                | Flink_like | Esper_like -> e
+              in
+              (match listener with
+              | Some dispatch -> dispatch e process
+              | None -> process e);
+              live := !live - 8)
+            records)
+    frames;
+  let sums =
+    Hashtbl.fold (fun w (sum, _) acc -> (w, !sum) :: acc) state []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    window_sums = sums;
+    elapsed_ns = Sbt_sim.Clock.elapsed_ns ~since:t0;
+    events = !events;
+    peak_live_words = !peak + (Hashtbl.length state * 16);
+  }

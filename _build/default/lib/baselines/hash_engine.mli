@@ -1,0 +1,34 @@
+(** Hash-based commodity stream engines — the design class the paper
+    contrasts with (Figure 8: Flink, Esper, SensorBee on the same
+    hardware).
+
+    These engines process events one at a time as boxed values, group by
+    key in per-window hash tables and rely on the generic allocator/GC —
+    exactly the structure §4.1 argues mismatches a TEE.  Three
+    configurations model the three systems' salient traits:
+
+    - [Flink_like]: per-event objects + hash grouping, but efficient
+      window bookkeeping (best of the three).
+    - [Esper_like]: adds per-event boxed timestamps and listener-style
+      dispatch (an extra closure call per event).
+    - [Sensorbee_like]: additionally copies each event into an
+      intermediate tuple (the dynamic-typing tax), slowest.
+
+    They compute the same windowed aggregation as WinSum so outputs can
+    be cross-checked against the array engine. *)
+
+type flavor = Flink_like | Esper_like | Sensorbee_like
+
+val flavor_name : flavor -> string
+
+type result = {
+  window_sums : (int * int64) list;  (** (window, sum) in window order *)
+  elapsed_ns : float;
+  events : int;
+  peak_live_words : int;  (** rough live-heap footprint in words *)
+}
+
+val run_win_sum :
+  flavor -> window_ticks:int -> Sbt_net.Frame.t list -> result
+(** Ingest the frame stream (cleartext frames only) and compute per-window
+    sums of the value field, one event at a time. *)

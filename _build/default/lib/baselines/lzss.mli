@@ -1,0 +1,15 @@
+(** LZSS with a fixed-size sliding window — the generic (gzip-class)
+    compressor that Figure 12 compares the domain-specific columnar
+    coder against.
+
+    Deflate combines LZ77 matching with Huffman coding of the symbol
+    stream; this implementation does the same (LZSS token stream fed
+    through the {!Sbt_attest.Huffman} coder), so its ratios land in the
+    same class as gzip on structured binary data. *)
+
+val compress : bytes -> bytes
+val decompress : bytes -> bytes
+(** Exact inverse of {!compress}. *)
+
+val ratio : bytes -> float
+(** input size / compressed size (1.0 for empty input). *)

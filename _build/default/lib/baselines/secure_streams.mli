@@ -1,0 +1,21 @@
+(** A SecureStreams-style baseline: per-operator enclaves exchanging
+    encrypted messages (paper §9.2's qualitative comparison, [53]).
+
+    SecureStreams isolates each stream operator in its own SGX enclave;
+    operators exchange AES-encrypted batches over the untrusted message
+    bus.  StreamBox-TZ instead shares one cache-coherent TEE address
+    space across all primitives.  This model reproduces the structural
+    difference: the same WinSum computation, but every inter-operator
+    hop pays serialize + encrypt + decrypt + deserialize. *)
+
+type result = {
+  window_sums : (int * int64) list;
+  elapsed_ns : float;
+  events : int;
+  hops : int;  (** encrypted inter-operator transfers performed *)
+  bytes_reencrypted : int;
+}
+
+val run_win_sum : window_ticks:int -> Sbt_net.Frame.t list -> result
+(** Three "enclaves": windowing, aggregation, egress; two encrypted hops
+    per batch. *)

@@ -1,0 +1,1 @@
+lib/core/control.ml: Array Dataplane Event Hashtbl List Option Pipeline Printf Queue Sbt_attest Sbt_net Sbt_prim Sbt_sim Sbt_tz

@@ -1,0 +1,1 @@
+lib/core/control.mli: Dataplane Pipeline Sbt_attest Sbt_net Sbt_sim

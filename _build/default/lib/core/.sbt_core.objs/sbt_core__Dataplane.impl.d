@@ -1,0 +1,1 @@
+lib/core/dataplane.ml: Array Bigarray Bytes Float Hashtbl Int32 Int64 List Opaque Option Printf Sbt_attest Sbt_crypto Sbt_prim Sbt_sim Sbt_tz Sbt_umem Udf

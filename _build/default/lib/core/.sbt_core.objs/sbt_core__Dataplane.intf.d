@@ -1,0 +1,1 @@
+lib/core/dataplane.mli: Sbt_attest Sbt_prim Sbt_tz Sbt_umem Udf

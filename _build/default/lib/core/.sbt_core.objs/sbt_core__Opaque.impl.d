@@ -1,0 +1,1 @@
+lib/core/opaque.ml: Hashtbl Int64 Sbt_crypto Sbt_umem

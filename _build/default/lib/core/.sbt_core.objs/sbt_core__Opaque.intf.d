@@ -1,0 +1,1 @@
+lib/core/opaque.mli: Sbt_crypto Sbt_umem

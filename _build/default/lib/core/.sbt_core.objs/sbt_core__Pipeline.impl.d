@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Bytes Dataplane Event Int64 List Option Sbt_attest Sbt_prim Udf

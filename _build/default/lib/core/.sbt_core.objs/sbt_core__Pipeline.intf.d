@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Dataplane Event Sbt_attest Sbt_prim Udf

@@ -1,0 +1,1 @@
+lib/core/runner.ml: Bytes Control Dataplane Event Format Gc List Pipeline Sbt_attest Sbt_prim Sbt_sim Sbt_umem

@@ -1,0 +1,1 @@
+lib/core/runner.mli: Dataplane Format Pipeline Sbt_attest Sbt_net Sbt_prim Sbt_umem

@@ -1,0 +1,1 @@
+lib/core/udf.ml: Array Buffer Bytes Int32 Lazy Sbt_crypto

@@ -1,0 +1,39 @@
+(** The untrusted control plane.
+
+    Orchestrates pipeline execution (paper §4.2): batches arriving frames,
+    invokes the data plane through opaque references, creates abundant
+    task parallelism (per-batch stages run concurrently across batches and
+    windows; window plans fire on watermarks), generates consumption
+    hints, and applies backpressure.  It runs under the discrete-event
+    scheduler so the recorded task graph can be replayed at any core
+    count and ingestion rate. *)
+
+type config = {
+  dp_config : Dataplane.config;
+  cores : int;  (** virtual cores for the recording run *)
+  hints_enabled : bool;
+}
+
+val default_config : ?version:Dataplane.version -> ?cores:int -> unit -> config
+
+type run_result = {
+  results : (int * Dataplane.sealed_result) list;  (** per closed window *)
+  trace : Sbt_sim.Trace.t;
+  dp_stats : Dataplane.stats;
+  pool_high_water_bytes : int;
+  mem_samples_bytes : int list;
+      (** committed secure memory sampled at every window close — the
+          steady-state usage Figure 7 annotates *)
+  audit : Sbt_attest.Log.batch list;
+  verifier_spec : Sbt_attest.Verifier.spec;
+  makespan_ns : float;
+  total_events : int;
+  tasks_executed : int;
+  live_refs_after : int;
+}
+
+val run : config -> Pipeline.t -> Sbt_net.Frame.t list -> run_result
+(** Execute the pipeline over the frame stream once, for real, recording
+    the task graph.  Frames must arrive in source order (watermarks after
+    the data they cover); the last frame should be a watermark closing
+    every window. *)

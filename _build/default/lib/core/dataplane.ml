@@ -1,0 +1,840 @@
+module U = Sbt_umem.Uarray
+module Alloc = Sbt_umem.Allocator
+module Pool = Sbt_umem.Page_pool
+module P = Sbt_prim.Primitive
+module Tz = Sbt_tz
+
+type version = Full | Clear_ingress | Io_via_os | Insecure
+
+let version_name = function
+  | Full -> "StreamBox-TZ"
+  | Clear_ingress -> "SBT ClearIngress"
+  | Io_via_os -> "SBT IOviaOS"
+  | Insecure -> "Insecure"
+
+type config = {
+  version : version;
+  platform : Tz.Platform.t;
+  alloc_mode : Alloc.mode;
+  sort_algorithm : Sbt_prim.Sort.algorithm;
+  ingress_key : bytes;
+  egress_key : bytes;
+  audit_flush_every : int;
+  audit_enabled : bool;
+  backpressure_threshold : float;
+  adaptive_backpressure : bool;
+  seed : int64;
+}
+
+let default_config ?(version = Full) ?(cores = 8) ?(secure_mb = 512) () =
+  let cost =
+    match version with Insecure -> Tz.Cost_model.free | Full | Clear_ingress | Io_via_os -> Tz.Cost_model.default
+  in
+  {
+    version;
+    platform = Tz.Platform.create ~cores ~cost ~secure_mb ();
+    alloc_mode = Alloc.Hint_guided;
+    sort_algorithm = Sbt_prim.Sort.Radix;
+    ingress_key = Bytes.of_string "sbt-ingress-k16!";
+    egress_key = Bytes.of_string "sbt-egress-key16";
+    audit_flush_every = 256;
+    audit_enabled = (match version with Insecure -> false | Full | Clear_ingress | Io_via_os -> true);
+    backpressure_threshold = 0.90;
+    adaptive_backpressure = false;
+    seed = 42L;
+  }
+
+type hint = H_after of int64 | H_parallel
+
+type param =
+  | P_key_field of int
+  | P_value_field of int
+  | P_ts_field of int
+  | P_window_size of int
+  | P_slide of int
+  | P_k of int
+  | P_lo of int32
+  | P_hi of int32
+  | P_shift of int
+  | P_fields of int array
+
+type request =
+  | R_ingest_events of { payload : bytes; encrypted : bool; stream : int; seq : int }
+  | R_ingest_watermark of { value : int }
+  | R_invoke of {
+      op : P.t;
+      inputs : int64 list;
+      trigger : int option;
+      params : param list;
+      hints : hint list;
+      retire_inputs : bool;
+    }
+  | R_egress of { input : int64; window : int }
+  | R_install_udf of { udf : Udf.t; cert : bytes }
+  | R_invoke_udf of {
+      name : string;
+      version : int;
+      inputs : int64 list;
+      trigger : int option;
+      value_field : int;
+      hints : hint list;
+      retire_inputs : bool;
+      state_output : bool;
+    }
+  | R_retire of { input : int64 }
+
+type output = { win : int; ref_ : int64; events : int }
+type sealed_result = { window : int; cipher : bytes; tag : bytes; events : int; width : int }
+
+type response =
+  | Rs_outputs of output list
+  | Rs_watermark of { audit_id : int; value : int }
+  | Rs_egress of sealed_result
+  | Rs_ingested of { out : output; stalled_ns : float }
+
+exception Rejected of string
+
+(* Internal SMC message wrappers so the entire surface is the paper's
+   four entries: init, finalize, debug, and one shared invoke. *)
+type rpc = Rpc_init | Rpc_finalize | Rpc_debug | Rpc_op of request
+type rpc_resp = Rr_unit | Rr_debug of string | Rr_op of response
+
+type t = {
+  cfg : config;
+  pool : Pool.t;
+  alloc : Alloc.t;
+  refs : Opaque.t;
+  log : Sbt_attest.Log.t;
+  rng : Sbt_crypto.Rng.t;
+  smc : (rpc, rpc_resp) Tz.Smc.t;
+  mutable now_ns : float;
+  mutable compute_ns : float;
+  mutable mem_ns : float;
+  mutable crypto_ns : float;
+  mutable ingest_ns : float;
+  mutable invocations : int;
+  mutable events_ingested : int;
+  mutable bytes_ingested : int;
+  mutable backpressure_stalls : int;
+  mutable uploaded : Sbt_attest.Log.batch list; (* newest first *)
+  mutable ingest_width : int; (* set per stream schema via first ingest params *)
+  udfs : (string * int, Udf.t) Hashtbl.t; (* certified-and-installed UDFs *)
+}
+
+type stats = {
+  compute_ns : float;
+  mem_ns : float;
+  crypto_ns : float;
+  ingest_ns : float;
+  switch_pairs : int;
+  modeled_switch_ns : float;
+  modeled_copy_ns : float;
+  invocations : int;
+  events_ingested : int;
+  bytes_ingested : int;
+  backpressure_stalls : int;
+}
+
+let now_us t = int_of_float (t.now_ns /. 1e3)
+
+let append_record t r =
+  if t.cfg.audit_enabled then
+    match Sbt_attest.Log.append t.log r with
+    | Some batch -> t.uploaded <- batch :: t.uploaded
+    | None -> ()
+
+let flush_log t =
+  if t.cfg.audit_enabled then
+    match Sbt_attest.Log.flush t.log with
+    | Some batch -> t.uploaded <- batch :: t.uploaded
+    | None -> ()
+
+(* --- timing helpers: measured host nanoseconds per cost category ------ *)
+
+let timed (t : t) category f =
+  let t0 = Sbt_sim.Clock.now_ns () in
+  let r = f () in
+  let dt = Sbt_sim.Clock.elapsed_ns ~since:t0 in
+  (match category with
+  | `Compute -> t.compute_ns <- t.compute_ns +. dt
+  | `Mem -> t.mem_ns <- t.mem_ns +. dt
+  | `Crypto -> t.crypto_ns <- t.crypto_ns +. dt
+  | `Ingest -> t.ingest_ns <- t.ingest_ns +. dt);
+  r
+
+let hint_of t = function
+  | Some (H_after r) -> Alloc.Consumed_after (Opaque.resolve t.refs r)
+  | Some H_parallel -> Alloc.Consumed_in_parallel
+  | None -> Alloc.No_hint
+
+(* Hints are advisory and arrive from the untrusted control plane; a hint
+   naming a dead reference must not fault the data plane. *)
+let safe_hint t h = try hint_of t h with Opaque.Invalid_reference _ -> Alloc.No_hint
+
+let encode_hint_for_audit t h out_id =
+  let pred =
+    match h with
+    | H_after r -> (
+        try U.id (Opaque.resolve t.refs r) with Opaque.Invalid_reference _ -> 0xFFFFFFFF)
+    | H_parallel -> 0xFFFFFFFF
+  in
+  Int64.logor (Int64.shift_left (Int64.of_int pred) 32) (Int64.of_int out_id)
+
+let alloc_out t ?hint ?(scope = U.Streaming) ~producer ~width ~capacity () =
+  timed t `Mem (fun () ->
+      Alloc.alloc t.alloc ~hint:(safe_hint t hint) ~scope ~producer ~width ~capacity ())
+
+let produce t ua = timed t `Mem (fun () -> Alloc.produce t.alloc ua)
+
+let retire_ref t r =
+  let ua = Opaque.resolve t.refs r in
+  timed t `Mem (fun () ->
+      (* State uArrays outlive primitive executions; never retire them
+         behind the control plane's back. *)
+      match U.scope ua with
+      | U.State -> ()
+      | U.Streaming | U.Temporary ->
+          Alloc.retire t.alloc ua;
+          Opaque.remove t.refs r)
+
+let find_param params f = List.find_map f params
+
+let key_field params default =
+  Option.value ~default (find_param params (function P_key_field k -> Some k | _ -> None))
+
+let value_field params default =
+  Option.value ~default (find_param params (function P_value_field v -> Some v | _ -> None))
+
+(* --- ingestion -------------------------------------------------------- *)
+
+let unpack_payload t ~producer payload width =
+  let bytes_len = Bytes.length payload in
+  if bytes_len mod (4 * width) <> 0 then raise (Rejected "ingest: payload not a record multiple");
+  let events = bytes_len / (4 * width) in
+  let ua = alloc_out t ~hint:H_parallel ~producer ~width ~capacity:events () in
+  timed t `Ingest (fun () ->
+      let first = U.reserve ua events in
+      assert (first = 0);
+      let buf = U.raw ua in
+      for i = 0 to (events * width) - 1 do
+        Bigarray.Array1.unsafe_set buf i (Bytes.get_int32_le payload (4 * i))
+      done);
+  produce t ua;
+  (ua, events)
+
+let do_ingest_events t ~payload ~encrypted ~stream ~seq =
+  let platform = t.cfg.platform in
+  (* Backpressure: above the threshold the source is stalled before this
+     batch may enter (paper §4.2). *)
+  let pressure =
+    float_of_int (Pool.committed_bytes t.pool) /. float_of_int (Pool.budget_bytes t.pool)
+  in
+  let stalled_ns =
+    if pressure > t.cfg.backpressure_threshold then begin
+      t.backpressure_stalls <- t.backpressure_stalls + 1;
+      if t.cfg.adaptive_backpressure then begin
+        (* Automatic flow control (the paper's stated future work, 4.2):
+           the stall grows with how deep past the threshold the pool is,
+           so the source slows proportionally to the backlog instead of by
+           a fixed step. *)
+        let over =
+          (pressure -. t.cfg.backpressure_threshold)
+          /. Float.max 0.01 (1.0 -. t.cfg.backpressure_threshold)
+        in
+        Float.min 10_000_000.0 (Float.max 100_000.0 (10_000_000.0 *. over))
+      end
+      else 1_000_000.0 (* fixed 1 ms source stall *)
+    end
+    else 0.0
+  in
+  let payload =
+    match t.cfg.version with
+    | Io_via_os ->
+        (* Data landed in the untrusted OS and is copied across the TEE
+           boundary: check the normal-world NIC, do the copy, charge it. *)
+        Tz.Tzpc.check_access platform.Tz.Platform.tzpc ~accessor:Tz.World.Normal
+          ~peripheral:"usb-eth";
+        Tz.Platform.charge_copy platform ~bytes_len:(Bytes.length payload);
+        timed t `Ingest (fun () -> Bytes.copy payload)
+    | Full | Clear_ingress ->
+        (* Trusted IO: the secure world owns the NIC; no boundary copy. *)
+        Tz.Tzpc.check_access platform.Tz.Platform.tzpc ~accessor:Tz.World.Secure ~peripheral:"net0";
+        payload
+    | Insecure -> payload
+  in
+  let payload =
+    if encrypted then
+      timed t `Crypto (fun () ->
+          let ctr = Sbt_crypto.Ctr.create ~key:t.cfg.ingress_key ~nonce:(Int64.of_int stream) in
+          let p = Bytes.copy payload in
+          Sbt_crypto.Ctr.xcrypt ctr ~pos:(Int64.shift_left (Int64.of_int seq) 32) p 0
+            (Bytes.length p);
+          p)
+    else payload
+  in
+  let ua, events = unpack_payload t ~producer:P.ingress_id payload t.ingest_width in
+  t.events_ingested <- t.events_ingested + events;
+  t.bytes_ingested <- t.bytes_ingested + Bytes.length payload;
+  append_record t (Sbt_attest.Record.Ingress { ts = now_us t; uarray = U.id ua });
+  let r = Opaque.register t.refs ua in
+  Rs_ingested { out = { win = -1; ref_ = r; events }; stalled_ns }
+
+let do_ingest_watermark t ~value =
+  (* Watermark ids come from the allocator's id sequence so all audit
+     identifiers stay near-monotonic (better delta compression, 7). *)
+  let id = Alloc.reserve_id t.alloc in
+  append_record t (Sbt_attest.Record.Ingress_watermark { ts = now_us t; id; value });
+  Rs_watermark { audit_id = id; value }
+
+(* --- primitive dispatch ------------------------------------------------ *)
+
+let as_one = function [ x ] -> x | _ -> raise (Rejected "primitive expects one input")
+let as_two = function [ a; b ] -> (a, b) | _ -> raise (Rejected "primitive expects two inputs")
+
+let scalar_i64 v =
+  let lo = Int64.to_int32 v in
+  let hi = Int64.to_int32 (Int64.shift_right_logical v 32) in
+  [| lo; hi |]
+
+let do_invoke (t : t) ~op ~inputs ~trigger ~params ~hints ~retire_inputs =
+  t.invocations <- t.invocations + 1;
+  let uas = List.map (Opaque.resolve t.refs) inputs in
+  let producer = P.to_id op in
+  let hint_for i =
+    match hints with [] -> None | [ h ] -> Some h | l -> List.nth_opt l i
+  in
+  let mk ?(i = 0) ?scope ~width ~capacity () =
+    alloc_out t ?hint:(hint_for i) ?scope ~producer ~width ~capacity ()
+  in
+  let outputs : (int * U.t) list =
+    (* (window, array) pairs; window -1 when not window-scoped *)
+    match op with
+    | P.Sort ->
+        let src = as_one uas in
+        let kf = key_field params 0 in
+        let dst = mk ~width:(U.width src) ~capacity:(U.length src) () in
+        timed t `Compute (fun () ->
+            match find_param params (function P_value_field v -> Some v | _ -> None) with
+            | Some vf ->
+                (* Secondary order: stable radix by value, then by key. *)
+                Sbt_prim.Sort.sort Sbt_prim.Sort.Radix ~src ~dst ~key_field:vf;
+                Sbt_prim.Sort.sort_in_place Sbt_prim.Sort.Radix dst ~key_field:kf
+            | None -> Sbt_prim.Sort.sort t.cfg.sort_algorithm ~src ~dst ~key_field:kf);
+        [ (-1, dst) ]
+    | P.Merge ->
+        let a, b = as_two uas in
+        let kf = key_field params 0 in
+        let dst = mk ~width:(U.width a) ~capacity:(U.length a + U.length b) () in
+        timed t `Compute (fun () -> Sbt_prim.Merge.merge2 ~a ~b ~dst ~key_field:kf);
+        [ (-1, dst) ]
+    | P.Kway_merge ->
+        let kf = key_field params 0 in
+        let total = List.fold_left (fun acc ua -> acc + U.length ua) 0 uas in
+        let width = match uas with [] -> raise (Rejected "kway: no inputs") | ua :: _ -> U.width ua in
+        let dst = mk ~width ~capacity:total () in
+        timed t `Compute (fun () -> Sbt_prim.Merge.kway ~inputs:uas ~dst ~key_field:kf);
+        [ (-1, dst) ]
+    | P.Segment ->
+        let src = as_one uas in
+        let ws =
+          match find_param params (function P_window_size w -> Some w | _ -> None) with
+          | Some w -> w
+          | None -> raise (Rejected "segment: missing window size")
+        in
+        let tf =
+          Option.value ~default:2 (find_param params (function P_ts_field f -> Some f | _ -> None))
+        in
+        let slide =
+          Option.value ~default:ws (find_param params (function P_slide v -> Some v | _ -> None))
+        in
+        let counts =
+          timed t `Compute (fun () ->
+              Sbt_prim.Segment.count_per_window ~src ~ts_field:tf ~window_size:ws ~slide ())
+        in
+        let dsts =
+          List.mapi
+            (fun i (win, count) -> (win, mk ~i ~width:(U.width src) ~capacity:count ()))
+            counts
+        in
+        timed t `Compute (fun () ->
+            Sbt_prim.Segment.segment ~src ~ts_field:tf ~window_size:ws ~slide
+              ~dst_for_window:(fun w -> List.assoc w dsts)
+              ());
+        List.map (fun (w, d) -> (w, d)) dsts
+    | P.Sum_cnt ->
+        let src = as_one uas in
+        let vf = value_field params 1 in
+        let s, n = timed t `Compute (fun () -> Sbt_prim.Agg.sum_count src ~field:vf) in
+        let dst = mk ~width:2 ~capacity:1 () in
+        U.append dst [| Int64.to_int32 s; Int32.of_int n |];
+        [ (-1, dst) ]
+    | P.Top_k ->
+        let src = as_one uas in
+        let vf = value_field params 1 in
+        let k =
+          Option.value ~default:10 (find_param params (function P_k k -> Some k | _ -> None))
+        in
+        let dst = mk ~width:(U.width src) ~capacity:(min k (U.length src)) () in
+        timed t `Compute (fun () -> Sbt_prim.Misc.top_k_records ~src ~dst ~field:vf ~k);
+        [ (-1, dst) ]
+    | P.Concat ->
+        let total = List.fold_left (fun acc ua -> acc + U.length ua) 0 uas in
+        let width = match uas with [] -> raise (Rejected "concat: no inputs") | ua :: _ -> U.width ua in
+        let dst = mk ~width ~capacity:total () in
+        timed t `Compute (fun () -> Sbt_prim.Misc.concat ~inputs:uas ~dst);
+        [ (-1, dst) ]
+    | P.Join ->
+        let left, right = as_two uas in
+        let kf = key_field params 0 in
+        let vf = value_field params 1 in
+        let matches =
+          timed t `Compute (fun () -> Sbt_prim.Join.count_matches ~left ~right ~key_field:kf)
+        in
+        let dst = mk ~width:3 ~capacity:matches () in
+        timed t `Compute (fun () ->
+            Sbt_prim.Join.join ~left ~right ~dst ~key_field:kf ~value_field:vf);
+        [ (-1, dst) ]
+    | P.Count ->
+        let src = as_one uas in
+        let dst = mk ~width:1 ~capacity:1 () in
+        U.append dst [| Int32.of_int (Sbt_prim.Agg.count src) |];
+        [ (-1, dst) ]
+    | P.Sum ->
+        (* WinSum consumes all of a window's segments directly. *)
+        let vf = value_field params 1 in
+        let total =
+          timed t `Compute (fun () ->
+              List.fold_left (fun acc ua -> Int64.add acc (Sbt_prim.Agg.sum ua ~field:vf)) 0L uas)
+        in
+        let dst = mk ~width:2 ~capacity:1 () in
+        U.append dst (scalar_i64 total);
+        [ (-1, dst) ]
+    | P.Unique ->
+        let src = as_one uas in
+        let kf = key_field params 0 in
+        let groups = timed t `Compute (fun () -> Sbt_prim.Keyed.group_count ~src ~key_field:kf) in
+        let dst = mk ~width:2 ~capacity:groups () in
+        timed t `Compute (fun () -> Sbt_prim.Keyed.distinct_keys ~src ~dst ~key_field:kf);
+        [ (-1, dst) ]
+    | P.Filter_band ->
+        let src, threshold =
+          match uas with
+          | [ s ] -> (s, None)
+          | [ s; th ] when U.width th = 1 || U.width th = 2 -> (s, Some th)
+          | _ -> raise (Rejected "filter: expects data [+ threshold] inputs")
+        in
+        let f = value_field params 1 in
+        let lo, hi =
+          match threshold with
+          | Some th ->
+              (* Runtime threshold (e.g. the window's global average):
+                 strictly-above-threshold band. *)
+              (Int32.add (U.get_field th 0 0) 1l, Int32.max_int)
+          | None ->
+              ( Option.value ~default:Int32.min_int
+                  (find_param params (function P_lo v -> Some v | _ -> None)),
+                Option.value ~default:Int32.max_int
+                  (find_param params (function P_hi v -> Some v | _ -> None)) )
+        in
+        let n = timed t `Compute (fun () -> Sbt_prim.Filter.count_in_band ~src ~field:f ~lo ~hi) in
+        let dst = mk ~width:(U.width src) ~capacity:n () in
+        timed t `Compute (fun () -> Sbt_prim.Filter.filter_band ~src ~dst ~field:f ~lo ~hi);
+        [ (-1, dst) ]
+    | P.Median ->
+        let src = as_one uas in
+        let vf = value_field params 1 in
+        let m = timed t `Compute (fun () -> Sbt_prim.Agg.median src ~field:vf) in
+        let dst = mk ~width:1 ~capacity:1 () in
+        U.append dst [| Option.value ~default:0l m |];
+        [ (-1, dst) ]
+    | P.Min_max ->
+        let src = as_one uas in
+        let vf = value_field params 1 in
+        let mm = timed t `Compute (fun () -> Sbt_prim.Agg.min_max src ~field:vf) in
+        let dst = mk ~width:2 ~capacity:1 () in
+        let lo, hi = Option.value ~default:(0l, 0l) mm in
+        U.append dst [| lo; hi |];
+        [ (-1, dst) ]
+    | P.Average ->
+        let src = as_one uas in
+        let vf = value_field params 1 in
+        let avg =
+          timed t `Compute (fun () ->
+              let s, n = Sbt_prim.Agg.sum_count src ~field:vf in
+              if n = 0 then 0L else Int64.div s (Int64.of_int n))
+        in
+        let dst = mk ~width:1 ~capacity:1 () in
+        U.append dst [| Int64.to_int32 avg |];
+        [ (-1, dst) ]
+    | P.Sum_per_key | P.Count_per_key | P.Avg_per_key | P.Median_per_key ->
+        let src = as_one uas in
+        let kf = key_field params 0 in
+        let vf = value_field params 1 in
+        let groups = timed t `Compute (fun () -> Sbt_prim.Keyed.group_count ~src ~key_field:kf) in
+        let dst = mk ~width:2 ~capacity:groups () in
+        timed t `Compute (fun () ->
+            match op with
+            | P.Sum_per_key -> Sbt_prim.Keyed.sum_per_key ~src ~dst ~key_field:kf ~value_field:vf
+            | P.Count_per_key -> Sbt_prim.Keyed.count_per_key ~src ~dst ~key_field:kf
+            | P.Avg_per_key -> Sbt_prim.Keyed.avg_per_key ~src ~dst ~key_field:kf ~value_field:vf
+            | P.Median_per_key ->
+                Sbt_prim.Keyed.median_per_key ~src ~dst ~key_field:kf ~value_field:vf
+            | _ -> assert false);
+        [ (-1, dst) ]
+    | P.Top_k_per_key ->
+        let src = as_one uas in
+        let kf = key_field params 0 in
+        let vf = value_field params 1 in
+        let k =
+          Option.value ~default:10 (find_param params (function P_k k -> Some k | _ -> None))
+        in
+        let groups = timed t `Compute (fun () -> Sbt_prim.Keyed.group_count ~src ~key_field:kf) in
+        let dst = mk ~width:2 ~capacity:(groups * k) () in
+        timed t `Compute (fun () ->
+            Sbt_prim.Keyed.topk_per_key ~src ~dst ~key_field:kf ~value_field:vf ~k);
+        [ (-1, dst) ]
+    | P.Select ->
+        let src = as_one uas in
+        let f = value_field params 0 in
+        let v =
+          Option.value ~default:0l (find_param params (function P_lo v -> Some v | _ -> None))
+        in
+        let n = timed t `Compute (fun () -> Sbt_prim.Filter.count_in_band ~src ~field:f ~lo:v ~hi:v) in
+        let dst = mk ~width:(U.width src) ~capacity:n () in
+        timed t `Compute (fun () -> Sbt_prim.Filter.select_eq ~src ~dst ~field:f ~value:v);
+        [ (-1, dst) ]
+    | P.Project ->
+        let src = as_one uas in
+        let fields =
+          match find_param params (function P_fields f -> Some f | _ -> None) with
+          | Some f -> f
+          | None -> raise (Rejected "project: missing fields")
+        in
+        let dst = mk ~width:(Array.length fields) ~capacity:(U.length src) () in
+        timed t `Compute (fun () -> Sbt_prim.Misc.project ~src ~dst ~fields);
+        [ (-1, dst) ]
+    | P.Shift_key ->
+        let src = as_one uas in
+        let f = key_field params 0 in
+        let shift =
+          Option.value ~default:8 (find_param params (function P_shift s -> Some s | _ -> None))
+        in
+        let dst = mk ~width:(U.width src) ~capacity:(U.length src) () in
+        timed t `Compute (fun () -> Sbt_prim.Misc.shift_key ~src ~dst ~field:f ~shift);
+        [ (-1, dst) ]
+  in
+  List.iter (fun (_, ua) -> produce t ua) outputs;
+  (* Audit before retiring: Segment gets Windowing records, everything else
+     one Execution record. *)
+  let in_ids = List.map U.id uas @ Option.to_list trigger in
+  (match op with
+  | P.Segment ->
+      let batch_id = U.id (List.hd uas) in
+      List.iter
+        (fun (win, ua) ->
+          append_record t
+            (Sbt_attest.Record.Windowing
+               { ts = now_us t; data_in = batch_id; win_no = win; data_out = U.id ua }))
+        outputs
+  | _ ->
+      let audit_hints =
+        List.concat
+          (List.mapi
+             (fun i (_, ua) ->
+               match hint_for i with
+               | Some h -> [ encode_hint_for_audit t h (U.id ua) ]
+               | None -> [])
+             outputs)
+      in
+      append_record t
+        (Sbt_attest.Record.Execution
+           {
+             ts = now_us t;
+             op = P.to_id op;
+             inputs = in_ids;
+             outputs = List.map (fun (_, ua) -> U.id ua) outputs;
+             hints = audit_hints;
+           }));
+  let out_refs =
+    List.map (fun (win, ua) -> { win; ref_ = Opaque.register t.refs ua; events = U.length ua }) outputs
+  in
+  if retire_inputs then List.iter (retire_ref t) inputs;
+  Rs_outputs out_refs
+
+let egress_nonce window = Int64.logor 0x4547000000000000L (Int64.of_int window)
+
+let do_egress t ~input ~window =
+  let ua = Opaque.resolve t.refs input in
+  let events = U.length ua and width = U.width ua in
+  let cipher =
+    timed t `Crypto (fun () ->
+        let payload = Bytes.create (events * width * 4) in
+        let buf = U.raw ua in
+        for i = 0 to (events * width) - 1 do
+          Bytes.set_int32_le payload (4 * i) (Bigarray.Array1.get buf i)
+        done;
+        match t.cfg.version with
+        | Insecure -> payload
+        | Full | Clear_ingress | Io_via_os ->
+            let ctr = Sbt_crypto.Ctr.create ~key:t.cfg.egress_key ~nonce:(egress_nonce window) in
+            Sbt_crypto.Ctr.xcrypt ctr ~pos:0L payload 0 (Bytes.length payload);
+            payload)
+  in
+  let tag =
+    match t.cfg.version with
+    | Insecure -> Bytes.create 0
+    | Full | Clear_ingress | Io_via_os ->
+        timed t `Crypto (fun () -> Sbt_crypto.Hmac.mac ~key:t.cfg.egress_key cipher)
+  in
+  append_record t (Sbt_attest.Record.Egress { ts = now_us t; uarray = U.id ua; win_no = window });
+  retire_ref t input;
+  (* Audit records are flushed upon externalizing any result (paper §7). *)
+  flush_log t;
+  Rs_egress { window; cipher; tag; events; width }
+
+(* --- certified UDFs (paper 4.2) ---------------------------------------- *)
+
+let do_install_udf t ~udf ~cert =
+  (* The trusted party is the cloud consumer; its key doubles as the UDF
+     certification key.  Anything with a bad certificate never runs. *)
+  let cert = Udf.certificate_of_bytes cert in
+  if not (Udf.verify ~key:t.cfg.egress_key udf cert) then
+    raise (Rejected "udf: certificate verification failed");
+  Hashtbl.replace t.udfs (udf.Udf.name, udf.Udf.version) udf;
+  Rs_outputs []
+
+let do_invoke_udf t ~name ~version ~inputs ~trigger ~value_field ~hints ~retire_inputs
+    ~state_output =
+  let udf =
+    match Hashtbl.find_opt t.udfs (name, version) with
+    | Some u -> u
+    | None -> raise (Rejected (Printf.sprintf "udf: %s v%d not installed" name version))
+  in
+  t.invocations <- t.invocations + 1;
+  let src = as_one (List.map (Opaque.resolve t.refs) inputs) in
+  let w = U.width src in
+  if value_field < 0 || value_field >= w then raise (Rejected "udf: bad value field");
+  let hint = match hints with h :: _ -> Some h | [] -> None in
+  let scope = if state_output then U.State else U.Streaming in
+  let dst =
+    match udf.Udf.body with
+    | Udf.Map_value map_fn ->
+        let dst =
+          alloc_out t ?hint ~scope ~producer:P.udf_id ~width:w ~capacity:(U.length src) ()
+        in
+        timed t `Compute (fun () ->
+            let n = U.length src in
+            let sbuf = U.raw src in
+            let first = U.reserve dst n in
+            let dbuf = U.raw dst in
+            for r = 0 to n - 1 do
+              for f = 0 to w - 1 do
+                let v = Bigarray.Array1.unsafe_get sbuf ((r * w) + f) in
+                Bigarray.Array1.unsafe_set dbuf (((first + r) * w) + f)
+                  (if f = value_field then map_fn v else v)
+              done
+            done);
+        dst
+    | Udf.Predicate p ->
+        let n =
+          timed t `Compute (fun () ->
+              let n = U.length src in
+              let sbuf = U.raw src in
+              let c = ref 0 in
+              for r = 0 to n - 1 do
+                if p (Bigarray.Array1.unsafe_get sbuf ((r * w) + value_field)) then incr c
+              done;
+              !c)
+        in
+        let dst = alloc_out t ?hint ~scope ~producer:P.udf_id ~width:w ~capacity:n () in
+        timed t `Compute (fun () ->
+            let total = U.length src in
+            let sbuf = U.raw src in
+            for r = 0 to total - 1 do
+              if p (Bigarray.Array1.unsafe_get sbuf ((r * w) + value_field)) then begin
+                let at = U.reserve dst 1 in
+                let dbuf = U.raw dst in
+                for f = 0 to w - 1 do
+                  Bigarray.Array1.unsafe_set dbuf ((at * w) + f)
+                    (Bigarray.Array1.unsafe_get sbuf ((r * w) + f))
+                done
+              end
+            done);
+        dst
+    | Udf.Combine2 combine ->
+        (* (key, a, b) -> (key, combine a b): the stateful per-key update
+           shape (e.g. EWMA over the previous prediction and the current
+           window's average). *)
+        if w <> 3 then raise (Rejected "udf: Combine2 expects width-3 (key, a, b) input");
+        let n = U.length src in
+        let dst = alloc_out t ?hint ~scope ~producer:P.udf_id ~width:2 ~capacity:n () in
+        timed t `Compute (fun () ->
+            let sbuf = U.raw src in
+            let first = U.reserve dst n in
+            let dbuf = U.raw dst in
+            for r = 0 to n - 1 do
+              Bigarray.Array1.unsafe_set dbuf ((first + r) * 2)
+                (Bigarray.Array1.unsafe_get sbuf (r * 3));
+              Bigarray.Array1.unsafe_set dbuf (((first + r) * 2) + 1)
+                (combine
+                   (Bigarray.Array1.unsafe_get sbuf ((r * 3) + 1))
+                   (Bigarray.Array1.unsafe_get sbuf ((r * 3) + 2)))
+            done);
+        dst
+  in
+  produce t dst;
+  let in_ids = List.map (fun r -> U.id (Opaque.resolve t.refs r)) inputs @ Option.to_list trigger in
+  let audit_hints =
+    match hint with Some h -> [ encode_hint_for_audit t h (U.id dst) ] | None -> []
+  in
+  append_record t
+    (Sbt_attest.Record.Execution
+       { ts = now_us t; op = P.udf_id; inputs = in_ids; outputs = [ U.id dst ]; hints = audit_hints });
+  let out = { win = -1; ref_ = Opaque.register t.refs dst; events = U.length dst } in
+  if retire_inputs then List.iter (retire_ref t) inputs;
+  Rs_outputs [ out ]
+
+(* Explicit retirement: the only way a State-scope uArray dies (the data
+   plane never retires state behind the control plane's back, but the
+   control plane replaces state each window and must free the old one). *)
+let do_retire t ~input =
+  let ua = Opaque.resolve t.refs input in
+  timed t `Mem (fun () ->
+      Alloc.retire t.alloc ua;
+      Opaque.remove t.refs input);
+  Rs_outputs []
+
+let dispatch t = function
+  | R_ingest_events { payload; encrypted; stream; seq } ->
+      do_ingest_events t ~payload ~encrypted ~stream ~seq
+  | R_ingest_watermark { value } -> do_ingest_watermark t ~value
+  | R_invoke { op; inputs; trigger; params; hints; retire_inputs } ->
+      do_invoke t ~op ~inputs ~trigger ~params ~hints ~retire_inputs
+  | R_egress { input; window } -> do_egress t ~input ~window
+  | R_install_udf { udf; cert } -> do_install_udf t ~udf ~cert
+  | R_invoke_udf { name; version; inputs; trigger; value_field; hints; retire_inputs; state_output } ->
+      do_invoke_udf t ~name ~version ~inputs ~trigger ~value_field ~hints ~retire_inputs
+        ~state_output
+  | R_retire { input } -> do_retire t ~input
+
+let create cfg =
+  let budget = Tz.Platform.secure_bytes cfg.platform in
+  let pool = Pool.create ~budget_bytes:budget in
+  let alloc = Alloc.create ~mode:cfg.alloc_mode ~pool () in
+  let rng = Sbt_crypto.Rng.create ~seed:cfg.seed in
+  let smc = Tz.Smc.create cfg.platform in
+  let t =
+    {
+      cfg;
+      pool;
+      alloc;
+      refs = Opaque.create ~rng;
+      log = Sbt_attest.Log.create ~key:cfg.egress_key ~flush_every:cfg.audit_flush_every;
+      rng;
+      smc;
+      now_ns = 0.0;
+      compute_ns = 0.0;
+      mem_ns = 0.0;
+      crypto_ns = 0.0;
+      ingest_ns = 0.0;
+      invocations = 0;
+      events_ingested = 0;
+      bytes_ingested = 0;
+      backpressure_stalls = 0;
+      uploaded = [];
+      ingest_width = 3;
+      udfs = Hashtbl.create 8;
+    }
+  in
+  Tz.Smc.register smc Tz.Smc.Init (fun _ -> Rr_unit);
+  Tz.Smc.register smc Tz.Smc.Finalize (fun _ ->
+      flush_log t;
+      Rr_unit);
+  Tz.Smc.register smc Tz.Smc.Debug (fun _ ->
+      Rr_debug
+        (Printf.sprintf "refs=%d committed=%dB groups=%d" (Opaque.live_count t.refs)
+           (Pool.committed_bytes pool) (Alloc.live_groups alloc)));
+  Tz.Smc.register smc Tz.Smc.Invoke (fun rpc ->
+      match rpc with
+      | Rpc_op req -> Rr_op (dispatch t req)
+      | Rpc_init | Rpc_finalize | Rpc_debug -> raise (Rejected "wrong entry"));
+  (match cfg.version with
+  | Insecure -> ()
+  | Full | Clear_ingress | Io_via_os -> ignore (Tz.Smc.call smc Tz.Smc.Init Rpc_init));
+  t
+
+let call t req =
+  match t.cfg.version with
+  | Insecure -> dispatch t req
+  | Full | Clear_ingress | Io_via_os -> (
+      match Tz.Smc.call t.smc Tz.Smc.Invoke (Rpc_op req) with
+      | Rr_op resp -> resp
+      | Rr_unit | Rr_debug _ -> raise (Rejected "unexpected response"))
+
+let debug_dump t =
+  match t.cfg.version with
+  | Insecure -> "insecure: no TEE"
+  | Full | Clear_ingress | Io_via_os -> (
+      match Tz.Smc.call t.smc Tz.Smc.Debug Rpc_debug with
+      | Rr_debug s -> s
+      | Rr_unit | Rr_op _ -> raise (Rejected "unexpected response"))
+
+let finalize t =
+  match t.cfg.version with
+  | Insecure -> flush_log t
+  | Full | Clear_ingress | Io_via_os ->
+      ignore (Tz.Smc.call t.smc Tz.Smc.Finalize Rpc_finalize)
+
+let uploaded_batches t = List.rev t.uploaded
+
+let audit_records_for_test t =
+  flush_log t;
+  List.concat_map
+    (fun b -> Sbt_attest.Log.open_batch ~key:t.cfg.egress_key b)
+    (uploaded_batches t)
+
+let open_result ~egress_key (r : sealed_result) =
+  if Bytes.length r.tag > 0 && not (Sbt_crypto.Hmac.verify ~key:egress_key ~tag:r.tag r.cipher)
+  then invalid_arg "Dataplane.open_result: MAC verification failed";
+  let payload =
+    if Bytes.length r.tag = 0 then Bytes.copy r.cipher
+    else begin
+      let p = Bytes.copy r.cipher in
+      let ctr = Sbt_crypto.Ctr.create ~key:egress_key ~nonce:(egress_nonce r.window) in
+      Sbt_crypto.Ctr.xcrypt ctr ~pos:0L p 0 (Bytes.length p);
+      p
+    end
+  in
+  Array.init r.events (fun i ->
+      Array.init r.width (fun f -> Bytes.get_int32_le payload (4 * ((i * r.width) + f))))
+
+let stats (t : t) =
+  {
+    compute_ns = t.compute_ns;
+    mem_ns = t.mem_ns;
+    crypto_ns = t.crypto_ns;
+    ingest_ns = t.ingest_ns;
+    switch_pairs = t.cfg.platform.Tz.Platform.switch_pairs;
+    modeled_switch_ns = t.cfg.platform.Tz.Platform.modeled_switch_ns;
+    modeled_copy_ns = t.cfg.platform.Tz.Platform.modeled_copy_ns;
+    invocations = t.invocations;
+    events_ingested = t.events_ingested;
+    bytes_ingested = t.bytes_ingested;
+    backpressure_stalls = t.backpressure_stalls;
+  }
+
+let live_refs t = Opaque.live_count t.refs
+let pool_committed_bytes t = Pool.committed_bytes t.pool
+let pool_high_water_bytes t = Pool.high_water_bytes t.pool
+let reset_high_water t = Pool.reset_high_water t.pool
+let allocator t = t.alloc
+let set_now_ns t ns = t.now_ns <- ns
+
+let set_ingest_width t w =
+  if w <= 0 then invalid_arg "Dataplane.set_ingest_width: width must be positive";
+  t.ingest_width <- w
+
+let audit_log_stats t =
+  ( Sbt_attest.Log.records_produced t.log,
+    Sbt_attest.Log.raw_bytes t.log,
+    Sbt_attest.Log.compressed_bytes t.log )

@@ -1,0 +1,165 @@
+(** The StreamBox-TZ data plane: everything that lives in the TEE.
+
+    The data plane encloses (i) all analytics data in uArrays, (ii) the
+    trusted primitives as the only computations allowed on that data, and
+    (iii) the minimum runtime: the specialized memory allocator and the
+    audit log.  The untrusted control plane reaches it exclusively through
+    {!Sbt_tz.Smc} with the four-entry interface, passing opaque references
+    (paper §3.2, §4.2).
+
+    Engine versions (paper Table 5) differ only in their ingestion path
+    and cost model; they are selected by {!version}. *)
+
+type version =
+  | Full  (** trusted IO, encrypted ingress *)
+  | Clear_ingress  (** trusted IO, cleartext ingress (trusted link) *)
+  | Io_via_os  (** ingress copied through the untrusted OS *)
+  | Insecure  (** no TEE at all: native StreamBox with SBT's compute *)
+
+val version_name : version -> string
+
+type config = {
+  version : version;
+  platform : Sbt_tz.Platform.t;
+  alloc_mode : Sbt_umem.Allocator.mode;
+  sort_algorithm : Sbt_prim.Sort.algorithm;
+  ingress_key : bytes;  (** AES-128 key shared with sources *)
+  egress_key : bytes;  (** key shared with the cloud consumer (egress + audit MAC) *)
+  audit_flush_every : int;
+  audit_enabled : bool;
+  backpressure_threshold : float;
+      (** pool-usage fraction above which ingestion stalls the source *)
+  adaptive_backpressure : bool;
+      (** scale the stall with how far past the threshold the pool is —
+          the automatic flow control the paper leaves as future work
+          (§4.2); off by default to match the paper's implementation *)
+  seed : int64;
+}
+
+val default_config : ?version:version -> ?cores:int -> ?secure_mb:int -> unit -> config
+
+type t
+
+(** Consumption hints attached by the control plane to an invocation's
+    outputs (paper §6.2): advisory, validated never to affect
+    correctness. *)
+type hint = H_after of int64 | H_parallel
+
+type param =
+  | P_key_field of int
+  | P_value_field of int
+  | P_ts_field of int
+  | P_window_size of int
+  | P_slide of int  (** sliding-window slide; defaults to the window size *)
+  | P_k of int
+  | P_lo of int32
+  | P_hi of int32
+  | P_shift of int
+  | P_fields of int array
+
+type request =
+  | R_ingest_events of { payload : bytes; encrypted : bool; stream : int; seq : int }
+  | R_ingest_watermark of { value : int }
+  | R_invoke of {
+      op : Sbt_prim.Primitive.t;
+      inputs : int64 list;
+      trigger : int option;  (** audit id of the triggering watermark *)
+      params : param list;
+      hints : hint list;
+      retire_inputs : bool;
+    }
+  | R_egress of { input : int64; window : int }
+  | R_install_udf of { udf : Udf.t; cert : bytes }
+      (** Admit a certified UDF (paper §4.2); the certificate must verify
+          under the trusted party's key or the request is {!Rejected}. *)
+  | R_invoke_udf of {
+      name : string;
+      version : int;
+      inputs : int64 list;
+      trigger : int option;
+      value_field : int;
+      hints : hint list;
+      retire_inputs : bool;
+      state_output : bool;
+          (** allocate the output with {!Sbt_umem.Uarray.State} scope: it
+              survives primitive executions and is only freed by an
+              explicit [R_retire] (operator state, paper §6.1) *)
+    }  (** Run an installed UDF over the value field of one uArray. *)
+  | R_retire of { input : int64 }
+      (** Explicitly retire a uArray — required for State-scope arrays,
+          which ordinary [retire_inputs] never touches. *)
+
+type output = { win : int; ref_ : int64; events : int }
+
+type sealed_result = { window : int; cipher : bytes; tag : bytes; events : int; width : int }
+
+type response =
+  | Rs_outputs of output list
+  | Rs_watermark of { audit_id : int; value : int }
+  | Rs_egress of sealed_result
+  | Rs_ingested of { out : output; stalled_ns : float }
+      (** [stalled_ns > 0] models backpressure: secure-memory usage was
+          above the threshold, so the source was slowed by that long
+          before this batch could enter (paper §4.2) *)
+
+exception Rejected of string
+(** Structurally invalid request (wrong arity, bad params, fabricated
+    reference surfaced as {!Opaque.Invalid_reference} instead). *)
+
+val create : config -> t
+(** Builds the platform-attached data plane and registers the four SMC
+    entries.  [Init] is called once here. *)
+
+val call : t -> request -> response
+(** Cross into the TEE ([Insecure] version: plain call, no crossing). *)
+
+val debug_dump : t -> string
+(** The fourth (debug) entry: a one-line state summary. *)
+
+val finalize : t -> unit
+
+(** {2 Audit and results plumbing (cloud side of the model)} *)
+
+val uploaded_batches : t -> Sbt_attest.Log.batch list
+(** Signed audit batches flushed so far, oldest first. *)
+
+val audit_records_for_test : t -> Sbt_attest.Record.t list
+(** Decode all uploaded batches plus pending records — test/verify helper
+    that performs the MAC checks a real consumer would. *)
+
+val open_result : egress_key:bytes -> sealed_result -> int32 array array
+(** Decrypt and authenticate an egressed window result (the cloud
+    consumer's view).  Raises [Invalid_argument] on a bad MAC. *)
+
+(** {2 Accounting} *)
+
+type stats = {
+  compute_ns : float;  (** measured host time inside primitives *)
+  mem_ns : float;  (** measured host time in alloc/retire *)
+  crypto_ns : float;  (** measured host time in en/decryption *)
+  ingest_ns : float;  (** measured host time unpacking ingress data *)
+  switch_pairs : int;
+  modeled_switch_ns : float;
+  modeled_copy_ns : float;
+  invocations : int;
+  events_ingested : int;
+  bytes_ingested : int;
+  backpressure_stalls : int;
+}
+
+val stats : t -> stats
+val live_refs : t -> int
+val pool_committed_bytes : t -> int
+val pool_high_water_bytes : t -> int
+val reset_high_water : t -> unit
+val allocator : t -> Sbt_umem.Allocator.t
+val set_now_ns : t -> float -> unit
+(** Advance the TEE's secure clock (driven by the DES's virtual time; a
+    real deployment reads a secure timer). *)
+
+val set_ingest_width : t -> int -> unit
+(** Record width (32-bit fields per event) of ingested payloads —
+    installed with the pipeline, part of the certified configuration. *)
+
+val audit_log_stats : t -> int * int * int
+(** (records produced, raw bytes, compressed bytes). *)

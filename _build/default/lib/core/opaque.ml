@@ -1,0 +1,26 @@
+type t = { rng : Sbt_crypto.Rng.t; table : (int64, Sbt_umem.Uarray.t) Hashtbl.t }
+
+exception Invalid_reference of int64
+
+let create ~rng = { rng; table = Hashtbl.create 256 }
+
+let rec fresh_ref t =
+  let r = Sbt_crypto.Rng.next_int64 t.rng in
+  if Int64.equal r 0L || Hashtbl.mem t.table r then fresh_ref t else r
+
+let register t ua =
+  let r = fresh_ref t in
+  Hashtbl.replace t.table r ua;
+  r
+
+let resolve t r =
+  match Hashtbl.find_opt t.table r with
+  | Some ua -> ua
+  | None -> raise (Invalid_reference r)
+
+let remove t r =
+  if not (Hashtbl.mem t.table r) then raise (Invalid_reference r);
+  Hashtbl.remove t.table r
+
+let live_count t = Hashtbl.length t.table
+let mem t r = Hashtbl.mem t.table r

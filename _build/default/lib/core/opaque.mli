@@ -1,0 +1,27 @@
+(** Opaque references: the only names for in-TEE data that ever leave the
+    TEE (paper §3.2, §8).
+
+    References are 64-bit random integers drawn from the data plane's
+    PRNG.  The table tracks every live reference; any incoming reference
+    is validated by lookup and a fabricated or stale one is rejected with
+    {!Invalid_reference} — the attack the paper's design thwarts. *)
+
+type t
+
+exception Invalid_reference of int64
+
+val create : rng:Sbt_crypto.Rng.t -> t
+
+val register : t -> Sbt_umem.Uarray.t -> int64
+(** Mint a fresh reference for a uArray. *)
+
+val resolve : t -> int64 -> Sbt_umem.Uarray.t
+(** Raises {!Invalid_reference} for unknown references. *)
+
+val remove : t -> int64 -> unit
+(** Drop a reference (after its uArray is retired).  Raises
+    {!Invalid_reference} if absent — a double-free is as suspicious as a
+    forgery. *)
+
+val live_count : t -> int
+val mem : t -> int64 -> bool

@@ -1,0 +1,114 @@
+(** Declarative pipelines (the Figure 2(c) programming model).
+
+    A pipeline names the event schema, the fixed window, the per-batch
+    operator stages and the per-window plan.  The control plane compiles
+    it into trusted-primitive invocations; the same declaration doubles as
+    the cloud verifier's replay specification.
+
+    Per-batch stages ([batch_ops]) run eagerly on every windowed segment
+    as soon as it is produced — this is where GroupBy's Sort happens, in
+    parallel across batches.  The window plan runs once per window when
+    the closing watermark arrives, over all the window's ready uArrays. *)
+
+type batch_op =
+  | B_sort of { key_field : int; secondary_value : int option }
+      (** Sort segments by key (GroupBy's first half).  A secondary value
+          field requests a stable (value, key) two-pass radix order. *)
+  | B_filter_band of { field : int; lo : int32; hi : int32 }
+  | B_project of int array
+
+(** Context handed to a window plan when its watermark fires. *)
+type wctx = {
+  window : int;
+  ready : (int * int64) list;  (** (stream, opaque ref) of ready arrays *)
+  invoke :
+    ?params:Dataplane.param list ->
+    ?hints:Dataplane.hint list ->
+    ?retire:bool ->
+    Sbt_prim.Primitive.t ->
+    int64 list ->
+    int64 list;
+      (** Invoke a trusted primitive on opaque refs; returns output refs.
+          The window's triggering watermark is attached automatically to
+          the first invocation (it appears in that audit record as the
+          execution trigger). *)
+  invoke_udf :
+    ?hints:Dataplane.hint list ->
+    ?retire:bool ->
+    ?state_output:bool ->
+    name:string ->
+    version:int ->
+    value_field:int ->
+    int64 list ->
+    int64 list;
+      (** Invoke an installed certified UDF; [state_output] allocates the
+          result as cross-window operator state. *)
+  retire_ref : int64 -> unit;
+      (** Explicitly retire a uArray (required for state the plan
+          replaces). *)
+}
+
+type t = {
+  name : string;
+  schema : Event.schema;
+  window_size_ticks : int;
+  window_slide_ticks : int;
+      (** window [w] covers [\[w*slide, w*slide + size)]; equal to
+          [window_size_ticks] for the paper's fixed windows *)
+  streams : int;  (** 1, or 2 for joins *)
+  batch_ops : batch_op list;
+  window_ops : Sbt_prim.Primitive.t list;
+      (** declared per-window primitive multiset — the verifier's copy *)
+  window_udf_invocations : int;
+      (** certified-UDF executions per window, also part of the declared
+          multiset (they audit under {!Sbt_prim.Primitive.udf_id}) *)
+  udfs : (Udf.t * bytes) list;
+      (** UDFs (with their certificates) installed with the pipeline *)
+  plan : wctx -> int64;  (** runs the window phase; returns the result ref *)
+}
+
+val batch_op_primitive : batch_op -> Sbt_prim.Primitive.t
+
+val verifier_spec : ?freshness_bound_us:int -> t -> Sbt_attest.Verifier.spec
+
+(** {2 The paper's six benchmark pipelines (§9.2)} *)
+
+val win_sum : ?window_size_ticks:int -> ?window_slide_ticks:int -> unit -> t
+(** Windowed aggregation over the value field; pass a slide smaller than
+    the size for sliding windows (each event then contributes to
+    size/slide consecutive windows). *)
+
+val filter : ?window_size_ticks:int -> ?lo:int32 -> ?hi:int32 -> unit -> t
+(** FilterBand at the given selectivity band (defaults give ~1%). *)
+
+val group_topk : ?window_size_ticks:int -> ?k:int -> unit -> t
+(** Top-K values per key per window. *)
+
+val distinct : ?window_size_ticks:int -> unit -> t
+(** Count of distinct keys per window (the taxi benchmark). *)
+
+val temp_join : ?window_size_ticks:int -> unit -> t
+(** Temporal join of two input streams on equal keys per window. *)
+
+val power_grid : ?window_size_ticks:int -> ?k:int -> unit -> t
+(** The Figure 2 power pipeline: per-plug average, global average,
+    per-house count of above-average plugs, top-K houses. *)
+
+(** {2 Additional operator pipelines (Table 2 coverage)} *)
+
+val union_count : ?window_size_ticks:int -> unit -> t
+(** Union of two input streams, counted per window (Table 2's Union). *)
+
+val load_predict : ?window_size_ticks:int -> ?alpha_percent:int -> unit -> t
+(** The full Figure 2 example: per-house average load per window, then an
+    in-TEE exponentially weighted moving average over recent windows as
+    the next-window prediction.  The EWMA runs as a certified [Combine2]
+    UDF over a cross-window state uArray; [alpha_percent] is the EWMA
+    weight on the current window (default 50).  Stateful: build a fresh
+    pipeline per run. *)
+
+val sum_per_key : ?window_size_ticks:int -> unit -> t
+val avg_per_key : ?window_size_ticks:int -> unit -> t
+val median_per_key : ?window_size_ticks:int -> unit -> t
+val count_by_window : ?window_size_ticks:int -> unit -> t
+val min_max : ?window_size_ticks:int -> unit -> t

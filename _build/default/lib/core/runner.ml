@@ -1,0 +1,121 @@
+module D = Dataplane
+
+type throughput_point = {
+  cores : int;
+  events_per_sec : float;
+  mb_per_sec : float;
+  delay_ms : float;
+  utilization : float;
+}
+
+type outcome = {
+  version : D.version;
+  pipeline_name : string;
+  points : throughput_point list;
+  mem_steady_mb : float;
+  mem_high_water_mb : float;
+  total_events : int;
+  dp_stats : D.stats;
+  audit_records : int;
+  audit_raw_bytes : int;
+  audit_compressed_bytes : int;
+  verified : bool;
+  verifier_report : Sbt_attest.Verifier.report;
+  results : (int * D.sealed_result) list;
+  audit : Sbt_attest.Log.batch list;
+  spec : Sbt_attest.Verifier.spec;
+}
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 (List.map float_of_int l) /. float_of_int (List.length l)
+
+let run ?(cores_list = [ 2; 4; 8 ]) ?(target_delay_ms = 500.0) ?(version = D.Full)
+    ?(hints_enabled = true) ?(alloc_mode = Sbt_umem.Allocator.Hint_guided)
+    ?(sort_algorithm = Sbt_prim.Sort.Radix) ?(secure_mb = 512) ?(repeats = 1)
+    (pipe : Pipeline.t) frames =
+  let record () =
+    let dp_config =
+      { (D.default_config ~version ~cores:(List.fold_left max 1 cores_list) ~secure_mb ()) with
+        D.alloc_mode;
+        sort_algorithm;
+      }
+    in
+    let cfg = { Control.dp_config; cores = List.fold_left max 1 cores_list; hints_enabled } in
+    Gc.full_major ();
+    Control.run cfg pipe frames
+  in
+  (* Host noise shows up as inflated task costs; repeated recordings keep
+     the least-noisy (cheapest) trace. *)
+  let r = ref (record ()) in
+  for _ = 2 to repeats do
+    let r' = record () in
+    if
+      Sbt_sim.Trace.total_cost_ns r'.Control.trace
+      < Sbt_sim.Trace.total_cost_ns !r.Control.trace
+    then r := r'
+  done;
+  let r = !r in
+  let egress_key = (D.default_config ~version ()).D.egress_key in
+  let bytes_per_event = Event.bytes_per_event pipe.Pipeline.schema in
+  let points =
+    List.map
+      (fun cores ->
+        let res =
+          Sbt_sim.Rate_search.max_rate ~trace:r.Control.trace ~cores
+            ~target_delay_ns:(target_delay_ms *. 1e6)
+            ()
+        in
+        {
+          cores;
+          events_per_sec = res.Sbt_sim.Rate_search.rate_eps;
+          mb_per_sec =
+            res.Sbt_sim.Rate_search.rate_eps *. float_of_int bytes_per_event /. 1e6;
+          delay_ms = res.Sbt_sim.Rate_search.delay_at_rate_ns /. 1e6;
+          utilization = res.Sbt_sim.Rate_search.utilization;
+        })
+      cores_list
+  in
+  (* Cloud-side verification: decode the signed batches and replay. *)
+  let records =
+    List.concat_map
+      (fun b -> Sbt_attest.Log.open_batch ~key:egress_key b)
+      r.Control.audit
+  in
+  let report = Sbt_attest.Verifier.verify r.Control.verifier_spec records in
+  let verified =
+    match version with
+    | D.Insecure -> true (* no attestation in the insecure baseline *)
+    | D.Full | D.Clear_ingress | D.Io_via_os -> Sbt_attest.Verifier.ok report
+  in
+  let audit_records = List.length records in
+  let audit_raw = Sbt_attest.Columnar.raw_size records in
+  let audit_compressed =
+    List.fold_left (fun acc b -> acc + Bytes.length b.Sbt_attest.Log.payload) 0 r.Control.audit
+  in
+  {
+    version;
+    pipeline_name = pipe.Pipeline.name;
+    points;
+    mem_steady_mb = mean r.Control.mem_samples_bytes /. 1e6;
+    mem_high_water_mb = float_of_int r.Control.pool_high_water_bytes /. 1e6;
+    total_events = r.Control.total_events;
+    dp_stats = r.Control.dp_stats;
+    audit_records;
+    audit_raw_bytes = audit_raw;
+    audit_compressed_bytes = audit_compressed;
+    verified;
+    verifier_report = report;
+    results = List.sort (fun (a, _) (b, _) -> compare a b) r.Control.results;
+    audit = r.Control.audit;
+    spec = r.Control.verifier_spec;
+  }
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "%s / %s: " o.pipeline_name (D.version_name o.version);
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "%dc=%.2fMev/s (%.1fMB/s, delay %.0fms) " p.cores
+        (p.events_per_sec /. 1e6) p.mb_per_sec p.delay_ms)
+    o.points;
+  Format.fprintf fmt "mem=%.0fMB verified=%b@." o.mem_steady_mb o.verified

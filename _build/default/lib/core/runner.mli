@@ -1,0 +1,52 @@
+(** End-to-end experiment runner.
+
+    Wraps one (pipeline, engine version) pair: executes the workload once
+    for real under the DES (recording the task graph, memory behaviour,
+    audit records and results), then replays the trace at the requested
+    core counts to find the maximum sustainable throughput under the
+    paper's output-delay targets — the methodology behind Figure 7. *)
+
+type throughput_point = {
+  cores : int;
+  events_per_sec : float;
+  mb_per_sec : float;
+  delay_ms : float;  (** worst window delay at the reported rate *)
+  utilization : float;
+}
+
+type outcome = {
+  version : Dataplane.version;
+  pipeline_name : string;
+  points : throughput_point list;
+  mem_steady_mb : float;  (** mean committed secure memory at window closes *)
+  mem_high_water_mb : float;
+  total_events : int;
+  dp_stats : Dataplane.stats;
+  audit_records : int;
+  audit_raw_bytes : int;
+  audit_compressed_bytes : int;
+  verified : bool;  (** cloud verifier replayed the audit log cleanly *)
+  verifier_report : Sbt_attest.Verifier.report;
+  results : (int * Dataplane.sealed_result) list;  (** sorted by window *)
+  audit : Sbt_attest.Log.batch list;  (** the signed upload, oldest first *)
+  spec : Sbt_attest.Verifier.spec;  (** the declaration the verifier used *)
+}
+
+val run :
+  ?cores_list:int list ->
+  ?target_delay_ms:float ->
+  ?version:Dataplane.version ->
+  ?hints_enabled:bool ->
+  ?alloc_mode:Sbt_umem.Allocator.mode ->
+  ?sort_algorithm:Sbt_prim.Sort.algorithm ->
+  ?secure_mb:int ->
+  ?repeats:int ->
+  Pipeline.t ->
+  Sbt_net.Frame.t list ->
+  outcome
+(** Defaults: cores [\[2;4;8\]], 500 ms target, [Full] version, hints on,
+    hint-guided allocator, radix sort, 512 MB secure DRAM, one recording
+    run.  [repeats > 1] records several times and keeps the cheapest
+    trace, suppressing host measurement noise. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,44 @@
+type body =
+  | Map_value of (int32 -> int32)
+  | Predicate of (int32 -> bool)
+  | Combine2 of (int32 -> int32 -> int32)
+type t = { name : string; version : int; body : body }
+type certificate = { tag : bytes }
+
+(* Deterministic probe vector: edge values plus a pseudo-random spread. *)
+let probe_vector =
+  lazy
+    (let rng = Sbt_crypto.Rng.create ~seed:0x5D5D5D5DL in
+     Array.append
+       [| 0l; 1l; -1l; Int32.max_int; Int32.min_int |]
+       (Array.init 59 (fun _ -> Sbt_crypto.Rng.int32_any rng)))
+
+let fingerprint body =
+  let buf = Buffer.create 512 in
+  let probes = Lazy.force probe_vector in
+  Array.iteri
+    (fun i v ->
+      match body with
+      | Map_value f -> Buffer.add_int32_le buf (f v)
+      | Predicate p -> Buffer.add_char buf (if p v then '\001' else '\000')
+      | Combine2 f -> Buffer.add_int32_le buf (f v probes.((i + 7) mod Array.length probes)))
+    probes;
+  Buffer.add_string buf
+    (match body with Map_value _ -> "map" | Predicate _ -> "pred" | Combine2 _ -> "comb2");
+  Sbt_crypto.Sha256.digest (Buffer.to_bytes buf)
+
+let signed_payload t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf t.name;
+  Buffer.add_char buf '\000';
+  Buffer.add_int32_le buf (Int32.of_int t.version);
+  Buffer.add_bytes buf (fingerprint t.body);
+  Buffer.to_bytes buf
+
+let certify ~key t = { tag = Sbt_crypto.Hmac.mac ~key (signed_payload t) }
+let verify ~key t cert = Sbt_crypto.Hmac.verify ~key ~tag:cert.tag (signed_payload t)
+let certificate_bytes c = Bytes.copy c.tag
+
+let certificate_of_bytes b =
+  if Bytes.length b <> 32 then invalid_arg "Udf.certificate_of_bytes: expected 32 bytes";
+  { tag = Bytes.copy b }

@@ -1,0 +1,41 @@
+(** Certified user-defined functions (paper §4.2).
+
+    "SBT supports User Defined Functions (UDFs) that are certified by a
+    trusted party, which is a common requirement in TEE-based systems
+    [91]."  A UDF here is a per-record map or predicate over one field;
+    the trusted party (the cloud consumer, in our deployment model) signs
+    the UDF's name, version and semantic fingerprint with the shared key,
+    and the data plane refuses to install or run any UDF whose
+    certificate does not verify — an uncertified computation never touches
+    protected data.
+
+    The semantic fingerprint hashes the function's observable behaviour
+    on a fixed probe vector, so a control plane cannot swap the body
+    behind a valid certificate without detection. *)
+
+type body =
+  | Map_value of (int32 -> int32)  (** rewrite the value field *)
+  | Predicate of (int32 -> bool)  (** keep records whose value satisfies it *)
+  | Combine2 of (int32 -> int32 -> int32)
+      (** combine two value fields of a width-3 (key, a, b) record into a
+          (key, f a b) output — the shape of stateful per-key updates such
+          as the Figure 2 EWMA load prediction *)
+
+type t = { name : string; version : int; body : body }
+
+type certificate
+(** An HMAC over (name, version, fingerprint) under the trusted party's
+    key. *)
+
+val fingerprint : body -> bytes
+(** Behaviour hash over the fixed probe vector. *)
+
+val certify : key:bytes -> t -> certificate
+(** The trusted party's signing step (cloud side). *)
+
+val verify : key:bytes -> t -> certificate -> bool
+(** The data plane's admission check. *)
+
+val certificate_bytes : certificate -> bytes
+val certificate_of_bytes : bytes -> certificate
+(** Wire format for shipping certificates with pipeline installs. *)

@@ -1,0 +1,1 @@
+lib/crypto/rng.ml: Array Bytes Char Int64

@@ -1,0 +1,1 @@
+lib/crypto/sha256.ml: Array Buffer Bytes Char Float Int32 Int64 List Printf

@@ -1,0 +1,23 @@
+(** AES-128 block cipher (FIPS-197), from scratch.
+
+    Used by the engine for ingress decryption and egress encryption (in CTR
+    mode, see {!Ctr}).  The implementation is table-based: one S-box lookup
+    table plus on-the-fly MixColumns, which keeps the code small — the paper
+    counts crypto inside the data-plane TCB, so we keep it lean too. *)
+
+type key
+(** Expanded 128-bit key schedule (11 round keys). *)
+
+val expand_key : bytes -> key
+(** [expand_key raw] expands a 16-byte key.  Raises [Invalid_argument] if
+    [raw] is not 16 bytes long. *)
+
+val encrypt_block : key -> bytes -> int -> bytes -> int -> unit
+(** [encrypt_block k src soff dst doff] encrypts the 16-byte block at
+    [src+soff] into [dst+doff].  [src] and [dst] may be the same buffer. *)
+
+val decrypt_block : key -> bytes -> int -> bytes -> int -> unit
+(** Inverse cipher of {!encrypt_block}. *)
+
+val block_size : int
+(** 16. *)

@@ -1,0 +1,39 @@
+type t = { key : Aes.key; nonce : int64 }
+
+let create ~key ~nonce = { key = Aes.expand_key key; nonce }
+
+let keystream_block t index block =
+  (* Counter block layout: 8-byte big-endian nonce, 8-byte big-endian index. *)
+  let set64 b off v =
+    for i = 0 to 7 do
+      Bytes.set b (off + i)
+        (Char.unsafe_chr (Int64.to_int (Int64.shift_right_logical v (56 - (8 * i))) land 0xFF))
+    done
+  in
+  set64 block 0 t.nonce;
+  set64 block 8 index;
+  Aes.encrypt_block t.key block 0 block 0
+
+let xcrypt t ~pos buf off len =
+  if len < 0 || off < 0 || off + len > Bytes.length buf then invalid_arg "Ctr.xcrypt";
+  let block = Bytes.create 16 in
+  let i = ref 0 in
+  while !i < len do
+    let abs = Int64.add pos (Int64.of_int !i) in
+    let blk_index = Int64.div abs 16L in
+    let blk_off = Int64.to_int (Int64.rem abs 16L) in
+    keystream_block t blk_index block;
+    let n = min (16 - blk_off) (len - !i) in
+    for j = 0 to n - 1 do
+      let c = Char.code (Bytes.get buf (off + !i + j)) in
+      let k = Char.code (Bytes.get block (blk_off + j)) in
+      Bytes.set buf (off + !i + j) (Char.unsafe_chr (c lxor k))
+    done;
+    i := !i + n
+  done
+
+let xcrypt_bytes ~key ~nonce src =
+  let t = create ~key ~nonce in
+  let dst = Bytes.copy src in
+  xcrypt t ~pos:0L dst 0 (Bytes.length dst);
+  dst

@@ -1,0 +1,129 @@
+(* Round constants: first 32 bits of the fractional parts of the cube roots
+   of the first 64 primes (FIPS 180-4 §4.2.2); we derive them numerically
+   rather than embedding the table, which doubles as a self-check. *)
+
+let primes =
+  let rec sieve acc n =
+    if List.length acc = 64 then List.rev acc
+    else
+      let is_prime = List.for_all (fun p -> n mod p <> 0) acc in
+      sieve (if is_prime then n :: acc else acc) (n + 1)
+  in
+  Array.of_list (sieve [] 2)
+
+let frac_bits f = Int64.to_int32 (Int64.of_float (Float.rem f 1.0 *. 4294967296.0))
+
+let k = Array.map (fun p -> frac_bits (Float.cbrt (float_of_int p))) primes
+let h0 = Array.init 8 (fun i -> frac_bits (sqrt (float_of_int primes.(i))))
+
+type ctx = {
+  h : int32 array;
+  buf : bytes; (* 64-byte block buffer *)
+  mutable buf_len : int;
+  mutable total : int64; (* bytes absorbed *)
+}
+
+let init () = { h = Array.copy h0; buf = Bytes.create 64; buf_len = 0; total = 0L }
+
+let ( >>> ) x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+let ( ^: ) = Int32.logxor
+let ( &: ) = Int32.logand
+let ( +: ) = Int32.add
+let lnot32 = Int32.lognot
+
+let w = Array.make 64 0l
+
+let compress h block off =
+  for t = 0 to 15 do
+    w.(t) <-
+      Int32.logor
+        (Int32.shift_left (Int32.of_int (Char.code (Bytes.get block (off + (4 * t))))) 24)
+        (Int32.logor
+           (Int32.shift_left (Int32.of_int (Char.code (Bytes.get block (off + (4 * t) + 1)))) 16)
+           (Int32.logor
+              (Int32.shift_left (Int32.of_int (Char.code (Bytes.get block (off + (4 * t) + 2)))) 8)
+              (Int32.of_int (Char.code (Bytes.get block (off + (4 * t) + 3))))))
+  done;
+  for t = 16 to 63 do
+    let s0 = (w.(t - 15) >>> 7) ^: (w.(t - 15) >>> 18) ^: Int32.shift_right_logical w.(t - 15) 3 in
+    let s1 = (w.(t - 2) >>> 17) ^: (w.(t - 2) >>> 19) ^: Int32.shift_right_logical w.(t - 2) 10 in
+    w.(t) <- w.(t - 16) +: s0 +: w.(t - 7) +: s1
+  done;
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for t = 0 to 63 do
+    let s1 = (!e >>> 6) ^: (!e >>> 11) ^: (!e >>> 25) in
+    let ch = (!e &: !f) ^: (lnot32 !e &: !g) in
+    let t1 = !hh +: s1 +: ch +: k.(t) +: w.(t) in
+    let s0 = (!a >>> 2) ^: (!a >>> 13) ^: (!a >>> 22) in
+    let maj = (!a &: !b) ^: (!a &: !c) ^: (!b &: !c) in
+    let t2 = s0 +: maj in
+    hh := !g; g := !f; f := !e; e := !d +: t1;
+    d := !c; c := !b; b := !a; a := t1 +: t2
+  done;
+  h.(0) <- h.(0) +: !a; h.(1) <- h.(1) +: !b;
+  h.(2) <- h.(2) +: !c; h.(3) <- h.(3) +: !d;
+  h.(4) <- h.(4) +: !e; h.(5) <- h.(5) +: !f;
+  h.(6) <- h.(6) +: !g; h.(7) <- h.(7) +: !hh
+
+let update ctx buf off len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then invalid_arg "Sha256.update";
+  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  let pos = ref off and remaining = ref len in
+  if ctx.buf_len > 0 then begin
+    let n = min (64 - ctx.buf_len) !remaining in
+    Bytes.blit buf !pos ctx.buf ctx.buf_len n;
+    ctx.buf_len <- ctx.buf_len + n;
+    pos := !pos + n;
+    remaining := !remaining - n;
+    if ctx.buf_len = 64 then begin
+      compress ctx.h ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  while !remaining >= 64 do
+    compress ctx.h buf !pos;
+    pos := !pos + 64;
+    remaining := !remaining - 64
+  done;
+  if !remaining > 0 then begin
+    Bytes.blit buf !pos ctx.buf 0 !remaining;
+    ctx.buf_len <- !remaining
+  end
+
+let finalize ctx =
+  let bit_len = Int64.mul ctx.total 8L in
+  let pad_len =
+    let rem = Int64.to_int (Int64.rem ctx.total 64L) in
+    if rem < 56 then 56 - rem else 120 - rem
+  in
+  let tail = Bytes.make (pad_len + 8) '\000' in
+  Bytes.set tail 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set tail (pad_len + i)
+      (Char.unsafe_chr (Int64.to_int (Int64.shift_right_logical bit_len (56 - (8 * i))) land 0xFF))
+  done;
+  (* Bypass [update]'s total accounting for the padding. *)
+  let total_saved = ctx.total in
+  update ctx tail 0 (Bytes.length tail);
+  ctx.total <- total_saved;
+  let out = Bytes.create 32 in
+  for i = 0 to 7 do
+    let v = ctx.h.(i) in
+    for j = 0 to 3 do
+      Bytes.set out ((4 * i) + j)
+        (Char.unsafe_chr (Int32.to_int (Int32.shift_right_logical v (24 - (8 * j))) land 0xFF))
+    done
+  done;
+  out
+
+let digest buf =
+  let ctx = init () in
+  update ctx buf 0 (Bytes.length buf);
+  finalize ctx
+
+let digest_hex buf =
+  let d = digest buf in
+  let b = Buffer.create 64 in
+  Bytes.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) d;
+  Buffer.contents b

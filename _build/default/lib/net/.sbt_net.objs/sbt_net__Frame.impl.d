@@ -1,0 +1,1 @@
+lib/net/frame.ml: Array Bytes Char Int32 Int64 Sbt_crypto

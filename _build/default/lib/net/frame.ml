@@ -1,0 +1,68 @@
+type t =
+  | Events of {
+      seq : int;
+      stream : int;
+      events : int;
+      windows : int list;
+      payload : bytes;
+      encrypted : bool;
+    }
+  | Watermark of { seq : int; value : int }
+
+let pack_events ~width records =
+  let n = Array.length records in
+  let b = Bytes.create (n * width * 4) in
+  Array.iteri
+    (fun r fields ->
+      if Array.length fields <> width then invalid_arg "Frame.pack_events: bad record width";
+      Array.iteri
+        (fun f v ->
+          let off = ((r * width) + f) * 4 in
+          Bytes.set b off (Char.unsafe_chr (Int32.to_int v land 0xFF));
+          Bytes.set b (off + 1) (Char.unsafe_chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xFF));
+          Bytes.set b (off + 2) (Char.unsafe_chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xFF));
+          Bytes.set b (off + 3) (Char.unsafe_chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xFF)))
+        fields)
+    records;
+  b
+
+let unpack_events ~width payload =
+  let total = Bytes.length payload / 4 in
+  if total mod width <> 0 then invalid_arg "Frame.unpack_events: payload not a record multiple";
+  let n = total / width in
+  Array.init n (fun r ->
+      Array.init width (fun f ->
+          let off = ((r * width) + f) * 4 in
+          let byte i = Int32.of_int (Char.code (Bytes.get payload (off + i))) in
+          Int32.logor (byte 0)
+            (Int32.logor
+               (Int32.shift_left (byte 1) 8)
+               (Int32.logor (Int32.shift_left (byte 2) 16) (Int32.shift_left (byte 3) 24)))))
+
+let payload_bytes = function
+  | Events { payload; _ } -> Bytes.length payload
+  | Watermark _ -> 8
+
+let ctr_pos seq = Int64.shift_left (Int64.of_int seq) 32
+
+let encrypt_payload ~key ~stream_nonce = function
+  | Watermark _ as f -> f
+  | Events e ->
+      if e.encrypted then Events e
+      else begin
+        let ctr = Sbt_crypto.Ctr.create ~key ~nonce:stream_nonce in
+        let p = Bytes.copy e.payload in
+        Sbt_crypto.Ctr.xcrypt ctr ~pos:(ctr_pos e.seq) p 0 (Bytes.length p);
+        Events { e with payload = p; encrypted = true }
+      end
+
+let decrypt_payload ~key ~stream_nonce = function
+  | Watermark _ as f -> f
+  | Events e ->
+      if not e.encrypted then Events e
+      else begin
+        let ctr = Sbt_crypto.Ctr.create ~key ~nonce:stream_nonce in
+        let p = Bytes.copy e.payload in
+        Sbt_crypto.Ctr.xcrypt ctr ~pos:(ctr_pos e.seq) p 0 (Bytes.length p);
+        Events { e with payload = p; encrypted = false }
+      end

@@ -1,0 +1,36 @@
+(** Source-to-edge wire frames.
+
+    The Generator packs event batches into frames (little-endian 32-bit
+    fields, one record after another) and interleaves watermark frames,
+    mirroring the paper's ZeroMQ transport.  On untrusted source-edge
+    links the payload is AES-128-CTR encrypted with a per-stream nonce
+    and sequence-derived positions, so frames can be decrypted
+    independently and out of order. *)
+
+type t =
+  | Events of {
+      seq : int;  (** frame sequence within the stream *)
+      stream : int;  (** source stream id (Join uses two) *)
+      events : int;
+      windows : int list;
+          (** distinct window indices the batch spans — source-side
+              manifest metadata (derivable from the data; carried in the
+              clear like lengths and sequence numbers) *)
+      payload : bytes;
+      encrypted : bool;
+    }
+  | Watermark of { seq : int; value : int }
+
+val pack_events : width:int -> int32 array array -> bytes
+(** Pack records (each an array of [width] fields) into a payload. *)
+
+val unpack_events : width:int -> bytes -> int32 array array
+(** Test helper; the data plane unpacks straight into uArrays instead. *)
+
+val payload_bytes : t -> int
+val encrypt_payload : key:bytes -> stream_nonce:int64 -> t -> t
+(** En/decrypt an [Events] payload in a fresh copy (CTR position =
+    [seq * 2^32]); identity on watermarks and on already-(un)encrypted
+    frames as indicated by the [encrypted] flag. *)
+
+val decrypt_payload : key:bytes -> stream_nonce:int64 -> t -> t

@@ -1,0 +1,9 @@
+type t = { bandwidth_bytes_per_s : float; latency_ns : float }
+
+let gbe = { bandwidth_bytes_per_s = 125_000_000.0; latency_ns = 100_000.0 }
+let uplink = { bandwidth_bytes_per_s = 125_000.0; latency_ns = 20_000_000.0 }
+
+let transfer_ns t ~bytes_len =
+  t.latency_ns +. (float_of_int bytes_len /. t.bandwidth_bytes_per_s *. 1e9)
+
+let seconds_to_send t ~bytes_len = transfer_ns t ~bytes_len /. 1e9

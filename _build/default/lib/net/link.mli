@@ -1,0 +1,17 @@
+(** Link cost model: bandwidth-limited, fixed-latency transfer times.
+
+    Used to model the source-edge link (GbE-class on IoT gateways) and
+    the constrained edge-cloud uplink whose bandwidth the audit-record
+    compression of Figure 12 exists to save. *)
+
+type t = { bandwidth_bytes_per_s : float; latency_ns : float }
+
+val gbe : t
+(** 1 Gbit/s, 100 us. *)
+
+val uplink : t
+(** A slow field uplink: 1 Mbit/s, 20 ms (satellite/cellular class,
+    paper §2.3). *)
+
+val transfer_ns : t -> bytes_len:int -> float
+val seconds_to_send : t -> bytes_len:int -> float

@@ -1,0 +1,1 @@
+lib/prim/agg.mli: Sbt_umem

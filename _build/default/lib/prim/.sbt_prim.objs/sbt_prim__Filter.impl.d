@@ -1,0 +1,1 @@
+lib/prim/filter.ml: Bigarray Int32 Sbt_umem

@@ -1,0 +1,1 @@
+lib/prim/filter.mli: Sbt_umem

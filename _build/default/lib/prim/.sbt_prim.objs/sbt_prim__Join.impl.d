@@ -1,0 +1,1 @@
+lib/prim/join.ml: Bigarray Int32 Sbt_umem

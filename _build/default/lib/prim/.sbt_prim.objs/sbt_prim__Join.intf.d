@@ -1,0 +1,1 @@
+lib/prim/join.mli: Sbt_umem

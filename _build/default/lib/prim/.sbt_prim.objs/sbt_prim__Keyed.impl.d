@@ -1,0 +1,1 @@
+lib/prim/keyed.ml: Array Bigarray Int32 Int64 Sbt_umem

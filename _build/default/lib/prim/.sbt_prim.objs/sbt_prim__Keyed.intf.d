@@ -1,0 +1,1 @@
+lib/prim/keyed.mli: Sbt_umem

@@ -1,0 +1,1 @@
+lib/prim/merge.ml: Bigarray Int32 List Sbt_umem

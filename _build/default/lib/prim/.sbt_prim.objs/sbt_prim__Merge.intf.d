@@ -1,0 +1,1 @@
+lib/prim/merge.mli: Sbt_umem

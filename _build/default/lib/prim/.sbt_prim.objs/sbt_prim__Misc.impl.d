@@ -1,0 +1,1 @@
+lib/prim/misc.ml: Array Bigarray Int32 List Sbt_umem

@@ -1,0 +1,1 @@
+lib/prim/misc.mli: Sbt_umem

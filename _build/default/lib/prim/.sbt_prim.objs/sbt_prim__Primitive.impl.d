@@ -1,0 +1,1 @@
+lib/prim/primitive.ml: List

@@ -1,0 +1,1 @@
+lib/prim/segment.ml: Bigarray Hashtbl Int32 List Option Sbt_umem

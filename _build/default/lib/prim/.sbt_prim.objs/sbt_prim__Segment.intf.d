@@ -1,0 +1,1 @@
+lib/prim/segment.mli: Sbt_umem

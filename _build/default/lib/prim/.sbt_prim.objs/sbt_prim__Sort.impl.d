@@ -1,0 +1,1 @@
+lib/prim/sort.ml: Array Bigarray Int32 Sbt_umem Stdlib

@@ -1,0 +1,1 @@
+lib/prim/sort.mli: Sbt_umem

@@ -1,0 +1,39 @@
+module U = Sbt_umem.Uarray
+
+let fold_field ua ~field ~init ~f =
+  let w = U.width ua and n = U.length ua in
+  if field < 0 || field >= w then invalid_arg "Agg: bad field";
+  let buf = U.raw ua in
+  let acc = ref init in
+  for r = 0 to n - 1 do
+    acc := f !acc (Bigarray.Array1.unsafe_get buf ((r * w) + field))
+  done;
+  !acc
+
+let sum ua ~field = fold_field ua ~field ~init:0L ~f:(fun acc v -> Int64.add acc (Int64.of_int32 v))
+let count ua = U.length ua
+
+let sum_count ua ~field = (sum ua ~field, U.length ua)
+
+let average ua ~field =
+  let s, n = sum_count ua ~field in
+  if n = 0 then 0.0 else Int64.to_float s /. float_of_int n
+
+let min_max ua ~field =
+  if U.length ua = 0 then None
+  else
+    Some
+      (fold_field ua ~field
+         ~init:(Int32.max_int, Int32.min_int)
+         ~f:(fun (lo, hi) v -> ((if v < lo then v else lo), if v > hi then v else hi)))
+
+let median ua ~field =
+  let n = U.length ua in
+  if n = 0 then None
+  else begin
+    let w = U.width ua in
+    let buf = U.raw ua in
+    let vals = Array.init n (fun r -> Int32.to_int (Bigarray.Array1.unsafe_get buf ((r * w) + field))) in
+    Array.sort compare vals;
+    Some (Int32.of_int vals.((n - 1) / 2))
+  end

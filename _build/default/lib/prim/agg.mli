@@ -1,0 +1,22 @@
+(** Whole-array aggregation trusted primitives: Sum, Count, SumCnt,
+    Average, MinMax, Median.
+
+    These operate over one field of a whole uArray (typically the records
+    of one window after Segment) and return scalars; the keyed variants
+    live in {!Keyed}.  All arithmetic is 64-bit to avoid overflow on
+    32-bit inputs. *)
+
+val sum : Sbt_umem.Uarray.t -> field:int -> int64
+val count : Sbt_umem.Uarray.t -> int
+val sum_count : Sbt_umem.Uarray.t -> field:int -> int64 * int
+(** The paper's SumCnt: one pass producing both (feeding Average). *)
+
+val average : Sbt_umem.Uarray.t -> field:int -> float
+(** 0.0 on an empty array. *)
+
+val min_max : Sbt_umem.Uarray.t -> field:int -> (int32 * int32) option
+(** [None] on an empty array. *)
+
+val median : Sbt_umem.Uarray.t -> field:int -> int32 option
+(** Median by copy-and-sort of the field values (array-based, as in the
+    paper's Median primitive); lower median for even lengths. *)

@@ -1,0 +1,45 @@
+module U = Sbt_umem.Uarray
+
+let get (buf : U.buf) w r f = Bigarray.Array1.unsafe_get buf ((r * w) + f)
+
+let count_in_band ~src ~field ~lo ~hi =
+  let w = U.width src and n = U.length src in
+  let buf = U.raw src in
+  let lo = Int32.to_int lo and hi = Int32.to_int hi in
+  let c = ref 0 in
+  for r = 0 to n - 1 do
+    let v = Int32.to_int (get buf w r field) in
+    if v >= lo && v <= hi then incr c
+  done;
+  !c
+
+let copy_matching src dst pred =
+  let w = U.width src and n = U.length src in
+  if U.width dst <> w then invalid_arg "Filter: width mismatch";
+  let buf = U.raw src in
+  for r = 0 to n - 1 do
+    if pred buf w r then begin
+      let at = U.reserve dst 1 in
+      let dbuf = U.raw dst in
+      for f = 0 to w - 1 do
+        Bigarray.Array1.unsafe_set dbuf ((at * w) + f) (get buf w r f)
+      done
+    end
+  done
+
+let filter_band ~src ~dst ~field ~lo ~hi =
+  let lo = Int32.to_int lo and hi = Int32.to_int hi in
+  copy_matching src dst (fun buf w r ->
+      let v = Int32.to_int (get buf w r field) in
+      v >= lo && v <= hi)
+
+let select_eq ~src ~dst ~field ~value =
+  copy_matching src dst (fun buf w r -> get buf w r field = value)
+
+let sample_stride ~src ~dst ~stride =
+  if stride <= 0 then invalid_arg "Filter.sample_stride: stride must be positive";
+  let counter = ref 0 in
+  copy_matching src dst (fun _ _ _ ->
+      let keep = !counter mod stride = 0 in
+      incr counter;
+      keep)

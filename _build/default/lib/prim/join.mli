@@ -1,0 +1,21 @@
+(** Temporal-join trusted primitive (sort-merge equi-join).
+
+    Joins two key-sorted inputs on equal keys — the windowed TempJoin
+    operator feeds it the two sides of one window.  Output records are
+    (key, left value, right value).  A counting pass sizes the output
+    exactly, so the caller can allocate the destination uArray before the
+    emit pass. *)
+
+val count_matches :
+  left:Sbt_umem.Uarray.t -> right:Sbt_umem.Uarray.t -> key_field:int -> int
+(** Number of output records (sum over keys of |left run| * |right run|). *)
+
+val join :
+  left:Sbt_umem.Uarray.t ->
+  right:Sbt_umem.Uarray.t ->
+  dst:Sbt_umem.Uarray.t ->
+  key_field:int ->
+  value_field:int ->
+  unit
+(** [dst] must be open, width 3, with capacity for {!count_matches}
+    more records. *)

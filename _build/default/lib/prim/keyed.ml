@@ -1,0 +1,82 @@
+module U = Sbt_umem.Uarray
+
+let get (buf : U.buf) w r f = Bigarray.Array1.unsafe_get buf ((r * w) + f)
+let get_int (buf : U.buf) w r f = Int32.to_int (Bigarray.Array1.unsafe_get buf ((r * w) + f))
+
+(* Iterate runs of equal keys in a key-sorted array: calls
+   [f key run_start run_len] for each run.  Keys compare as native ints
+   to keep the scan allocation- and branch-cheap. *)
+let iter_runs src ~key_field f =
+  let w = U.width src and n = U.length src in
+  let buf = U.raw src in
+  let r = ref 0 in
+  while !r < n do
+    let k = get_int buf w !r key_field in
+    let start = !r in
+    incr r;
+    while !r < n && get_int buf w !r key_field = k do incr r done;
+    f (Int32.of_int k) start (!r - start)
+  done
+
+let check_kv dst = if U.width dst <> 2 then invalid_arg "Keyed: dst width must be 2 (key, value)"
+
+let sum_per_key ~src ~dst ~key_field ~value_field =
+  check_kv dst;
+  let w = U.width src in
+  let buf = U.raw src in
+  iter_runs src ~key_field (fun k start len ->
+      let acc = ref 0L in
+      for r = start to start + len - 1 do
+        acc := Int64.add !acc (Int64.of_int32 (get buf w r value_field))
+      done;
+      U.append dst [| k; Int64.to_int32 !acc |])
+
+let count_per_key ~src ~dst ~key_field =
+  check_kv dst;
+  iter_runs src ~key_field (fun k _ len -> U.append dst [| k; Int32.of_int len |])
+
+let avg_per_key ~src ~dst ~key_field ~value_field =
+  check_kv dst;
+  let w = U.width src in
+  let buf = U.raw src in
+  iter_runs src ~key_field (fun k start len ->
+      let acc = ref 0L in
+      for r = start to start + len - 1 do
+        acc := Int64.add !acc (Int64.of_int32 (get buf w r value_field))
+      done;
+      let avg = Int64.div !acc (Int64.of_int len) in
+      U.append dst [| k; Int64.to_int32 avg |])
+
+let median_per_key ~src ~dst ~key_field ~value_field =
+  check_kv dst;
+  let w = U.width src in
+  let buf = U.raw src in
+  iter_runs src ~key_field (fun k start len ->
+      (* Runs are only key-sorted (merging loses per-key value order), so
+         sort each run's values in a temporary — runs are small. *)
+      let vals = Array.init len (fun i -> Int32.to_int (get buf w (start + i) value_field)) in
+      Array.sort compare vals;
+      U.append dst [| k; Int32.of_int vals.((len - 1) / 2) |])
+
+let topk_per_key ~src ~dst ~key_field ~value_field ~k =
+  check_kv dst;
+  if k <= 0 then invalid_arg "Keyed.topk_per_key: k must be positive";
+  let w = U.width src in
+  let buf = U.raw src in
+  iter_runs src ~key_field (fun key start len ->
+      (* Partial selection: copy the run's values, sort, take the top k.
+         Runs are typically small (events per key per window). *)
+      let vals = Array.init len (fun i -> Int32.to_int (get buf w (start + i) value_field)) in
+      Array.sort (fun a b -> compare b a) vals;
+      for i = 0 to min k len - 1 do
+        U.append dst [| key; Int32.of_int vals.(i) |]
+      done)
+
+let distinct_keys ~src ~dst ~key_field =
+  check_kv dst;
+  iter_runs src ~key_field (fun k _ _ -> U.append dst [| k; 1l |])
+
+let group_count ~src ~key_field =
+  let n = ref 0 in
+  iter_runs src ~key_field (fun _ _ _ -> incr n);
+  !n

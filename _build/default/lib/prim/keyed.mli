@@ -1,0 +1,53 @@
+(** Per-key trusted primitives over key-sorted input.
+
+    Every GroupBy-family operator in StreamBox-TZ compiles to Sort (by
+    key) followed by one of these sequential scans over the sorted runs —
+    the array-based replacement for the hash tables commodity engines use
+    (paper §5).  Inputs must be sorted ascending by [key_field]; outputs
+    are (key, value) records of width {!Layout.kv_width}. *)
+
+val sum_per_key :
+  src:Sbt_umem.Uarray.t ->
+  dst:Sbt_umem.Uarray.t ->
+  key_field:int ->
+  value_field:int ->
+  unit
+(** One output record per distinct key with the 32-bit-truncated sum of
+    its values. *)
+
+val count_per_key :
+  src:Sbt_umem.Uarray.t -> dst:Sbt_umem.Uarray.t -> key_field:int -> unit
+
+val avg_per_key :
+  src:Sbt_umem.Uarray.t ->
+  dst:Sbt_umem.Uarray.t ->
+  key_field:int ->
+  value_field:int ->
+  unit
+(** Integer average (floor). *)
+
+val median_per_key :
+  src:Sbt_umem.Uarray.t ->
+  dst:Sbt_umem.Uarray.t ->
+  key_field:int ->
+  value_field:int ->
+  unit
+(** Lower median of each key's values; runs need only be key-sorted
+    (values are ordered in a per-run temporary). *)
+
+val topk_per_key :
+  src:Sbt_umem.Uarray.t ->
+  dst:Sbt_umem.Uarray.t ->
+  key_field:int ->
+  value_field:int ->
+  k:int ->
+  unit
+(** Emits up to [k] (key, value) records per key — that key's largest
+    values, descending. *)
+
+val distinct_keys :
+  src:Sbt_umem.Uarray.t -> dst:Sbt_umem.Uarray.t -> key_field:int -> unit
+(** One (key, 1) record per distinct key (the Unique primitive). *)
+
+val group_count : src:Sbt_umem.Uarray.t -> key_field:int -> int
+(** Number of distinct keys (sizing pass for output allocation). *)

@@ -1,0 +1,90 @@
+module U = Sbt_umem.Uarray
+
+(* Merge raw buffers [a] (na records) and [b] (nb) into [dst] at [dst_r0].
+   The record copy is open-coded: a helper containing a loop would not be
+   inlined, and a call per record dominates this - one of the two hottest
+   loops in the engine (paper 5). *)
+let merge_buffers (a : U.buf) na (b : U.buf) nb (dst : U.buf) dst_r0 w kf =
+  let o = ref (dst_r0 * w) in
+  let end_a = na * w and end_b = nb * w in
+  let ia = ref 0 and jb = ref 0 in
+  (* [ia]/[jb] are field offsets (record index * w), avoiding a multiply
+     per access. *)
+  while !ia < end_a && !jb < end_b do
+    let ka = Int32.to_int (Bigarray.Array1.unsafe_get a (!ia + kf)) in
+    let kb = Int32.to_int (Bigarray.Array1.unsafe_get b (!jb + kf)) in
+    if ka <= kb then begin
+      for f = 0 to w - 1 do
+        Bigarray.Array1.unsafe_set dst (!o + f) (Bigarray.Array1.unsafe_get a (!ia + f))
+      done;
+      ia := !ia + w
+    end
+    else begin
+      for f = 0 to w - 1 do
+        Bigarray.Array1.unsafe_set dst (!o + f) (Bigarray.Array1.unsafe_get b (!jb + f))
+      done;
+      jb := !jb + w
+    end;
+    o := !o + w
+  done;
+  while !ia < end_a do
+    for f = 0 to w - 1 do
+      Bigarray.Array1.unsafe_set dst (!o + f) (Bigarray.Array1.unsafe_get a (!ia + f))
+    done;
+    ia := !ia + w;
+    o := !o + w
+  done;
+  while !jb < end_b do
+    for f = 0 to w - 1 do
+      Bigarray.Array1.unsafe_set dst (!o + f) (Bigarray.Array1.unsafe_get b (!jb + f))
+    done;
+    jb := !jb + w;
+    o := !o + w
+  done;
+  ()
+
+let merge2 ~a ~b ~dst ~key_field =
+  let w = U.width a in
+  if U.width b <> w || U.width dst <> w then invalid_arg "Merge.merge2: width mismatch";
+  let na = U.length a and nb = U.length b in
+  let first = U.reserve dst (na + nb) in
+  merge_buffers (U.raw a) na (U.raw b) nb (U.raw dst) first w key_field
+
+let kway ~inputs ~dst ~key_field =
+  match inputs with
+  | [] -> ()
+  | [ only ] -> U.append_blit dst ~src:only ~src_pos:0 ~len:(U.length only)
+  | _ :: _ :: _ ->
+      let w = U.width (List.hd inputs) in
+      List.iter
+        (fun ua -> if U.width ua <> w then invalid_arg "Merge.kway: width mismatch")
+        inputs;
+      (* Tournament of binary merges over plain host buffers; only the
+         final round writes into [dst]. *)
+      let bufs =
+        List.map
+          (fun ua ->
+            let n = U.length ua in
+            (Bigarray.Array1.sub (U.raw ua) 0 (n * w), n))
+          inputs
+      in
+      let rec rounds = function
+        | [] -> invalid_arg "Merge.kway: empty round"
+        | [ (buf, n) ] ->
+            let first = U.reserve dst n in
+            let draw = U.raw dst in
+            Bigarray.Array1.blit buf (Bigarray.Array1.sub draw (first * w) (n * w))
+        | pairs ->
+            let rec merge_pairs acc = function
+              | [] -> List.rev acc
+              | [ last ] -> List.rev (last :: acc)
+              | (a, na) :: (b, nb) :: rest ->
+                  let out =
+                    Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout ((na + nb) * w)
+                  in
+                  merge_buffers a na b nb out 0 w key_field;
+                  merge_pairs ((out, na + nb) :: acc) rest
+            in
+            rounds (merge_pairs [] pairs)
+      in
+      rounds bufs

@@ -1,0 +1,24 @@
+(** Merge trusted primitive: combine key-sorted uArrays.
+
+    GroupBy and Join in StreamBox-TZ are sort-merge based, so Merge is —
+    with Sort — one of the two primitives the paper identifies as
+    dominating execution (§5). *)
+
+val merge2 :
+  a:Sbt_umem.Uarray.t ->
+  b:Sbt_umem.Uarray.t ->
+  dst:Sbt_umem.Uarray.t ->
+  key_field:int ->
+  unit
+(** Merge two uArrays sorted by [key_field] into [dst] (open, same width,
+    capacity for [length a + length b] more records).  Stable: ties take
+    [a]'s records first. *)
+
+val kway :
+  inputs:Sbt_umem.Uarray.t list ->
+  dst:Sbt_umem.Uarray.t ->
+  key_field:int ->
+  unit
+(** K-way merge via a tournament of binary merges (the N-way merge shape
+    of the Figure 11 microbenchmark).  Allocates temporary host buffers
+    for intermediate rounds. *)

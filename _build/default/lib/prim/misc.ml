@@ -1,0 +1,51 @@
+module U = Sbt_umem.Uarray
+
+let concat ~inputs ~dst =
+  List.iter (fun src -> U.append_blit dst ~src ~src_pos:0 ~len:(U.length src)) inputs
+
+let top_k_records ~src ~dst ~field ~k =
+  if k <= 0 then invalid_arg "Misc.top_k_records: k must be positive";
+  let w = U.width src and n = U.length src in
+  if U.width dst <> w then invalid_arg "Misc.top_k_records: width mismatch";
+  if field < 0 || field >= w then invalid_arg "Misc.top_k_records: bad field";
+  let buf = U.raw src in
+  let order = Array.init n (fun r -> r) in
+  let value r = Int32.to_int (Bigarray.Array1.unsafe_get buf ((r * w) + field)) in
+  Array.sort (fun a b -> compare (value b) (value a)) order;
+  let fields_buf = Array.make w 0l in
+  for i = 0 to min k n - 1 do
+    let r = order.(i) in
+    for f = 0 to w - 1 do
+      fields_buf.(f) <- Bigarray.Array1.unsafe_get buf ((r * w) + f)
+    done;
+    U.append dst fields_buf
+  done
+
+let shift_key ~src ~dst ~field ~shift =
+  let w = U.width src and n = U.length src in
+  if U.width dst <> w then invalid_arg "Misc.shift_key: width mismatch";
+  if field < 0 || field >= w then invalid_arg "Misc.shift_key: bad field";
+  if shift < 0 || shift > 31 then invalid_arg "Misc.shift_key: bad shift";
+  let buf = U.raw src in
+  let fields_buf = Array.make w 0l in
+  for r = 0 to n - 1 do
+    for f = 0 to w - 1 do
+      fields_buf.(f) <- Bigarray.Array1.unsafe_get buf ((r * w) + f)
+    done;
+    fields_buf.(field) <- Int32.shift_right fields_buf.(field) shift;
+    U.append dst fields_buf
+  done
+
+let project ~src ~dst ~fields =
+  let w = U.width src and n = U.length src in
+  let dw = Array.length fields in
+  if U.width dst <> dw then invalid_arg "Misc.project: dst width mismatch";
+  Array.iter (fun f -> if f < 0 || f >= w then invalid_arg "Misc.project: bad field") fields;
+  let buf = U.raw src in
+  let out = Array.make dw 0l in
+  for r = 0 to n - 1 do
+    for i = 0 to dw - 1 do
+      out.(i) <- Bigarray.Array1.unsafe_get buf ((r * w) + fields.(i))
+    done;
+    U.append dst out
+  done

@@ -1,0 +1,19 @@
+(** Concat, Project, whole-array TopK and ShiftKey trusted primitives. *)
+
+val concat : inputs:Sbt_umem.Uarray.t list -> dst:Sbt_umem.Uarray.t -> unit
+(** Append all inputs' records to [dst] in list order (Union's backbone). *)
+
+val project :
+  src:Sbt_umem.Uarray.t -> dst:Sbt_umem.Uarray.t -> fields:int array -> unit
+(** Narrow records to the given source fields, in the given order; [dst]
+    width must equal [Array.length fields]. *)
+
+val top_k_records :
+  src:Sbt_umem.Uarray.t -> dst:Sbt_umem.Uarray.t -> field:int -> k:int -> unit
+(** Copy the (up to) [k] records with the largest [field] values into
+    [dst], descending by that field. *)
+
+val shift_key :
+  src:Sbt_umem.Uarray.t -> dst:Sbt_umem.Uarray.t -> field:int -> shift:int -> unit
+(** Copy records with [field] arithmetically right-shifted by [shift] —
+    used to coarsen composite keys, e.g. plug key to house id. *)

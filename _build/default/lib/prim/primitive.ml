@@ -1,0 +1,74 @@
+type t =
+  | Sort
+  | Merge
+  | Kway_merge
+  | Segment
+  | Sum_cnt
+  | Top_k
+  | Concat
+  | Join
+  | Count
+  | Sum
+  | Unique
+  | Filter_band
+  | Median
+  | Min_max
+  | Average
+  | Sum_per_key
+  | Count_per_key
+  | Avg_per_key
+  | Median_per_key
+  | Top_k_per_key
+  | Select
+  | Project
+  | Shift_key
+
+let all =
+  [
+    Sort; Merge; Kway_merge; Segment; Sum_cnt; Top_k; Concat; Join; Count; Sum; Unique;
+    Filter_band; Median; Min_max; Average; Sum_per_key; Count_per_key; Avg_per_key;
+    Median_per_key; Top_k_per_key; Select; Project; Shift_key;
+  ]
+
+let count = List.length all
+
+let to_id t =
+  let rec index i = function
+    | [] -> assert false
+    | x :: rest -> if x = t then i else index (i + 1) rest
+  in
+  index 0 all
+
+let of_id i = List.nth_opt all i
+
+let name = function
+  | Sort -> "Sort"
+  | Merge -> "Merge"
+  | Kway_merge -> "KwayMerge"
+  | Segment -> "Segment"
+  | Sum_cnt -> "SumCnt"
+  | Top_k -> "TopK"
+  | Concat -> "Concat"
+  | Join -> "Join"
+  | Count -> "Count"
+  | Sum -> "Sum"
+  | Unique -> "Unique"
+  | Filter_band -> "FilterBand"
+  | Median -> "Median"
+  | Min_max -> "MinMax"
+  | Average -> "Average"
+  | Sum_per_key -> "SumPerKey"
+  | Count_per_key -> "CountPerKey"
+  | Avg_per_key -> "AvgPerKey"
+  | Median_per_key -> "MedianPerKey"
+  | Top_k_per_key -> "TopKPerKey"
+  | Select -> "Select"
+  | Project -> "Project"
+  | Shift_key -> "ShiftKey"
+
+let of_name s = List.find_opt (fun t -> name t = s) all
+
+let ingress_id = 100
+let egress_id = 101
+let windowing_id = 102
+let udf_id = 103

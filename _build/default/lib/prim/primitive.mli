@@ -1,0 +1,54 @@
+(** The registry of trusted primitives.
+
+    StreamBox-TZ ships 23 trusted primitives (paper Table 2); all of them
+    are dispatched through the single shared SMC [Invoke] entry, so every
+    one needs a stable numeric identifier for the call ABI and for audit
+    records (the [Op] field of Figure 6). *)
+
+type t =
+  | Sort
+  | Merge
+  | Kway_merge
+  | Segment
+  | Sum_cnt
+  | Top_k
+  | Concat
+  | Join
+  | Count
+  | Sum
+  | Unique
+  | Filter_band
+  | Median
+  | Min_max
+  | Average
+  | Sum_per_key
+  | Count_per_key
+  | Avg_per_key
+  | Median_per_key
+  | Top_k_per_key
+  | Select
+  | Project
+  | Shift_key
+
+val all : t list
+val count : int
+(** 23. *)
+
+val to_id : t -> int
+(** Stable id in [\[0, count)]. *)
+
+val of_id : int -> t option
+val name : t -> string
+val of_name : string -> t option
+
+val ingress_id : int
+(** Pseudo-op id used in audit records for data ingestion. *)
+
+val egress_id : int
+(** Pseudo-op id for result externalization. *)
+
+val windowing_id : int
+(** Pseudo-op id for window-assignment records. *)
+
+val udf_id : int
+(** Pseudo-op id for certified user-defined functions. *)

@@ -1,0 +1,35 @@
+(** Segment trusted primitive: split a batch by event-time window.
+
+    The Windowing operator is compiled to Segment: each input record is
+    routed to the output uArray of the fixed window its timestamp falls
+    in.  Outputs are pre-sized by a counting pass, keeping uArray
+    capacities exact. *)
+
+val window_of : ts:int32 -> window_size:int -> int
+(** Fixed-window index [ts / window_size] (timestamps are non-negative
+    ticks). *)
+
+val windows_of : ts:int -> size:int -> slide:int -> int * int
+(** Sliding windows: the inclusive [lo, hi] range of window indices
+    containing [ts], where window [w] covers
+    [\[w*slide, w*slide + size)].  [slide = size] degenerates to the
+    fixed-window case with [lo = hi]. *)
+
+val count_per_window :
+  src:Sbt_umem.Uarray.t -> ts_field:int -> window_size:int -> ?slide:int -> unit -> (int * int) list
+(** [(window_index, record_count)] for every non-empty window in [src],
+    ascending by window index.  With [slide < window_size] a record
+    counts toward every window containing it. *)
+
+val segment :
+  src:Sbt_umem.Uarray.t ->
+  ts_field:int ->
+  window_size:int ->
+  ?slide:int ->
+  dst_for_window:(int -> Sbt_umem.Uarray.t) ->
+  unit ->
+  unit
+(** Route each record of [src] to [dst_for_window w] for every window [w]
+    containing it.  The callback is invoked once per distinct window
+    (memoized here); destinations must be open with sufficient
+    capacity. *)

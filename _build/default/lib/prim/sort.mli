@@ -1,0 +1,32 @@
+(** Sort trusted primitive — three implementations (paper §5, §9.3).
+
+    Sort dominates stream-analytics execution in StreamBox-TZ (GroupBy and
+    friends are built on sort-merge), so the paper hand-vectorizes it with
+    ARMv8 NEON and reports it beating libc [qsort] by ~7x and C++
+    [std::sort] by ~2x.  We reproduce the three design points:
+
+    - {!Radix}: LSD radix sort, branch-free sequential passes — the model
+      of the vectorized implementation (data-parallel inner loops, no
+      comparisons).
+    - {!Std}: comparison sort with the comparator inlined at the call site
+      (the [std::sort] template-instantiation model).
+    - {!Qsort}: the same comparison sort but calling the comparator through
+      a closure, reproducing C [qsort]'s function-pointer indirection.
+
+    All three sort whole records by one field, ascending in signed 32-bit
+    order, and are stable only in the {!Radix} case (as in the paper's
+    engine, nothing relies on stability). *)
+
+type algorithm = Radix | Std | Qsort
+
+val sort :
+  algorithm -> src:Sbt_umem.Uarray.t -> dst:Sbt_umem.Uarray.t -> key_field:int -> unit
+(** Copy [src]'s records into [dst] ordered by [key_field].  [dst] must be
+    open, same width as [src], with capacity for [length src] more
+    records. *)
+
+val sort_in_place : algorithm -> Sbt_umem.Uarray.t -> key_field:int -> unit
+(** Sort an {e open} uArray's records in place (used on temporary
+    uArrays inside other primitives). *)
+
+val is_sorted : Sbt_umem.Uarray.t -> key_field:int -> bool

@@ -1,0 +1,1 @@
+lib/sim/rate_search.ml: Float Trace

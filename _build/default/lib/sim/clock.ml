@@ -1,0 +1,2 @@
+let now_ns () = Int64.to_float (Monotonic_clock.now ())
+let elapsed_ns ~since = now_ns () -. since

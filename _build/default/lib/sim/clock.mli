@@ -1,0 +1,4 @@
+(** Monotonic host clock (ns). *)
+
+val now_ns : unit -> float
+val elapsed_ns : since:float -> float

@@ -1,0 +1,90 @@
+type role = Plain | Watermark_arrival of int | Egress_of of int
+
+type node = {
+  label : string;
+  cost_ns : float;
+  deps : int list;
+  arrival_events : int option;
+  role : role;
+}
+
+type t = { nodes : node array }
+
+let of_nodes nodes =
+  Array.iteri
+    (fun i n ->
+      List.iter
+        (fun d -> if d < 0 || d >= i then invalid_arg "Trace.of_nodes: deps must point backwards")
+        n.deps)
+    nodes;
+  { nodes }
+
+let node_count t = Array.length t.nodes
+let total_cost_ns t = Array.fold_left (fun acc n -> acc +. n.cost_ns) 0.0 t.nodes
+
+let total_events t =
+  Array.fold_left
+    (fun acc n -> match n.arrival_events with Some e -> max acc e | None -> acc)
+    0 t.nodes
+
+type replay_result = {
+  makespan_ns : float;
+  delays : (int * float) list;
+  max_delay_ns : float;
+  mean_delay_ns : float;
+  utilization : float;
+}
+
+let replay t ~cores ~rate_eps =
+  let des = Des.create ~host_scale:0.0 ~cores () in
+  let n = Array.length t.nodes in
+  let tasks = Array.make n None in
+  let wm_arrival : (int, float) Hashtbl.t = Hashtbl.create 32 in
+  let egress_tasks = ref [] in
+  for i = 0 to n - 1 do
+    let node = t.nodes.(i) in
+    let deps =
+      List.map
+        (fun d -> match tasks.(d) with Some task -> task | None -> assert false)
+        node.deps
+    in
+    let not_before =
+      match node.arrival_events with
+      | None -> 0.0
+      | Some events ->
+          if rate_eps = Float.infinity then 0.0
+          else float_of_int events /. rate_eps *. 1e9
+    in
+    (match node.role with
+    | Watermark_arrival w -> Hashtbl.replace wm_arrival w not_before
+    | Plain | Egress_of _ -> ());
+    let cost = node.cost_ns in
+    let task = Des.schedule des ~deps ~not_before ~label:node.label ~work:(fun ~start_ns:_ -> cost) () in
+    tasks.(i) <- Some task;
+    match node.role with
+    | Egress_of w -> egress_tasks := (w, task) :: !egress_tasks
+    | Plain | Watermark_arrival _ -> ()
+  done;
+  Des.run des;
+  let delays =
+    List.rev_map
+      (fun (w, task) ->
+        let arrival = Option.value ~default:0.0 (Hashtbl.find_opt wm_arrival w) in
+        (w, Des.finish_ns task -. arrival))
+      !egress_tasks
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let max_delay = List.fold_left (fun acc (_, d) -> Float.max acc d) 0.0 delays in
+  let mean_delay =
+    match delays with
+    | [] -> 0.0
+    | _ :: _ ->
+        List.fold_left (fun acc (_, d) -> acc +. d) 0.0 delays /. float_of_int (List.length delays)
+  in
+  {
+    makespan_ns = Des.makespan_ns des;
+    delays;
+    max_delay_ns = max_delay;
+    mean_delay_ns = mean_delay;
+    utilization = Des.utilization des;
+  }

@@ -1,0 +1,1 @@
+lib/tz/cost_model.ml:

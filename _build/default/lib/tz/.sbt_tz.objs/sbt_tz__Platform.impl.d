@@ -1,0 +1,1 @@
+lib/tz/platform.ml: Cost_model Tzasc Tzpc World

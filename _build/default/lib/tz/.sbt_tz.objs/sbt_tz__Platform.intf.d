@@ -1,0 +1,1 @@
+lib/tz/platform.mli: Cost_model Tzasc Tzpc World

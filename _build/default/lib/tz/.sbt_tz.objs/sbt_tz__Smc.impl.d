@@ -1,0 +1,1 @@
+lib/tz/smc.ml: Array Platform

@@ -1,0 +1,1 @@
+lib/tz/smc.mli: Platform

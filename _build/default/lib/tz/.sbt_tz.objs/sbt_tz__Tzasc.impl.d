@@ -1,0 +1,1 @@
+lib/tz/tzasc.ml: Hashtbl World

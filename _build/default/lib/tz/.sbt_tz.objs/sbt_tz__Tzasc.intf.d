@@ -1,0 +1,1 @@
+lib/tz/tzasc.mli: World

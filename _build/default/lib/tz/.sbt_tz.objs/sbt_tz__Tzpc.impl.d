@@ -1,0 +1,1 @@
+lib/tz/tzpc.ml: Hashtbl World

@@ -1,0 +1,1 @@
+lib/tz/tzpc.mli: World

@@ -1,0 +1,1 @@
+lib/tz/world.mli: Format

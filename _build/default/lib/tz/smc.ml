@@ -1,0 +1,37 @@
+type entry = Init | Finalize | Debug | Invoke
+
+let entry_count = 4
+
+let entry_name = function
+  | Init -> "init"
+  | Finalize -> "finalize"
+  | Debug -> "debug"
+  | Invoke -> "invoke"
+
+let entry_index = function Init -> 0 | Finalize -> 1 | Debug -> 2 | Invoke -> 3
+
+type ('req, 'resp) t = { platform : Platform.t; handlers : ('req -> 'resp) option array }
+
+let create platform = { platform; handlers = Array.make entry_count None }
+
+let register t entry f =
+  let i = entry_index entry in
+  match t.handlers.(i) with
+  | Some _ -> invalid_arg ("Smc.register: handler already registered for " ^ entry_name entry)
+  | None -> t.handlers.(i) <- Some f
+
+let call t entry req =
+  match t.handlers.(entry_index entry) with
+  | None -> raise Not_found
+  | Some f ->
+      Platform.enter_secure t.platform;
+      let resp =
+        try f req
+        with exn ->
+          Platform.exit_secure t.platform;
+          raise exn
+      in
+      Platform.exit_secure t.platform;
+      resp
+
+let switch_pairs t = t.platform.Platform.switch_pairs

@@ -1,0 +1,33 @@
+(** Secure-monitor-call (SMC) dispatch: the TEE's entire entry surface.
+
+    The StreamBox-TZ data plane exports exactly four entry functions
+    (paper §9.1): initialization, finalization, one debugging hook, and one
+    function shared by all 23 trusted primitives.  This module enforces
+    that surface — handlers can only be registered for these four entries,
+    and every call crosses the world boundary exactly once, with the
+    switch pair charged to the platform's accounting. *)
+
+type entry = Init | Finalize | Debug | Invoke
+
+val entry_count : int
+(** 4, by construction. *)
+
+val entry_name : entry -> string
+
+type ('req, 'resp) t
+(** A dispatch table whose handlers map ['req] to ['resp]. *)
+
+val create : Platform.t -> ('req, 'resp) t
+
+val register : ('req, 'resp) t -> entry -> ('req -> 'resp) -> unit
+(** Raises [Invalid_argument] if [entry] already has a handler.  Handlers
+    run in the secure world (the platform's world is [Secure] for their
+    whole duration). *)
+
+val call : ('req, 'resp) t -> entry -> 'req -> 'resp
+(** Crosses into the secure world, runs the handler, crosses back.
+    Raises [Not_found] if no handler is registered.  Exceptions raised by
+    the handler still restore the normal world before propagating — a
+    crashing primitive must not leave the model stuck in the TEE. *)
+
+val switch_pairs : ('req, 'resp) t -> int

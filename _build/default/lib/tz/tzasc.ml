@@ -1,0 +1,36 @@
+type region = { size : int; world : World.t }
+type t = { tbl : (string, region) Hashtbl.t }
+
+exception Access_violation of { region : string; accessor : World.t; owner : World.t }
+
+let create () = { tbl = Hashtbl.create 8 }
+
+let add_region t ~name ~bytes_len ~world =
+  if Hashtbl.mem t.tbl name then invalid_arg ("Tzasc.add_region: duplicate region " ^ name);
+  if bytes_len < 0 then invalid_arg "Tzasc.add_region: negative size";
+  Hashtbl.replace t.tbl name { size = bytes_len; world }
+
+let find t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some r -> r
+  | None -> raise Not_found
+
+let region_world t name = (find t name).world
+let region_size t name = (find t name).size
+
+let check_access t ~accessor ~region =
+  let owner = (find t region).world in
+  let allowed =
+    match (accessor, owner) with
+    | World.Secure, (World.Secure | World.Normal) -> true
+    | World.Normal, World.Normal -> true
+    | World.Normal, World.Secure -> false
+  in
+  if not allowed then raise (Access_violation { region; accessor; owner })
+
+let secure_bytes t =
+  Hashtbl.fold
+    (fun _ r acc -> match r.world with World.Secure -> acc + r.size | World.Normal -> acc)
+    t.tbl 0
+
+let regions t = Hashtbl.fold (fun name r acc -> (name, r.size, r.world) :: acc) t.tbl []

@@ -1,0 +1,32 @@
+(** TrustZone Address Space Controller (TZASC) model.
+
+    The TZASC lets privileged software partition DRAM into regions owned by
+    the normal or the secure world.  Here it is the authority on how much
+    secure DRAM exists (the TEE memory budget enforced by
+    {!Sbt_umem.Page_pool}) and on which world may touch which region —
+    every modeled access is checked and violations raise. *)
+
+type t
+
+exception Access_violation of { region : string; accessor : World.t; owner : World.t }
+
+val create : unit -> t
+
+val add_region : t -> name:string -> bytes_len:int -> world:World.t -> unit
+(** Declare a DRAM region.  Raises [Invalid_argument] on duplicate names. *)
+
+val region_world : t -> string -> World.t
+(** Owner of a region.  Raises [Not_found] for unknown regions. *)
+
+val region_size : t -> string -> int
+
+val check_access : t -> accessor:World.t -> region:string -> unit
+(** Raises {!Access_violation} when [accessor] does not own [region].
+    The secure world may additionally read normal-world regions (TrustZone
+    secure masters are not restricted by TZASC the way normal masters
+    are); the normal world can never touch secure regions. *)
+
+val secure_bytes : t -> int
+(** Total bytes across all secure regions — the TEE DRAM budget. *)
+
+val regions : t -> (string * int * World.t) list

@@ -1,0 +1,18 @@
+type t = { tbl : (string, World.t) Hashtbl.t }
+
+exception Peripheral_violation of { peripheral : string; accessor : World.t; owner : World.t }
+
+let create () = { tbl = Hashtbl.create 8 }
+let assign t ~name ~world = Hashtbl.replace t.tbl name world
+
+let owner t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some w -> w
+  | None -> raise Not_found
+
+let check_access t ~accessor ~peripheral =
+  let w = owner t peripheral in
+  if not (World.equal w accessor) then
+    raise (Peripheral_violation { peripheral; accessor; owner = w })
+
+let is_trusted_io t name = World.equal (owner t name) World.Secure

@@ -1,0 +1,21 @@
+(** TrustZone Protection Controller (TZPC) model.
+
+    The TZPC assigns IO peripherals to worlds.  A peripheral owned by the
+    secure world is *trusted IO*: data arriving on it flows straight into
+    the TEE without ever being visible to the normal-world OS — the
+    property StreamBox-TZ's ingestion path relies on (paper §2.1, §9.3). *)
+
+type t
+
+exception Peripheral_violation of { peripheral : string; accessor : World.t; owner : World.t }
+
+val create : unit -> t
+val assign : t -> name:string -> world:World.t -> unit
+val owner : t -> string -> World.t
+(** Raises [Not_found] for unknown peripherals. *)
+
+val check_access : t -> accessor:World.t -> peripheral:string -> unit
+(** A peripheral is completely enclosed in its owning world; any cross-world
+    access raises {!Peripheral_violation}. *)
+
+val is_trusted_io : t -> string -> bool

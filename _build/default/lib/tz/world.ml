@@ -1,0 +1,9 @@
+type t = Normal | Secure
+
+let equal a b =
+  match (a, b) with
+  | Normal, Normal | Secure, Secure -> true
+  | Normal, Secure | Secure, Normal -> false
+
+let to_string = function Normal -> "normal" | Secure -> "secure"
+let pp fmt t = Format.pp_print_string fmt (to_string t)

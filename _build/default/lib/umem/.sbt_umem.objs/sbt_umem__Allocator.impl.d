@@ -1,0 +1,1 @@
+lib/umem/allocator.ml: Hashtbl List Page_pool Uarray Ugroup Vspace

@@ -1,0 +1,1 @@
+lib/umem/allocator.mli: Page_pool Uarray

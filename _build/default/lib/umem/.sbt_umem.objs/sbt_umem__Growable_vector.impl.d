@@ -1,0 +1,1 @@
+lib/umem/growable_vector.ml: Array Bigarray Page_pool Uarray

@@ -1,0 +1,1 @@
+lib/umem/growable_vector.mli: Page_pool Uarray

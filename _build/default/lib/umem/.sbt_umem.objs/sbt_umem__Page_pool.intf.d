@@ -1,0 +1,1 @@
+lib/umem/page_pool.mli:

@@ -1,0 +1,1 @@
+lib/umem/uarray.ml: Array Bigarray List Page_pool

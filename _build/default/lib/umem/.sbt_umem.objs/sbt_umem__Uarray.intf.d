@@ -1,0 +1,1 @@
+lib/umem/uarray.mli: Bigarray Page_pool

@@ -1,0 +1,1 @@
+lib/umem/ugroup.mli: Uarray

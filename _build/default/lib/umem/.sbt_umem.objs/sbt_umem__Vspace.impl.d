@@ -1,0 +1,1 @@
+lib/umem/vspace.ml: Int64

@@ -1,0 +1,36 @@
+type t = {
+  total : int64;
+  stride : int64;
+  mutable next : int64;
+  mutable free : int64 list;
+  mutable live : int;
+}
+
+exception Virtual_space_exhausted
+
+let default_total = Int64.shift_left 1L 48 (* 256 TB *)
+
+let create ?(total_bytes = default_total) ~stride_bytes () =
+  if stride_bytes <= 0 then invalid_arg "Vspace.create: stride must be positive";
+  { total = total_bytes; stride = Int64.of_int stride_bytes; next = 0L; free = []; live = 0 }
+
+let reserve t =
+  match t.free with
+  | base :: rest ->
+      t.free <- rest;
+      t.live <- t.live + 1;
+      base
+  | [] ->
+      let base = t.next in
+      let next = Int64.add base t.stride in
+      if Int64.compare next t.total > 0 then raise Virtual_space_exhausted;
+      t.next <- next;
+      t.live <- t.live + 1;
+      base
+
+let release t base =
+  t.free <- base :: t.free;
+  t.live <- t.live - 1
+
+let reserved_ranges t = t.live
+let utilization t = Int64.to_float (Int64.mul (Int64.of_int t.live) t.stride) /. Int64.to_float t.total

@@ -1,0 +1,26 @@
+(** The TEE's virtual address space (256 TB on ARMv8).
+
+    The allocator avoids uGroup collisions and relocation by reserving, for
+    every uGroup, a virtual range as large as the whole secure DRAM and
+    placing the ranges far apart (paper §6.2, "Managing virtual
+    addresses").  This module is the bookkeeping for those reservations;
+    the actual backing store lives in each uArray's bigarray. *)
+
+type t
+
+exception Virtual_space_exhausted
+
+val create : ?total_bytes:int64 -> stride_bytes:int -> unit -> t
+(** [total_bytes] defaults to 256 TB.  [stride_bytes] is the size reserved
+    per uGroup — the engine passes the secure-DRAM size. *)
+
+val reserve : t -> int64
+(** Reserve the next range; returns its base address. *)
+
+val release : t -> int64 -> unit
+(** Return a range to the free list (reused LIFO). *)
+
+val reserved_ranges : t -> int
+val utilization : t -> float
+(** Fraction of the whole space currently reserved — the paper reports this
+    staying at 1-5%. *)

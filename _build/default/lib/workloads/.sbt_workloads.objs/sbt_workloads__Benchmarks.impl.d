@@ -1,0 +1,1 @@
+lib/workloads/benchmarks.ml: Array Datagen Int32 Sbt_core Sbt_crypto String Zipf

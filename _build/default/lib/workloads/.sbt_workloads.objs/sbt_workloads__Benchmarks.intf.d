@@ -1,0 +1,1 @@
+lib/workloads/benchmarks.mli: Datagen Sbt_core Sbt_net

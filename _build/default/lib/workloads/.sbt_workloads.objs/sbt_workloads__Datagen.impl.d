@@ -1,0 +1,1 @@
+lib/workloads/datagen.ml: Array Bytes Int32 Int64 List Option Sbt_core Sbt_crypto Sbt_net Sbt_prim

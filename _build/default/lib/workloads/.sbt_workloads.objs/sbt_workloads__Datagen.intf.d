@@ -1,0 +1,1 @@
+lib/workloads/datagen.mli: Sbt_core Sbt_crypto Sbt_net

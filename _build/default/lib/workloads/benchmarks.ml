@@ -1,0 +1,144 @@
+module P = Sbt_core.Pipeline
+module Rng = Sbt_crypto.Rng
+
+type t = {
+  name : string;
+  pipeline : P.t;
+  target_delay_ms : float;
+  spec : Datagen.spec;
+}
+
+let base_spec ?(windows = 4) ?(events_per_window = 100_000) ?(batch_events = 10_000)
+    ?(encrypted = false) ~schema ~streams ~seed ~gen () =
+  {
+    (Datagen.default_spec ~windows ~events_per_window ~batch_events ()) with
+    Datagen.schema;
+    streams;
+    encrypted;
+    seed;
+    gen_record = gen;
+  }
+
+(* Synthetic 3-field events: bounded keys (grouping needs groups), uniform
+   32-bit values (the paper's synthetic datasets). *)
+let synthetic_gen ~nkeys rng ~ts =
+  [| Int32.of_int (Rng.int_below rng nkeys); Rng.int32_any rng; ts |]
+
+let topk ?windows ?events_per_window ?batch_events ?encrypted () =
+  {
+    name = "TopK";
+    pipeline = P.group_topk ~k:10 ();
+    target_delay_ms = 500.0;
+    spec =
+      base_spec ?windows ?events_per_window ?batch_events ?encrypted
+        ~schema:Sbt_core.Event.default ~streams:1 ~seed:11L
+        ~gen:(synthetic_gen ~nkeys:10_000) ();
+  }
+
+(* DEBS'15 taxi model: 11k distinct taxi ids, Zipf popularity (busy cabs
+   report more), value = trip fare in cents. *)
+let taxi_ids = 11_000
+
+let distinct ?windows ?events_per_window ?batch_events ?encrypted () =
+  let zipf = Zipf.create ~n:taxi_ids ~s:0.9 in
+  let gen rng ~ts =
+    [| Int32.of_int (Zipf.sample zipf rng); Int32.of_int (500 + Rng.int_below rng 5_000); ts |]
+  in
+  {
+    name = "Distinct";
+    pipeline = P.distinct ();
+    target_delay_ms = 200.0;
+    spec =
+      base_spec ?windows ?events_per_window ?batch_events ?encrypted
+        ~schema:Sbt_core.Event.default ~streams:1 ~seed:15L ~gen ();
+  }
+
+let join ?windows ?events_per_window ?batch_events ?encrypted () =
+  (* Keys drawn from a moderate space so windows produce real matches. *)
+  let gen rng ~ts =
+    [| Int32.of_int (Rng.int_below rng 50_000); Rng.int32_any rng; ts |]
+  in
+  {
+    name = "Join";
+    pipeline = P.temp_join ();
+    target_delay_ms = 250.0;
+    spec =
+      base_spec ?windows ?events_per_window ?batch_events ?encrypted
+        ~schema:Sbt_core.Event.default ~streams:2 ~seed:23L ~gen ();
+  }
+
+(* Intel Lab model: 54 motes, temperature random walks (x100 fixed point). *)
+let win_sum ?windows ?events_per_window ?batch_events ?encrypted () =
+  let temps = Array.make 54 2_200 in
+  let gen rng ~ts =
+    let mote = Rng.int_below rng 54 in
+    temps.(mote) <- max 1_000 (min 4_500 (temps.(mote) + Rng.int_below rng 21 - 10));
+    [| Int32.of_int mote; Int32.of_int temps.(mote); ts |]
+  in
+  {
+    name = "WinSum";
+    pipeline = P.win_sum ();
+    target_delay_ms = 20.0;
+    spec =
+      base_spec ?windows ?events_per_window ?batch_events ?encrypted
+        ~schema:Sbt_core.Event.default ~streams:1 ~seed:31L ~gen ();
+  }
+
+let filter ?windows ?events_per_window ?batch_events ?encrypted () =
+  {
+    name = "Filter";
+    pipeline = P.filter (); (* default band keeps ~1% of uniform values *)
+    target_delay_ms = 10.0;
+    spec =
+      base_spec ?windows ?events_per_window ?batch_events ?encrypted
+        ~schema:Sbt_core.Event.default ~streams:1 ~seed:37L
+        ~gen:(synthetic_gen ~nkeys:10_000) ();
+  }
+
+(* DEBS'14 power model: 40 houses x 20 plugs; each plug has a baseline load
+   plus noise; 4-field 16-byte events as in the paper. *)
+let houses = 40
+let plugs_per_house = 20
+
+let power ?windows ?events_per_window ?batch_events ?encrypted () =
+  let baselines =
+    let rng = Rng.create ~seed:77L in
+    Array.init (houses * plugs_per_house) (fun _ -> 20 + Rng.int_below rng 380)
+  in
+  let gen rng ~ts =
+    let house = Rng.int_below rng houses in
+    let plug = Rng.int_below rng plugs_per_house in
+    let idx = (house * plugs_per_house) + plug in
+    let load = max 0 (baselines.(idx) + Rng.int_below rng 41 - 20) in
+    [| Int32.of_int ((house * 256) + plug); Int32.of_int load; ts; Int32.of_int house |]
+  in
+  {
+    name = "Power";
+    pipeline = P.power_grid ~k:10 ();
+    target_delay_ms = 600.0;
+    spec =
+      base_spec ?windows ?events_per_window ?batch_events ?encrypted
+        ~schema:Sbt_core.Event.power ~streams:1 ~seed:41L ~gen ();
+  }
+
+let all ?windows ?events_per_window ?batch_events ?encrypted () =
+  [
+    topk ?windows ?events_per_window ?batch_events ?encrypted ();
+    distinct ?windows ?events_per_window ?batch_events ?encrypted ();
+    join ?windows ?events_per_window ?batch_events ?encrypted ();
+    win_sum ?windows ?events_per_window ?batch_events ?encrypted ();
+    filter ?windows ?events_per_window ?batch_events ?encrypted ();
+    power ?windows ?events_per_window ?batch_events ?encrypted ();
+  ]
+
+let by_name name =
+  match String.lowercase_ascii name with
+  | "topk" -> Some topk
+  | "distinct" -> Some distinct
+  | "join" -> Some join
+  | "winsum" -> Some win_sum
+  | "filter" -> Some filter
+  | "power" -> Some power
+  | _ -> None
+
+let frames t = Datagen.frames t.spec

@@ -1,0 +1,29 @@
+(** The six benchmarks of the paper's evaluation (§9.2), each pairing a
+    pipeline with its workload generator and the paper's per-benchmark
+    output-delay target.
+
+    Dataset substitutions (see DESIGN.md §2): the DEBS'15 taxi trace is
+    modeled by 11k distinct ids under Zipf popularity; the Intel Lab
+    sensor trace by per-mote temperature random walks; the DEBS'14 power
+    trace by house x plug structured samples with per-plug baselines. *)
+
+type t = {
+  name : string;
+  pipeline : Sbt_core.Pipeline.t;
+  target_delay_ms : float;  (** Figure 7's per-benchmark delay target *)
+  spec : Datagen.spec;
+}
+
+val topk : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t
+val distinct : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t
+val join : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t
+val win_sum : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t
+val filter : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t
+val power : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t
+
+val all : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t list
+(** All six, in the paper's Figure 7 order. *)
+
+val by_name : string -> (?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t) option
+
+val frames : t -> Sbt_net.Frame.t list

@@ -1,0 +1,108 @@
+module Frame = Sbt_net.Frame
+module Rng = Sbt_crypto.Rng
+
+type spec = {
+  schema : Sbt_core.Event.schema;
+  windows : int;
+  events_per_window : int;
+  batch_events : int;
+  window_ticks : int;
+  window_span_ticks : int option;
+  streams : int;
+  encrypted : bool;
+  key : bytes;
+  seed : int64;
+  gen_record : Rng.t -> ts:int32 -> int32 array;
+}
+
+let default_key = Bytes.of_string "sbt-ingress-k16!"
+
+let uniform_record rng ~ts =
+  [| Int32.of_int (Rng.int_below rng 10_000); Rng.int32_any rng; ts |]
+
+let default_spec ?(windows = 4) ?(events_per_window = 100_000) ?(batch_events = 10_000) () =
+  {
+    schema = Sbt_core.Event.default;
+    windows;
+    events_per_window;
+    batch_events;
+    window_ticks = Sbt_core.Event.ticks_per_second;
+    window_span_ticks = None;
+    streams = 1;
+    encrypted = false;
+    key = default_key;
+    seed = 7L;
+    gen_record = uniform_record;
+  }
+
+let total_events spec = spec.windows * spec.events_per_window
+
+(* Stream state: one pending batch per stream, flushed when full or at
+   watermark boundaries. *)
+type stream_state = {
+  mutable buffer : int32 array list; (* reversed *)
+  mutable buffered : int;
+  mutable windows_touched : int list;
+  mutable seq : int;
+}
+
+let frames spec =
+  if spec.windows <= 0 || spec.events_per_window <= 0 then invalid_arg "Datagen.frames";
+  let rng = Rng.create ~seed:spec.seed in
+  let out = ref [] in
+  let states = Array.init spec.streams (fun _ -> { buffer = []; buffered = 0; windows_touched = []; seq = 0 }) in
+  let wm_seq = ref 0 in
+  let flush stream st =
+    if st.buffered > 0 then begin
+      let records = Array.of_list (List.rev st.buffer) in
+      let payload = Frame.pack_events ~width:spec.schema.Sbt_core.Event.width records in
+      let frame =
+        Frame.Events
+          {
+            seq = st.seq;
+            stream;
+            events = st.buffered;
+            windows = List.sort_uniq compare st.windows_touched;
+            payload;
+            encrypted = false;
+          }
+      in
+      let frame =
+        if spec.encrypted then
+          Frame.encrypt_payload ~key:spec.key ~stream_nonce:(Int64.of_int stream) frame
+        else frame
+      in
+      out := frame :: !out;
+      st.seq <- st.seq + 1;
+      st.buffer <- [];
+      st.buffered <- 0;
+      st.windows_touched <- []
+    end
+  in
+  for w = 0 to spec.windows - 1 do
+    let base_ts = w * spec.window_ticks in
+    for i = 0 to spec.events_per_window - 1 do
+      (* Event times advance uniformly within the window. *)
+      let ts =
+        Int32.of_int (base_ts + (i * spec.window_ticks / spec.events_per_window))
+      in
+      let stream = if spec.streams = 1 then 0 else i mod spec.streams in
+      let st = states.(stream) in
+      let record = spec.gen_record rng ~ts in
+      st.buffer <- record :: st.buffer;
+      st.buffered <- st.buffered + 1;
+      let size = Option.value ~default:spec.window_ticks spec.window_span_ticks in
+      let lo, hi =
+        Sbt_prim.Segment.windows_of ~ts:(Int32.to_int ts) ~size ~slide:spec.window_ticks
+      in
+      for wi = lo to hi do
+        if not (List.mem wi st.windows_touched) then st.windows_touched <- wi :: st.windows_touched
+      done;
+      if st.buffered >= spec.batch_events then flush stream st
+    done;
+    (* Window complete: flush partials, then the watermark. *)
+    Array.iteri flush states;
+    out := Frame.Watermark { seq = !wm_seq; value = (w + 1) * spec.window_ticks } :: !out;
+    incr wm_seq
+  done;
+  List.rev !out

@@ -1,0 +1,30 @@
+(** Frame-stream generation (the paper's Generator program).
+
+    Produces a source-ordered stream of event frames and watermarks:
+    event times increase monotonically; after all events of a window have
+    been emitted, a watermark carrying the window's end time follows; a
+    final watermark closes the last window.  Batches may span window
+    boundaries, exactly as in a real stream. *)
+
+type spec = {
+  schema : Sbt_core.Event.schema;
+  windows : int;  (** number of fixed windows to generate *)
+  events_per_window : int;
+  batch_events : int;
+  window_ticks : int;  (** ticks between watermarks = the window slide *)
+  window_span_ticks : int option;
+      (** window size when sliding (> window_ticks); [None] = fixed *)
+  streams : int;  (** interleaved source streams (2 for Join) *)
+  encrypted : bool;
+  key : bytes;  (** source-edge AES key used when [encrypted] *)
+  seed : int64;
+  gen_record : Sbt_crypto.Rng.t -> ts:int32 -> int32 array;
+      (** Fill one record given its event time; must return [schema.width]
+          fields with the timestamp at [schema.ts_field]. *)
+}
+
+val default_spec : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> unit -> spec
+(** Uniform 3-field events: keys in [0, 10k), values uniform 32-bit. *)
+
+val frames : spec -> Sbt_net.Frame.t list
+val total_events : spec -> int

@@ -1,0 +1,14 @@
+(** Zipf-distributed sampler over ranks [0, n).
+
+    Real telemetry keys are skewed (the taxi-id dataset most of all);
+    note that SBT's sort-merge GroupBy is insensitive to key skew
+    (paper §9.2), which the benchmarks can demonstrate by flipping
+    between uniform and Zipf keys. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** [s] is the exponent (1.0 ~ classic Zipf; 0.0 ~ uniform). *)
+
+val sample : t -> Sbt_crypto.Rng.t -> int
+(** Draw a rank in [0, n) by inverse-CDF binary search. *)

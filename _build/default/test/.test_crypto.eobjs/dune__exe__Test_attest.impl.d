@@ -1,0 +1,1 @@
+test/test_attest.ml: Alcotest Buffer Bytes Char Format Int64 List Printf QCheck QCheck_alcotest Sbt_attest Sbt_crypto Sbt_prim

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Bytes Char Hashtbl Int32 Int64 List Option Printf QCheck QCheck_alcotest Sbt_attest Sbt_baselines Sbt_net Sbt_workloads String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bytes Char Format Hashtbl Int32 Int64 List Option Printf QCheck QCheck_alcotest Sbt_attest Sbt_core Sbt_crypto Sbt_net Sbt_prim Sbt_umem Sbt_workloads String

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bytes Char Int64 List Printf QCheck QCheck_alcotest Sbt_crypto String

@@ -1,0 +1,1 @@
+test/test_dataplane_ops.ml: Alcotest Array Bytes Int32 List Sbt_attest Sbt_core Sbt_net Sbt_prim

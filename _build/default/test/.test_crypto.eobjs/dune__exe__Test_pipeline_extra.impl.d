@@ -1,0 +1,1 @@
+test/test_pipeline_extra.ml: Alcotest Array Bytes Format Hashtbl Int32 Int64 List Option Printf QCheck QCheck_alcotest Sbt_attest Sbt_core Sbt_crypto Sbt_net Sbt_prim Sbt_umem Sbt_workloads

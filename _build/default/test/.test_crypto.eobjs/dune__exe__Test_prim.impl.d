@@ -1,0 +1,1 @@
+test/test_prim.ml: Alcotest Array Hashtbl Int32 Int64 List Option QCheck QCheck_alcotest Sbt_crypto Sbt_prim Sbt_umem

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float List Option Printf QCheck QCheck_alcotest Sbt_sim

@@ -1,0 +1,1 @@
+test/test_tz.ml: Alcotest Sbt_tz

@@ -1,0 +1,1 @@
+test/test_udf_quote.ml: Alcotest Array Bytes Int32 List Sbt_attest Sbt_core Sbt_net Sbt_prim Sbt_workloads

@@ -1,0 +1,1 @@
+test/test_umem.ml: Alcotest Int32 Int64 List QCheck QCheck_alcotest Sbt_umem

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Hashtbl Int32 List Sbt_core Sbt_crypto Sbt_net Sbt_workloads

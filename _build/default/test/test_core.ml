@@ -1,0 +1,586 @@
+(* Tests for the engine core: opaque references, the data plane's request
+   surface and version behaviour, end-to-end pipeline runs checked against
+   plain reference computations, attestation over real runs (including
+   tampering), and the runner's scaling output. *)
+
+module D = Sbt_core.Dataplane
+module Opaque = Sbt_core.Opaque
+module Pipeline = Sbt_core.Pipeline
+module Control = Sbt_core.Control
+module Runner = Sbt_core.Runner
+module Event = Sbt_core.Event
+module P = Sbt_prim.Primitive
+module B = Sbt_workloads.Benchmarks
+module Frame = Sbt_net.Frame
+module V = Sbt_attest.Verifier
+
+let egress_key = Bytes.of_string "sbt-egress-key16"
+
+(* --- opaque references ------------------------------------------------------ *)
+
+let mk_ua () =
+  let pool = Sbt_umem.Page_pool.create ~budget_bytes:(1024 * 1024) in
+  Sbt_umem.Uarray.create ~id:0 ~pool ~width:1 ~capacity:4 ()
+
+let test_opaque_register_resolve () =
+  let t = Opaque.create ~rng:(Sbt_crypto.Rng.create ~seed:1L) in
+  let ua = mk_ua () in
+  let r = Opaque.register t ua in
+  Alcotest.(check bool) "resolves" true (Opaque.resolve t r == ua);
+  Alcotest.(check int) "one live" 1 (Opaque.live_count t);
+  Opaque.remove t r;
+  Alcotest.(check int) "zero live" 0 (Opaque.live_count t)
+
+let test_opaque_rejects_fabricated () =
+  let t = Opaque.create ~rng:(Sbt_crypto.Rng.create ~seed:1L) in
+  ignore (Opaque.register t (mk_ua ()));
+  (try
+     ignore (Opaque.resolve t 0xDEADBEEFL);
+     Alcotest.fail "fabricated reference accepted"
+   with Opaque.Invalid_reference 0xDEADBEEFL -> ());
+  (try
+     Opaque.remove t 42L;
+     Alcotest.fail "double free accepted"
+   with Opaque.Invalid_reference _ -> ())
+
+let prop_opaque_fabricated_never_resolves =
+  QCheck.Test.make ~name:"random refs never resolve" ~count:200 QCheck.int64 (fun guess ->
+      let t = Opaque.create ~rng:(Sbt_crypto.Rng.create ~seed:5L) in
+      let real = Opaque.register t (mk_ua ()) in
+      Int64.equal guess real
+      ||
+      try
+        ignore (Opaque.resolve t guess);
+        false
+      with Opaque.Invalid_reference _ -> true)
+
+(* --- dataplane units ---------------------------------------------------------- *)
+
+let mk_dp ?(version = D.Full) ?(secure_mb = 64) () =
+  D.create (D.default_config ~version ~secure_mb ())
+
+let payload_of rows = Frame.pack_events ~width:3 (Array.of_list (List.map Array.of_list rows))
+
+let ingest dp rows =
+  match
+    D.call dp (D.R_ingest_events { payload = payload_of rows; encrypted = false; stream = 0; seq = 0 })
+  with
+  | D.Rs_ingested { out; _ } -> out.D.ref_
+  | _ -> Alcotest.fail "unexpected ingest response"
+
+let test_dataplane_ingest_and_sort () =
+  let dp = mk_dp () in
+  let r = ingest dp [ [ 3l; 30l; 0l ]; [ 1l; 10l; 1l ]; [ 2l; 20l; 2l ] ] in
+  match
+    D.call dp
+      (D.R_invoke
+         {
+           op = P.Sort;
+           inputs = [ r ];
+           trigger = None;
+           params = [ D.P_key_field 0 ];
+           hints = [];
+           retire_inputs = true;
+         })
+  with
+  | D.Rs_outputs [ out ] -> (
+      Alcotest.(check int) "3 events" 3 out.D.events;
+      (* Egress it and check the order through the sealed result. *)
+      match D.call dp (D.R_egress { input = out.D.ref_; window = 0 }) with
+      | D.Rs_egress sealed ->
+          let rows = D.open_result ~egress_key sealed in
+          Alcotest.(check int32) "sorted first key" 1l rows.(0).(0);
+          Alcotest.(check int32) "sorted last key" 3l rows.(2).(0)
+      | _ -> Alcotest.fail "unexpected egress response")
+  | _ -> Alcotest.fail "unexpected invoke response"
+
+let test_dataplane_rejects_fabricated_ref () =
+  let dp = mk_dp () in
+  ignore (ingest dp [ [ 1l; 2l; 3l ] ]);
+  try
+    ignore
+      (D.call dp
+         (D.R_invoke
+            {
+              op = P.Count;
+              inputs = [ 0x1234L ];
+              trigger = None;
+              params = [];
+              hints = [];
+              retire_inputs = true;
+            }));
+    Alcotest.fail "fabricated opaque reference accepted"
+  with Opaque.Invalid_reference _ -> ()
+
+let test_dataplane_rejects_wrong_arity () =
+  let dp = mk_dp () in
+  let a = ingest dp [ [ 1l; 2l; 3l ] ] in
+  try
+    ignore
+      (D.call dp
+         (D.R_invoke
+            { op = P.Join; inputs = [ a ]; trigger = None; params = []; hints = []; retire_inputs = false }));
+    Alcotest.fail "join with one input accepted"
+  with D.Rejected _ -> ()
+
+let test_dataplane_retire_semantics () =
+  let dp = mk_dp () in
+  let a = ingest dp [ [ 1l; 2l; 3l ]; [ 4l; 5l; 6l ] ] in
+  (* Count with retire: the input ref dies. *)
+  (match
+     D.call dp
+       (D.R_invoke
+          { op = P.Count; inputs = [ a ]; trigger = None; params = []; hints = []; retire_inputs = true })
+   with
+  | D.Rs_outputs [ _ ] -> ()
+  | _ -> Alcotest.fail "unexpected response");
+  try
+    ignore
+      (D.call dp
+         (D.R_invoke
+            { op = P.Count; inputs = [ a ]; trigger = None; params = []; hints = []; retire_inputs = true }));
+    Alcotest.fail "stale reference accepted"
+  with Opaque.Invalid_reference _ -> ()
+
+let test_dataplane_encrypted_ingest () =
+  let dp = mk_dp () in
+  let rows = [ [ 7l; 70l; 0l ]; [ 8l; 80l; 1l ] ] in
+  let clear = payload_of rows in
+  let key = Bytes.of_string "sbt-ingress-k16!" in
+  let ctr = Sbt_crypto.Ctr.create ~key ~nonce:0L in
+  let cipher = Bytes.copy clear in
+  Sbt_crypto.Ctr.xcrypt ctr ~pos:(Int64.shift_left 3L 32) cipher 0 (Bytes.length cipher);
+  match D.call dp (D.R_ingest_events { payload = cipher; encrypted = true; stream = 0; seq = 3 }) with
+  | D.Rs_ingested { out; _ } -> (
+      match D.call dp (D.R_egress { input = out.D.ref_; window = 0 }) with
+      | D.Rs_egress sealed ->
+          let back = D.open_result ~egress_key sealed in
+          Alcotest.(check int32) "decrypted inside TEE" 70l back.(0).(1)
+      | _ -> Alcotest.fail "unexpected egress")
+  | _ -> Alcotest.fail "unexpected ingest"
+
+let test_dataplane_result_tamper_detected () =
+  let dp = mk_dp () in
+  let r = ingest dp [ [ 1l; 2l; 3l ] ] in
+  match D.call dp (D.R_egress { input = r; window = 0 }) with
+  | D.Rs_egress sealed ->
+      let bad = Bytes.copy sealed.D.cipher in
+      Bytes.set bad 0 (Char.chr (Char.code (Bytes.get bad 0) lxor 0xFF));
+      Alcotest.check_raises "MAC failure"
+        (Invalid_argument "Dataplane.open_result: MAC verification failed") (fun () ->
+          ignore (D.open_result ~egress_key { sealed with D.cipher = bad }))
+  | _ -> Alcotest.fail "unexpected egress"
+
+let test_dataplane_version_accounting () =
+  (* Full pays world switches; Insecure pays none; IOviaOS additionally
+     pays boundary copies. *)
+  let run version =
+    let dp = mk_dp ~version () in
+    ignore (ingest dp [ [ 1l; 2l; 3l ]; [ 4l; 5l; 6l ] ]);
+    D.stats dp
+  in
+  let full = run D.Full in
+  let insecure = run D.Insecure in
+  let via_os = run D.Io_via_os in
+  Alcotest.(check bool) "full switches > 0" true (full.D.switch_pairs > 0);
+  Alcotest.(check int) "insecure switches = 0" 0 insecure.D.switch_pairs;
+  Alcotest.(check (float 0.0)) "full pays no copy" 0.0 full.D.modeled_copy_ns;
+  Alcotest.(check bool) "via-os pays copy" true (via_os.D.modeled_copy_ns > 0.0)
+
+let test_dataplane_backpressure () =
+  (* A tiny pool: ingesting enough data crosses the threshold and stalls. *)
+  let cfg = { (D.default_config ~secure_mb:1 ()) with D.backpressure_threshold = 0.3 } in
+  let dp = D.create cfg in
+  let big_rows = List.init 30_000 (fun i -> [ Int32.of_int i; 1l; 0l ]) in
+  (match D.call dp (D.R_ingest_events { payload = payload_of big_rows; encrypted = false; stream = 0; seq = 0 }) with
+  | D.Rs_ingested { stalled_ns; _ } -> Alcotest.(check (float 0.0)) "first batch unstalled" 0.0 stalled_ns
+  | _ -> Alcotest.fail "unexpected");
+  match D.call dp (D.R_ingest_events { payload = payload_of big_rows; encrypted = false; stream = 0; seq = 1 }) with
+  | D.Rs_ingested { stalled_ns; _ } ->
+      Alcotest.(check bool) "second batch stalled" true (stalled_ns > 0.0);
+      Alcotest.(check int) "stall counted" 1 (D.stats dp).D.backpressure_stalls
+  | _ -> Alcotest.fail "unexpected"
+
+let test_dataplane_adaptive_backpressure () =
+  (* Adaptive flow control: the stall grows as the pool fills deeper past
+     the threshold. *)
+  let cfg =
+    { (D.default_config ~secure_mb:2 ()) with
+      D.backpressure_threshold = 0.1;
+      adaptive_backpressure = true;
+    }
+  in
+  let dp = D.create cfg in
+  let rows = List.init 20_000 (fun i -> [ Int32.of_int i; 1l; 0l ]) in
+  let stall seq =
+    match
+      D.call dp (D.R_ingest_events { payload = payload_of rows; encrypted = false; stream = 0; seq })
+    with
+    | D.Rs_ingested { stalled_ns; _ } -> stalled_ns
+    | _ -> Alcotest.fail "unexpected"
+  in
+  let s0 = stall 0 in
+  let s1 = stall 1 in
+  let s2 = stall 2 in
+  Alcotest.(check (float 0.0)) "first free" 0.0 s0;
+  Alcotest.(check bool) "second stalled" true (s1 > 0.0);
+  Alcotest.(check bool) (Printf.sprintf "deeper pressure, longer stall (%.0f > %.0f)" s2 s1) true
+    (s2 > s1)
+
+let test_dataplane_debug_entry () =
+  let dp = mk_dp () in
+  ignore (ingest dp [ [ 1l; 2l; 3l ] ]);
+  let s = D.debug_dump dp in
+  Alcotest.(check bool) "mentions refs" true (String.length s > 0)
+
+(* --- end-to-end pipelines vs reference computations ---------------------------- *)
+
+(* Decode every event from (cleartext) frames: the reference view. *)
+let events_of_frames ~width frames =
+  List.concat_map
+    (fun f ->
+      match f with
+      | Frame.Watermark _ -> []
+      | Frame.Events { payload; encrypted; _ } ->
+          if encrypted then Alcotest.fail "reference needs cleartext frames";
+          Array.to_list (Frame.unpack_events ~width payload))
+    frames
+
+let window_of ts = Int32.to_int ts / Event.ticks_per_second
+
+let run_pipeline ?(version = D.Full) (bench : B.t) =
+  let frames = B.frames bench in
+  let cfg =
+    {
+      Control.dp_config = D.default_config ~version ();
+      cores = 8;
+      hints_enabled = true;
+    }
+  in
+  (Control.run cfg bench.B.pipeline frames, frames)
+
+let result_rows (r : Control.run_result) w =
+  match List.assoc_opt w r.Control.results with
+  | Some sealed -> D.open_result ~egress_key sealed
+  | None -> Alcotest.failf "no result for window %d" w
+
+let test_winsum_matches_reference () =
+  let bench = B.win_sum ~windows:3 ~events_per_window:5_000 ~batch_events:1_000 () in
+  let r, frames = run_pipeline bench in
+  let events = events_of_frames ~width:3 frames in
+  for w = 0 to 2 do
+    let expected =
+      List.fold_left
+        (fun acc e -> if window_of e.(2) = w then Int64.add acc (Int64.of_int32 e.(1)) else acc)
+        0L events
+    in
+    let rows = result_rows r w in
+    let got =
+      Int64.logor
+        (Int64.logand (Int64.of_int32 rows.(0).(0)) 0xFFFFFFFFL)
+        (Int64.shift_left (Int64.of_int32 rows.(0).(1)) 32)
+    in
+    Alcotest.(check int64) (Printf.sprintf "window %d sum" w) expected got
+  done
+
+let test_distinct_matches_reference () =
+  let bench = B.distinct ~windows:2 ~events_per_window:5_000 ~batch_events:1_000 () in
+  let r, frames = run_pipeline bench in
+  let events = events_of_frames ~width:3 frames in
+  for w = 0 to 1 do
+    let keys = Hashtbl.create 64 in
+    List.iter (fun e -> if window_of e.(2) = w then Hashtbl.replace keys e.(0) ()) events;
+    let rows = result_rows r w in
+    Alcotest.(check int32) (Printf.sprintf "window %d distinct" w)
+      (Int32.of_int (Hashtbl.length keys))
+      rows.(0).(0)
+  done
+
+let test_filter_matches_reference () =
+  let bench = B.filter ~windows:2 ~events_per_window:5_000 ~batch_events:1_000 () in
+  let r, frames = run_pipeline bench in
+  let events = events_of_frames ~width:3 frames in
+  for w = 0 to 1 do
+    let expected =
+      List.filter (fun e -> window_of e.(2) = w && e.(1) >= 0l && e.(1) <= 42949672l) events
+    in
+    let rows = result_rows r w in
+    Alcotest.(check int) (Printf.sprintf "window %d kept" w) (List.length expected) (Array.length rows);
+    (* Selectivity should be roughly 1% of uniform 32-bit values. *)
+    let sel = float_of_int (List.length expected) /. 5000.0 in
+    Alcotest.(check bool) "about 1%" true (sel > 0.002 && sel < 0.03)
+  done
+
+let test_topk_matches_reference () =
+  let bench = B.topk ~windows:2 ~events_per_window:4_000 ~batch_events:1_000 () in
+  let r, frames = run_pipeline bench in
+  let events = events_of_frames ~width:3 frames in
+  for w = 0 to 1 do
+    let groups = Hashtbl.create 64 in
+    List.iter
+      (fun e ->
+        if window_of e.(2) = w then
+          Hashtbl.replace groups e.(0)
+            (Int32.to_int e.(1) :: Option.value ~default:[] (Hashtbl.find_opt groups e.(0))))
+      events;
+    let expected =
+      Hashtbl.fold
+        (fun k vs acc ->
+          let top = List.filteri (fun i _ -> i < 10) (List.sort (fun a b -> compare b a) vs) in
+          List.map (fun v -> (Int32.to_int k, v)) top @ acc)
+        groups []
+      |> List.sort compare
+    in
+    let rows = result_rows r w in
+    let got =
+      Array.to_list rows
+      |> List.map (fun row -> (Int32.to_int row.(0), Int32.to_int row.(1)))
+      |> List.sort compare
+    in
+    Alcotest.(check bool) (Printf.sprintf "window %d topk" w) true (expected = got)
+  done
+
+let test_join_matches_reference () =
+  let bench = B.join ~windows:2 ~events_per_window:2_000 ~batch_events:500 () in
+  let r, frames = run_pipeline bench in
+  (* Rebuild the two streams from frames. *)
+  let left = ref [] and right = ref [] in
+  List.iter
+    (fun f ->
+      match f with
+      | Frame.Events { stream; payload; _ } ->
+          let evs = Array.to_list (Frame.unpack_events ~width:3 payload) in
+          if stream = 0 then left := !left @ evs else right := !right @ evs
+      | Frame.Watermark _ -> ())
+    frames;
+  for w = 0 to 1 do
+    let in_w l = List.filter (fun e -> window_of e.(2) = w) l in
+    let lw = in_w !left and rw = in_w !right in
+    let expected_count =
+      List.fold_left
+        (fun acc le ->
+          acc + List.length (List.filter (fun re -> re.(0) = le.(0)) rw))
+        0 lw
+    in
+    let rows = result_rows r w in
+    Alcotest.(check int) (Printf.sprintf "window %d join size" w) expected_count (Array.length rows)
+  done
+
+let test_power_matches_reference () =
+  let bench = B.power ~windows:2 ~events_per_window:5_000 ~batch_events:1_000 () in
+  let r, frames = run_pipeline bench in
+  let events = events_of_frames ~width:4 frames in
+  for w = 0 to 1 do
+    (* Reference: avg per plug; global avg of plug-avgs; per-house count of
+       plugs strictly above; top-10 houses by count. *)
+    let per_plug = Hashtbl.create 64 in
+    List.iter
+      (fun e ->
+        if window_of e.(2) = w then
+          Hashtbl.replace per_plug e.(0)
+            (Int32.to_int e.(1) :: Option.value ~default:[] (Hashtbl.find_opt per_plug e.(0))))
+      events;
+    let plug_avgs =
+      Hashtbl.fold
+        (fun plug vs acc ->
+          let avg =
+            Int64.to_int
+              (Int64.div
+                 (Int64.of_int (List.fold_left ( + ) 0 vs))
+                 (Int64.of_int (List.length vs)))
+          in
+          (Int32.to_int plug, avg) :: acc)
+        per_plug []
+    in
+    let global =
+      Int64.to_int
+        (Int64.div
+           (Int64.of_int (List.fold_left (fun a (_, v) -> a + v) 0 plug_avgs))
+           (Int64.of_int (List.length plug_avgs)))
+    in
+    let per_house = Hashtbl.create 64 in
+    List.iter
+      (fun (plug, avg) ->
+        if avg > global then begin
+          let house = plug lsr 8 in
+          Hashtbl.replace per_house house (1 + Option.value ~default:0 (Hashtbl.find_opt per_house house))
+        end)
+      plug_avgs;
+    let expected_counts =
+      Hashtbl.fold (fun h c acc -> (h, c) :: acc) per_house [] |> List.sort compare
+    in
+    let rows = result_rows r w in
+    let got = Array.to_list rows |> List.map (fun r -> (Int32.to_int r.(0), Int32.to_int r.(1))) in
+    (* The engine returns the top-10 by count; every returned (house,count)
+       must match the reference counts, and the counts must be the 10
+       largest. *)
+    List.iter
+      (fun (h, c) ->
+        match List.assoc_opt h expected_counts with
+        | Some c' -> Alcotest.(check int) (Printf.sprintf "w%d house %d" w h) c' c
+        | None -> Alcotest.failf "w%d unexpected house %d" w h)
+      got;
+    let all_counts = List.map snd expected_counts |> List.sort (fun a b -> compare b a) in
+    let top_counts = List.filteri (fun i _ -> i < 10) all_counts in
+    let got_counts = List.map snd got |> List.sort (fun a b -> compare b a) in
+    Alcotest.(check (list int)) (Printf.sprintf "w%d top counts" w) top_counts got_counts
+  done
+
+let test_encrypted_source_same_results () =
+  let clear = B.win_sum ~windows:2 ~events_per_window:3_000 ~batch_events:1_000 () in
+  let enc = B.win_sum ~windows:2 ~events_per_window:3_000 ~batch_events:1_000 ~encrypted:true () in
+  let rc, _ = run_pipeline ~version:D.Clear_ingress clear in
+  let re, _ = run_pipeline ~version:D.Full enc in
+  for w = 0 to 1 do
+    Alcotest.(check bool) (Printf.sprintf "window %d equal" w) true
+      (result_rows rc w = result_rows re w)
+  done
+
+(* --- attestation over real runs -------------------------------------------------- *)
+
+let records_of_run (r : Control.run_result) =
+  List.concat_map (fun b -> Sbt_attest.Log.open_batch ~key:egress_key b) r.Control.audit
+
+let test_real_run_verifies () =
+  List.iter
+    (fun (bench : B.t) ->
+      let r, _ = run_pipeline bench in
+      let report = V.verify r.Control.verifier_spec (records_of_run r) in
+      if not (V.ok report) then
+        Alcotest.failf "%s: %s" bench.B.name (Format.asprintf "%a" V.pp_report report);
+      Alcotest.(check bool)
+        (bench.B.name ^ " verified windows")
+        true
+        (report.V.windows_verified > 0))
+    [
+      B.win_sum ~windows:2 ~events_per_window:2_000 ~batch_events:500 ();
+      B.topk ~windows:2 ~events_per_window:2_000 ~batch_events:500 ();
+      B.distinct ~windows:2 ~events_per_window:2_000 ~batch_events:500 ();
+      B.join ~windows:2 ~events_per_window:2_000 ~batch_events:500 ();
+      B.filter ~windows:2 ~events_per_window:2_000 ~batch_events:500 ();
+      B.power ~windows:2 ~events_per_window:2_000 ~batch_events:500 ();
+    ]
+
+let test_tampered_log_rejected () =
+  let bench = B.topk ~windows:2 ~events_per_window:2_000 ~batch_events:500 () in
+  let r, _ = run_pipeline bench in
+  let records = records_of_run r in
+  (* Drop one execution record: the verifier must notice the hole. *)
+  let dropped =
+    let seen = ref false in
+    List.filter
+      (function
+        | Sbt_attest.Record.Execution _ when not !seen ->
+            seen := true;
+            false
+        | _ -> true)
+      records
+  in
+  let report = V.verify r.Control.verifier_spec dropped in
+  Alcotest.(check bool) "dropped record detected" false (V.ok report)
+
+let test_misdeclared_pipeline_rejected () =
+  (* Verifier expects a different pipeline than the one executed. *)
+  let bench = B.distinct ~windows:2 ~events_per_window:2_000 ~batch_events:500 () in
+  let r, _ = run_pipeline bench in
+  let wrong_spec =
+    Pipeline.verifier_spec (Pipeline.group_topk ()) (* declared TopK, ran Distinct *)
+  in
+  let report = V.verify wrong_spec (records_of_run r) in
+  Alcotest.(check bool) "mismatch detected" false (V.ok report)
+
+(* --- runner ------------------------------------------------------------------------ *)
+
+let test_runner_scaling_and_verification () =
+  let bench = B.win_sum ~windows:3 ~events_per_window:10_000 ~batch_events:2_000 () in
+  let o =
+    Runner.run ~cores_list:[ 1; 2; 4; 8 ] ~target_delay_ms:bench.B.target_delay_ms bench.B.pipeline
+      (B.frames bench)
+  in
+  Alcotest.(check bool) "verified" true o.Runner.verified;
+  let rates = List.map (fun p -> p.Runner.events_per_sec) o.Runner.points in
+  List.iter (fun r -> Alcotest.(check bool) "positive" true (r > 0.0)) rates;
+  (match rates with
+  | [ c1; _; _; c8 ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "8c (%.0f) > 2x 1c (%.0f)" c8 c1)
+        true (c8 > 2.0 *. c1)
+  | _ -> Alcotest.fail "expected four points");
+  Alcotest.(check bool) "audit produced" true (o.Runner.audit_records > 0);
+  (* Per-egress flushes keep batches small here, so only require net
+     savings; the full-ratio claims are exercised in test_attest and the
+     Figure 12 bench at realistic volumes. *)
+  Alcotest.(check bool) "compression effective" true
+    (o.Runner.audit_compressed_bytes < o.Runner.audit_raw_bytes)
+
+let test_runner_insecure_faster_than_full () =
+  let mk () = B.filter ~windows:2 ~events_per_window:10_000 ~batch_events:2_000 () in
+  let bench = mk () in
+  let full =
+    Runner.run ~cores_list:[ 8 ] ~target_delay_ms:50.0 ~version:D.Clear_ingress bench.B.pipeline
+      (B.frames bench)
+  in
+  let bench = mk () in
+  let insecure =
+    Runner.run ~cores_list:[ 8 ] ~target_delay_ms:50.0 ~version:D.Insecure bench.B.pipeline
+      (B.frames bench)
+  in
+  let rate o = (List.hd o.Runner.points).Runner.events_per_sec in
+  Alcotest.(check bool)
+    (Printf.sprintf "insecure (%.0f) >= clear-ingress (%.0f)" (rate insecure) (rate full))
+    true
+    (rate insecure >= rate full *. 0.95)
+
+let test_no_leaked_refs_after_run () =
+  let bench = B.distinct ~windows:2 ~events_per_window:3_000 ~batch_events:1_000 () in
+  let r, _ = run_pipeline bench in
+  Alcotest.(check int) "all refs retired" 0 r.Control.live_refs_after
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "core"
+    [
+      ( "opaque",
+        [
+          Alcotest.test_case "register/resolve/remove" `Quick test_opaque_register_resolve;
+          Alcotest.test_case "rejects fabricated" `Quick test_opaque_rejects_fabricated;
+          q prop_opaque_fabricated_never_resolves;
+        ] );
+      ( "dataplane",
+        [
+          Alcotest.test_case "ingest and sort" `Quick test_dataplane_ingest_and_sort;
+          Alcotest.test_case "rejects fabricated ref" `Quick test_dataplane_rejects_fabricated_ref;
+          Alcotest.test_case "rejects wrong arity" `Quick test_dataplane_rejects_wrong_arity;
+          Alcotest.test_case "retire semantics" `Quick test_dataplane_retire_semantics;
+          Alcotest.test_case "encrypted ingest" `Quick test_dataplane_encrypted_ingest;
+          Alcotest.test_case "result tamper detected" `Quick test_dataplane_result_tamper_detected;
+          Alcotest.test_case "version accounting" `Quick test_dataplane_version_accounting;
+          Alcotest.test_case "backpressure" `Quick test_dataplane_backpressure;
+          Alcotest.test_case "adaptive backpressure" `Quick test_dataplane_adaptive_backpressure;
+          Alcotest.test_case "debug entry" `Quick test_dataplane_debug_entry;
+        ] );
+      ( "pipelines",
+        [
+          Alcotest.test_case "winsum reference" `Quick test_winsum_matches_reference;
+          Alcotest.test_case "distinct reference" `Quick test_distinct_matches_reference;
+          Alcotest.test_case "filter reference" `Quick test_filter_matches_reference;
+          Alcotest.test_case "topk reference" `Quick test_topk_matches_reference;
+          Alcotest.test_case "join reference" `Quick test_join_matches_reference;
+          Alcotest.test_case "power reference" `Quick test_power_matches_reference;
+          Alcotest.test_case "encrypted source same results" `Quick
+            test_encrypted_source_same_results;
+        ] );
+      ( "attestation-e2e",
+        [
+          Alcotest.test_case "all benchmarks verify" `Slow test_real_run_verifies;
+          Alcotest.test_case "tampered log rejected" `Quick test_tampered_log_rejected;
+          Alcotest.test_case "misdeclared pipeline rejected" `Quick
+            test_misdeclared_pipeline_rejected;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "scaling and verification" `Slow test_runner_scaling_and_verification;
+          Alcotest.test_case "insecure >= clear-ingress" `Slow test_runner_insecure_faster_than_full;
+          Alcotest.test_case "no leaked refs" `Quick test_no_leaked_refs_after_run;
+        ] );
+    ]

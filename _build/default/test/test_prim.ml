@@ -1,0 +1,380 @@
+(* Tests for the trusted primitives: every primitive is checked against a
+   straightforward list-based reference implementation, plus qcheck
+   properties for the sort/merge core. *)
+
+module U = Sbt_umem.Uarray
+module Pool = Sbt_umem.Page_pool
+module Sort = Sbt_prim.Sort
+module Merge = Sbt_prim.Merge
+module Segment = Sbt_prim.Segment
+module Agg = Sbt_prim.Agg
+module Keyed = Sbt_prim.Keyed
+module Join = Sbt_prim.Join
+module Filter = Sbt_prim.Filter
+module Misc = Sbt_prim.Misc
+module P = Sbt_prim.Primitive
+
+let pool () = Pool.create ~budget_bytes:(256 * 1024 * 1024)
+
+let ua_of_list p ~width rows =
+  let ua = U.create ~id:0 ~pool:p ~width ~capacity:(max 1 (List.length rows)) () in
+  List.iter (fun r -> U.append ua (Array.of_list (List.map Int32.of_int r))) rows;
+  U.produce ua;
+  ua
+
+let rows_of_ua ua =
+  List.map (fun r -> Array.to_list (Array.map Int32.to_int r)) (U.to_list ua)
+
+let fresh p ~width ~capacity = U.create ~id:99 ~pool:p ~width ~capacity ()
+
+let random_rows ?(lo = -1000) ?(hi = 1000) ~width ~n seed =
+  let rng = Sbt_crypto.Rng.create ~seed:(Int64.of_int seed) in
+  List.init n (fun _ -> List.init width (fun _ -> lo + Sbt_crypto.Rng.int_below rng (hi - lo)))
+
+(* --- Sort ---------------------------------------------------------------- *)
+
+let check_sorted_algo algo () =
+  let p = pool () in
+  let rows = random_rows ~width:3 ~n:5_000 1 in
+  let src = ua_of_list p ~width:3 rows in
+  let dst = fresh p ~width:3 ~capacity:5_000 in
+  Sort.sort algo ~src ~dst ~key_field:0;
+  Alcotest.(check bool) "sorted" true (Sort.is_sorted dst ~key_field:0);
+  (* Same multiset of records. *)
+  let norm l = List.sort compare l in
+  Alcotest.(check bool) "permutation" true (norm (rows_of_ua dst) = norm rows)
+
+let test_sort_negative_keys () =
+  (* Signed order: radix must bias the top digit. *)
+  let p = pool () in
+  let src = ua_of_list p ~width:1 [ [ 5 ]; [ -3 ]; [ 0 ]; [ -2000000000 ]; [ 2000000000 ] ] in
+  let dst = fresh p ~width:1 ~capacity:5 in
+  Sort.sort Sort.Radix ~src ~dst ~key_field:0;
+  Alcotest.(check (list (list int))) "signed ascending"
+    [ [ -2000000000 ]; [ -3 ]; [ 0 ]; [ 5 ]; [ 2000000000 ] ]
+    (rows_of_ua dst)
+
+let test_sort_stability_radix () =
+  (* Radix is stable: equal keys keep input order (checked via payload). *)
+  let p = pool () in
+  let rows = [ [ 1; 10 ]; [ 0; 20 ]; [ 1; 30 ]; [ 0; 40 ]; [ 1; 50 ] ] in
+  let src = ua_of_list p ~width:2 rows in
+  let dst = fresh p ~width:2 ~capacity:5 in
+  Sort.sort Sort.Radix ~src ~dst ~key_field:0;
+  Alcotest.(check (list (list int))) "stable"
+    [ [ 0; 20 ]; [ 0; 40 ]; [ 1; 10 ]; [ 1; 30 ]; [ 1; 50 ] ]
+    (rows_of_ua dst)
+
+let test_sort_in_place () =
+  let p = pool () in
+  let ua = fresh p ~width:2 ~capacity:100 in
+  let rows = random_rows ~width:2 ~n:100 3 in
+  List.iter (fun r -> U.append ua (Array.of_list (List.map Int32.of_int r))) rows;
+  Sort.sort_in_place Sort.Std ua ~key_field:1;
+  Alcotest.(check bool) "sorted by field 1" true (Sort.is_sorted ua ~key_field:1)
+
+let prop_sort_algorithms_agree =
+  QCheck.Test.make ~name:"three sorts agree" ~count:60
+    QCheck.(list_of_size (QCheck.Gen.int_bound 200) (QCheck.int_range (-10_000) 10_000))
+    (fun keys ->
+      let p = pool () in
+      let rows = List.map (fun k -> [ k ]) keys in
+      let src = ua_of_list p ~width:1 rows in
+      let out algo =
+        let dst = fresh p ~width:1 ~capacity:(List.length rows) in
+        Sort.sort algo ~src ~dst ~key_field:0;
+        rows_of_ua dst
+      in
+      let expected = List.map (fun k -> [ k ]) (List.sort compare keys) in
+      out Sort.Radix = expected && out Sort.Std = expected && out Sort.Qsort = expected)
+
+(* --- Merge --------------------------------------------------------------- *)
+
+let test_merge2 () =
+  let p = pool () in
+  let a = ua_of_list p ~width:2 [ [ 1; 0 ]; [ 3; 0 ]; [ 5; 0 ] ] in
+  let b = ua_of_list p ~width:2 [ [ 2; 1 ]; [ 3; 1 ]; [ 9; 1 ] ] in
+  let dst = fresh p ~width:2 ~capacity:6 in
+  Merge.merge2 ~a ~b ~dst ~key_field:0;
+  Alcotest.(check (list (list int))) "merged, ties a-first"
+    [ [ 1; 0 ]; [ 2; 1 ]; [ 3; 0 ]; [ 3; 1 ]; [ 5; 0 ]; [ 9; 1 ] ]
+    (rows_of_ua dst)
+
+let test_kway_merge () =
+  let p = pool () in
+  let inputs =
+    List.init 7 (fun i ->
+        let rows = List.sort compare (random_rows ~width:1 ~n:(50 + (i * 13)) (i + 10)) in
+        ua_of_list p ~width:1 rows)
+  in
+  let total = List.fold_left (fun acc ua -> acc + U.length ua) 0 inputs in
+  let dst = fresh p ~width:1 ~capacity:total in
+  Merge.kway ~inputs ~dst ~key_field:0;
+  Alcotest.(check int) "total" total (U.length dst);
+  Alcotest.(check bool) "sorted" true (Sort.is_sorted dst ~key_field:0)
+
+let test_kway_single_input () =
+  let p = pool () in
+  let only = ua_of_list p ~width:1 [ [ 1 ]; [ 2 ] ] in
+  let dst = fresh p ~width:1 ~capacity:2 in
+  Merge.kway ~inputs:[ only ] ~dst ~key_field:0;
+  Alcotest.(check int) "copied" 2 (U.length dst)
+
+(* --- Segment --------------------------------------------------------------- *)
+
+let test_segment_counts_and_routing () =
+  let p = pool () in
+  (* ts field 1, window 100 ticks: windows 0,0,1,2,2,2 *)
+  let src = ua_of_list p ~width:2 [ [ 1; 5 ]; [ 2; 99 ]; [ 3; 100 ]; [ 4; 200 ]; [ 5; 250 ]; [ 6; 299 ] ] in
+  let counts = Segment.count_per_window ~src ~ts_field:1 ~window_size:100 () in
+  Alcotest.(check (list (pair int int))) "counts" [ (0, 2); (1, 1); (2, 3) ] counts;
+  let dsts = Hashtbl.create 4 in
+  Segment.segment ~src ~ts_field:1 ~window_size:100
+    ~dst_for_window:(fun w ->
+      let d = fresh p ~width:2 ~capacity:3 in
+      Hashtbl.replace dsts w d;
+      d)
+    ();
+  Alcotest.(check int) "window 0" 2 (U.length (Hashtbl.find dsts 0));
+  Alcotest.(check int) "window 2" 3 (U.length (Hashtbl.find dsts 2));
+  Alcotest.(check int32) "routing keeps fields" 4l (U.get_field (Hashtbl.find dsts 2) 0 0)
+
+(* --- Aggregations ------------------------------------------------------------ *)
+
+let test_agg_whole_array () =
+  let p = pool () in
+  let src = ua_of_list p ~width:2 [ [ 1; 10 ]; [ 2; -5 ]; [ 3; 7 ] ] in
+  Alcotest.(check int64) "sum" 12L (Agg.sum src ~field:1);
+  Alcotest.(check int) "count" 3 (Agg.count src);
+  let s, n = Agg.sum_count src ~field:1 in
+  Alcotest.(check int64) "sumcnt sum" 12L s;
+  Alcotest.(check int) "sumcnt n" 3 n;
+  Alcotest.(check (float 0.001)) "avg" 4.0 (Agg.average src ~field:1);
+  (match Agg.min_max src ~field:1 with
+  | Some (lo, hi) ->
+      Alcotest.(check int32) "min" (-5l) lo;
+      Alcotest.(check int32) "max" 10l hi
+  | None -> Alcotest.fail "min_max");
+  (match Agg.median src ~field:1 with
+  | Some m -> Alcotest.(check int32) "median" 7l m
+  | None -> Alcotest.fail "median")
+
+let test_agg_empty () =
+  let p = pool () in
+  let src = ua_of_list p ~width:1 [] in
+  Alcotest.(check int64) "sum 0" 0L (Agg.sum src ~field:0);
+  Alcotest.(check (float 0.0)) "avg 0" 0.0 (Agg.average src ~field:0);
+  Alcotest.(check bool) "no minmax" true (Agg.min_max src ~field:0 = None);
+  Alcotest.(check bool) "no median" true (Agg.median src ~field:0 = None)
+
+let test_agg_sum_overflow_safe () =
+  let p = pool () in
+  let rows = List.init 10 (fun _ -> [ 2_000_000_000 ]) in
+  let src = ua_of_list p ~width:1 rows in
+  Alcotest.(check int64) "64-bit sum" 20_000_000_000L (Agg.sum src ~field:0)
+
+(* --- Keyed -------------------------------------------------------------------- *)
+
+let sorted_kv p rows = ua_of_list p ~width:2 (List.sort compare rows)
+
+let reference_groups rows =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      match r with
+      | [ k; v ] -> Hashtbl.replace tbl k (v :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+      | _ -> assert false)
+    rows;
+  List.sort compare (Hashtbl.fold (fun k vs acc -> (k, List.rev vs) :: acc) tbl [])
+
+let test_keyed_against_reference () =
+  let p = pool () in
+  let rows = random_rows ~lo:0 ~hi:20 ~width:2 ~n:500 42 in
+  let src = sorted_kv p rows in
+  let groups = reference_groups rows in
+  let expect f = List.map (fun (k, vs) -> [ k; f vs ]) groups in
+  let run op =
+    let dst = fresh p ~width:2 ~capacity:(List.length groups * 10) in
+    op ~src ~dst;
+    rows_of_ua dst
+  in
+  Alcotest.(check int) "group_count" (List.length groups) (Keyed.group_count ~src ~key_field:0);
+  Alcotest.(check (list (list int))) "sum_per_key"
+    (expect (fun vs -> List.fold_left ( + ) 0 vs))
+    (run (fun ~src ~dst -> Keyed.sum_per_key ~src ~dst ~key_field:0 ~value_field:1));
+  Alcotest.(check (list (list int))) "count_per_key"
+    (expect List.length)
+    (run (fun ~src ~dst -> Keyed.count_per_key ~src ~dst ~key_field:0));
+  Alcotest.(check (list (list int))) "avg_per_key"
+    (expect (fun vs ->
+         let s = List.fold_left ( + ) 0 vs in
+         Int64.to_int (Int64.div (Int64.of_int s) (Int64.of_int (List.length vs)))))
+    (run (fun ~src ~dst -> Keyed.avg_per_key ~src ~dst ~key_field:0 ~value_field:1));
+  Alcotest.(check (list (list int))) "median_per_key"
+    (expect (fun vs ->
+         let a = Array.of_list vs in
+         Array.sort compare a;
+         a.((Array.length a - 1) / 2)))
+    (run (fun ~src ~dst -> Keyed.median_per_key ~src ~dst ~key_field:0 ~value_field:1));
+  Alcotest.(check (list (list int))) "distinct_keys"
+    (List.map (fun (k, _) -> [ k; 1 ]) groups)
+    (run (fun ~src ~dst -> Keyed.distinct_keys ~src ~dst ~key_field:0))
+
+let test_topk_per_key () =
+  let p = pool () in
+  let rows = [ [ 1; 5 ]; [ 1; 9 ]; [ 1; 1 ]; [ 2; 4 ]; [ 2; 8 ]; [ 2; 6 ]; [ 2; 7 ] ] in
+  let src = sorted_kv p rows in
+  let dst = fresh p ~width:2 ~capacity:8 in
+  Keyed.topk_per_key ~src ~dst ~key_field:0 ~value_field:1 ~k:2;
+  Alcotest.(check (list (list int))) "top 2 per key, descending"
+    [ [ 1; 9 ]; [ 1; 5 ]; [ 2; 8 ]; [ 2; 7 ] ]
+    (rows_of_ua dst)
+
+(* --- Join ---------------------------------------------------------------------- *)
+
+let reference_join left right =
+  List.concat_map
+    (fun l ->
+      List.filter_map
+        (fun r ->
+          match (l, r) with
+          | [ kl; vl ], [ kr; vr ] when kl = kr -> Some [ kl; vl; vr ]
+          | _ -> None)
+        right)
+    left
+
+let test_join_against_reference () =
+  let p = pool () in
+  let lrows = random_rows ~lo:0 ~hi:15 ~width:2 ~n:60 7 in
+  let rrows = random_rows ~lo:0 ~hi:15 ~width:2 ~n:50 8 in
+  let left = sorted_kv p lrows and right = sorted_kv p rrows in
+  let expected = List.sort compare (reference_join lrows rrows) in
+  let n = Join.count_matches ~left ~right ~key_field:0 in
+  Alcotest.(check int) "count_matches" (List.length expected) n;
+  let dst = fresh p ~width:3 ~capacity:n in
+  Join.join ~left ~right ~dst ~key_field:0 ~value_field:1;
+  Alcotest.(check (list (list int))) "join rows" expected (List.sort compare (rows_of_ua dst))
+
+let test_join_disjoint () =
+  let p = pool () in
+  let left = sorted_kv p [ [ 1; 1 ]; [ 2; 2 ] ] in
+  let right = sorted_kv p [ [ 3; 3 ]; [ 4; 4 ] ] in
+  Alcotest.(check int) "no matches" 0 (Join.count_matches ~left ~right ~key_field:0)
+
+(* --- Filter / Select / Misc ------------------------------------------------------ *)
+
+let test_filter_band () =
+  let p = pool () in
+  let rows = random_rows ~width:2 ~n:300 9 in
+  let src = ua_of_list p ~width:2 rows in
+  let expected = List.filter (fun r -> List.nth r 1 >= -100 && List.nth r 1 <= 100) rows in
+  let n = Filter.count_in_band ~src ~field:1 ~lo:(-100l) ~hi:100l in
+  Alcotest.(check int) "count" (List.length expected) n;
+  let dst = fresh p ~width:2 ~capacity:n in
+  Filter.filter_band ~src ~dst ~field:1 ~lo:(-100l) ~hi:100l;
+  Alcotest.(check (list (list int))) "kept order" expected (rows_of_ua dst)
+
+let test_select_eq () =
+  let p = pool () in
+  let src = ua_of_list p ~width:2 [ [ 1; 7 ]; [ 2; 8 ]; [ 1; 9 ] ] in
+  let dst = fresh p ~width:2 ~capacity:2 in
+  Filter.select_eq ~src ~dst ~field:0 ~value:1l;
+  Alcotest.(check (list (list int))) "selected" [ [ 1; 7 ]; [ 1; 9 ] ] (rows_of_ua dst)
+
+let test_sample_stride () =
+  let p = pool () in
+  let src = ua_of_list p ~width:1 (List.init 10 (fun i -> [ i ])) in
+  let dst = fresh p ~width:1 ~capacity:4 in
+  Filter.sample_stride ~src ~dst ~stride:3;
+  Alcotest.(check (list (list int))) "every 3rd" [ [ 0 ]; [ 3 ]; [ 6 ]; [ 9 ] ] (rows_of_ua dst)
+
+let test_concat_and_project () =
+  let p = pool () in
+  let a = ua_of_list p ~width:3 [ [ 1; 2; 3 ] ] in
+  let b = ua_of_list p ~width:3 [ [ 4; 5; 6 ]; [ 7; 8; 9 ] ] in
+  let cat = fresh p ~width:3 ~capacity:3 in
+  Misc.concat ~inputs:[ a; b ] ~dst:cat;
+  Alcotest.(check (list (list int))) "concat" [ [ 1; 2; 3 ]; [ 4; 5; 6 ]; [ 7; 8; 9 ] ] (rows_of_ua cat);
+  U.produce cat;
+  let proj = fresh p ~width:2 ~capacity:3 in
+  Misc.project ~src:cat ~dst:proj ~fields:[| 2; 0 |];
+  Alcotest.(check (list (list int))) "project reorders" [ [ 3; 1 ]; [ 6; 4 ]; [ 9; 7 ] ] (rows_of_ua proj)
+
+let test_top_k_records () =
+  let p = pool () in
+  let src = ua_of_list p ~width:2 [ [ 1; 5 ]; [ 2; 9 ]; [ 3; 1 ]; [ 4; 7 ] ] in
+  let dst = fresh p ~width:2 ~capacity:2 in
+  Misc.top_k_records ~src ~dst ~field:1 ~k:2;
+  Alcotest.(check (list (list int))) "top 2 by value" [ [ 2; 9 ]; [ 4; 7 ] ] (rows_of_ua dst)
+
+let test_shift_key () =
+  let p = pool () in
+  let src = ua_of_list p ~width:2 [ [ 258; 7 ]; [ 515; 8 ] ] in
+  (* 258 = 1*256+2 -> house 1; 515 = 2*256+3 -> house 2 *)
+  let dst = fresh p ~width:2 ~capacity:2 in
+  Misc.shift_key ~src ~dst ~field:0 ~shift:8;
+  Alcotest.(check (list (list int))) "houses" [ [ 1; 7 ]; [ 2; 8 ] ] (rows_of_ua dst)
+
+(* --- registry --------------------------------------------------------------------- *)
+
+let test_registry () =
+  Alcotest.(check int) "exactly 23 primitives" 23 P.count;
+  List.iteri
+    (fun i prim ->
+      Alcotest.(check int) "stable id" i (P.to_id prim);
+      Alcotest.(check bool) "of_id roundtrip" true (P.of_id i = Some prim);
+      Alcotest.(check bool) "of_name roundtrip" true (P.of_name (P.name prim) = Some prim))
+    P.all;
+  Alcotest.(check bool) "of_id out of range" true (P.of_id 23 = None);
+  (* Pseudo-ids for audit records must not collide with primitive ids. *)
+  Alcotest.(check bool) "pseudo ids distinct" true
+    (P.ingress_id >= P.count && P.egress_id >= P.count && P.windowing_id >= P.count)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "prim"
+    [
+      ( "sort",
+        [
+          Alcotest.test_case "radix correct" `Quick (check_sorted_algo Sort.Radix);
+          Alcotest.test_case "std correct" `Quick (check_sorted_algo Sort.Std);
+          Alcotest.test_case "qsort correct" `Quick (check_sorted_algo Sort.Qsort);
+          Alcotest.test_case "negative keys" `Quick test_sort_negative_keys;
+          Alcotest.test_case "radix stability" `Quick test_sort_stability_radix;
+          Alcotest.test_case "in place" `Quick test_sort_in_place;
+          q prop_sort_algorithms_agree;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "merge2" `Quick test_merge2;
+          Alcotest.test_case "kway" `Quick test_kway_merge;
+          Alcotest.test_case "kway single" `Quick test_kway_single_input;
+        ] );
+      ("segment", [ Alcotest.test_case "counts and routing" `Quick test_segment_counts_and_routing ]);
+      ( "agg",
+        [
+          Alcotest.test_case "whole array" `Quick test_agg_whole_array;
+          Alcotest.test_case "empty" `Quick test_agg_empty;
+          Alcotest.test_case "64-bit sums" `Quick test_agg_sum_overflow_safe;
+        ] );
+      ( "keyed",
+        [
+          Alcotest.test_case "against reference" `Quick test_keyed_against_reference;
+          Alcotest.test_case "topk per key" `Quick test_topk_per_key;
+        ] );
+      ( "join",
+        [
+          Alcotest.test_case "against reference" `Quick test_join_against_reference;
+          Alcotest.test_case "disjoint keys" `Quick test_join_disjoint;
+        ] );
+      ( "filter-misc",
+        [
+          Alcotest.test_case "filter band" `Quick test_filter_band;
+          Alcotest.test_case "select eq" `Quick test_select_eq;
+          Alcotest.test_case "sample stride" `Quick test_sample_stride;
+          Alcotest.test_case "concat and project" `Quick test_concat_and_project;
+          Alcotest.test_case "top k records" `Quick test_top_k_records;
+          Alcotest.test_case "shift key" `Quick test_shift_key;
+        ] );
+      ("registry", [ Alcotest.test_case "ids names pseudo-ops" `Quick test_registry ]);
+    ]

@@ -1,0 +1,253 @@
+(* Tests for the discrete-event simulator: scheduling semantics, virtual
+   core scaling, dependency handling, trace replay, and the rate search. *)
+
+module Des = Sbt_sim.Des
+module Trace = Sbt_sim.Trace
+module Rate_search = Sbt_sim.Rate_search
+
+(* Fixed-cost work: host time ~0 (host_scale 0 in callers that need
+   exactness), modeled cost via the return value. *)
+let cost ns ~start_ns:_ = ns
+
+let des ?(cores = 1) () = Des.create ~host_scale:0.0 ~cores ()
+
+let test_single_task () =
+  let d = des () in
+  let t = Des.schedule d ~label:"t" ~work:(cost 100.0) () in
+  Des.run d;
+  Alcotest.(check (float 0.001)) "finish" 100.0 (Des.finish_ns t);
+  Alcotest.(check (float 0.001)) "makespan" 100.0 (Des.makespan_ns d);
+  Alcotest.(check int) "executed" 1 (Des.tasks_executed d)
+
+let test_chain_serializes () =
+  let d = des () in
+  let a = Des.schedule d ~label:"a" ~work:(cost 100.0) () in
+  let b = Des.schedule d ~deps:[ a ] ~label:"b" ~work:(cost 50.0) () in
+  Des.run d;
+  Alcotest.(check (float 0.001)) "b after a" 150.0 (Des.finish_ns b)
+
+let test_parallel_speedup () =
+  (* Eight 100ns tasks: 800ns on 1 core, 200ns on 4 cores. *)
+  let run cores =
+    let d = des ~cores () in
+    for _ = 1 to 8 do
+      ignore (Des.schedule d ~label:"w" ~work:(cost 100.0) ())
+    done;
+    Des.run d;
+    Des.makespan_ns d
+  in
+  Alcotest.(check (float 0.001)) "1 core" 800.0 (run 1);
+  Alcotest.(check (float 0.001)) "4 cores" 200.0 (run 4);
+  Alcotest.(check (float 0.001)) "8 cores" 100.0 (run 8)
+
+let test_not_before_pacing () =
+  let d = des ~cores:4 () in
+  let t = Des.schedule d ~not_before:500.0 ~label:"late" ~work:(cost 10.0) () in
+  Des.run d;
+  Alcotest.(check (float 0.001)) "waits for arrival" 510.0 (Des.finish_ns t)
+
+let test_dep_on_finished_task () =
+  let d = des () in
+  let a = Des.schedule d ~label:"a" ~work:(cost 100.0) () in
+  Des.run d;
+  (* Scheduling against an already-finished dependency must work (the
+     control plane does this constantly). *)
+  let b = Des.schedule d ~deps:[ a ] ~label:"b" ~work:(cost 10.0) () in
+  Des.run d;
+  Alcotest.(check (float 0.001)) "b starts at a's finish" 110.0 (Des.finish_ns b)
+
+let test_dynamic_scheduling_from_work () =
+  (* A task that schedules its successor while running — depending on the
+     still-executing task itself, as the control plane's windowing tasks
+     do. *)
+  let d = des () in
+  let parent_task = ref None in
+  let child = ref None in
+  let parent_work ~start_ns:_ =
+    let self = Option.get !parent_task in
+    child := Some (Des.schedule d ~deps:[ self ] ~label:"child" ~work:(cost 5.0) ());
+    10.0
+  in
+  parent_task := Some (Des.schedule d ~label:"parent" ~work:parent_work ());
+  Des.run d;
+  match !child with
+  | Some c -> Alcotest.(check (float 0.001)) "child after parent" 15.0 (Des.finish_ns c)
+  | None -> Alcotest.fail "expected a child"
+
+let test_unfinished_raises () =
+  let d = des () in
+  let t = Des.schedule d ~label:"t" ~work:(cost 1.0) () in
+  ignore (Des.schedule d ~deps:[ t ] ~label:"u" ~work:(cost 1.0) ());
+  Alcotest.check_raises "not finished" (Invalid_argument "Des.finish_ns: task not finished")
+    (fun () -> ignore (Des.finish_ns t))
+
+let test_utilization () =
+  let d = des ~cores:2 () in
+  ignore (Des.schedule d ~label:"a" ~work:(cost 100.0) ());
+  ignore (Des.schedule d ~label:"b" ~work:(cost 100.0) ());
+  Des.run d;
+  Alcotest.(check (float 0.001)) "full" 1.0 (Des.utilization d)
+
+(* --- trace replay ---------------------------------------------------------- *)
+
+(* A synthetic pipeline trace: W windows, B batches per window; each batch
+   has an ingest node (paced) and a compute node; a watermark marker and a
+   close/egress node per window. *)
+let synthetic_trace ~windows ~batches ~ingest_ns ~compute_ns ~close_ns =
+  let nodes = ref [] in
+  let idx = ref (-1) in
+  let add node = incr idx; nodes := node :: !nodes; !idx in
+  let events_per_batch = 1000 in
+  let cum = ref 0 in
+  for w = 0 to windows - 1 do
+    let stage_ids = ref [] in
+    for _ = 0 to batches - 1 do
+      cum := !cum + events_per_batch;
+      let ingest =
+        add { Trace.label = "ingest"; cost_ns = ingest_ns; deps = []; arrival_events = Some !cum; role = Trace.Plain }
+      in
+      let comp =
+        add { Trace.label = "compute"; cost_ns = compute_ns; deps = [ ingest ]; arrival_events = None; role = Trace.Plain }
+      in
+      stage_ids := comp :: !stage_ids
+    done;
+    let wm =
+      add { Trace.label = "wm"; cost_ns = 0.0; deps = []; arrival_events = Some !cum; role = Trace.Watermark_arrival w }
+    in
+    ignore
+      (add
+         {
+           Trace.label = "close";
+           cost_ns = close_ns;
+           deps = wm :: !stage_ids;
+           arrival_events = None;
+           role = Trace.Egress_of w;
+         })
+  done;
+  Trace.of_nodes (Array.of_list (List.rev !nodes))
+
+let test_replay_unpaced () =
+  let t = synthetic_trace ~windows:2 ~batches:2 ~ingest_ns:10.0 ~compute_ns:100.0 ~close_ns:50.0 in
+  let r = Trace.replay t ~cores:8 ~rate_eps:Float.infinity in
+  Alcotest.(check int) "two windows" 2 (List.length r.Trace.delays);
+  Alcotest.(check bool) "positive delay" true (r.Trace.max_delay_ns > 0.0)
+
+let test_replay_delay_monotone_in_rate () =
+  let t = synthetic_trace ~windows:4 ~batches:8 ~ingest_ns:1_000.0 ~compute_ns:100_000.0 ~close_ns:10_000.0 in
+  let delay rate = (Trace.replay t ~cores:2 ~rate_eps:rate).Trace.max_delay_ns in
+  (* Faster arrival can only increase backlog and hence delay. *)
+  let d_slow = delay 1.0e5 and d_mid = delay 1.0e7 and d_fast = delay 1.0e9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone %.0f <= %.0f <= %.0f" d_slow d_mid d_fast)
+    true
+    (d_slow <= d_mid +. 1.0 && d_mid <= d_fast +. 1.0)
+
+let test_replay_more_cores_less_delay () =
+  let t = synthetic_trace ~windows:4 ~batches:16 ~ingest_ns:1_000.0 ~compute_ns:200_000.0 ~close_ns:10_000.0 in
+  let delay cores = (Trace.replay t ~cores ~rate_eps:1.0e8).Trace.max_delay_ns in
+  Alcotest.(check bool) "8 cores beat 1" true (delay 8 < delay 1)
+
+let test_replay_deterministic () =
+  let t = synthetic_trace ~windows:3 ~batches:4 ~ingest_ns:500.0 ~compute_ns:5_000.0 ~close_ns:100.0 in
+  let a = Trace.replay t ~cores:4 ~rate_eps:1.0e6 in
+  let b = Trace.replay t ~cores:4 ~rate_eps:1.0e6 in
+  Alcotest.(check bool) "identical" true (a = b)
+
+let test_trace_validation () =
+  Alcotest.check_raises "forward dep" (Invalid_argument "Trace.of_nodes: deps must point backwards")
+    (fun () ->
+      ignore
+        (Trace.of_nodes
+           [|
+             { Trace.label = "a"; cost_ns = 1.0; deps = [ 1 ]; arrival_events = None; role = Trace.Plain };
+             { Trace.label = "b"; cost_ns = 1.0; deps = []; arrival_events = None; role = Trace.Plain };
+           |]))
+
+let test_trace_totals () =
+  let t = synthetic_trace ~windows:2 ~batches:2 ~ingest_ns:10.0 ~compute_ns:100.0 ~close_ns:50.0 in
+  Alcotest.(check int) "events" 4000 (Trace.total_events t);
+  Alcotest.(check (float 0.01)) "cost" ((4.0 *. 110.0) +. (2.0 *. 50.0)) (Trace.total_cost_ns t)
+
+(* Property: on random forests of paced, chained tasks the schedule obeys
+   the classic list-scheduling bounds: the makespan is at least the
+   critical path and at least total-work/cores, busy time is conserved,
+   and utilization never exceeds 1. *)
+let prop_des_schedule_invariants =
+  QCheck.Test.make ~name:"DES scheduling invariants" ~count:60
+    QCheck.(pair (int_range 1 8) (small_list (pair (int_range 1 5) (int_range 1 1000))))
+    (fun (cores, chains) ->
+      let d = des ~cores () in
+      let total = ref 0.0 and critical = ref 0.0 in
+      List.iter
+        (fun (len, base) ->
+          let prev = ref None in
+          let chain_cost = ref 0.0 in
+          for i = 0 to len - 1 do
+            let c = float_of_int (base + (i * 37)) in
+            total := !total +. c;
+            chain_cost := !chain_cost +. c;
+            let deps = match !prev with Some t -> [ t ] | None -> [] in
+            prev := Some (Des.schedule d ~deps ~label:"n" ~work:(cost c) ())
+          done;
+          if !chain_cost > !critical then critical := !chain_cost)
+        chains;
+      Des.run d;
+      let mk = Des.makespan_ns d in
+      let eps = 1e-6 in
+      (chains = [] && mk = 0.0)
+      || (mk +. eps >= !critical
+         && mk +. eps >= !total /. float_of_int cores
+         && Float.abs (Des.busy_ns d -. !total) < 1e-3
+         && Des.utilization d <= 1.0 +. eps))
+
+(* --- rate search -------------------------------------------------------------- *)
+
+let test_rate_search_finds_knee () =
+  (* Heavy compute: capacity ~= events/(cost/cores). *)
+  let t = synthetic_trace ~windows:6 ~batches:8 ~ingest_ns:10_000.0 ~compute_ns:1_000_000.0 ~close_ns:100_000.0 in
+  let r2 = Rate_search.max_rate ~trace:t ~cores:2 ~target_delay_ns:5.0e6 () in
+  let r8 = Rate_search.max_rate ~trace:t ~cores:8 ~target_delay_ns:5.0e6 () in
+  Alcotest.(check bool) "positive" true (r2.Rate_search.rate_eps > 0.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "more cores, more throughput (%.0f vs %.0f)" r2.Rate_search.rate_eps
+       r8.Rate_search.rate_eps)
+    true
+    (r8.Rate_search.rate_eps > r2.Rate_search.rate_eps *. 1.5);
+  Alcotest.(check bool) "delay within target" true (r2.Rate_search.delay_at_rate_ns <= 5.0e6)
+
+let test_rate_search_infeasible_target () =
+  (* The close task alone exceeds the delay target: rate 0. *)
+  let t = synthetic_trace ~windows:2 ~batches:1 ~ingest_ns:10.0 ~compute_ns:10.0 ~close_ns:1_000_000.0 in
+  let r = Rate_search.max_rate ~trace:t ~cores:8 ~target_delay_ns:1_000.0 () in
+  Alcotest.(check (float 0.0)) "rate 0" 0.0 r.Rate_search.rate_eps
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "des",
+        [
+          Alcotest.test_case "single task" `Quick test_single_task;
+          Alcotest.test_case "chain serializes" `Quick test_chain_serializes;
+          Alcotest.test_case "parallel speedup" `Quick test_parallel_speedup;
+          Alcotest.test_case "not_before pacing" `Quick test_not_before_pacing;
+          Alcotest.test_case "dep on finished task" `Quick test_dep_on_finished_task;
+          Alcotest.test_case "dynamic scheduling" `Quick test_dynamic_scheduling_from_work;
+          Alcotest.test_case "unfinished raises" `Quick test_unfinished_raises;
+          Alcotest.test_case "utilization" `Quick test_utilization;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "replay unpaced" `Quick test_replay_unpaced;
+          Alcotest.test_case "delay monotone in rate" `Quick test_replay_delay_monotone_in_rate;
+          Alcotest.test_case "more cores less delay" `Quick test_replay_more_cores_less_delay;
+          Alcotest.test_case "deterministic" `Quick test_replay_deterministic;
+          Alcotest.test_case "validation" `Quick test_trace_validation;
+          Alcotest.test_case "totals" `Quick test_trace_totals;
+        ] );
+      ( "properties", [ QCheck_alcotest.to_alcotest prop_des_schedule_invariants ] );
+      ( "rate-search",
+        [
+          Alcotest.test_case "finds the knee" `Quick test_rate_search_finds_knee;
+          Alcotest.test_case "infeasible target" `Quick test_rate_search_infeasible_target;
+        ] );
+    ]

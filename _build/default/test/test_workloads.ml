@@ -1,0 +1,207 @@
+(* Tests for the workload generators: the zipf sampler, the frame-stream
+   generator's structure (watermarks, batching, window manifests), and
+   the six benchmark definitions. *)
+
+module Zipf = Sbt_workloads.Zipf
+module Datagen = Sbt_workloads.Datagen
+module B = Sbt_workloads.Benchmarks
+module Frame = Sbt_net.Frame
+module Event = Sbt_core.Event
+module Rng = Sbt_crypto.Rng
+
+(* --- zipf ------------------------------------------------------------------ *)
+
+let test_zipf_bounds () =
+  let z = Zipf.create ~n:100 ~s:1.1 in
+  let rng = Rng.create ~seed:1L in
+  for _ = 1 to 10_000 do
+    let v = Zipf.sample z rng in
+    if v < 0 || v >= 100 then Alcotest.fail "zipf out of range"
+  done
+
+let test_zipf_skew () =
+  let z = Zipf.create ~n:1000 ~s:1.1 in
+  let rng = Rng.create ~seed:2L in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 50_000 do
+    let v = Zipf.sample z rng in
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* Rank 0 must dominate rank 500 heavily under s=1.1. *)
+  Alcotest.(check bool) "rank 0 dominant" true (counts.(0) > 20 * max 1 counts.(500))
+
+let test_zipf_uniform_limit () =
+  let z = Zipf.create ~n:10 ~s:0.0 in
+  let rng = Rng.create ~seed:3L in
+  let counts = Array.make 10 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    counts.(Zipf.sample z rng) <- counts.(Zipf.sample z rng) + 1
+  done;
+  Array.iter
+    (fun c -> if abs (c - (n / 10)) > n / 20 then Alcotest.failf "not uniform: %d" c)
+    counts
+
+(* --- datagen ----------------------------------------------------------------- *)
+
+let spec () = Datagen.default_spec ~windows:3 ~events_per_window:2_500 ~batch_events:1_000 ()
+
+let test_frame_structure () =
+  let s = spec () in
+  let frames = Datagen.frames s in
+  (* Per window: 2 full batches + 1 partial + the watermark. *)
+  let events_frames, watermarks =
+    List.partition (function Frame.Events _ -> true | Frame.Watermark _ -> false) frames
+  in
+  Alcotest.(check int) "three watermarks" 3 (List.length watermarks);
+  Alcotest.(check int) "nine event frames" 9 (List.length events_frames);
+  let total =
+    List.fold_left
+      (fun acc f -> match f with Frame.Events { events; _ } -> acc + events | _ -> acc)
+      0 frames
+  in
+  Alcotest.(check int) "total events" (Datagen.total_events s) total
+
+let test_watermark_ordering () =
+  (* Every event must precede the watermark that covers it. *)
+  let s = spec () in
+  let frames = Datagen.frames s in
+  let max_wm = ref 0 in
+  List.iter
+    (fun f ->
+      match f with
+      | Frame.Watermark { value; _ } ->
+          Alcotest.(check bool) "monotone" true (value > !max_wm);
+          max_wm := value
+      | Frame.Events { payload; _ } ->
+          Array.iter
+            (fun e ->
+              let ts = Int32.to_int e.(2) in
+              if ts < !max_wm then Alcotest.failf "event ts %d behind watermark %d" ts !max_wm)
+            (Frame.unpack_events ~width:3 payload))
+    frames
+
+let test_window_manifest_matches_payload () =
+  let s = spec () in
+  List.iter
+    (fun f ->
+      match f with
+      | Frame.Watermark _ -> ()
+      | Frame.Events { payload; windows; _ } ->
+          let actual = Hashtbl.create 4 in
+          Array.iter
+            (fun e -> Hashtbl.replace actual (Int32.to_int e.(2) / s.Datagen.window_ticks) ())
+            (Frame.unpack_events ~width:3 payload);
+          let actual = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) actual []) in
+          Alcotest.(check (list int)) "manifest" actual windows)
+    (Datagen.frames s)
+
+let test_determinism () =
+  let a = Datagen.frames (spec ()) in
+  let b = Datagen.frames (spec ()) in
+  Alcotest.(check bool) "same frames" true (a = b)
+
+let test_encrypted_stream () =
+  let s = { (spec ()) with Datagen.encrypted = true } in
+  let frames = Datagen.frames s in
+  List.iter
+    (fun f ->
+      match f with
+      | Frame.Events { encrypted; _ } -> Alcotest.(check bool) "flag set" true encrypted
+      | Frame.Watermark _ -> ())
+    frames;
+  (* Decrypting recovers the cleartext stream. *)
+  let clear = Datagen.frames (spec ()) in
+  let decrypted =
+    List.map (Frame.decrypt_payload ~key:s.Datagen.key ~stream_nonce:0L) frames
+  in
+  Alcotest.(check bool) "matches cleartext" true (decrypted = clear)
+
+let test_two_streams () =
+  let s = { (spec ()) with Datagen.streams = 2 } in
+  let frames = Datagen.frames s in
+  let streams =
+    List.filter_map (function Frame.Events { stream; _ } -> Some stream | _ -> None) frames
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "both streams present" [ 0; 1 ] streams
+
+(* --- benchmarks ----------------------------------------------------------------- *)
+
+let test_six_benchmarks () =
+  let all = B.all ~windows:1 ~events_per_window:100 ~batch_events:50 () in
+  Alcotest.(check int) "six" 6 (List.length all);
+  Alcotest.(check (list string)) "names"
+    [ "TopK"; "Distinct"; "Join"; "WinSum"; "Filter"; "Power" ]
+    (List.map (fun b -> b.B.name) all)
+
+let test_by_name () =
+  List.iter
+    (fun n -> Alcotest.(check bool) n true (B.by_name n <> None))
+    [ "topk"; "distinct"; "join"; "winsum"; "filter"; "power" ];
+  Alcotest.(check bool) "unknown" true (B.by_name "nope" = None)
+
+let test_taxi_distinct_cardinality () =
+  (* The taxi model must stay within its 11k-id universe. *)
+  let b = B.distinct ~windows:1 ~events_per_window:20_000 ~batch_events:5_000 () in
+  let ids = Hashtbl.create 1024 in
+  List.iter
+    (fun f ->
+      match f with
+      | Frame.Events { payload; _ } ->
+          Array.iter (fun e -> Hashtbl.replace ids e.(0) ()) (Frame.unpack_events ~width:3 payload)
+      | Frame.Watermark _ -> ())
+    (B.frames b);
+  Alcotest.(check bool) "<= 11000 ids" true (Hashtbl.length ids <= 11_000);
+  Alcotest.(check bool) "many ids" true (Hashtbl.length ids > 1_000)
+
+let test_power_schema () =
+  let b = B.power ~windows:1 ~events_per_window:5_000 ~batch_events:1_000 () in
+  Alcotest.(check int) "16-byte events" 4 b.B.pipeline.Sbt_core.Pipeline.schema.Event.width;
+  List.iter
+    (fun f ->
+      match f with
+      | Frame.Events { payload; _ } ->
+          Array.iter
+            (fun e ->
+              let plugkey = Int32.to_int e.(0) in
+              let house = Int32.to_int e.(3) in
+              Alcotest.(check int) "plugkey encodes house" house (plugkey lsr 8);
+              Alcotest.(check bool) "plug < 20" true (plugkey land 0xFF < 20);
+              Alcotest.(check bool) "house < 40" true (house < 40))
+            (Frame.unpack_events ~width:4 payload)
+      | Frame.Watermark _ -> ())
+    (B.frames b)
+
+let test_join_two_streams () =
+  let b = B.join ~windows:1 ~events_per_window:1_000 ~batch_events:200 () in
+  Alcotest.(check int) "pipeline declares 2 streams" 2 b.B.pipeline.Sbt_core.Pipeline.streams;
+  Alcotest.(check int) "spec generates 2 streams" 2 b.B.spec.Datagen.streams
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "bounds" `Quick test_zipf_bounds;
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "uniform limit" `Quick test_zipf_uniform_limit;
+        ] );
+      ( "datagen",
+        [
+          Alcotest.test_case "frame structure" `Quick test_frame_structure;
+          Alcotest.test_case "watermark ordering" `Quick test_watermark_ordering;
+          Alcotest.test_case "window manifest" `Quick test_window_manifest_matches_payload;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "encrypted stream" `Quick test_encrypted_stream;
+          Alcotest.test_case "two streams" `Quick test_two_streams;
+        ] );
+      ( "benchmarks",
+        [
+          Alcotest.test_case "six benchmarks" `Quick test_six_benchmarks;
+          Alcotest.test_case "by_name" `Quick test_by_name;
+          Alcotest.test_case "taxi cardinality" `Quick test_taxi_distinct_cardinality;
+          Alcotest.test_case "power schema" `Quick test_power_schema;
+          Alcotest.test_case "join streams" `Quick test_join_two_streams;
+        ] );
+    ]
