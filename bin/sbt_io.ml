@@ -8,7 +8,7 @@ module Frame = Sbt_net.Frame
 module Log = Sbt_attest.Log
 module V = Sbt_attest.Verifier
 
-let frames_magic = "SBTD1"
+let frames_magic = "SBTD2"
 let audit_magic = "SBTA1"
 
 let write_u32 buf v =
@@ -46,7 +46,7 @@ let write_frames path frames =
           Buffer.add_char buf '\001';
           write_u32 buf seq;
           write_u32 buf value
-      | Frame.Events { seq; stream; events; windows; payload; encrypted } ->
+      | Frame.Events { seq; stream; events; windows; payload; encrypted; mac } ->
           Buffer.add_char buf '\000';
           write_u32 buf seq;
           write_u32 buf stream;
@@ -54,7 +54,8 @@ let write_frames path frames =
           write_u32 buf (List.length windows);
           List.iter (write_u32 buf) windows;
           Buffer.add_char buf (if encrypted then '\001' else '\000');
-          write_bytes_block buf payload)
+          write_bytes_block buf payload;
+          write_bytes_block buf mac)
     frames;
   let oc = open_out_bin path in
   Buffer.output_buffer oc buf;
@@ -82,7 +83,8 @@ let read_frames path =
               let windows = List.init nw (fun _ -> read_u32 ic) in
               let encrypted = input_byte ic = 1 in
               let payload = read_bytes_block ic in
-              Frame.Events { seq; stream; events; windows; payload; encrypted }
+              let mac = read_bytes_block ic in
+              Frame.Events { seq; stream; events; windows; payload; encrypted; mac }
           | k -> invalid_arg (Printf.sprintf "sbt_io: bad frame kind %d" k)))
 
 (* --- audit logs ------------------------------------------------------------ *)

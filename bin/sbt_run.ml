@@ -4,6 +4,8 @@
 module B = Sbt_workloads.Benchmarks
 module Runner = Sbt_core.Runner
 module D = Sbt_core.Dataplane
+module Fault = Sbt_fault.Fault
+module Lossy = Sbt_net.Lossy
 
 let version_of_string = function
   | "full" -> Ok D.Full
@@ -46,6 +48,65 @@ let run name version windows events_per_window batch cores_list target_ms hints 
       end;
       if not outcome.Runner.verified then exit 2
 
+(* --- resilience scenario ---------------------------------------------------
+
+   Sweep fault rates over one benchmark: authenticated frames cross a lossy
+   link, the data plane sheds and retries under injected SMC/pool faults,
+   and the cloud verifier replays the (possibly uplink-truncated) audit log.
+   Reports goodput and whether loss surfaced as declared degradation
+   (verified) or as violations (tamper evidence). *)
+let resilience name version windows events_per_window batch fault_rates fault_seed =
+  match B.by_name name with
+  | None ->
+      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|filter|power)\n" name;
+      exit 1
+  | Some mk ->
+      let encrypted = match version with D.Full | D.Io_via_os -> true | _ -> false in
+      let bench = mk ~windows ~events_per_window ~batch_events:batch ~encrypted () in
+      let spec = { bench.B.spec with Sbt_workloads.Datagen.authenticated = true } in
+      let total_events = Sbt_workloads.Datagen.total_events spec in
+      let clean_frames = Sbt_workloads.Datagen.frames spec in
+      Printf.printf "resilience: %s / %s, %d events, seed %Ld\n" bench.B.name
+        (D.version_name version) total_events fault_seed;
+      Printf.printf "%-6s %-28s %-9s %-5s %-7s %-7s %-10s %s\n" "rate" "link(del/drop/corr)" "goodput"
+        "gaps" "shed" "busy" "verified" "uplink-drop";
+      List.iter
+        (fun rate ->
+          let plan = Fault.uniform ~seed:fault_seed ~rate () in
+          let frames, link = Lossy.apply plan clean_frames in
+          let outcome = Runner.run ~version ~fault_plan:plan bench.B.pipeline frames in
+          (* Events that survived the link AND were ingested, over events the
+             source generated: frames the link ate never reach the control
+             plane, so they are missing from [total_events] already. *)
+          let goodput =
+            float_of_int (outcome.Runner.total_events - outcome.Runner.events_dropped)
+            /. float_of_int (max 1 total_events)
+          in
+          (* The uplink leg: drop whole signed batches and replay what is
+             left - the verifier must notice the hole. *)
+          let kept =
+            List.filter
+              (fun (b : Sbt_attest.Log.batch) -> not (Fault.uplink_drops plan ~seq:b.Sbt_attest.Log.seq))
+              outcome.Runner.audit
+          in
+          let egress_key = (D.default_config ~version ()).D.egress_key in
+          let uplink_verdict =
+            if List.length kept = List.length outcome.Runner.audit then "none"
+            else
+              let records =
+                List.concat_map (fun b -> Sbt_attest.Log.open_batch ~key:egress_key b) kept
+              in
+              let r = Sbt_attest.Verifier.verify outcome.Runner.spec records in
+              Printf.sprintf "%d batches lost -> %d violations"
+                (List.length outcome.Runner.audit - List.length kept)
+                (List.length r.Sbt_attest.Verifier.violations)
+          in
+          Printf.printf "%-6.2f %-28s %-9.3f %-5d %-7d %-7d %-10b %s\n" rate
+            (Printf.sprintf "%d/%d/%d" link.Lossy.delivered link.Lossy.dropped link.Lossy.corrupted)
+            goodput outcome.Runner.gaps_declared outcome.Runner.dp_stats.D.sheds
+            outcome.Runner.dp_stats.D.smc_busy_rejections outcome.Runner.verified uplink_verdict)
+        fault_rates
+
 open Cmdliner
 
 let name_arg =
@@ -84,12 +145,27 @@ let frames_arg =
 let audit_arg =
   Arg.(value & opt (some string) None & info [ "audit-out" ] ~doc:"Write the signed audit log to a file for sbt_verify")
 
+let resilience_arg =
+  Arg.(value & flag & info [ "resilience" ] ~doc:"Fault-rate sweep: lossy link, transient SMC refusals, pool pressure and uplink loss, reporting goodput and verification per rate")
+
+let fault_rates_arg =
+  Arg.(value & opt (list float) [ 0.0; 0.01; 0.05; 0.1; 0.2 ] & info [ "fault-rates" ] ~doc:"Fault rates to sweep with --resilience")
+
+let fault_seed_arg =
+  Arg.(value & opt int64 42L & info [ "fault-seed" ] ~doc:"Seed of the deterministic fault plan (same seed, same faults)")
+
+let dispatch name version windows epw batch cores_list target_ms hints verbose frames_in audit_out
+    resil fault_rates fault_seed =
+  if resil then resilience name version windows epw batch fault_rates fault_seed
+  else run name version windows epw batch cores_list target_ms hints verbose frames_in audit_out
+
 let cmd =
   let doc = "Run a StreamBox-TZ benchmark pipeline" in
   Cmd.v
     (Cmd.info "sbt_run" ~doc)
     Term.(
-      const run $ name_arg $ version_arg $ windows_arg $ epw_arg $ batch_arg $ cores_arg
-      $ target_arg $ hints_arg $ verbose_arg $ frames_arg $ audit_arg)
+      const dispatch $ name_arg $ version_arg $ windows_arg $ epw_arg $ batch_arg $ cores_arg
+      $ target_arg $ hints_arg $ verbose_arg $ frames_arg $ audit_arg $ resilience_arg
+      $ fault_rates_arg $ fault_seed_arg)
 
 let () = exit (Cmd.eval cmd)

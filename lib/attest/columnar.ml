@@ -10,8 +10,10 @@ type columns = {
   new_ids : Buffer.t; (* ids at creation (near-monotonic) - delta varint *)
   used_ids : Buffer.t; (* ids at consumption - delta varint, own cursor *)
   win_nos : Buffer.t; (* delta varint *)
-  values : Buffer.t; (* delta varint (watermark values) *)
+  values : Buffer.t; (* delta varint (watermark values, gap event counts) *)
   hints : Buffer.t; (* (pred, succ) id pairs, delta varints *)
+  streams : Buffer.t; (* ingress/gap stream ids - delta varint *)
+  seqs : Buffer.t; (* ingress/gap frame seqs (near-monotonic) - delta varint *)
 }
 
 let split records =
@@ -26,6 +28,8 @@ let split records =
       win_nos = Buffer.create 64;
       values = Buffer.create 64;
       hints = Buffer.create 64;
+      streams = Buffer.create 64;
+      seqs = Buffer.create 64;
     }
   in
   let prev_ts = ref 0 and prev_id = ref 0 and prev_win = ref 0 and prev_val = ref 0 in
@@ -61,13 +65,24 @@ let split records =
     Varint.write_signed c.values (Int64.of_int (v - !prev_val));
     prev_val := v
   in
+  let prev_stream = ref 0 and prev_seq = ref 0 in
+  let put_stream v =
+    Varint.write_signed c.streams (Int64.of_int (v - !prev_stream));
+    prev_stream := v
+  in
+  let put_seq v =
+    Varint.write_signed c.seqs (Int64.of_int (v - !prev_seq));
+    prev_seq := v
+  in
   List.iter
     (fun r ->
       match r with
-      | Record.Ingress { ts; uarray } ->
+      | Record.Ingress { ts; uarray; stream; seq } ->
           Buffer.add_char c.tags '\000';
           put_ts ts;
-          put_new_id uarray
+          put_new_id uarray;
+          put_stream stream;
+          put_seq seq
       | Record.Ingress_watermark { ts; id; value } ->
           Buffer.add_char c.tags '\001';
           put_ts ts;
@@ -93,7 +108,16 @@ let split records =
           Buffer.add_char c.tags '\004';
           put_ts ts;
           put_used_id uarray;
-          put_win win_no)
+          put_win win_no
+      | Record.Gap { ts; stream; seq; events; windows; reason } ->
+          Buffer.add_char c.tags '\005';
+          put_ts ts;
+          put_stream stream;
+          put_seq seq;
+          put_val events;
+          Buffer.add_char c.counts (Char.unsafe_chr (Record.gap_reason_tag reason land 0xFF));
+          Buffer.add_char c.counts (Char.unsafe_chr (List.length windows land 0xFF));
+          List.iter put_win windows)
     records;
   c
 
@@ -117,6 +141,8 @@ let compress records =
   add_block (Huffman.encode (Buffer.to_bytes c.win_nos));
   add_block (Huffman.encode (Buffer.to_bytes c.values));
   add_block (Huffman.encode (Buffer.to_bytes c.hints));
+  add_block (Huffman.encode (Buffer.to_bytes c.streams));
+  add_block (Huffman.encode (Buffer.to_bytes c.seqs));
   Buffer.to_bytes out
 
 let decompress data =
@@ -138,11 +164,14 @@ let decompress data =
   let wins_col = Huffman.decode (block ()) in
   let vals_col = Huffman.decode (block ()) in
   let hints_col = Huffman.decode (block ()) in
+  let streams_col = Huffman.decode (block ()) in
+  let seqs_col = Huffman.decode (block ()) in
   let ts_pos = ref 0 and new_id_pos = ref 0 and used_id_pos = ref 0 in
   let win_pos = ref 0 and val_pos = ref 0 in
   let hint_pos = ref 0 and op_pos = ref 0 and cnt_pos = ref 0 in
+  let stream_pos = ref 0 and seq_pos = ref 0 in
   let prev_ts = ref 0 and prev_id = ref 0 and prev_win = ref 0 and prev_val = ref 0 in
-  let prev_hint = ref 0 in
+  let prev_hint = ref 0 and prev_stream = ref 0 and prev_seq = ref 0 in
   let get_hint () =
     prev_hint := !prev_hint + Int64.to_int (Varint.read_signed hints_col hint_pos);
     let pred = !prev_hint in
@@ -171,6 +200,14 @@ let decompress data =
     prev_val := !prev_val + Int64.to_int (Varint.read_signed vals_col val_pos);
     !prev_val
   in
+  let get_stream () =
+    prev_stream := !prev_stream + Int64.to_int (Varint.read_signed streams_col stream_pos);
+    !prev_stream
+  in
+  let get_seq () =
+    prev_seq := !prev_seq + Int64.to_int (Varint.read_signed seqs_col seq_pos);
+    !prev_seq
+  in
   let get_byte buf pos =
     let c = Char.code (Bytes.get buf !pos) in
     incr pos;
@@ -181,7 +218,9 @@ let decompress data =
       | 0 ->
           let ts = get_ts () in
           let uarray = get_new_id () in
-          Record.Ingress { ts; uarray }
+          let stream = get_stream () in
+          let seq = get_seq () in
+          Record.Ingress { ts; uarray; stream; seq }
       | 1 ->
           let ts = get_ts () in
           let id = get_new_id () in
@@ -208,6 +247,15 @@ let decompress data =
           let uarray = get_used_id () in
           let win_no = get_win () in
           Record.Egress { ts; uarray; win_no }
+      | 5 ->
+          let ts = get_ts () in
+          let stream = get_stream () in
+          let seq = get_seq () in
+          let events = get_val () in
+          let reason = Record.gap_reason_of_tag (get_byte counts cnt_pos) in
+          let n_w = get_byte counts cnt_pos in
+          let windows = List.init n_w (fun _ -> get_win ()) in
+          Record.Gap { ts; stream; seq; events; windows; reason }
       | t -> invalid_arg (Printf.sprintf "Columnar.decompress: bad tag %d" t))
 
 let raw_size records = Bytes.length (Record.encode_all records)

@@ -1,12 +1,35 @@
+type gap_reason = Link_loss | Corrupt_ingress | Smc_unavailable | Pool_pressure
+
+let gap_reason_tag = function
+  | Link_loss -> 0
+  | Corrupt_ingress -> 1
+  | Smc_unavailable -> 2
+  | Pool_pressure -> 3
+
+let gap_reason_of_tag = function
+  | 0 -> Link_loss
+  | 1 -> Corrupt_ingress
+  | 2 -> Smc_unavailable
+  | 3 -> Pool_pressure
+  | t -> invalid_arg (Printf.sprintf "Record.gap_reason_of_tag: %d" t)
+
+let gap_reason_name = function
+  | Link_loss -> "link-loss"
+  | Corrupt_ingress -> "corrupt-ingress"
+  | Smc_unavailable -> "smc-unavailable"
+  | Pool_pressure -> "pool-pressure"
+
 type t =
-  | Ingress of { ts : int; uarray : int }
+  | Ingress of { ts : int; uarray : int; stream : int; seq : int }
   | Ingress_watermark of { ts : int; id : int; value : int }
   | Windowing of { ts : int; data_in : int; win_no : int; data_out : int }
   | Execution of { ts : int; op : int; inputs : int list; outputs : int list; hints : int64 list }
   | Egress of { ts : int; uarray : int; win_no : int }
+  | Gap of { ts : int; stream : int; seq : int; events : int; windows : int list; reason : gap_reason }
 
 let pp fmt = function
-  | Ingress { ts; uarray } -> Format.fprintf fmt "ts=%d INGRESS data=%d" ts uarray
+  | Ingress { ts; uarray; stream; seq } ->
+      Format.fprintf fmt "ts=%d INGRESS data=%d stream=%d seq=%d" ts uarray stream seq
   | Ingress_watermark { ts; id; value } ->
       Format.fprintf fmt "ts=%d INGRESS data=%d (watermark=%d)" ts id value
   | Windowing { ts; data_in; win_no; data_out } ->
@@ -17,6 +40,11 @@ let pp fmt = function
         (ints outputs) (List.length hints)
   | Egress { ts; uarray; win_no } ->
       Format.fprintf fmt "ts=%d EGRESS data=%d win_no=%d" ts uarray win_no
+  | Gap { ts; stream; seq; events; windows; reason } ->
+      Format.fprintf fmt "ts=%d GAP stream=%d seq=%d events=%d windows=%s reason=%s" ts stream
+        seq events
+        (String.concat "," (List.map string_of_int windows))
+        (gap_reason_name reason)
 
 let tag = function
   | Ingress _ -> 0
@@ -24,10 +52,11 @@ let tag = function
   | Windowing _ -> 2
   | Execution _ -> 3
   | Egress _ -> 4
+  | Gap _ -> 5
 
 let ts_of = function
   | Ingress { ts; _ } | Ingress_watermark { ts; _ } | Windowing { ts; _ }
-  | Execution { ts; _ } | Egress { ts; _ } ->
+  | Execution { ts; _ } | Egress { ts; _ } | Gap { ts; _ } ->
       ts
 
 let encode_row buf r =
@@ -42,9 +71,11 @@ let encode_row buf r =
     Buffer.add_char buf (Char.unsafe_chr ((v lsr 8) land 0xFF))
   in
   match r with
-  | Ingress { ts; uarray } ->
+  | Ingress { ts; uarray; stream; seq } ->
       u32 ts;
-      u32 uarray
+      u32 uarray;
+      u16 stream;
+      u32 seq
   | Ingress_watermark { ts; id; value } ->
       u32 ts;
       u32 id;
@@ -71,6 +102,14 @@ let encode_row buf r =
       u32 ts;
       u32 uarray;
       u16 win_no
+  | Gap { ts; stream; seq; events; windows; reason } ->
+      u32 ts;
+      u16 stream;
+      u32 seq;
+      u32 events;
+      u16 (gap_reason_tag reason);
+      u16 (List.length windows);
+      List.iter u32 windows
 
 let decode_row data pos =
   let byte () =
@@ -91,7 +130,9 @@ let decode_row data pos =
   | 0 ->
       let ts = u32 () in
       let uarray = u32 () in
-      Ingress { ts; uarray }
+      let stream = u16 () in
+      let seq = u32 () in
+      Ingress { ts; uarray; stream; seq }
   | 1 ->
       let ts = u32 () in
       let id = u32 () in
@@ -123,6 +164,15 @@ let decode_row data pos =
       let uarray = u32 () in
       let win_no = u16 () in
       Egress { ts; uarray; win_no }
+  | 5 ->
+      let ts = u32 () in
+      let stream = u16 () in
+      let seq = u32 () in
+      let events = u32 () in
+      let reason = gap_reason_of_tag (u16 ()) in
+      let n = u16 () in
+      let windows = List.init n (fun _ -> u32 ()) in
+      Gap { ts; stream; seq; events; windows; reason }
   | t -> invalid_arg (Printf.sprintf "Record.decode_row: bad tag %d" t)
 
 let encode_all records =

@@ -6,9 +6,21 @@
     monotonically increasing identifiers (never by address or opaque
     reference) and carry the data-plane timestamp. *)
 
+type gap_reason =
+  | Link_loss  (** frame never arrived (sequence hole at ingress) *)
+  | Corrupt_ingress  (** frame arrived but failed MAC/decode and was rejected *)
+  | Smc_unavailable  (** SMC retry budget exhausted; batch dropped outside *)
+  | Pool_pressure  (** secure pool shed the batch under memory pressure *)
+
+val gap_reason_name : gap_reason -> string
+val gap_reason_tag : gap_reason -> int
+val gap_reason_of_tag : int -> gap_reason
+
 type t =
-  | Ingress of { ts : int; uarray : int }
-      (** A batch entered the TEE and became uArray [uarray]. *)
+  | Ingress of { ts : int; uarray : int; stream : int; seq : int }
+      (** A batch entered the TEE and became uArray [uarray].  [stream]
+          and [seq] carry the frame's wire identity so the verifier can
+          check per-stream sequence continuity (loss-awareness). *)
   | Ingress_watermark of { ts : int; id : int; value : int }
       (** A watermark with event-time [value] was ingested; it gets an id
           so later execution records can name it as a trigger. *)
@@ -24,6 +36,18 @@ type t =
     }
   | Egress of { ts : int; uarray : int; win_no : int }
       (** A window result left the TEE (encrypted and signed). *)
+  | Gap of {
+      ts : int;
+      stream : int;
+      seq : int;
+      events : int;  (** declared event count lost (0 when unknown) *)
+      windows : int list;  (** windows the lost batch would have fed *)
+      reason : gap_reason;
+    }
+      (** The edge declares, inside the TEE, that frame [seq] of [stream]
+          was lost to a benign fault.  Declared gaps let the verifier
+          report degradation instead of flagging a violation; missing
+          dataflow {e without} a covering gap remains a violation. *)
 
 val pp : Format.formatter -> t -> unit
 

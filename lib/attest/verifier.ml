@@ -19,6 +19,7 @@ type violation =
   | Mixed_window_inputs of { record_index : int }
   | Watermark_regression of { id : int; value : int; prev : int }
   | Egress_of_non_result of { record_index : int; id : int }
+  | Undeclared_loss of { stream : int; seq : int }
 
 let pp_violation fmt = function
   | Unknown_uarray { record_index; id } ->
@@ -44,6 +45,8 @@ let pp_violation fmt = function
       Format.fprintf fmt "watermark %d regresses (%d after %d)" id value prev
   | Egress_of_non_result { record_index; id } ->
       Format.fprintf fmt "record %d externalizes non-result uArray %d" record_index id
+  | Undeclared_loss { stream; seq } ->
+      Format.fprintf fmt "stream %d frame %d missing with no declared gap" stream seq
 
 type report = {
   violations : violation list;
@@ -52,6 +55,11 @@ type report = {
   records_replayed : int;
   max_delay : int;
   delays : (int * int) list;
+  declared_gaps : int;
+  gap_events : int;
+  lost_batches : int;
+  loss_fraction : float;
+  degraded_windows : int list;
 }
 
 let ok r = r.violations = []
@@ -101,6 +109,22 @@ let verify spec records =
         s
   in
   let batch_op_count = List.length spec.batch_ops in
+  (* Loss accounting: ingress and declared-gap frame identities, per
+     stream.  Holes inside a stream's observed sequence range that no Gap
+     record covers are undeclared loss — the tamper-evidence property the
+     fault model must preserve. *)
+  let ingress_seqs : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  let gap_seqs : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  let seq_set tbl stream =
+    match Hashtbl.find_opt tbl stream with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 64 in
+        Hashtbl.replace tbl stream s;
+        s
+  in
+  let declared_gaps = ref 0 and gap_events = ref 0 in
+  let gap_windows : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let register_output window stage_done id =
     if Hashtbl.mem table id then violate (Double_consumption { record_index = -1; id })
     else if stage_done then begin
@@ -113,7 +137,8 @@ let verify spec records =
   List.iteri
     (fun idx r ->
       match r with
-      | Record.Ingress { ts = _; uarray } ->
+      | Record.Ingress { ts = _; uarray; stream; seq } ->
+          Hashtbl.replace (seq_set ingress_seqs stream) seq ();
           if Hashtbl.mem table uarray then
             violate (Double_consumption { record_index = idx; id = uarray })
           else Hashtbl.replace table uarray (Batch { windowed = false })
@@ -228,7 +253,12 @@ let verify spec records =
               if s.egress_ts = None then s.egress_ts <- Some ts
           | Some (Batch _ | Watermark _ | Segment _ | Ready _ | Group_mid _) ->
               violate (Egress_of_non_result { record_index = idx; id = uarray })
-          | None -> violate (Unknown_uarray { record_index = idx; id = uarray })))
+          | None -> violate (Unknown_uarray { record_index = idx; id = uarray }))
+      | Record.Gap { ts = _; stream; seq; events; windows = ws; reason = _ } ->
+          Hashtbl.replace (seq_set gap_seqs stream) seq ();
+          incr declared_gaps;
+          gap_events := !gap_events + events;
+          List.iter (fun w -> Hashtbl.replace gap_windows w ()) ws)
     records;
   (* Final sweep. *)
   Hashtbl.iter
@@ -254,7 +284,11 @@ let verify spec records =
       | None -> () (* window still open at end of log: nothing to assert yet *)
       | Some wm_ts ->
           incr windows_verified;
-          if s.egress_count = 0 then violate (Missing_egress { window = w })
+          if s.egress_count = 0 then begin
+            (* A window named by a declared gap may legitimately have shed
+               all its remaining work: degradation, not violation. *)
+            if not (Hashtbl.mem gap_windows w) then violate (Missing_egress { window = w })
+          end
           else begin
             let expected = List.sort compare spec.window_ops in
             let got = List.sort compare s.group_ops in
@@ -288,6 +322,37 @@ let verify spec records =
         | _, _ -> acc)
       0 !hints_seen
   in
+  (* Sequence-continuity sweep: every hole in a stream's covered range
+     [min, max] must be explained by an ingress record or a declared gap.
+     Loss before the first or after the last observed frame of a stream is
+     invisible here (nothing anchors the range); DESIGN.md documents the
+     limitation. *)
+  let streams_seen : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.iter (fun s _ -> Hashtbl.replace streams_seen s ()) ingress_seqs;
+  Hashtbl.iter (fun s _ -> Hashtbl.replace streams_seen s ()) gap_seqs;
+  let lost_batches = ref 0 and expected_batches = ref 0 in
+  let stream_ids = Hashtbl.fold (fun s () acc -> s :: acc) streams_seen [] in
+  List.iter
+    (fun stream ->
+      let ing = seq_set ingress_seqs stream and gap = seq_set gap_seqs stream in
+      let bounds tbl acc =
+        Hashtbl.fold (fun seq () (lo, hi) -> (min lo seq, max hi seq)) tbl acc
+      in
+      let lo, hi = bounds ing (bounds gap (max_int, min_int)) in
+      if lo <= hi then begin
+        expected_batches := !expected_batches + (hi - lo + 1);
+        for seq = lo to hi do
+          let ingested = Hashtbl.mem ing seq and declared = Hashtbl.mem gap seq in
+          if declared && not ingested then incr lost_batches
+          else if (not ingested) && not declared then
+            violate (Undeclared_loss { stream; seq })
+        done
+      end)
+    (List.sort compare stream_ids);
+  let loss_fraction =
+    if !expected_batches = 0 then 0.0
+    else float_of_int !lost_batches /. float_of_int !expected_batches
+  in
   {
     violations = List.rev !violations;
     misleading_hints = misleading;
@@ -295,11 +360,22 @@ let verify spec records =
     records_replayed = List.length records;
     max_delay = !max_delay;
     delays = List.rev !delays;
+    declared_gaps = !declared_gaps;
+    gap_events = !gap_events;
+    lost_batches = !lost_batches;
+    loss_fraction;
+    degraded_windows = List.sort compare (Hashtbl.fold (fun w () acc -> w :: acc) gap_windows []);
   }
 
 let pp_report fmt r =
   Format.fprintf fmt "replayed %d records, %d windows verified, max delay %d, %d misleading hints@."
     r.records_replayed r.windows_verified r.max_delay r.misleading_hints;
+  if r.declared_gaps > 0 then
+    Format.fprintf fmt
+      "degradation: %d declared gap(s), %d batch(es) lost (%.1f%% of expected), ~%d event(s); \
+       degraded windows: %s@."
+      r.declared_gaps r.lost_batches (100.0 *. r.loss_fraction) r.gap_events
+      (String.concat "," (List.map string_of_int r.degraded_windows));
   if r.violations = [] then Format.fprintf fmt "verdict: OK@."
   else begin
     Format.fprintf fmt "verdict: %d VIOLATION(S)@." (List.length r.violations);

@@ -48,6 +48,10 @@ type violation =
   | Mixed_window_inputs of { record_index : int }
   | Watermark_regression of { id : int; value : int; prev : int }
   | Egress_of_non_result of { record_index : int; id : int }
+  | Undeclared_loss of { stream : int; seq : int }
+      (** a frame inside a stream's observed sequence range was neither
+          ingested nor covered by a {!Record.Gap} declaration — dataflow
+          vanished without the TEE vouching for the loss *)
 
 val pp_violation : Format.formatter -> violation -> unit
 
@@ -58,10 +62,19 @@ type report = {
   records_replayed : int;
   max_delay : int;  (** worst observed output delay (ts ticks) *)
   delays : (int * int) list;  (** (window, delay) per verified window *)
+  declared_gaps : int;  (** Gap records replayed *)
+  gap_events : int;  (** events the edge declared lost *)
+  lost_batches : int;  (** declared-gap frames never ingested *)
+  loss_fraction : float;
+      (** lost batches over the expected batch count (per-stream observed
+          sequence ranges); 0 on a clean run *)
+  degraded_windows : int list;  (** windows named by declared gaps *)
 }
 
 val ok : report -> bool
-(** No violations. *)
+(** No violations.  Declared gaps degrade the report (loss summary,
+    degraded windows) but never make it not-[ok]; only undeclared missing
+    dataflow does. *)
 
 val verify : spec -> Record.t list -> report
 (** Replay one contiguous record stream. *)

@@ -20,6 +20,9 @@ type run_result = {
   total_events : int;
   tasks_executed : int;
   live_refs_after : int;
+  gaps_declared : int;
+  batches_dropped : int;
+  events_dropped : int;
 }
 
 (* Per-window control state. *)
@@ -147,27 +150,83 @@ let run cfg (pipe : Pipeline.t) frames =
   let total_events = ref 0 in
   let next_window_to_close = ref 0 in
   let wm_audit_ref = ref 0 in
+  (* --- graceful degradation --------------------------------------------- *)
+  let plan = cfg.dp_config.D.fault_plan in
+  let gaps_declared = ref 0 in
+  let batches_dropped = ref 0 in
+  let events_dropped = ref 0 in
+  let declare_gap ~stream ~seq ~events ~windows ~reason =
+    match D.call dp (D.R_declare_gap { stream; seq; events; windows; reason }) with
+    | D.Rs_outputs [] -> incr gaps_declared
+    | _ -> failwith "control: unexpected gap response"
+  in
+  (* Next expected frame seq per stream: a jump means the link dropped
+     frames, which the edge must declare before ingesting past the hole —
+     otherwise the verifier reads the hole as tampering. *)
+  let expected_seq : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let link_holes ~stream ~seq =
+    let exp = Option.value ~default:0 (Hashtbl.find_opt expected_seq stream) in
+    Hashtbl.replace expected_seq stream (max (seq + 1) exp);
+    if seq > exp then List.init (seq - exp) (fun i -> exp + i) else []
+  in
+  (* Ingest with bounded retry against transient SMC refusals.  Returns
+     [Ok (ref, stall)] or [Error (stall, reason)]; every failure path is a
+     declared gap, never an escaped exception. *)
+  let ingest_with_retry ~payload ~encrypted ~stream ~seq ~mac =
+    let rec attempt n stall =
+      match D.call dp (D.R_ingest_events { payload; encrypted; stream; seq; mac }) with
+      | D.Rs_ingested { out; stalled_ns } -> Ok (out, stall +. stalled_ns)
+      | D.Rs_outputs _ | D.Rs_watermark _ | D.Rs_egress _ ->
+          failwith "control: unexpected ingest response"
+      | exception Sbt_tz.Smc.Entry_busy _ ->
+          if n < plan.Sbt_fault.Fault.retry_budget then
+            let backoff = Sbt_fault.Fault.backoff_ns plan ~stream ~seq ~attempt:(n + 1) in
+            attempt (n + 1) (stall +. backoff)
+          else Error (stall, Sbt_attest.Record.Smc_unavailable)
+      | exception D.Rejected _ -> Error (stall, Sbt_attest.Record.Corrupt_ingress)
+      | exception D.Overloaded { stalled_ns } ->
+          Error (stall +. stalled_ns, Sbt_attest.Record.Pool_pressure)
+    in
+    attempt 0 0.0
+  in
   (* Windows egress in watermark order: each close depends on the previous
      one, which also serializes any cross-window operator state. *)
   let last_close = ref None in
   List.iter
     (fun frame ->
       match frame with
-      | Sbt_net.Frame.Events { seq; stream; events; windows = frame_windows; payload; encrypted } ->
+      | Sbt_net.Frame.Events
+          { seq; stream; events; windows = frame_windows; payload; encrypted; mac } ->
           let arrival = !cum_events + events in
           cum_events := arrival;
           total_events := !total_events + events;
+          let holes = link_holes ~stream ~seq in
           let batch_ref = ref 0L in
+          let batch_ok = ref false in
           let ingest_task, ingest_idx =
             add_task ~arrival
               ~label:(Printf.sprintf "ingest:%d.%d" stream seq)
               (fun () ->
-                match D.call dp (D.R_ingest_events { payload; encrypted; stream; seq }) with
-                | D.Rs_ingested { out; stalled_ns } ->
+                (* Frames the link lost before this one: declared first so
+                   the audit log vouches for the hole in stream order. *)
+                List.iter
+                  (fun missing ->
+                    incr batches_dropped;
+                    declare_gap ~stream ~seq:missing ~events:0 ~windows:[]
+                      ~reason:Sbt_attest.Record.Link_loss)
+                  holes;
+                match ingest_with_retry ~payload ~encrypted ~stream ~seq ~mac with
+                | Ok (out, stalled_ns) ->
                     batch_ref := out.D.ref_;
+                    batch_ok := true;
                     stalled_ns
-                | D.Rs_outputs _ | D.Rs_watermark _ | D.Rs_egress _ ->
-                    failwith "control: unexpected ingest response")
+                | Error (stalled_ns, reason) ->
+                    (* Past the retry budget / rejected / shed: degrade by
+                       dropping the batch and leaving a signed gap. *)
+                    incr batches_dropped;
+                    events_dropped := !events_dropped + events;
+                    declare_gap ~stream ~seq ~events ~windows:frame_windows ~reason;
+                    stalled_ns)
           in
           (* Windows already closed when this batch was scheduled: data for
              them is late (the source broke the watermark contract).  The
@@ -180,6 +239,8 @@ let run cfg (pipe : Pipeline.t) frames =
               ~deps:[ (ingest_task, ingest_idx) ]
               ~label:(Printf.sprintf "windowing:%d.%d" stream seq)
               (fun () ->
+                if not !batch_ok then 0.0
+                else begin
                 (match
                    D.call dp
                      (D.R_invoke
@@ -218,7 +279,8 @@ let run cfg (pipe : Pipeline.t) frames =
                       outs
                 | D.Rs_watermark _ | D.Rs_egress _ | D.Rs_ingested _ ->
                     failwith "control: unexpected windowing response");
-                0.0)
+                0.0
+                end)
           in
           List.iter
             (fun w ->
@@ -332,18 +394,25 @@ let run cfg (pipe : Pipeline.t) frames =
                         | D.Rs_outputs [] -> ()
                         | _ -> failwith "control: unexpected retire response"
                       in
-                      let ctx =
-                        { Pipeline.window = w; ready = List.rev ws.ready; invoke; invoke_udf; retire_ref }
-                      in
-                      (* Sample steady memory while the window's data is
-                         still live (before the plan consumes it). *)
-                      mem_samples := D.pool_committed_bytes dp :: !mem_samples;
-                      let result_ref = pipe.Pipeline.plan ctx in
-                      (match D.call dp (D.R_egress { input = result_ref; window = w }) with
-                      | D.Rs_egress sealed -> results := (w, sealed) :: !results
-                      | D.Rs_outputs _ | D.Rs_watermark _ | D.Rs_ingested _ ->
-                          failwith "control: unexpected egress response");
-                      0.0)
+                      if ws.ready = [] then
+                        (* Every batch of this window was lost and declared
+                           as a gap: degrade by producing no result rather
+                           than invoking the plan on nothing. *)
+                        0.0
+                      else begin
+                        let ctx =
+                          { Pipeline.window = w; ready = List.rev ws.ready; invoke; invoke_udf; retire_ref }
+                        in
+                        (* Sample steady memory while the window's data is
+                           still live (before the plan consumes it). *)
+                        mem_samples := D.pool_committed_bytes dp :: !mem_samples;
+                        let result_ref = pipe.Pipeline.plan ctx in
+                        (match D.call dp (D.R_egress { input = result_ref; window = w }) with
+                        | D.Rs_egress sealed -> results := (w, sealed) :: !results
+                        | D.Rs_outputs _ | D.Rs_watermark _ | D.Rs_ingested _ ->
+                            failwith "control: unexpected egress response");
+                        0.0
+                      end)
                 in
                 last_close := Some (close_task, close_idx)
           done)
@@ -380,4 +449,7 @@ let run cfg (pipe : Pipeline.t) frames =
     total_events = !total_events;
     tasks_executed = Des.tasks_executed des;
     live_refs_after = D.live_refs dp;
+    gaps_declared = !gaps_declared;
+    batches_dropped = !batches_dropped;
+    events_dropped = !events_dropped;
   }

@@ -30,10 +30,21 @@ type run_result = {
   total_events : int;
   tasks_executed : int;
   live_refs_after : int;
+  gaps_declared : int;
+      (** signed Gap records emitted: link holes + dropped batches *)
+  batches_dropped : int;
+      (** frames lost to the link or shed past the retry budget *)
+  events_dropped : int;  (** events inside dropped frames (link holes excluded) *)
 }
 
 val run : config -> Pipeline.t -> Sbt_net.Frame.t list -> run_result
 (** Execute the pipeline over the frame stream once, for real, recording
     the task graph.  Frames must arrive in source order (watermarks after
     the data they cover); the last frame should be a watermark closing
-    every window. *)
+    every window.
+
+    Faults degrade, never crash: transient SMC refusals are retried with
+    exponential backoff up to the fault plan's budget; corrupt or
+    unauthenticated frames, pool sheds, and link sequence holes each drop
+    the affected batch and emit a signed Gap audit record, so the cloud
+    verifier reports the loss as degradation instead of tampering. *)

@@ -24,6 +24,7 @@ type config = {
   backpressure_threshold : float;
   adaptive_backpressure : bool;
   seed : int64;
+  fault_plan : Sbt_fault.Fault.plan;
 }
 
 let default_config ?(version = Full) ?(cores = 8) ?(secure_mb = 512) () =
@@ -42,6 +43,7 @@ let default_config ?(version = Full) ?(cores = 8) ?(secure_mb = 512) () =
     backpressure_threshold = 0.90;
     adaptive_backpressure = false;
     seed = 42L;
+    fault_plan = Sbt_fault.Fault.none;
   }
 
 type hint = H_after of int64 | H_parallel
@@ -59,8 +61,15 @@ type param =
   | P_fields of int array
 
 type request =
-  | R_ingest_events of { payload : bytes; encrypted : bool; stream : int; seq : int }
+  | R_ingest_events of { payload : bytes; encrypted : bool; stream : int; seq : int; mac : bytes }
   | R_ingest_watermark of { value : int }
+  | R_declare_gap of {
+      stream : int;
+      seq : int;
+      events : int;
+      windows : int list;
+      reason : Sbt_attest.Record.gap_reason;
+    }
   | R_invoke of {
       op : P.t;
       inputs : int64 list;
@@ -93,6 +102,7 @@ type response =
   | Rs_ingested of { out : output; stalled_ns : float }
 
 exception Rejected of string
+exception Overloaded of { stalled_ns : float }
 
 (* Internal SMC message wrappers so the entire surface is the paper's
    four entries: init, finalize, debug, and one shared invoke. *)
@@ -116,6 +126,8 @@ type t = {
   mutable events_ingested : int;
   mutable bytes_ingested : int;
   mutable backpressure_stalls : int;
+  mutable sheds : int;
+  mutable consecutive_sheds : int;
   mutable uploaded : Sbt_attest.Log.batch list; (* newest first *)
   mutable ingest_width : int; (* set per stream schema via first ingest params *)
   udfs : (string * int, Udf.t) Hashtbl.t; (* certified-and-installed UDFs *)
@@ -133,6 +145,8 @@ type stats = {
   events_ingested : int;
   bytes_ingested : int;
   backpressure_stalls : int;
+  sheds : int;
+  smc_busy_rejections : int;
 }
 
 let now_us t = int_of_float (t.now_ns /. 1e3)
@@ -222,8 +236,34 @@ let unpack_payload t ~producer payload width =
   produce t ua;
   (ua, events)
 
-let do_ingest_events t ~payload ~encrypted ~stream ~seq =
+let do_ingest_events t ~payload ~encrypted ~stream ~seq ~mac =
   let platform = t.cfg.platform in
+  (* Authenticated links: verify the frame tag over the wire payload
+     before anything else is spent on the batch.  Damage anywhere in
+     header or payload surfaces here as a clean rejection. *)
+  if Bytes.length mac > 0 then begin
+    let events = Bytes.length payload / (4 * t.ingest_width) in
+    let valid =
+      timed t `Crypto (fun () ->
+          Sbt_net.Frame.payload_mac_valid ~key:t.cfg.ingress_key ~stream ~seq ~events ~mac
+            payload)
+    in
+    if not valid then raise (Rejected "ingest: frame authentication failed")
+  end;
+  (* Pool pressure the backpressure stall cannot absorb: shed the batch
+     instead of letting the allocator raise mid-ingest.  The refusal
+     carries an escalating stall so a persistently full pool slows the
+     source down harder each time (load shedding, not crash). *)
+  let forced_shed = Sbt_fault.Fault.pool_sheds t.cfg.fault_plan ~stream ~seq in
+  if forced_shed || Pool.available_pages t.pool < Pool.pages_for_bytes (Bytes.length payload)
+  then begin
+    t.sheds <- t.sheds + 1;
+    t.consecutive_sheds <- t.consecutive_sheds + 1;
+    let stalled_ns =
+      Float.min 16_000_000.0 (1_000_000.0 *. float_of_int (1 lsl min 4 t.consecutive_sheds))
+    in
+    raise (Overloaded { stalled_ns })
+  end;
   (* Backpressure: above the threshold the source is stalled before this
      batch may enter (paper §4.2). *)
   let pressure =
@@ -273,11 +313,20 @@ let do_ingest_events t ~payload ~encrypted ~stream ~seq =
     else payload
   in
   let ua, events = unpack_payload t ~producer:P.ingress_id payload t.ingest_width in
+  t.consecutive_sheds <- 0;
   t.events_ingested <- t.events_ingested + events;
   t.bytes_ingested <- t.bytes_ingested + Bytes.length payload;
-  append_record t (Sbt_attest.Record.Ingress { ts = now_us t; uarray = U.id ua });
+  append_record t (Sbt_attest.Record.Ingress { ts = now_us t; uarray = U.id ua; stream; seq });
   let r = Opaque.register t.refs ua in
   Rs_ingested { out = { win = -1; ref_ = r; events }; stalled_ns }
+
+(* The edge vouches, from inside the TEE, that a frame was lost to a
+   benign fault: the signed Gap record is what lets the verifier tell
+   degradation from tampering. *)
+let do_declare_gap t ~stream ~seq ~events ~windows ~reason =
+  append_record t
+    (Sbt_attest.Record.Gap { ts = now_us t; stream; seq; events; windows; reason });
+  Rs_outputs []
 
 let do_ingest_watermark t ~value =
   (* Watermark ids come from the allocator's id sequence so all audit
@@ -705,9 +754,11 @@ let do_retire t ~input =
   Rs_outputs []
 
 let dispatch t = function
-  | R_ingest_events { payload; encrypted; stream; seq } ->
-      do_ingest_events t ~payload ~encrypted ~stream ~seq
+  | R_ingest_events { payload; encrypted; stream; seq; mac } ->
+      do_ingest_events t ~payload ~encrypted ~stream ~seq ~mac
   | R_ingest_watermark { value } -> do_ingest_watermark t ~value
+  | R_declare_gap { stream; seq; events; windows; reason } ->
+      do_declare_gap t ~stream ~seq ~events ~windows ~reason
   | R_invoke { op; inputs; trigger; params; hints; retire_inputs } ->
       do_invoke t ~op ~inputs ~trigger ~params ~hints ~retire_inputs
   | R_egress { input; window } -> do_egress t ~input ~window
@@ -741,6 +792,8 @@ let create cfg =
       events_ingested = 0;
       bytes_ingested = 0;
       backpressure_stalls = 0;
+      sheds = 0;
+      consecutive_sheds = 0;
       uploaded = [];
       ingest_width = 3;
       udfs = Hashtbl.create 8;
@@ -758,6 +811,25 @@ let create cfg =
       match rpc with
       | Rpc_op req -> Rr_op (dispatch t req)
       | Rpc_init | Rpc_finalize | Rpc_debug -> raise (Rejected "wrong entry"));
+  (* Transient SMC entry failures: the plan decides, per ingest frame
+     identity, how many consecutive attempts the monitor refuses — so the
+     schedule replays identically whatever order tasks run in. *)
+  if not (Sbt_fault.Fault.is_none cfg.fault_plan) then begin
+    let refused : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+    Tz.Smc.set_fault_hook smc (fun entry rpc ->
+        match (entry, rpc) with
+        | Tz.Smc.Invoke, Rpc_op (R_ingest_events { stream; seq; _ }) ->
+            let budget = Sbt_fault.Fault.smc_failures cfg.fault_plan ~stream ~seq in
+            budget > 0
+            &&
+            let done_ = Option.value ~default:0 (Hashtbl.find_opt refused (stream, seq)) in
+            done_ < budget
+            && begin
+                 Hashtbl.replace refused (stream, seq) (done_ + 1);
+                 true
+               end
+        | _ -> false)
+  end;
   (match cfg.version with
   | Insecure -> ()
   | Full | Clear_ingress | Io_via_os -> ignore (Tz.Smc.call smc Tz.Smc.Init Rpc_init));
@@ -821,6 +893,8 @@ let stats (t : t) =
     events_ingested = t.events_ingested;
     bytes_ingested = t.bytes_ingested;
     backpressure_stalls = t.backpressure_stalls;
+    sheds = t.sheds;
+    smc_busy_rejections = Tz.Smc.busy_rejections t.smc;
   }
 
 let live_refs t = Opaque.live_count t.refs

@@ -34,6 +34,11 @@ type config = {
           the automatic flow control the paper leaves as future work
           (§4.2); off by default to match the paper's implementation *)
   seed : int64;
+  fault_plan : Sbt_fault.Fault.plan;
+      (** deterministic fault injection (SMC entry refusal, forced pool
+          sheds); {!Sbt_fault.Fault.none} by default — the injection path
+          is then never consulted and behaviour is identical to a build
+          without the fault layer *)
 }
 
 val default_config : ?version:version -> ?cores:int -> ?secure_mb:int -> unit -> config
@@ -58,8 +63,27 @@ type param =
   | P_fields of int array
 
 type request =
-  | R_ingest_events of { payload : bytes; encrypted : bool; stream : int; seq : int }
+  | R_ingest_events of {
+      payload : bytes;
+      encrypted : bool;
+      stream : int;
+      seq : int;
+      mac : bytes;
+          (** frame HMAC from an authenticated link; [Bytes.empty] skips
+              verification (the pre-fault-model behaviour) *)
+    }
   | R_ingest_watermark of { value : int }
+  | R_declare_gap of {
+      stream : int;
+      seq : int;
+      events : int;
+      windows : int list;
+      reason : Sbt_attest.Record.gap_reason;
+    }
+      (** Declare, inside the TEE, that a frame was lost to a benign
+          fault.  Emits a signed {!Sbt_attest.Record.Gap} audit record so
+          the cloud verifier reports degradation instead of flagging the
+          missing dataflow as tampering. *)
   | R_invoke of {
       op : Sbt_prim.Primitive.t;
       inputs : int64 list;
@@ -106,6 +130,12 @@ exception Rejected of string
 (** Structurally invalid request (wrong arity, bad params, fabricated
     reference surfaced as {!Opaque.Invalid_reference} instead). *)
 
+exception Overloaded of { stalled_ns : float }
+(** The secure pool cannot absorb this ingest (or the fault plan forced a
+    shed): the batch is refused and the source must stall [stalled_ns],
+    which escalates with consecutive sheds.  Load shedding, not a crash —
+    the caller degrades by declaring a gap ({!R_declare_gap}). *)
+
 val create : config -> t
 (** Builds the platform-attached data plane and registers the four SMC
     entries.  [Init] is called once here. *)
@@ -145,6 +175,9 @@ type stats = {
   events_ingested : int;
   bytes_ingested : int;
   backpressure_stalls : int;
+  sheds : int;  (** ingests refused under pool pressure ({!Overloaded}) *)
+  smc_busy_rejections : int;
+      (** injected transient SMC refusals ({!Sbt_tz.Smc.Entry_busy}) *)
 }
 
 val stats : t -> stats

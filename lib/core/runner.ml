@@ -21,6 +21,9 @@ type outcome = {
   audit_compressed_bytes : int;
   verified : bool;
   verifier_report : Sbt_attest.Verifier.report;
+  gaps_declared : int;
+  batches_dropped : int;
+  events_dropped : int;
   results : (int * D.sealed_result) list;
   audit : Sbt_attest.Log.batch list;
   spec : Sbt_attest.Verifier.spec;
@@ -33,12 +36,13 @@ let mean = function
 let run ?(cores_list = [ 2; 4; 8 ]) ?(target_delay_ms = 500.0) ?(version = D.Full)
     ?(hints_enabled = true) ?(alloc_mode = Sbt_umem.Allocator.Hint_guided)
     ?(sort_algorithm = Sbt_prim.Sort.Radix) ?(secure_mb = 512) ?(repeats = 1)
-    (pipe : Pipeline.t) frames =
+    ?(fault_plan = Sbt_fault.Fault.none) (pipe : Pipeline.t) frames =
   let record () =
     let dp_config =
       { (D.default_config ~version ~cores:(List.fold_left max 1 cores_list) ~secure_mb ()) with
         D.alloc_mode;
         sort_algorithm;
+        fault_plan;
       }
     in
     let cfg = { Control.dp_config; cores = List.fold_left max 1 cores_list; hints_enabled } in
@@ -106,6 +110,9 @@ let run ?(cores_list = [ 2; 4; 8 ]) ?(target_delay_ms = 500.0) ?(version = D.Ful
     audit_compressed_bytes = audit_compressed;
     verified;
     verifier_report = report;
+    gaps_declared = r.Control.gaps_declared;
+    batches_dropped = r.Control.batches_dropped;
+    events_dropped = r.Control.events_dropped;
     results = List.sort (fun (a, _) (b, _) -> compare a b) r.Control.results;
     audit = r.Control.audit;
     spec = r.Control.verifier_spec;

@@ -27,6 +27,9 @@ type outcome = {
   audit_compressed_bytes : int;
   verified : bool;  (** cloud verifier replayed the audit log cleanly *)
   verifier_report : Sbt_attest.Verifier.report;
+  gaps_declared : int;  (** signed Gap records the run emitted *)
+  batches_dropped : int;
+  events_dropped : int;
   results : (int * Dataplane.sealed_result) list;  (** sorted by window *)
   audit : Sbt_attest.Log.batch list;  (** the signed upload, oldest first *)
   spec : Sbt_attest.Verifier.spec;  (** the declaration the verifier used *)
@@ -41,6 +44,7 @@ val run :
   ?sort_algorithm:Sbt_prim.Sort.algorithm ->
   ?secure_mb:int ->
   ?repeats:int ->
+  ?fault_plan:Sbt_fault.Fault.plan ->
   Pipeline.t ->
   Sbt_net.Frame.t list ->
   outcome

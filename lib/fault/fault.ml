@@ -1,0 +1,148 @@
+(* Deterministic fault injection.
+
+   A [plan] describes, per site, how the world misbehaves: the ingress
+   link drops or corrupts frames, the SMC boundary refuses entry
+   transiently, the secure pool hits pressure it cannot absorb, the
+   uplink loses signed audit batches.  Every decision is a pure function
+   of (plan seed, site, stream, seq) — hashed through splitmix64 chains —
+   never of call order or wall-clock time, so a faulty run replays
+   bit-identically however the scheduler interleaves tasks.  An optional
+   per-site [schedule] restricts a fault to a sequence-number range,
+   which is the replayable analogue of "fail between t0 and t1" (the sim
+   clock itself is host-measured in this reproduction, so gating on it
+   would break determinism; see DESIGN.md "Fault model & degradation"). *)
+
+module Rng = Sbt_crypto.Rng
+
+type site = Ingress_link | Smc_boundary | Secure_pool | Uplink
+
+let site_tag = function
+  | Ingress_link -> 0x11
+  | Smc_boundary -> 0x22
+  | Secure_pool -> 0x33
+  | Uplink -> 0x44
+
+let site_name = function
+  | Ingress_link -> "ingress-link"
+  | Smc_boundary -> "smc-boundary"
+  | Secure_pool -> "secure-pool"
+  | Uplink -> "uplink"
+
+type spec = {
+  drop_p : float;
+  corrupt_p : float;
+  fail_p : float;
+  max_burst : int;
+  schedule : (int * int) option;
+}
+
+let quiet = { drop_p = 0.0; corrupt_p = 0.0; fail_p = 0.0; max_burst = 1; schedule = None }
+
+type plan = {
+  seed : int64;
+  ingress : spec;
+  smc : spec;
+  pool : spec;
+  uplink : spec;
+  retry_budget : int;
+  backoff_base_ns : float;
+}
+
+let none =
+  {
+    seed = 0L;
+    ingress = quiet;
+    smc = quiet;
+    pool = quiet;
+    uplink = quiet;
+    retry_budget = 3;
+    backoff_base_ns = 50_000.0;
+  }
+
+let spec_quiet s = s.drop_p = 0.0 && s.corrupt_p = 0.0 && s.fail_p = 0.0
+
+let is_none p =
+  spec_quiet p.ingress && spec_quiet p.smc && spec_quiet p.pool && spec_quiet p.uplink
+
+let uniform ?(seed = 1L) ~rate () =
+  let faulty = { quiet with drop_p = rate; corrupt_p = rate; fail_p = rate } in
+  {
+    none with
+    seed;
+    ingress = faulty;
+    smc = { quiet with fail_p = rate; max_burst = 2 };
+    pool = { quiet with fail_p = rate };
+    uplink = { quiet with drop_p = rate };
+  }
+
+let spec_for plan site =
+  match site with
+  | Ingress_link -> plan.ingress
+  | Smc_boundary -> plan.smc
+  | Secure_pool -> plan.pool
+  | Uplink -> plan.uplink
+
+(* --- deterministic draws ------------------------------------------------ *)
+
+let fold s v =
+  let s = Int64.logxor s v in
+  fst (Rng.splitmix64 s)
+
+(* Raw 64-bit draw keyed by (seed, site, salt, stream, seq). *)
+let draw plan ~site ~salt ~stream ~seq =
+  let s = plan.seed in
+  let s = fold s (Int64.of_int (site_tag site)) in
+  let s = fold s (Int64.of_int salt) in
+  let s = fold s (Int64.of_int stream) in
+  let s = Int64.logxor s (Int64.of_int seq) in
+  snd (Rng.splitmix64 s)
+
+let to_unit x =
+  (* Top 53 bits -> [0,1). *)
+  Int64.to_float (Int64.shift_right_logical x 11) *. (1.0 /. 9007199254740992.0)
+
+let scheduled spec ~seq =
+  match spec.schedule with None -> true | Some (lo, hi) -> seq >= lo && seq <= hi
+
+let chance plan ~site ~salt ~stream ~seq p =
+  p > 0.0
+  && scheduled (spec_for plan site) ~seq
+  && to_unit (draw plan ~site ~salt ~stream ~seq) < p
+
+(* --- per-site helpers --------------------------------------------------- *)
+
+let drops_frame plan ~stream ~seq =
+  chance plan ~site:Ingress_link ~salt:1 ~stream ~seq plan.ingress.drop_p
+
+let corrupts_frame plan ~stream ~seq =
+  chance plan ~site:Ingress_link ~salt:2 ~stream ~seq plan.ingress.corrupt_p
+
+(* Which byte to damage and a guaranteed-nonzero xor mask for it. *)
+let corrupt_byte plan ~stream ~seq ~len =
+  if len <= 0 then (0, 1)
+  else
+    let x = draw plan ~site:Ingress_link ~salt:3 ~stream ~seq in
+    let idx = Int64.to_int (Int64.rem (Int64.shift_right_logical x 8) (Int64.of_int len)) in
+    let mask = 1 + (Int64.to_int (Int64.logand x 0xffL) land 0xfe) in
+    (idx, mask)
+
+(* Number of consecutive transient SMC entry failures for this request:
+   0 most of the time; when faulting, between 1 and [max_burst]. *)
+let smc_failures plan ~stream ~seq =
+  if not (chance plan ~site:Smc_boundary ~salt:1 ~stream ~seq plan.smc.fail_p) then 0
+  else
+    let burst = max 1 plan.smc.max_burst in
+    let x = draw plan ~site:Smc_boundary ~salt:2 ~stream ~seq in
+    1 + Int64.to_int (Int64.rem (Int64.shift_right_logical x 8) (Int64.of_int burst))
+
+let pool_sheds plan ~stream ~seq =
+  chance plan ~site:Secure_pool ~salt:1 ~stream ~seq plan.pool.fail_p
+
+let uplink_drops plan ~seq =
+  chance plan ~site:Uplink ~salt:1 ~stream:0 ~seq plan.uplink.drop_p
+
+(* Exponential backoff with full deterministic jitter, attempt >= 1. *)
+let backoff_ns plan ~stream ~seq ~attempt =
+  let base = plan.backoff_base_ns *. Float.of_int (1 lsl min 16 (max 0 (attempt - 1))) in
+  let jitter = to_unit (draw plan ~site:Smc_boundary ~salt:(100 + attempt) ~stream ~seq) in
+  base *. (0.5 +. (0.5 *. jitter))

@@ -1,0 +1,66 @@
+(** Deterministic, replayable fault injection.
+
+    A {!plan} assigns a {!spec} to each fault {!site}: the ingress link
+    (frame drop/corruption), the SMC boundary (transient entry refusal),
+    the secure pool (artificial pressure), and the uplink (audit-batch
+    loss).  Every injection decision is a pure function of the plan seed
+    and the stable identity of the work item — [(site, stream, seq)] —
+    so identical plans reproduce identical faults regardless of task
+    scheduling or host timing.  {!none} disables everything and is the
+    zero-cost default threaded through the stack. *)
+
+type site = Ingress_link | Smc_boundary | Secure_pool | Uplink
+
+val site_name : site -> string
+
+type spec = {
+  drop_p : float;  (** probability a frame/batch is silently dropped *)
+  corrupt_p : float;  (** probability a frame payload is damaged in flight *)
+  fail_p : float;  (** probability of a transient failure (SMC/pool) *)
+  max_burst : int;  (** max consecutive failures per faulting request *)
+  schedule : (int * int) option;
+      (** inclusive sequence-number range the spec applies to; [None] =
+          always.  Seq-keyed rather than clock-keyed to stay replayable. *)
+}
+
+val quiet : spec
+(** All probabilities zero. *)
+
+type plan = {
+  seed : int64;
+  ingress : spec;
+  smc : spec;
+  pool : spec;
+  uplink : spec;
+  retry_budget : int;  (** SMC retries before degrading to a gap *)
+  backoff_base_ns : float;  (** first-retry backoff; doubles per attempt *)
+}
+
+val none : plan
+(** No faults anywhere; [retry_budget = 3], [backoff_base_ns = 50us]. *)
+
+val is_none : plan -> bool
+(** True when every site is quiet (injection short-circuits). *)
+
+val uniform : ?seed:int64 -> rate:float -> unit -> plan
+(** A plan applying [rate] to every site's relevant probabilities. *)
+
+val drops_frame : plan -> stream:int -> seq:int -> bool
+val corrupts_frame : plan -> stream:int -> seq:int -> bool
+
+val corrupt_byte : plan -> stream:int -> seq:int -> len:int -> int * int
+(** [(index, xor_mask)] to damage one payload byte; mask is nonzero. *)
+
+val smc_failures : plan -> stream:int -> seq:int -> int
+(** Consecutive transient SMC entry failures to inject for this request
+    (0 = none, else 1..[max_burst]). *)
+
+val pool_sheds : plan -> stream:int -> seq:int -> bool
+(** Whether the secure pool artificially sheds this allocation. *)
+
+val uplink_drops : plan -> seq:int -> bool
+(** Whether the uplink loses audit batch [seq]. *)
+
+val backoff_ns : plan -> stream:int -> seq:int -> attempt:int -> float
+(** Deterministic exponential backoff with jitter for retry [attempt]
+    (1-based). *)

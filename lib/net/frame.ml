@@ -6,6 +6,7 @@ type t =
       windows : int list;
       payload : bytes;
       encrypted : bool;
+      mac : bytes;
     }
   | Watermark of { seq : int; value : int }
 
@@ -44,6 +45,43 @@ let payload_bytes = function
   | Watermark _ -> 8
 
 let ctr_pos seq = Int64.shift_left (Int64.of_int seq) 32
+
+(* Authenticated bytes: a 12-byte little-endian header binding the frame
+   to its (stream, seq, events) identity, then the payload as carried on
+   the wire (encrypt-then-MAC when the link is encrypted). *)
+let auth_input ~stream ~seq ~events payload =
+  let b = Bytes.create (12 + Bytes.length payload) in
+  let set_u32 off v =
+    Bytes.set b off (Char.unsafe_chr (v land 0xFF));
+    Bytes.set b (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+    Bytes.set b (off + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+    Bytes.set b (off + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF))
+  in
+  set_u32 0 stream;
+  set_u32 4 seq;
+  set_u32 8 events;
+  Bytes.blit payload 0 b 12 (Bytes.length payload);
+  b
+
+let mac_payload ~key ~stream ~seq ~events payload =
+  Sbt_crypto.Hmac.mac ~key (auth_input ~stream ~seq ~events payload)
+
+let payload_mac_valid ~key ~stream ~seq ~events ~mac payload =
+  Bytes.length mac > 0
+  && Sbt_crypto.Hmac.verify ~key ~tag:mac (auth_input ~stream ~seq ~events payload)
+
+let seal ~key = function
+  | Watermark _ as f -> f
+  | Events e ->
+      Events
+        { e with mac = mac_payload ~key ~stream:e.stream ~seq:e.seq ~events:e.events e.payload }
+
+let sealed = function Watermark _ -> false | Events e -> Bytes.length e.mac > 0
+
+let mac_valid ~key = function
+  | Watermark _ -> true
+  | Events e ->
+      payload_mac_valid ~key ~stream:e.stream ~seq:e.seq ~events:e.events ~mac:e.mac e.payload
 
 let encrypt_payload ~key ~stream_nonce = function
   | Watermark _ as f -> f

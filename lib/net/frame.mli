@@ -18,6 +18,10 @@ type t =
               clear like lengths and sequence numbers) *)
       payload : bytes;
       encrypted : bool;
+      mac : bytes;
+          (** HMAC-SHA256 over header (stream, seq, events) + wire
+              payload; [Bytes.empty] on unauthenticated links (the
+              pre-fault-model default) *)
     }
   | Watermark of { seq : int; value : int }
 
@@ -34,3 +38,22 @@ val encrypt_payload : key:bytes -> stream_nonce:int64 -> t -> t
     frames as indicated by the [encrypted] flag. *)
 
 val decrypt_payload : key:bytes -> stream_nonce:int64 -> t -> t
+
+val seal : key:bytes -> t -> t
+(** Attach an HMAC-SHA256 tag binding the frame header (stream, seq,
+    events) and the payload as carried on the wire.  Seal {e after}
+    {!encrypt_payload} (encrypt-then-MAC).  Identity on watermarks. *)
+
+val sealed : t -> bool
+(** Whether an [Events] frame carries a tag ([false] for watermarks). *)
+
+val mac_valid : key:bytes -> t -> bool
+(** Verify a sealed frame's tag; [false] for unsealed [Events] frames,
+    [true] for watermarks (they carry no payload to protect). *)
+
+val mac_payload : key:bytes -> stream:int -> seq:int -> events:int -> bytes -> bytes
+(** The tag {!seal} attaches, for callers holding the fields unbundled
+    (the data plane receives payloads, not frames). *)
+
+val payload_mac_valid :
+  key:bytes -> stream:int -> seq:int -> events:int -> mac:bytes -> bytes -> bool

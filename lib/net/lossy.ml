@@ -1,0 +1,51 @@
+(* A faulty source-to-edge link.
+
+   Applies an ingress fault plan to a frame sequence: Events frames are
+   dropped or get one payload byte damaged in flight; watermarks always
+   survive (losing them would stall window close forever, which is a
+   different failure mode than data loss — the paper's watermarks travel
+   on the control path).  Damage is deterministic per (plan, stream,
+   seq), so a lossy run replays exactly.  The MAC is left untouched when
+   a payload is corrupted: detection is the receiver's job. *)
+
+module Fault = Sbt_fault.Fault
+
+type stats = { delivered : int; dropped : int; corrupted : int }
+
+let apply plan frames =
+  if Fault.is_none plan then (frames, { delivered = List.length frames; dropped = 0; corrupted = 0 })
+  else begin
+    let dropped = ref 0 and corrupted = ref 0 and delivered = ref 0 in
+    let out =
+      List.filter_map
+        (function
+          | Frame.Watermark _ as f ->
+              incr delivered;
+              Some f
+          | Frame.Events e as f ->
+              if Fault.drops_frame plan ~stream:e.stream ~seq:e.seq then begin
+                incr dropped;
+                None
+              end
+              else if
+                Fault.corrupts_frame plan ~stream:e.stream ~seq:e.seq
+                && Bytes.length e.payload > 0
+              then begin
+                let idx, mask =
+                  Fault.corrupt_byte plan ~stream:e.stream ~seq:e.seq
+                    ~len:(Bytes.length e.payload)
+                in
+                let p = Bytes.copy e.payload in
+                Bytes.set p idx (Char.unsafe_chr (Char.code (Bytes.get p idx) lxor mask));
+                incr corrupted;
+                incr delivered;
+                Some (Frame.Events { e with payload = p })
+              end
+              else begin
+                incr delivered;
+                Some f
+              end)
+        frames
+    in
+    (out, { delivered = !delivered; dropped = !dropped; corrupted = !corrupted })
+  end

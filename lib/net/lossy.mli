@@ -1,0 +1,14 @@
+(** Lossy/corrupting link wrapper.
+
+    Applies a {!Sbt_fault.Fault.plan}'s ingress spec to a frame stream:
+    Events frames may be dropped or have one payload byte flipped;
+    watermarks always survive.  Deterministic per (plan, stream, seq).
+    Corruption leaves the MAC untouched so the edge detects it via
+    {!Frame.mac_valid} (or the decrypt/unpack path) and rejects the
+    batch instead of crashing. *)
+
+type stats = { delivered : int; dropped : int; corrupted : int }
+
+val apply : Sbt_fault.Fault.plan -> Frame.t list -> Frame.t list * stats
+(** [apply plan frames] returns the damaged stream and what was done to
+    it.  With {!Sbt_fault.Fault.is_none} plans this is the identity. *)

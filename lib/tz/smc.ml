@@ -10,9 +10,21 @@ let entry_name = function
 
 let entry_index = function Init -> 0 | Finalize -> 1 | Debug -> 2 | Invoke -> 3
 
-type ('req, 'resp) t = { platform : Platform.t; handlers : ('req -> 'resp) option array }
+exception Entry_busy of entry
 
-let create platform = { platform; handlers = Array.make entry_count None }
+type ('req, 'resp) t = {
+  platform : Platform.t;
+  handlers : ('req -> 'resp) option array;
+  mutable fault_hook : (entry -> 'req -> bool) option;
+  mutable busy_rejections : int;
+}
+
+let create platform =
+  { platform; handlers = Array.make entry_count None; fault_hook = None; busy_rejections = 0 }
+
+let set_fault_hook t hook = t.fault_hook <- Some hook
+let clear_fault_hook t = t.fault_hook <- None
+let busy_rejections t = t.busy_rejections
 
 let register t entry f =
   let i = entry_index entry in
@@ -24,6 +36,13 @@ let call t entry req =
   match t.handlers.(entry_index entry) with
   | None -> raise Not_found
   | Some f ->
+      (match t.fault_hook with
+      | Some hook when hook entry req ->
+          (* Refused at the monitor: no world switch happened, so none is
+             charged and none needs restoring. *)
+          t.busy_rejections <- t.busy_rejections + 1;
+          raise (Entry_busy entry)
+      | _ -> ());
       Platform.enter_secure t.platform;
       let resp =
         try f req

@@ -9,6 +9,12 @@
 
 type entry = Init | Finalize | Debug | Invoke
 
+exception Entry_busy of entry
+(** Raised by {!call} when an installed fault hook refuses the entry —
+    modelling a transient secure-monitor failure (the monitor bounces the
+    call before any world switch).  Callers are expected to retry with
+    backoff and degrade gracefully past their budget. *)
+
 val entry_count : int
 (** 4, by construction. *)
 
@@ -31,3 +37,15 @@ val call : ('req, 'resp) t -> entry -> 'req -> 'resp
     crashing primitive must not leave the model stuck in the TEE. *)
 
 val switch_pairs : ('req, 'resp) t -> int
+
+val set_fault_hook : ('req, 'resp) t -> (entry -> 'req -> bool) -> unit
+(** Install a fault-injection hook consulted before every {!call}; when
+    it returns [true] the call raises {!Entry_busy} without entering the
+    secure world (no switch pair is charged).  Used by the deterministic
+    fault layer; absent by default, in which case {!call} is exactly the
+    pre-fault-model path. *)
+
+val clear_fault_hook : ('req, 'resp) t -> unit
+
+val busy_rejections : ('req, 'resp) t -> int
+(** How many calls the fault hook has refused so far. *)

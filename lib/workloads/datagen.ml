@@ -10,6 +10,7 @@ type spec = {
   window_span_ticks : int option;
   streams : int;
   encrypted : bool;
+  authenticated : bool;
   key : bytes;
   seed : int64;
   gen_record : Rng.t -> ts:int32 -> int32 array;
@@ -30,6 +31,7 @@ let default_spec ?(windows = 4) ?(events_per_window = 100_000) ?(batch_events = 
     window_span_ticks = None;
     streams = 1;
     encrypted = false;
+    authenticated = false;
     key = default_key;
     seed = 7L;
     gen_record = uniform_record;
@@ -65,6 +67,7 @@ let frames spec =
             windows = List.sort_uniq compare st.windows_touched;
             payload;
             encrypted = false;
+            mac = Bytes.empty;
           }
       in
       let frame =
@@ -72,6 +75,7 @@ let frames spec =
           Frame.encrypt_payload ~key:spec.key ~stream_nonce:(Int64.of_int stream) frame
         else frame
       in
+      let frame = if spec.authenticated then Frame.seal ~key:spec.key frame else frame in
       out := frame :: !out;
       st.seq <- st.seq + 1;
       st.buffer <- [];

@@ -102,7 +102,9 @@ let prop_huffman_roundtrip =
 
 let sample_records =
   [
-    Record.Ingress { ts = 10; uarray = 0 };
+    Record.Ingress { ts = 10; uarray = 0; stream = 0; seq = 0 };
+    Record.Gap
+      { ts = 11; stream = 0; seq = 1; events = 500; windows = [ 0; 1 ]; reason = Record.Link_loss };
     Record.Windowing { ts = 12; data_in = 0; win_no = 0; data_out = 1 };
     Record.Windowing { ts = 12; data_in = 0; win_no = 1; data_out = 2 };
     Record.Execution { ts = 15; op = P.to_id P.Sort; inputs = [ 1 ]; outputs = [ 3 ]; hints = [ 77L ] };
@@ -136,7 +138,7 @@ let synthetic_stream n =
   let fresh () = incr id; !id in
   for w = 0 to (n / 4) - 1 do
     let batch = fresh () in
-    records := Record.Ingress { ts = (w * 40) + 1; uarray = batch } :: !records;
+    records := Record.Ingress { ts = (w * 40) + 1; uarray = batch; stream = 0; seq = w } :: !records;
     let seg = fresh () in
     records := Record.Windowing { ts = (w * 40) + 5; data_in = batch; win_no = w; data_out = seg } :: !records;
     let sorted = fresh () in
@@ -181,7 +183,9 @@ let prop_columnar_roundtrip_random =
           (fun (kind, salt) ->
             let ts = salt land 0xFFFFF in
             match kind with
-            | 0 -> Record.Ingress { ts; uarray = rand_int 1_000_000 }
+            | 0 ->
+                Record.Ingress
+                  { ts; uarray = rand_int 1_000_000; stream = rand_int 8; seq = rand_int 100_000 }
             | 1 -> Record.Ingress_watermark { ts; id = rand_int 1_000_000; value = salt }
             | 2 ->
                 Record.Windowing
@@ -221,7 +225,7 @@ let test_log_flush_and_open () =
 
 let test_log_auto_flush () =
   let log = Log.create ~key ~flush_every:3 in
-  let r = Record.Ingress { ts = 1; uarray = 1 } in
+  let r = Record.Ingress { ts = 1; uarray = 1; stream = 0; seq = 0 } in
   Alcotest.(check bool) "no flush yet" true (Log.append log r = None);
   ignore (Log.append log r);
   (match Log.append log r with
@@ -246,7 +250,7 @@ let test_log_tamper_detected () =
 
 let test_log_wrong_key () =
   let log = Log.create ~key ~flush_every:1000 in
-  ignore (Log.append log (Record.Ingress { ts = 1; uarray = 1 }));
+  ignore (Log.append log (Record.Ingress { ts = 1; uarray = 1; stream = 0; seq = 0 }));
   match Log.flush log with
   | None -> Alcotest.fail "expected a batch"
   | Some b ->
@@ -270,7 +274,7 @@ let wm_id = 1_000_000_000
 
 let good_run =
   [
-    Record.Ingress { ts = 1; uarray = 0 };
+    Record.Ingress { ts = 1; uarray = 0; stream = 0; seq = 0 };
     Record.Windowing { ts = 5; data_in = 0; win_no = 0; data_out = 1 };
     Record.Execution { ts = 10; op = P.to_id P.Sort; inputs = [ 1 ]; outputs = [ 3 ]; hints = [] };
     Record.Ingress_watermark { ts = 15; id = wm_id; value = 1000 };
@@ -358,7 +362,7 @@ let test_verifier_detects_duplicate_egress () =
     records
 
 let test_verifier_detects_unwindowed_batch () =
-  let records = good_run @ [ Record.Ingress { ts = 50; uarray = 50 } ] in
+  let records = good_run @ [ Record.Ingress { ts = 50; uarray = 50; stream = 0; seq = 1 } ] in
   (* An ingested batch that never went through Windowing: data dropped. *)
   check_violation "unprocessed batch" (function V.Unprocessed_batch { id = 50 } -> true | _ -> false)
     records
@@ -385,9 +389,9 @@ let test_verifier_unprocessed_ready_data () =
   (* Two batches windowed; only one sorted run consumed by the Sum. *)
   let records =
     [
-      Record.Ingress { ts = 1; uarray = 0 };
+      Record.Ingress { ts = 1; uarray = 0; stream = 0; seq = 0 };
       Record.Windowing { ts = 2; data_in = 0; win_no = 0; data_out = 1 };
-      Record.Ingress { ts = 3; uarray = 10 };
+      Record.Ingress { ts = 3; uarray = 10; stream = 0; seq = 1 };
       Record.Windowing { ts = 4; data_in = 10; win_no = 0; data_out = 11 };
       Record.Execution { ts = 5; op = P.to_id P.Sort; inputs = [ 1 ]; outputs = [ 3 ]; hints = [] };
       Record.Execution { ts = 6; op = P.to_id P.Sort; inputs = [ 11 ]; outputs = [ 13 ]; hints = [] };
@@ -404,9 +408,9 @@ let test_verifier_misleading_hints () =
   let hint = Int64.logor (Int64.shift_left (Int64.of_int 3) 32) (Int64.of_int 13) in
   let records =
     [
-      Record.Ingress { ts = 1; uarray = 0 };
+      Record.Ingress { ts = 1; uarray = 0; stream = 0; seq = 0 };
       Record.Windowing { ts = 2; data_in = 0; win_no = 0; data_out = 1 };
-      Record.Ingress { ts = 3; uarray = 10 };
+      Record.Ingress { ts = 3; uarray = 10; stream = 0; seq = 1 };
       Record.Windowing { ts = 4; data_in = 10; win_no = 0; data_out = 11 };
       Record.Execution { ts = 5; op = P.to_id P.Sort; inputs = [ 1 ]; outputs = [ 3 ]; hints = [] };
       Record.Execution { ts = 6; op = P.to_id P.Sort; inputs = [ 11 ]; outputs = [ 13 ]; hints = [ hint ] };
@@ -437,7 +441,7 @@ let test_verifier_open_window_not_flagged () =
   (* No watermark yet: nothing to verify, nothing to flag. *)
   let records =
     [
-      Record.Ingress { ts = 1; uarray = 0 };
+      Record.Ingress { ts = 1; uarray = 0; stream = 0; seq = 0 };
       Record.Windowing { ts = 5; data_in = 0; win_no = 0; data_out = 1 };
       Record.Execution { ts = 10; op = P.to_id P.Sort; inputs = [ 1 ]; outputs = [ 3 ]; hints = [] };
     ]
@@ -445,6 +449,95 @@ let test_verifier_open_window_not_flagged () =
   let r = V.verify spec records in
   Alcotest.(check bool) "ok" true (V.ok r);
   Alcotest.(check int) "no windows verified" 0 r.V.windows_verified
+
+(* --- loss-aware verification -------------------------------------------------- *)
+
+let test_gap_reason_tags () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Record.gap_reason_name r)
+        true
+        (Record.gap_reason_of_tag (Record.gap_reason_tag r) = r))
+    [ Record.Link_loss; Record.Corrupt_ingress; Record.Smc_unavailable; Record.Pool_pressure ]
+
+let test_gap_codec_roundtrip () =
+  (* Every reason, empty and non-empty window lists, through both codecs. *)
+  let gaps =
+    List.mapi
+      (fun i reason ->
+        Record.Gap
+          { ts = 100 + i; stream = i; seq = 7 * i; events = 1000 * i;
+            windows = (if i mod 2 = 0 then [] else [ i; i + 3 ]); reason })
+      [ Record.Link_loss; Record.Corrupt_ingress; Record.Smc_unavailable; Record.Pool_pressure ]
+  in
+  Alcotest.(check bool) "row" true (Record.decode_all (Record.encode_all gaps) = gaps);
+  Alcotest.(check bool) "columnar" true (Columnar.decompress (Columnar.compress gaps) = gaps)
+
+(* A run where frame seq 1 was lost: with a covering Gap declaration the
+   verifier reports degradation and stays ok; without it, a violation. *)
+let run_with_hole ~declared =
+  [
+    Record.Ingress { ts = 1; uarray = 0; stream = 0; seq = 0 };
+    Record.Windowing { ts = 2; data_in = 0; win_no = 0; data_out = 1 };
+  ]
+  @ (if declared then
+       [ Record.Gap
+           { ts = 3; stream = 0; seq = 1; events = 800; windows = [ 0 ]; reason = Record.Link_loss } ]
+     else [])
+  @ [
+      Record.Ingress { ts = 4; uarray = 10; stream = 0; seq = 2 };
+      Record.Windowing { ts = 5; data_in = 10; win_no = 0; data_out = 11 };
+      Record.Execution { ts = 6; op = P.to_id P.Sort; inputs = [ 1 ]; outputs = [ 3 ]; hints = [] };
+      Record.Execution { ts = 7; op = P.to_id P.Sort; inputs = [ 11 ]; outputs = [ 13 ]; hints = [] };
+      Record.Ingress_watermark { ts = 8; id = wm_id; value = 1000 };
+      Record.Execution
+        { ts = 9; op = P.to_id P.Sum; inputs = [ 3; 13; wm_id ]; outputs = [ 5 ]; hints = [] };
+      Record.Egress { ts = 10; uarray = 5; win_no = 0 };
+    ]
+
+let test_verifier_tolerates_declared_gap () =
+  let r = V.verify spec (run_with_hole ~declared:true) in
+  if not (V.ok r) then
+    Alcotest.failf "declared gap must degrade, not violate: %s" (Format.asprintf "%a" V.pp_report r);
+  Alcotest.(check int) "one declared gap" 1 r.V.declared_gaps;
+  Alcotest.(check int) "declared events" 800 r.V.gap_events;
+  Alcotest.(check int) "one lost batch" 1 r.V.lost_batches;
+  Alcotest.(check bool) "loss fraction positive" true (r.V.loss_fraction > 0.0);
+  Alcotest.(check (list int)) "window 0 degraded" [ 0 ] r.V.degraded_windows
+
+let test_verifier_flags_undeclared_loss () =
+  check_violation "undeclared hole"
+    (function V.Undeclared_loss { stream = 0; seq = 1 } -> true | _ -> false)
+    (run_with_hole ~declared:false)
+
+let test_verifier_gap_covers_missing_egress () =
+  (* The whole window was lost to a declared fault: no egress is owed. *)
+  let records =
+    [
+      Record.Ingress { ts = 1; uarray = 0; stream = 0; seq = 0 };
+      Record.Windowing { ts = 2; data_in = 0; win_no = 0; data_out = 1 };
+      Record.Execution { ts = 3; op = P.to_id P.Sort; inputs = [ 1 ]; outputs = [ 3 ]; hints = [] };
+      Record.Gap
+        { ts = 4; stream = 0; seq = 1; events = 500; windows = [ 1 ]; reason = Record.Pool_pressure };
+      Record.Ingress_watermark { ts = 5; id = wm_id; value = 1000 };
+      Record.Execution { ts = 6; op = P.to_id P.Sum; inputs = [ 3; wm_id ]; outputs = [ 5 ]; hints = [] };
+      Record.Egress { ts = 7; uarray = 5; win_no = 0 };
+      (* Watermark also closes window 1, whose only batch was shed. *)
+      Record.Ingress_watermark { ts = 8; id = wm_id + 1; value = 2000 };
+    ]
+  in
+  let r = V.verify spec records in
+  if not (V.ok r) then
+    Alcotest.failf "gap-covered window flagged: %s" (Format.asprintf "%a" V.pp_report r);
+  Alcotest.(check (list int)) "window 1 degraded" [ 1 ] r.V.degraded_windows
+
+let test_verifier_clean_run_reports_no_loss () =
+  let r = V.verify spec good_run in
+  Alcotest.(check int) "no gaps" 0 r.V.declared_gaps;
+  Alcotest.(check int) "no lost batches" 0 r.V.lost_batches;
+  Alcotest.(check (float 0.0)) "zero loss" 0.0 r.V.loss_fraction;
+  Alcotest.(check (list int)) "no degradation" [] r.V.degraded_windows
 
 let () =
   let q = QCheck_alcotest.to_alcotest in
@@ -506,5 +599,14 @@ let () =
           Alcotest.test_case "misleading hints" `Quick test_verifier_misleading_hints;
           Alcotest.test_case "empty windows ok" `Quick test_verifier_empty_windows_ok;
           Alcotest.test_case "open window not flagged" `Quick test_verifier_open_window_not_flagged;
+        ] );
+      ( "loss-aware",
+        [
+          Alcotest.test_case "gap reason tags" `Quick test_gap_reason_tags;
+          Alcotest.test_case "gap codec roundtrip" `Quick test_gap_codec_roundtrip;
+          Alcotest.test_case "declared gap tolerated" `Quick test_verifier_tolerates_declared_gap;
+          Alcotest.test_case "undeclared loss flagged" `Quick test_verifier_flags_undeclared_loss;
+          Alcotest.test_case "gap covers missing egress" `Quick test_verifier_gap_covers_missing_egress;
+          Alcotest.test_case "clean run no loss" `Quick test_verifier_clean_run_reports_no_loss;
         ] );
     ]

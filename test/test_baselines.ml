@@ -96,7 +96,7 @@ let test_columnar_beats_lzss_on_audit_records () =
     List.concat
       (List.init 200 (fun i ->
            [
-             Sbt_attest.Record.Ingress { ts = (i * 37) + 1; uarray = 3 * i };
+             Sbt_attest.Record.Ingress { ts = (i * 37) + 1; uarray = 3 * i; stream = 0; seq = i };
              Sbt_attest.Record.Windowing
                { ts = (i * 37) + 2; data_in = 3 * i; win_no = i / 10; data_out = (3 * i) + 1 };
              Sbt_attest.Record.Execution

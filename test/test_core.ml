@@ -63,7 +63,9 @@ let payload_of rows = Frame.pack_events ~width:3 (Array.of_list (List.map Array.
 
 let ingest dp rows =
   match
-    D.call dp (D.R_ingest_events { payload = payload_of rows; encrypted = false; stream = 0; seq = 0 })
+    D.call dp
+      (D.R_ingest_events
+         { payload = payload_of rows; encrypted = false; stream = 0; seq = 0; mac = Bytes.empty })
   with
   | D.Rs_ingested { out; _ } -> out.D.ref_
   | _ -> Alcotest.fail "unexpected ingest response"
@@ -150,7 +152,10 @@ let test_dataplane_encrypted_ingest () =
   let ctr = Sbt_crypto.Ctr.create ~key ~nonce:0L in
   let cipher = Bytes.copy clear in
   Sbt_crypto.Ctr.xcrypt ctr ~pos:(Int64.shift_left 3L 32) cipher 0 (Bytes.length cipher);
-  match D.call dp (D.R_ingest_events { payload = cipher; encrypted = true; stream = 0; seq = 3 }) with
+  match
+    D.call dp
+      (D.R_ingest_events { payload = cipher; encrypted = true; stream = 0; seq = 3; mac = Bytes.empty })
+  with
   | D.Rs_ingested { out; _ } -> (
       match D.call dp (D.R_egress { input = out.D.ref_; window = 0 }) with
       | D.Rs_egress sealed ->
@@ -192,10 +197,18 @@ let test_dataplane_backpressure () =
   let cfg = { (D.default_config ~secure_mb:1 ()) with D.backpressure_threshold = 0.3 } in
   let dp = D.create cfg in
   let big_rows = List.init 30_000 (fun i -> [ Int32.of_int i; 1l; 0l ]) in
-  (match D.call dp (D.R_ingest_events { payload = payload_of big_rows; encrypted = false; stream = 0; seq = 0 }) with
+  (match
+     D.call dp
+       (D.R_ingest_events
+          { payload = payload_of big_rows; encrypted = false; stream = 0; seq = 0; mac = Bytes.empty })
+   with
   | D.Rs_ingested { stalled_ns; _ } -> Alcotest.(check (float 0.0)) "first batch unstalled" 0.0 stalled_ns
   | _ -> Alcotest.fail "unexpected");
-  match D.call dp (D.R_ingest_events { payload = payload_of big_rows; encrypted = false; stream = 0; seq = 1 }) with
+  match
+    D.call dp
+      (D.R_ingest_events
+         { payload = payload_of big_rows; encrypted = false; stream = 0; seq = 1; mac = Bytes.empty })
+  with
   | D.Rs_ingested { stalled_ns; _ } ->
       Alcotest.(check bool) "second batch stalled" true (stalled_ns > 0.0);
       Alcotest.(check int) "stall counted" 1 (D.stats dp).D.backpressure_stalls
@@ -214,7 +227,9 @@ let test_dataplane_adaptive_backpressure () =
   let rows = List.init 20_000 (fun i -> [ Int32.of_int i; 1l; 0l ]) in
   let stall seq =
     match
-      D.call dp (D.R_ingest_events { payload = payload_of rows; encrypted = false; stream = 0; seq })
+      D.call dp
+        (D.R_ingest_events
+           { payload = payload_of rows; encrypted = false; stream = 0; seq; mac = Bytes.empty })
     with
     | D.Rs_ingested { stalled_ns; _ } -> stalled_ns
     | _ -> Alcotest.fail "unexpected"
@@ -536,6 +551,251 @@ let test_no_leaked_refs_after_run () =
   let r, _ = run_pipeline bench in
   Alcotest.(check int) "all refs retired" 0 r.Control.live_refs_after
 
+(* --- resilience under injected faults --------------------------------------------- *)
+
+module Fault = Sbt_fault.Fault
+module Lossy = Sbt_net.Lossy
+module R = Sbt_attest.Record
+
+let resilience_bench () = B.win_sum ~windows:3 ~events_per_window:6_000 ~batch_events:500 ()
+
+(* Authenticated frames through a lossy link into a faulting engine. *)
+let faulty_run ?(rate = 0.12) ?(seed = 21L) () =
+  let bench = resilience_bench () in
+  let spec = { bench.B.spec with Sbt_workloads.Datagen.authenticated = true } in
+  let plan = Fault.uniform ~seed ~rate () in
+  let frames, link = Lossy.apply plan (Sbt_workloads.Datagen.frames spec) in
+  let cfg =
+    {
+      Control.dp_config = { (D.default_config ()) with D.fault_plan = plan };
+      cores = 8;
+      hints_enabled = true;
+    }
+  in
+  (Control.run cfg bench.B.pipeline frames, link)
+
+(* Gap identity without the host-time-dependent [ts]. *)
+let gap_tuples records =
+  List.filter_map
+    (function
+      | R.Gap { stream; seq; events; windows; reason; _ } ->
+          Some (stream, seq, events, windows, R.gap_reason_tag reason)
+      | _ -> None)
+    records
+  |> List.sort compare
+
+let opened_results (r : Control.run_result) =
+  List.map (fun (w, sealed) -> (w, D.open_result ~egress_key sealed)) r.Control.results
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let test_resilience_three_regimes () =
+  (* Regime 1 - clean: no faults, no gaps, verifies. *)
+  let bench = resilience_bench () in
+  let clean, _ = run_pipeline bench in
+  let clean_report = V.verify clean.Control.verifier_spec (records_of_run clean) in
+  Alcotest.(check bool) "clean verifies" true (V.ok clean_report);
+  Alcotest.(check int) "clean has no gaps" 0 clean.Control.gaps_declared;
+  Alcotest.(check int) "clean report agrees" 0 clean_report.V.declared_gaps;
+  (* Regime 2 - degraded: faults happen, losses are declared, still ok. *)
+  let faulty, link = faulty_run () in
+  Alcotest.(check bool) "link did damage" true (link.Lossy.dropped + link.Lossy.corrupted > 0);
+  Alcotest.(check bool) "gaps declared" true (faulty.Control.gaps_declared > 0);
+  Alcotest.(check bool) "batches dropped" true (faulty.Control.batches_dropped > 0);
+  let records = records_of_run faulty in
+  let report = V.verify faulty.Control.verifier_spec records in
+  if not (V.ok report) then
+    Alcotest.failf "declared loss must verify as degradation: %s"
+      (Format.asprintf "%a" V.pp_report report);
+  Alcotest.(check int) "report sees the gaps" faulty.Control.gaps_declared report.V.declared_gaps;
+  Alcotest.(check bool) "loss reported" true
+    (report.V.lost_batches > 0 && report.V.loss_fraction > 0.0);
+  (* Regime 3 - tampered: stripping the gap declarations from the same log
+     turns tolerated degradation into violations. *)
+  let stripped = List.filter (function R.Gap _ -> false | _ -> true) records in
+  let tampered = V.verify faulty.Control.verifier_spec stripped in
+  Alcotest.(check bool) "stripped log rejected" false (V.ok tampered);
+  Alcotest.(check bool) "undeclared loss flagged" true
+    (List.exists (function V.Undeclared_loss _ -> true | _ -> false) tampered.V.violations)
+
+let test_resilience_deterministic () =
+  (* Same plan, same seed: identical losses, gaps, results and verdict,
+     independent of host timing. *)
+  let r1, l1 = faulty_run () in
+  let r2, l2 = faulty_run () in
+  Alcotest.(check bool) "same link damage" true (l1 = l2);
+  Alcotest.(check int) "same gap count" r1.Control.gaps_declared r2.Control.gaps_declared;
+  Alcotest.(check int) "same drops" r1.Control.batches_dropped r2.Control.batches_dropped;
+  Alcotest.(check int) "same events lost" r1.Control.events_dropped r2.Control.events_dropped;
+  Alcotest.(check bool) "same gaps" true
+    (gap_tuples (records_of_run r1) = gap_tuples (records_of_run r2));
+  Alcotest.(check bool) "same results" true (opened_results r1 = opened_results r2);
+  let rep1 = V.verify r1.Control.verifier_spec (records_of_run r1) in
+  let rep2 = V.verify r2.Control.verifier_spec (records_of_run r2) in
+  Alcotest.(check bool) "same verdict" true
+    ((V.ok rep1, rep1.V.declared_gaps, rep1.V.lost_batches, rep1.V.degraded_windows)
+    = (V.ok rep2, rep2.V.declared_gaps, rep2.V.lost_batches, rep2.V.degraded_windows))
+
+let test_resilience_zero_cost_opt_in () =
+  (* A rate-0 plan is [none]: no hook installed, no gaps, results identical
+     to a run that never heard of fault injection. *)
+  Alcotest.(check bool) "rate 0 is none" true (Fault.is_none (Fault.uniform ~rate:0.0 ()));
+  let bench = resilience_bench () in
+  let plain, _ = run_pipeline bench in
+  let r, link = faulty_run ~rate:0.0 () in
+  Alcotest.(check int) "nothing dropped" 0 link.Lossy.dropped;
+  Alcotest.(check int) "no gaps" 0 r.Control.gaps_declared;
+  Alcotest.(check int) "no drops" 0 r.Control.batches_dropped;
+  Alcotest.(check int) "no sheds" 0 r.Control.dp_stats.D.sheds;
+  Alcotest.(check int) "no smc refusals" 0 r.Control.dp_stats.D.smc_busy_rejections;
+  Alcotest.(check bool) "same results as the plain path" true
+    (opened_results plain = opened_results r)
+
+let test_smc_retry_within_budget () =
+  (* Bursts no longer than the retry budget: every batch eventually lands,
+     nothing is dropped, but the refusals are visible in the stats. *)
+  let bench = resilience_bench () in
+  let plan =
+    { Fault.none with Fault.smc = { Fault.quiet with Fault.fail_p = 0.5; max_burst = 2 } }
+  in
+  Alcotest.(check bool) "budget covers bursts" true (plan.Fault.retry_budget >= 2);
+  let cfg =
+    {
+      Control.dp_config = { (D.default_config ()) with D.fault_plan = plan };
+      cores = 8;
+      hints_enabled = true;
+    }
+  in
+  let r = Control.run cfg bench.B.pipeline (B.frames bench) in
+  Alcotest.(check bool) "refusals injected" true (r.Control.dp_stats.D.smc_busy_rejections > 0);
+  Alcotest.(check int) "no batch lost" 0 r.Control.batches_dropped;
+  Alcotest.(check int) "no gaps needed" 0 r.Control.gaps_declared;
+  let report = V.verify r.Control.verifier_spec (records_of_run r) in
+  Alcotest.(check bool) "verifies clean" true (V.ok report);
+  (* And the retried run computes the same answers.  (Fresh bench: the
+     generators carry mutable state, so frames must come from their own
+     instance to be reproducible.) *)
+  let plain, _ = run_pipeline (resilience_bench ()) in
+  Alcotest.(check bool) "same results" true (opened_results plain = opened_results r)
+
+let test_smc_budget_exhausted_degrades () =
+  (* Bursts longer than the budget: the batch is dropped and vouched for. *)
+  let bench = resilience_bench () in
+  let plan =
+    {
+      Fault.none with
+      Fault.retry_budget = 1;
+      smc = { Fault.quiet with Fault.fail_p = 0.4; max_burst = 4 };
+    }
+  in
+  let cfg =
+    {
+      Control.dp_config = { (D.default_config ()) with D.fault_plan = plan };
+      cores = 8;
+      hints_enabled = true;
+    }
+  in
+  let r = Control.run cfg bench.B.pipeline (B.frames bench) in
+  Alcotest.(check bool) "some batches dropped" true (r.Control.batches_dropped > 0);
+  let gaps = gap_tuples (records_of_run r) in
+  Alcotest.(check int) "every drop declared" r.Control.batches_dropped (List.length gaps);
+  Alcotest.(check bool) "smc reason recorded" true
+    (List.exists
+       (fun (_, _, _, _, tag) -> R.gap_reason_of_tag tag = R.Smc_unavailable)
+       gaps);
+  let report = V.verify r.Control.verifier_spec (records_of_run r) in
+  if not (V.ok report) then
+    Alcotest.failf "declared SMC loss must degrade: %s" (Format.asprintf "%a" V.pp_report report)
+
+let test_pool_pressure_sheds_and_degrades () =
+  (* Forced pool sheds: ingest refuses with Overloaded instead of raising
+     Out_of_secure_memory, the batch is declared lost, the run verifies. *)
+  let bench = resilience_bench () in
+  let plan = { Fault.none with Fault.pool = { Fault.quiet with Fault.fail_p = 0.25 } } in
+  let cfg =
+    {
+      Control.dp_config = { (D.default_config ()) with D.fault_plan = plan };
+      cores = 8;
+      hints_enabled = true;
+    }
+  in
+  let r = Control.run cfg bench.B.pipeline (B.frames bench) in
+  Alcotest.(check bool) "sheds happened" true (r.Control.dp_stats.D.sheds > 0);
+  Alcotest.(check bool) "drops recorded" true (r.Control.batches_dropped > 0);
+  Alcotest.(check bool) "pool reason recorded" true
+    (List.exists
+       (fun (_, _, _, _, tag) -> R.gap_reason_of_tag tag = R.Pool_pressure)
+       (gap_tuples (records_of_run r)));
+  let report = V.verify r.Control.verifier_spec (records_of_run r) in
+  Alcotest.(check bool) "verifies as degradation" true (V.ok report)
+
+let test_dataplane_exhaustion_sheds_not_crashes () =
+  (* Real exhaustion (no injection): a payload larger than the whole pool
+     must shed with Overloaded, never crash the TEE. *)
+  let dp = mk_dp ~secure_mb:1 () in
+  let rows = List.init 120_000 (fun i -> [ Int32.of_int i; 1l; 0l ]) in
+  (try
+     ignore
+       (D.call dp
+          (D.R_ingest_events
+             { payload = payload_of rows; encrypted = false; stream = 0; seq = 0; mac = Bytes.empty }));
+     Alcotest.fail "expected Overloaded"
+   with D.Overloaded { stalled_ns } ->
+     Alcotest.(check bool) "stall modeled" true (stalled_ns > 0.0));
+  Alcotest.(check int) "shed counted" 1 (D.stats dp).D.sheds;
+  (* The pool is untouched: a reasonable batch still ingests fine. *)
+  match
+    D.call dp
+      (D.R_ingest_events
+         { payload = payload_of [ [ 1l; 2l; 0l ] ]; encrypted = false; stream = 0; seq = 1;
+           mac = Bytes.empty })
+  with
+  | D.Rs_ingested _ -> ()
+  | _ -> Alcotest.fail "pool unusable after shed"
+
+let test_corrupt_frame_rejected_by_dataplane () =
+  (* A MAC that does not match the payload: rejected inside the TEE. *)
+  let dp = mk_dp () in
+  let payload = payload_of [ [ 1l; 2l; 0l ]; [ 3l; 4l; 1l ] ] in
+  let key = Bytes.of_string "sbt-ingress-k16!" in
+  let mac = Frame.mac_payload ~key ~stream:0 ~seq:0 ~events:2 payload in
+  let bad = Bytes.copy payload in
+  Bytes.set bad 0 (Char.chr (Char.code (Bytes.get bad 0) lxor 0x40));
+  (try
+     ignore
+       (D.call dp (D.R_ingest_events { payload = bad; encrypted = false; stream = 0; seq = 0; mac }));
+     Alcotest.fail "expected Rejected"
+   with D.Rejected _ -> ());
+  (* The genuine payload with the same MAC is accepted. *)
+  match D.call dp (D.R_ingest_events { payload; encrypted = false; stream = 0; seq = 0; mac }) with
+  | D.Rs_ingested _ -> ()
+  | _ -> Alcotest.fail "genuine frame refused"
+
+let test_control_adaptive_backpressure () =
+  (* Satellite: adaptive flow control exercised through the whole control
+     plane, not just the dataplane unit - the run completes, stalls are
+     recorded, and the answers are unchanged. *)
+  let mk () = B.win_sum ~windows:2 ~events_per_window:8_000 ~batch_events:1_000 () in
+  let bench = mk () in
+  let cfg =
+    {
+      Control.dp_config =
+        { (D.default_config ~secure_mb:1 ()) with
+          D.backpressure_threshold = 0.05;
+          adaptive_backpressure = true;
+        };
+      cores = 8;
+      hints_enabled = true;
+    }
+  in
+  let r = Control.run cfg bench.B.pipeline (B.frames bench) in
+  Alcotest.(check bool) "stalls recorded" true (r.Control.dp_stats.D.backpressure_stalls > 0);
+  Alcotest.(check int) "nothing dropped" 0 r.Control.batches_dropped;
+  let plain, _ = run_pipeline (mk ()) in
+  Alcotest.(check bool) "same results under pressure" true
+    (opened_results plain = opened_results r);
+  let report = V.verify r.Control.verifier_spec (records_of_run r) in
+  Alcotest.(check bool) "verifies" true (V.ok report)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "core"
@@ -582,5 +842,19 @@ let () =
           Alcotest.test_case "scaling and verification" `Slow test_runner_scaling_and_verification;
           Alcotest.test_case "insecure >= clear-ingress" `Slow test_runner_insecure_faster_than_full;
           Alcotest.test_case "no leaked refs" `Quick test_no_leaked_refs_after_run;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "three regimes" `Quick test_resilience_three_regimes;
+          Alcotest.test_case "deterministic replay" `Quick test_resilience_deterministic;
+          Alcotest.test_case "zero-cost opt-in" `Quick test_resilience_zero_cost_opt_in;
+          Alcotest.test_case "smc retry within budget" `Quick test_smc_retry_within_budget;
+          Alcotest.test_case "smc budget exhausted" `Quick test_smc_budget_exhausted_degrades;
+          Alcotest.test_case "pool pressure degrades" `Quick test_pool_pressure_sheds_and_degrades;
+          Alcotest.test_case "exhaustion sheds not crashes" `Quick
+            test_dataplane_exhaustion_sheds_not_crashes;
+          Alcotest.test_case "corrupt frame rejected" `Quick test_corrupt_frame_rejected_by_dataplane;
+          Alcotest.test_case "control adaptive backpressure" `Quick
+            test_control_adaptive_backpressure;
         ] );
     ]

@@ -18,7 +18,8 @@ let ingest dp ~width rows =
   D.set_ingest_width dp width;
   match
     D.call dp
-      (D.R_ingest_events { payload = payload_of ~width rows; encrypted = false; stream = 0; seq = 0 })
+      (D.R_ingest_events
+         { payload = payload_of ~width rows; encrypted = false; stream = 0; seq = 0; mac = Bytes.empty })
   with
   | D.Rs_ingested { out; _ } -> out.D.ref_
   | _ -> Alcotest.fail "unexpected ingest response"

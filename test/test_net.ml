@@ -24,7 +24,8 @@ let test_unpack_rejects_partial () =
       ignore (Frame.unpack_events ~width:3 (Bytes.create 16)))
 
 let mk_frame payload =
-  Frame.Events { seq = 5; stream = 0; events = 3; windows = [ 0 ]; payload; encrypted = false }
+  Frame.Events
+    { seq = 5; stream = 0; events = 3; windows = [ 0 ]; payload; encrypted = false; mac = Bytes.empty }
 
 let test_encrypt_decrypt_roundtrip () =
   let payload = Frame.pack_events ~width:3 sample_records in
@@ -54,7 +55,8 @@ let test_seq_separates_keystreams () =
   let payload = Frame.pack_events ~width:3 sample_records in
   let f1 = mk_frame payload in
   let f2 =
-    Frame.Events { seq = 6; stream = 0; events = 3; windows = [ 0 ]; payload; encrypted = false }
+    Frame.Events
+      { seq = 6; stream = 0; events = 3; windows = [ 0 ]; payload; encrypted = false; mac = Bytes.empty }
   in
   match
     ( Frame.encrypt_payload ~key ~stream_nonce:9L f1,
@@ -68,6 +70,68 @@ let test_payload_bytes () =
   let payload = Frame.pack_events ~width:3 sample_records in
   Alcotest.(check int) "events frame" 36 (Frame.payload_bytes (mk_frame payload));
   Alcotest.(check int) "watermark" 8 (Frame.payload_bytes (Frame.Watermark { seq = 0; value = 1 }))
+
+(* --- authentication --------------------------------------------------------- *)
+
+let test_seal_verify_roundtrip () =
+  let payload = Frame.pack_events ~width:3 sample_records in
+  let f = Frame.seal ~key (mk_frame payload) in
+  Alcotest.(check bool) "sealed" true (Frame.sealed f);
+  Alcotest.(check bool) "verifies" true (Frame.mac_valid ~key f);
+  Alcotest.(check bool) "unsealed frame fails" false (Frame.mac_valid ~key (mk_frame payload));
+  Alcotest.(check bool) "wrong key fails" false (Frame.mac_valid ~key:(Bytes.make 16 'z') f);
+  (* Watermarks carry no payload: nothing to protect, nothing to fail. *)
+  Alcotest.(check bool) "watermark ok" true (Frame.mac_valid ~key (Frame.Watermark { seq = 0; value = 1 }))
+
+let test_seal_encrypt_then_mac () =
+  (* The MAC covers the wire payload: sealing the ciphertext verifies on
+     the ciphertext, and the tag still binds after decryption context. *)
+  let payload = Frame.pack_events ~width:3 sample_records in
+  let enc = Frame.encrypt_payload ~key ~stream_nonce:9L (mk_frame payload) in
+  let f = Frame.seal ~key enc in
+  Alcotest.(check bool) "verifies on ciphertext" true (Frame.mac_valid ~key f)
+
+(* Satellite property: encode -> flip one byte anywhere in the sealed
+   frame (payload, header field or tag) -> authentication must reject
+   cleanly, never crash. *)
+let prop_flip_one_byte_rejected =
+  QCheck.Test.make ~name:"one flipped byte never authenticates" ~count:300
+    QCheck.(triple (int_bound 10_000) small_nat (int_bound 254))
+    (fun (seq, flip_pos, mask0) ->
+      let mask = mask0 + 1 in
+      let payload = Frame.pack_events ~width:3 sample_records in
+      let f =
+        Frame.seal ~key
+          (Frame.Events
+             { seq; stream = 2; events = 3; windows = [ 0 ]; payload; encrypted = false;
+               mac = Bytes.empty })
+      in
+      match f with
+      | Frame.Watermark _ -> false
+      | Frame.Events ({ payload; mac; _ } as e) ->
+          (* Flip one byte across the authenticated surface: payload bytes
+             first, then the tag, then the header ints. *)
+          let damaged =
+            let n = Bytes.length payload and m = Bytes.length mac in
+            let pos = flip_pos mod (n + m + 3) in
+            if pos < n then begin
+              let p = Bytes.copy payload in
+              Bytes.set p pos (Char.chr (Char.code (Bytes.get p pos) lxor mask));
+              Frame.Events { e with payload = p }
+            end
+            else if pos < n + m then begin
+              let t = Bytes.copy mac in
+              let i = pos - n in
+              Bytes.set t i (Char.chr (Char.code (Bytes.get t i) lxor mask));
+              Frame.Events { e with mac = t }
+            end
+            else
+              match pos - n - m with
+              | 0 -> Frame.Events { e with seq = e.seq lxor mask }
+              | 1 -> Frame.Events { e with stream = e.stream lxor mask }
+              | _ -> Frame.Events { e with events = e.events lxor mask }
+          in
+          Frame.mac_valid ~key f && not (Frame.mac_valid ~key damaged))
 
 let test_link_transfer () =
   let l = { Link.bandwidth_bytes_per_s = 1000.0; latency_ns = 500.0 } in
@@ -83,6 +147,7 @@ let test_link_presets () =
   Alcotest.(check bool) "uplink much slower" true (up > gbe *. 100.0)
 
 let () =
+  let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "net"
     [
       ( "frame",
@@ -94,6 +159,12 @@ let () =
           Alcotest.test_case "idempotent flags" `Quick test_encrypt_idempotent_flags;
           Alcotest.test_case "seq separates keystreams" `Quick test_seq_separates_keystreams;
           Alcotest.test_case "payload bytes" `Quick test_payload_bytes;
+        ] );
+      ( "auth",
+        [
+          Alcotest.test_case "seal/verify roundtrip" `Quick test_seal_verify_roundtrip;
+          Alcotest.test_case "encrypt then mac" `Quick test_seal_encrypt_then_mac;
+          q prop_flip_one_byte_rejected;
         ] );
       ( "link",
         [

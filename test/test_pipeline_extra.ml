@@ -265,6 +265,7 @@ let test_late_data_detected () =
             (List.map (fun r -> Int32.to_int (List.nth r 2) / 1000) rows);
         payload = Frame.pack_events ~width:3 (Array.of_list (List.map Array.of_list rows));
         encrypted = false;
+        mac = Bytes.empty;
       }
   in
   let frames =

@@ -133,6 +133,31 @@ let test_smc_exception_restores_world () =
   Tz.Platform.enter_secure p;
   Tz.Platform.exit_secure p
 
+let test_smc_fault_hook_entry_busy () =
+  (* An injected transient refusal: raised before the world switch, so no
+     pair is charged, the caller sees Entry_busy, and the normal world
+     keeps running. *)
+  let p = Tz.Platform.create () in
+  let smc : (int, int) Tz.Smc.t = Tz.Smc.create p in
+  Tz.Smc.register smc Tz.Smc.Invoke (fun x -> x * 2);
+  let refuse = ref true in
+  Tz.Smc.set_fault_hook smc (fun entry _ -> !refuse && entry = Tz.Smc.Invoke);
+  (try
+     ignore (Tz.Smc.call smc Tz.Smc.Invoke 21);
+     Alcotest.fail "expected Entry_busy"
+   with Tz.Smc.Entry_busy e -> Alcotest.(check string) "entry" "invoke" (Tz.Smc.entry_name e));
+  Alcotest.(check int) "refusal counted" 1 (Tz.Smc.busy_rejections smc);
+  Alcotest.(check int) "no switch pair charged" 0 (Tz.Smc.switch_pairs smc);
+  Alcotest.(check bool) "still in normal world" true
+    (Tz.World.equal p.Tz.Platform.world Tz.World.Normal);
+  (* Retry after the transient clears. *)
+  refuse := false;
+  Alcotest.(check int) "retry succeeds" 42 (Tz.Smc.call smc Tz.Smc.Invoke 21);
+  Alcotest.(check int) "now one pair" 1 (Tz.Smc.switch_pairs smc);
+  Tz.Smc.clear_fault_hook smc;
+  refuse := true;
+  Alcotest.(check int) "hook cleared" 4 (Tz.Smc.call smc Tz.Smc.Invoke 2)
+
 (* --- Cost model ---------------------------------------------------------- *)
 
 let test_cost_model () =
@@ -168,6 +193,7 @@ let () =
           Alcotest.test_case "unregistered" `Quick test_smc_unregistered;
           Alcotest.test_case "duplicate registration" `Quick test_smc_duplicate_registration;
           Alcotest.test_case "exception restores world" `Quick test_smc_exception_restores_world;
+          Alcotest.test_case "fault hook refuses entry" `Quick test_smc_fault_hook_entry_busy;
         ] );
       ("cost-model", [ Alcotest.test_case "defaults and overrides" `Quick test_cost_model ]);
     ]

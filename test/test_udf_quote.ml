@@ -35,7 +35,10 @@ let ingest dp rows =
   let payload =
     Sbt_net.Frame.pack_events ~width:3 (Array.of_list (List.map Array.of_list rows))
   in
-  match D.call dp (D.R_ingest_events { payload; encrypted = false; stream = 0; seq = 0 }) with
+  match
+    D.call dp
+      (D.R_ingest_events { payload; encrypted = false; stream = 0; seq = 0; mac = Bytes.empty })
+  with
   | D.Rs_ingested { out; _ } -> out.D.ref_
   | _ -> Alcotest.fail "unexpected ingest response"
 
