@@ -18,6 +18,8 @@ module P = Sbt_prim.Primitive
 module U = Sbt_umem.Uarray
 module Frame = Sbt_net.Frame
 module Clock = Sbt_sim.Clock
+module J = Sbt_obs.Json
+module Bench_json = Sbt_obs.Bench_json
 
 let quick = (try Sys.getenv "SBT_BENCH_SCALE" with Not_found -> "quick") <> "full"
 
@@ -100,6 +102,18 @@ let fig7 () =
         (fun version ->
           let row = run_version mk version in
           fig7_rows := row :: !fig7_rows;
+          ignore
+            (Bench_json.append ~section:"fig7"
+               [
+                 ("bench", J.Str row.bench);
+                 ("version", J.Str (D.version_name row.version));
+                 ( "events_per_sec",
+                   J.Obj
+                     (List.map
+                        (fun (c, r) -> (string_of_int c, J.Num r))
+                        row.rates) );
+                 ("mem_high_water_mb", J.Num row.mem_mb);
+               ]);
           Printf.printf "    %-16s" (D.version_name version);
           List.iter
             (fun (c, r) -> Printf.printf "  %dc=%6.2f Mev/s" c (r /. 1e6))
@@ -144,7 +158,8 @@ let fig7 () =
     (mean (fun b -> pct (rate8 b D.Clear_ingress) (rate8 b D.Insecure)))
     (mean (fun b -> pct (rate8 b D.Full) (rate8 b D.Clear_ingress)))
     (mean (fun b -> pct (rate8 b D.Io_via_os) (rate8 b D.Full)));
-  Printf.printf "  (paper: security < 25%%; decrypt 4-35%%; trusted IO saves up to 20%%)\n"
+  Printf.printf "  (paper: security < 25%%; decrypt 4-35%%; trusted IO saves up to 20%%)\n";
+  Printf.printf "  wrote %s\n" (Bench_json.path ~section:"fig7" ())
 
 (* ------------------------------------------------------------------ *)
 (* Figure 8: vs commodity insecure engines on WinSum                     *)
@@ -304,10 +319,20 @@ let fig9 () =
       let switch = s.D.modeled_switch_ns in
       let mem = s.D.mem_ns in
       let total = compute +. switch +. mem in
+      ignore
+        (Bench_json.append ~section:"fig9"
+           [
+             ("batch_events", J.num_of_int events);
+             ("compute_pct", J.Num (100.0 *. compute /. total));
+             ("switch_pct", J.Num (100.0 *. switch /. total));
+             ("mem_pct", J.Num (100.0 *. mem /. total));
+             ("switch_pairs", J.num_of_int s.D.switch_pairs);
+           ]);
       Printf.printf "  %10d %9.1f%% %9.1f%% %9.1f%% %8d\n" events (100.0 *. compute /. total)
         (100.0 *. switch /. total) (100.0 *. mem /. total) s.D.switch_pairs)
     [ 8_000; 32_000; 128_000; 512_000; 1_000_000 ];
-  Printf.printf "  (paper: >=128K events/batch -> >90%% compute; 8K -> world switch dominates)\n"
+  Printf.printf "  (paper: >=128K events/batch -> >90%% compute; 8K -> world switch dominates)\n";
+  Printf.printf "  wrote %s\n" (Bench_json.path ~section:"fig9" ())
 
 (* ------------------------------------------------------------------ *)
 (* Figure 10: hint-guided memory placement ablation                      *)
@@ -664,15 +689,30 @@ let resilience () =
       let frames, _ = Sbt_net.Lossy.apply plan clean_frames in
       let o = Runner.run ~cores_list:[ 4 ] ~version:D.Full ~fault_plan:plan bench.B.pipeline frames in
       let rep = o.Runner.verifier_report in
-      Printf.printf "  %-6.2f %-9.3f %-6d %-6d %-6d %-10.3f %d\n" rate
-        (float_of_int (o.Runner.total_events - o.Runner.events_dropped)
-        /. float_of_int (max 1 generated))
+      let goodput =
+        float_of_int (o.Runner.total_events - o.Runner.events_dropped)
+        /. float_of_int (max 1 generated)
+      in
+      ignore
+        (Bench_json.append ~section:"resilience"
+           [
+             ("fault_rate", J.Num rate);
+             ("goodput", J.Num goodput);
+             ("gaps_declared", J.num_of_int o.Runner.gaps_declared);
+             ("sheds", J.num_of_int o.Runner.dp_stats.D.sheds);
+             ("smc_busy", J.num_of_int o.Runner.dp_stats.D.smc_busy_rejections);
+             ("loss_fraction", J.Num rep.Sbt_attest.Verifier.loss_fraction);
+             ("violations", J.num_of_int (List.length rep.Sbt_attest.Verifier.violations));
+             ("control_metrics", Sbt_obs.Metrics.to_json o.Runner.registry);
+           ]);
+      Printf.printf "  %-6.2f %-9.3f %-6d %-6d %-6d %-10.3f %d\n" rate goodput
         o.Runner.gaps_declared o.Runner.dp_stats.D.sheds o.Runner.dp_stats.D.smc_busy_rejections
         rep.Sbt_attest.Verifier.loss_fraction
         (List.length rep.Sbt_attest.Verifier.violations))
     [ 0.0; 0.02; 0.05; 0.1; 0.2 ];
   Printf.printf
-    "  (declared gaps verify as degradation, never violations; undeclared loss would violate)\n"
+    "  (declared gaps verify as degradation, never violations; undeclared loss would violate)\n";
+  Printf.printf "  wrote %s\n" (Bench_json.path ~section:"resilience" ())
 
 (* ------------------------------------------------------------------ *)
 

@@ -14,7 +14,7 @@ let version_of_string = function
   | "insecure" -> Ok D.Insecure
   | s -> Error (`Msg (Printf.sprintf "unknown version %S (full|clear|viaos|insecure)" s))
 
-let run name version windows events_per_window batch cores_list target_ms hints verbose frames_in audit_out =
+let run name version windows events_per_window batch cores_list target_ms hints verbose frames_in audit_out trace_out =
   match B.by_name name with
   | None ->
       Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|filter|power)\n" name;
@@ -26,10 +26,19 @@ let run name version windows events_per_window batch cores_list target_ms hints 
       let frames =
         match frames_in with Some path -> Sbt_io.read_frames path | None -> B.frames bench
       in
+      let tracer =
+        match trace_out with Some _ -> Some (Sbt_obs.Tracer.create ()) | None -> None
+      in
       let outcome =
-        Runner.run ~cores_list ~target_delay_ms:target ~version ~hints_enabled:hints
+        Runner.run ~cores_list ~target_delay_ms:target ~version ~hints_enabled:hints ?tracer
           bench.B.pipeline frames
       in
+      (match (trace_out, tracer) with
+      | Some path, Some tr ->
+          Sbt_obs.Chrome_trace.write_file tr ~path;
+          Printf.printf "trace written to %s (%d events; load in Perfetto or chrome://tracing)\n"
+            path (Sbt_obs.Tracer.event_count tr)
+      | _ -> ());
       (match audit_out with
       | Some path ->
           Sbt_io.write_audit path outcome.Runner.spec outcome.Runner.audit;
@@ -145,6 +154,9 @@ let frames_arg =
 let audit_arg =
   Arg.(value & opt (some string) None & info [ "audit-out" ] ~doc:"Write the signed audit log to a file for sbt_verify")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc:"Write a Chrome trace_event JSON of the recording run (virtual-time spans; open in Perfetto)")
+
 let resilience_arg =
   Arg.(value & flag & info [ "resilience" ] ~doc:"Fault-rate sweep: lossy link, transient SMC refusals, pool pressure and uplink loss, reporting goodput and verification per rate")
 
@@ -155,9 +167,11 @@ let fault_seed_arg =
   Arg.(value & opt int64 42L & info [ "fault-seed" ] ~doc:"Seed of the deterministic fault plan (same seed, same faults)")
 
 let dispatch name version windows epw batch cores_list target_ms hints verbose frames_in audit_out
-    resil fault_rates fault_seed =
+    trace_out resil fault_rates fault_seed =
   if resil then resilience name version windows epw batch fault_rates fault_seed
-  else run name version windows epw batch cores_list target_ms hints verbose frames_in audit_out
+  else
+    run name version windows epw batch cores_list target_ms hints verbose frames_in audit_out
+      trace_out
 
 let cmd =
   let doc = "Run a StreamBox-TZ benchmark pipeline" in
@@ -165,7 +179,7 @@ let cmd =
     (Cmd.info "sbt_run" ~doc)
     Term.(
       const dispatch $ name_arg $ version_arg $ windows_arg $ epw_arg $ batch_arg $ cores_arg
-      $ target_arg $ hints_arg $ verbose_arg $ frames_arg $ audit_arg $ resilience_arg
-      $ fault_rates_arg $ fault_seed_arg)
+      $ target_arg $ hints_arg $ verbose_arg $ frames_arg $ audit_arg $ trace_arg
+      $ resilience_arg $ fault_rates_arg $ fault_seed_arg)
 
 let () = exit (Cmd.eval cmd)

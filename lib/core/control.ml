@@ -23,6 +23,9 @@ type run_result = {
   gaps_declared : int;
   batches_dropped : int;
   events_dropped : int;
+  registry : Sbt_obs.Metrics.t;
+  tee_metrics : bytes;
+  tee_quote : Sbt_attest.Quote.quote;
 }
 
 (* Per-window control state. *)
@@ -50,7 +53,33 @@ let run cfg (pipe : Pipeline.t) frames =
   D.set_ingest_width dp pipe.Pipeline.schema.Event.width;
   let platform = cfg.dp_config.D.platform in
   let cost = platform.Sbt_tz.Platform.cost in
-  let des = Des.create ~cores:cfg.cores () in
+  let tracer = cfg.dp_config.D.tracer in
+  (* The DES inherits the platform's host_scale so that at host_scale 0
+     the whole schedule — and every audit timestamp derived from it — is
+     free of host noise (what the observer-effect tests rely on). *)
+  let des =
+    Des.create ?tracer ~host_scale:cost.Sbt_tz.Cost_model.host_scale ~cores:cfg.cores ()
+  in
+  (* Normal-world registry: always on (counting is deterministic and
+     cheap); the tracer alone is optional. *)
+  let reg = Sbt_obs.Metrics.create () in
+  let c_frames = Sbt_obs.Metrics.counter reg "control.frames" in
+  let c_gaps = Sbt_obs.Metrics.counter reg "control.gaps_declared" in
+  let c_batches_dropped = Sbt_obs.Metrics.counter reg "control.batches_dropped" in
+  let c_events_dropped = Sbt_obs.Metrics.counter reg "control.events_dropped" in
+  let c_sheds = Sbt_obs.Metrics.counter reg "control.sheds_observed" in
+  let c_busy = Sbt_obs.Metrics.counter reg "control.smc_busy" in
+  let c_closes = Sbt_obs.Metrics.counter reg "control.windows_closed" in
+  let h_stall = Sbt_obs.Metrics.histogram reg "control.ingest_stall_ns" in
+  (* Control-plane instants ride the secure clock (set by the enclosing
+     DES task), so they are virtual-time like everything else. *)
+  let instant ?args name =
+    match tracer with
+    | None -> ()
+    | Some tr ->
+        Sbt_obs.Tracer.instant tr ?args ~pid:0 ~tid:0 ~cat:"control" ~name
+          ~ts_ns:(D.now_ns dp) ()
+  in
   (* Trace assembly: one pending node per DES task, costs filled after run. *)
   let pending_nodes :
       (string * Des.task * int list * int option * Trace.role) list ref =
@@ -157,7 +186,16 @@ let run cfg (pipe : Pipeline.t) frames =
   let events_dropped = ref 0 in
   let declare_gap ~stream ~seq ~events ~windows ~reason =
     match D.call dp (D.R_declare_gap { stream; seq; events; windows; reason }) with
-    | D.Rs_outputs [] -> incr gaps_declared
+    | D.Rs_outputs [] ->
+        incr gaps_declared;
+        Sbt_obs.Metrics.incr c_gaps;
+        instant "gap"
+          ~args:
+            [
+              ("stream", Sbt_obs.Tracer.Int stream);
+              ("seq", Sbt_obs.Tracer.Int seq);
+              ("events", Sbt_obs.Tracer.Int events);
+            ]
     | _ -> failwith "control: unexpected gap response"
   in
   (* Next expected frame seq per stream: a jump means the link dropped
@@ -179,12 +217,16 @@ let run cfg (pipe : Pipeline.t) frames =
       | D.Rs_outputs _ | D.Rs_watermark _ | D.Rs_egress _ ->
           failwith "control: unexpected ingest response"
       | exception Sbt_tz.Smc.Entry_busy _ ->
+          Sbt_obs.Metrics.incr c_busy;
           if n < plan.Sbt_fault.Fault.retry_budget then
             let backoff = Sbt_fault.Fault.backoff_ns plan ~stream ~seq ~attempt:(n + 1) in
             attempt (n + 1) (stall +. backoff)
           else Error (stall, Sbt_attest.Record.Smc_unavailable)
       | exception D.Rejected _ -> Error (stall, Sbt_attest.Record.Corrupt_ingress)
       | exception D.Overloaded { stalled_ns } ->
+          Sbt_obs.Metrics.incr c_sheds;
+          instant "shed"
+            ~args:[ ("stream", Sbt_obs.Tracer.Int stream); ("seq", Sbt_obs.Tracer.Int seq) ];
           Error (stall +. stalled_ns, Sbt_attest.Record.Pool_pressure)
     in
     attempt 0 0.0
@@ -200,6 +242,7 @@ let run cfg (pipe : Pipeline.t) frames =
           let arrival = !cum_events + events in
           cum_events := arrival;
           total_events := !total_events + events;
+          Sbt_obs.Metrics.incr c_frames;
           let holes = link_holes ~stream ~seq in
           let batch_ref = ref 0L in
           let batch_ok = ref false in
@@ -212,6 +255,7 @@ let run cfg (pipe : Pipeline.t) frames =
                 List.iter
                   (fun missing ->
                     incr batches_dropped;
+                    Sbt_obs.Metrics.incr c_batches_dropped;
                     declare_gap ~stream ~seq:missing ~events:0 ~windows:[]
                       ~reason:Sbt_attest.Record.Link_loss)
                   holes;
@@ -219,13 +263,17 @@ let run cfg (pipe : Pipeline.t) frames =
                 | Ok (out, stalled_ns) ->
                     batch_ref := out.D.ref_;
                     batch_ok := true;
+                    Sbt_obs.Metrics.observe h_stall stalled_ns;
                     stalled_ns
                 | Error (stalled_ns, reason) ->
                     (* Past the retry budget / rejected / shed: degrade by
                        dropping the batch and leaving a signed gap. *)
                     incr batches_dropped;
+                    Sbt_obs.Metrics.incr c_batches_dropped;
                     events_dropped := !events_dropped + events;
+                    Sbt_obs.Metrics.add c_events_dropped events;
                     declare_gap ~stream ~seq ~events ~windows:frame_windows ~reason;
+                    Sbt_obs.Metrics.observe h_stall stalled_ns;
                     stalled_ns)
           in
           (* Windows already closed when this batch was scheduled: data for
@@ -342,6 +390,8 @@ let run cfg (pipe : Pipeline.t) frames =
                   add_task ~deps:close_deps ~role:(Trace.Egress_of w)
                     ~label:(Printf.sprintf "close:w%d" w)
                     (fun () ->
+                      Sbt_obs.Metrics.incr c_closes;
+                      instant "window-close" ~args:[ ("win", Sbt_obs.Tracer.Int w) ];
                       let trigger_used = ref false in
                       let invoke ?(params = []) ?(hints = []) ?(retire = true) op inputs =
                         let trigger =
@@ -437,6 +487,7 @@ let run cfg (pipe : Pipeline.t) frames =
   in
   let trace = Trace.of_nodes trace_nodes in
   let dp_stats = D.stats dp in
+  let tee_metrics, tee_quote = D.metrics_quote dp ~nonce:(Bytes.of_string "sbt-run-final") in
   {
     results = List.rev !results;
     trace;
@@ -452,4 +503,7 @@ let run cfg (pipe : Pipeline.t) frames =
     gaps_declared = !gaps_declared;
     batches_dropped = !batches_dropped;
     events_dropped = !events_dropped;
+    registry = reg;
+    tee_metrics;
+    tee_quote;
   }

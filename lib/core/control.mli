@@ -35,6 +35,17 @@ type run_result = {
   batches_dropped : int;
       (** frames lost to the link or shed past the retry budget *)
   events_dropped : int;  (** events inside dropped frames (link holes excluded) *)
+  registry : Sbt_obs.Metrics.t;
+      (** the normal-world metrics registry for this run (always
+          populated; counting is deterministic and costs no virtual
+          time).  Control-plane counters here double-book the loss
+          accounting above so tests can cross-check them. *)
+  tee_metrics : bytes;
+      (** TEE-side registry snapshot ({!Sbt_obs.Metrics.encode_snapshot}),
+          exported through the quote path — never read directly *)
+  tee_quote : Sbt_attest.Quote.quote;
+      (** quote over [Sha256 (tee_metrics)] under the device key, nonce
+          ["sbt-run-final"] *)
 }
 
 val run : config -> Pipeline.t -> Sbt_net.Frame.t list -> run_result

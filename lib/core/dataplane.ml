@@ -25,6 +25,7 @@ type config = {
   adaptive_backpressure : bool;
   seed : int64;
   fault_plan : Sbt_fault.Fault.plan;
+  tracer : Sbt_obs.Tracer.t option;
 }
 
 let default_config ?(version = Full) ?(cores = 8) ?(secure_mb = 512) () =
@@ -44,6 +45,7 @@ let default_config ?(version = Full) ?(cores = 8) ?(secure_mb = 512) () =
     adaptive_backpressure = false;
     seed = 42L;
     fault_plan = Sbt_fault.Fault.none;
+    tracer = None;
   }
 
 type hint = H_after of int64 | H_parallel
@@ -131,6 +133,17 @@ type t = {
   mutable uploaded : Sbt_attest.Log.batch list; (* newest first *)
   mutable ingest_width : int; (* set per stream schema via first ingest params *)
   udfs : (string * int, Udf.t) Hashtbl.t; (* certified-and-installed UDFs *)
+  (* TEE-side metrics registry: never read across the boundary directly;
+     exported only as an attested snapshot via [metrics_quote]. *)
+  reg : Sbt_obs.Metrics.t;
+  m_events : Sbt_obs.Metrics.counter;
+  m_bytes : Sbt_obs.Metrics.counter;
+  m_sheds : Sbt_obs.Metrics.counter;
+  m_stalls : Sbt_obs.Metrics.counter;
+  m_invocations : Sbt_obs.Metrics.counter;
+  m_gaps : Sbt_obs.Metrics.counter;
+  m_batch_events : Sbt_obs.Metrics.histogram;
+  m_pool : Sbt_obs.Metrics.gauge;
 }
 
 type stats = {
@@ -258,6 +271,7 @@ let do_ingest_events t ~payload ~encrypted ~stream ~seq ~mac =
   if forced_shed || Pool.available_pages t.pool < Pool.pages_for_bytes (Bytes.length payload)
   then begin
     t.sheds <- t.sheds + 1;
+    Sbt_obs.Metrics.incr t.m_sheds;
     t.consecutive_sheds <- t.consecutive_sheds + 1;
     let stalled_ns =
       Float.min 16_000_000.0 (1_000_000.0 *. float_of_int (1 lsl min 4 t.consecutive_sheds))
@@ -272,6 +286,7 @@ let do_ingest_events t ~payload ~encrypted ~stream ~seq ~mac =
   let stalled_ns =
     if pressure > t.cfg.backpressure_threshold then begin
       t.backpressure_stalls <- t.backpressure_stalls + 1;
+      Sbt_obs.Metrics.incr t.m_stalls;
       if t.cfg.adaptive_backpressure then begin
         (* Automatic flow control (the paper's stated future work, 4.2):
            the stall grows with how deep past the threshold the pool is,
@@ -316,6 +331,10 @@ let do_ingest_events t ~payload ~encrypted ~stream ~seq ~mac =
   t.consecutive_sheds <- 0;
   t.events_ingested <- t.events_ingested + events;
   t.bytes_ingested <- t.bytes_ingested + Bytes.length payload;
+  Sbt_obs.Metrics.add t.m_events events;
+  Sbt_obs.Metrics.add t.m_bytes (Bytes.length payload);
+  Sbt_obs.Metrics.observe t.m_batch_events (float_of_int events);
+  Sbt_obs.Metrics.set_gauge t.m_pool (float_of_int (Pool.committed_bytes t.pool));
   append_record t (Sbt_attest.Record.Ingress { ts = now_us t; uarray = U.id ua; stream; seq });
   let r = Opaque.register t.refs ua in
   Rs_ingested { out = { win = -1; ref_ = r; events }; stalled_ns }
@@ -324,6 +343,7 @@ let do_ingest_events t ~payload ~encrypted ~stream ~seq ~mac =
    benign fault: the signed Gap record is what lets the verifier tell
    degradation from tampering. *)
 let do_declare_gap t ~stream ~seq ~events ~windows ~reason =
+  Sbt_obs.Metrics.incr t.m_gaps;
   append_record t
     (Sbt_attest.Record.Gap { ts = now_us t; stream; seq; events; windows; reason });
   Rs_outputs []
@@ -347,6 +367,7 @@ let scalar_i64 v =
 
 let do_invoke (t : t) ~op ~inputs ~trigger ~params ~hints ~retire_inputs =
   t.invocations <- t.invocations + 1;
+  Sbt_obs.Metrics.incr t.m_invocations;
   let uas = List.map (Opaque.resolve t.refs) inputs in
   let producer = P.to_id op in
   let hint_for i =
@@ -660,6 +681,7 @@ let do_invoke_udf t ~name ~version ~inputs ~trigger ~value_field ~hints ~retire_
     | None -> raise (Rejected (Printf.sprintf "udf: %s v%d not installed" name version))
   in
   t.invocations <- t.invocations + 1;
+  Sbt_obs.Metrics.incr t.m_invocations;
   let src = as_one (List.map (Opaque.resolve t.refs) inputs) in
   let w = U.width src in
   if value_field < 0 || value_field >= w then raise (Rejected "udf: bad value field");
@@ -753,6 +775,25 @@ let do_retire t ~input =
       Opaque.remove t.refs input);
   Rs_outputs []
 
+let measured_total (t : t) = t.compute_ns +. t.mem_ns +. t.crypto_ns +. t.ingest_ns
+
+(* One "prim" span per primitive/udf/seal execution, at the TEE's virtual
+   clock.  The duration is the measured-time delta scaled by the cost
+   model's host_scale — the same virtual quantity the DES charges — so at
+   host_scale 0 even the trace bytes are deterministic. *)
+let traced_prim t name f =
+  match t.cfg.tracer with
+  | None -> f ()
+  | Some tr ->
+      let ts = t.now_ns and before = measured_total t in
+      let r = f () in
+      let dur =
+        (measured_total t -. before)
+        *. t.cfg.platform.Tz.Platform.cost.Tz.Cost_model.host_scale
+      in
+      Sbt_obs.Tracer.complete tr ~pid:1 ~tid:0 ~cat:"prim" ~name ~ts_ns:ts ~dur_ns:dur ();
+      r
+
 let dispatch t = function
   | R_ingest_events { payload; encrypted; stream; seq; mac } ->
       do_ingest_events t ~payload ~encrypted ~stream ~seq ~mac
@@ -760,12 +801,14 @@ let dispatch t = function
   | R_declare_gap { stream; seq; events; windows; reason } ->
       do_declare_gap t ~stream ~seq ~events ~windows ~reason
   | R_invoke { op; inputs; trigger; params; hints; retire_inputs } ->
-      do_invoke t ~op ~inputs ~trigger ~params ~hints ~retire_inputs
-  | R_egress { input; window } -> do_egress t ~input ~window
+      traced_prim t (P.name op) (fun () ->
+          do_invoke t ~op ~inputs ~trigger ~params ~hints ~retire_inputs)
+  | R_egress { input; window } -> traced_prim t "seal" (fun () -> do_egress t ~input ~window)
   | R_install_udf { udf; cert } -> do_install_udf t ~udf ~cert
   | R_invoke_udf { name; version; inputs; trigger; value_field; hints; retire_inputs; state_output } ->
-      do_invoke_udf t ~name ~version ~inputs ~trigger ~value_field ~hints ~retire_inputs
-        ~state_output
+      traced_prim t ("udf:" ^ name) (fun () ->
+          do_invoke_udf t ~name ~version ~inputs ~trigger ~value_field ~hints ~retire_inputs
+            ~state_output)
   | R_retire { input } -> do_retire t ~input
 
 let create cfg =
@@ -774,6 +817,8 @@ let create cfg =
   let alloc = Alloc.create ~mode:cfg.alloc_mode ~pool () in
   let rng = Sbt_crypto.Rng.create ~seed:cfg.seed in
   let smc = Tz.Smc.create cfg.platform in
+  let reg = Sbt_obs.Metrics.create () in
+  let batch_bounds = [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 2000.; 5000. |] in
   let t =
     {
       cfg;
@@ -797,8 +842,25 @@ let create cfg =
       uploaded = [];
       ingest_width = 3;
       udfs = Hashtbl.create 8;
+      reg;
+      m_events = Sbt_obs.Metrics.counter reg "tee.events_ingested";
+      m_bytes = Sbt_obs.Metrics.counter reg "tee.bytes_ingested";
+      m_sheds = Sbt_obs.Metrics.counter reg "tee.sheds";
+      m_stalls = Sbt_obs.Metrics.counter reg "tee.backpressure_stalls";
+      m_invocations = Sbt_obs.Metrics.counter reg "tee.invocations";
+      m_gaps = Sbt_obs.Metrics.counter reg "tee.gaps_declared";
+      m_batch_events = Sbt_obs.Metrics.histogram ~bounds:batch_bounds reg "tee.batch_events";
+      m_pool = Sbt_obs.Metrics.gauge reg "tee.pool_committed_bytes";
     }
   in
+  (* Observers go in before Init so a trace's "smc" span count equals the
+     platform's switch-pair count exactly. *)
+  (match cfg.tracer with
+  | None -> ()
+  | Some tracer ->
+      let now_ns () = t.now_ns in
+      Tz.Smc.set_observer smc ~tracer ~now_ns;
+      Alloc.set_observer alloc ~tracer ~now_ns);
   Tz.Smc.register smc Tz.Smc.Init (fun _ -> Rr_unit);
   Tz.Smc.register smc Tz.Smc.Finalize (fun _ ->
       flush_log t;
@@ -903,6 +965,12 @@ let pool_high_water_bytes t = Pool.high_water_bytes t.pool
 let reset_high_water t = Pool.reset_high_water t.pool
 let allocator t = t.alloc
 let set_now_ns t ns = t.now_ns <- ns
+let now_ns t = t.now_ns
+
+let metrics_quote t ~nonce =
+  let payload = Sbt_obs.Metrics.encode_snapshot t.reg in
+  let measurement = Sbt_crypto.Sha256.digest payload in
+  (payload, Sbt_attest.Quote.issue ~device_key:t.cfg.egress_key measurement ~nonce)
 
 let set_ingest_width t w =
   if w <= 0 then invalid_arg "Dataplane.set_ingest_width: width must be positive";

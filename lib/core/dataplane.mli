@@ -39,6 +39,11 @@ type config = {
           sheds); {!Sbt_fault.Fault.none} by default — the injection path
           is then never consulted and behaviour is identical to a build
           without the fault layer *)
+  tracer : Sbt_obs.Tracer.t option;
+      (** virtual-time trace sink shared with the DES and control plane;
+          [None] (the default) records nothing.  Spans are keyed to the
+          TEE's virtual clock and modeled/virtual costs, so enabling
+          tracing cannot change any result, audit byte, or verdict. *)
 }
 
 val default_config : ?version:version -> ?cores:int -> ?secure_mb:int -> unit -> config
@@ -189,6 +194,17 @@ val allocator : t -> Sbt_umem.Allocator.t
 val set_now_ns : t -> float -> unit
 (** Advance the TEE's secure clock (driven by the DES's virtual time; a
     real deployment reads a secure timer). *)
+
+val now_ns : t -> float
+(** The secure clock's current virtual time. *)
+
+val metrics_quote : t -> nonce:bytes -> bytes * Sbt_attest.Quote.quote
+(** Export the TEE-side metrics registry the only way secure-world state
+    may leave: as a serialized snapshot ({!Sbt_obs.Metrics.encode_snapshot})
+    quoted under the device key against the verifier's [nonce] — the same
+    path that authenticates audit uploads.  The verifier checks the quote
+    against [Sbt_crypto.Sha256.digest payload] before trusting any
+    number in it. *)
 
 val set_ingest_width : t -> int -> unit
 (** Record width (32-bit fields per event) of ingested payloads —

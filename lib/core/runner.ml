@@ -27,6 +27,9 @@ type outcome = {
   results : (int * D.sealed_result) list;
   audit : Sbt_attest.Log.batch list;
   spec : Sbt_attest.Verifier.spec;
+  registry : Sbt_obs.Metrics.t;
+  tee_metrics : bytes;
+  tee_quote : Sbt_attest.Quote.quote;
 }
 
 let mean = function
@@ -36,13 +39,18 @@ let mean = function
 let run ?(cores_list = [ 2; 4; 8 ]) ?(target_delay_ms = 500.0) ?(version = D.Full)
     ?(hints_enabled = true) ?(alloc_mode = Sbt_umem.Allocator.Hint_guided)
     ?(sort_algorithm = Sbt_prim.Sort.Radix) ?(secure_mb = 512) ?(repeats = 1)
-    ?(fault_plan = Sbt_fault.Fault.none) (pipe : Pipeline.t) frames =
+    ?(fault_plan = Sbt_fault.Fault.none) ?tracer (pipe : Pipeline.t) frames =
   let record () =
+    (* With repeats > 1 the trace buffer would accumulate every
+       recording; keep only the latest (callers wanting a trace use
+       repeats = 1, where latest = kept). *)
+    Option.iter Sbt_obs.Tracer.reset tracer;
     let dp_config =
       { (D.default_config ~version ~cores:(List.fold_left max 1 cores_list) ~secure_mb ()) with
         D.alloc_mode;
         sort_algorithm;
         fault_plan;
+        tracer;
       }
     in
     let cfg = { Control.dp_config; cores = List.fold_left max 1 cores_list; hints_enabled } in
@@ -116,6 +124,9 @@ let run ?(cores_list = [ 2; 4; 8 ]) ?(target_delay_ms = 500.0) ?(version = D.Ful
     results = List.sort (fun (a, _) (b, _) -> compare a b) r.Control.results;
     audit = r.Control.audit;
     spec = r.Control.verifier_spec;
+    registry = r.Control.registry;
+    tee_metrics = r.Control.tee_metrics;
+    tee_quote = r.Control.tee_quote;
   }
 
 let pp_outcome fmt o =

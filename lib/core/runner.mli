@@ -33,6 +33,9 @@ type outcome = {
   results : (int * Dataplane.sealed_result) list;  (** sorted by window *)
   audit : Sbt_attest.Log.batch list;  (** the signed upload, oldest first *)
   spec : Sbt_attest.Verifier.spec;  (** the declaration the verifier used *)
+  registry : Sbt_obs.Metrics.t;  (** control-plane metrics for the kept recording *)
+  tee_metrics : bytes;  (** attested TEE registry snapshot *)
+  tee_quote : Sbt_attest.Quote.quote;
 }
 
 val run :
@@ -45,12 +48,16 @@ val run :
   ?secure_mb:int ->
   ?repeats:int ->
   ?fault_plan:Sbt_fault.Fault.plan ->
+  ?tracer:Sbt_obs.Tracer.t ->
   Pipeline.t ->
   Sbt_net.Frame.t list ->
   outcome
 (** Defaults: cores [\[2;4;8\]], 500 ms target, [Full] version, hints on,
     hint-guided allocator, radix sort, 512 MB secure DRAM, one recording
     run.  [repeats > 1] records several times and keeps the cheapest
-    trace, suppressing host measurement noise. *)
+    trace, suppressing host measurement noise.  [tracer] records
+    virtual-time spans for the recording run (use [repeats = 1] so the
+    trace matches the kept recording; the buffer is reset before each
+    repeat and holds the last one). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,27 @@
+let check_section s =
+  if s = "" then invalid_arg "Bench_json: empty section";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> ()
+      | _ -> invalid_arg (Printf.sprintf "Bench_json: section %S is not a bare token" s))
+    s
+
+let out_dir = function
+  | Some dir -> dir
+  | None -> ( try Sys.getenv "SBT_BENCH_OUT_DIR" with Not_found -> ".")
+
+let path ?dir ~section () =
+  check_section section;
+  Filename.concat (out_dir dir) (Printf.sprintf "BENCH_%s.json" section)
+
+let append ?dir ~section fields =
+  let file = path ?dir ~section () in
+  let line = Json.to_string (Json.Obj (("section", Json.Str section) :: fields)) in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc line;
+      output_char oc '\n');
+  file

@@ -1,0 +1,15 @@
+(** Machine-readable bench output: one [BENCH_<section>.json] file per
+    bench section, one JSON object per line, appended per run — the
+    repo's perf trajectory.
+
+    The destination directory is [SBT_BENCH_OUT_DIR] when set, else the
+    working directory (dune exec runs from the invocation directory, so
+    by default the files land at the repo root). *)
+
+val path : ?dir:string -> section:string -> unit -> string
+(** Raises [Invalid_argument] if [section] is not a bare
+    [[A-Za-z0-9_-]+] token. *)
+
+val append : ?dir:string -> section:string -> (string * Json.t) list -> string
+(** Appends one line [{"section": <section>, ...fields}] and returns
+    the file path. *)

@@ -1,0 +1,13 @@
+(** Chrome [trace_event] export (the JSON object format), loadable in
+    Perfetto or chrome://tracing.
+
+    Timestamps are converted from the tracer's virtual nanoseconds to
+    the format's microseconds.  Event mapping: complete spans are
+    [ph = "X"], instants [ph = "i"] (thread scope), counter samples
+    [ph = "C"], plus [ph = "M"] metadata naming the two worlds. *)
+
+val to_json : ?process_names:(int * string) list -> Tracer.t -> string
+(** [process_names] defaults to
+    [[(0, "normal-world"); (1, "secure-world")]]. *)
+
+val write_file : ?process_names:(int * string) list -> Tracer.t -> path:string -> unit

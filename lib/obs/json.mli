@@ -1,0 +1,20 @@
+(** Minimal JSON emission — just enough for the trace and bench
+    exporters, with no external dependency.  Emission only; the test
+    suite carries its own tiny parser to check well-formedness. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val num_of_int : int -> t
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace).  Integral numbers
+    print without a fractional part; non-finite numbers render as
+    [null] (JSON has no representation for them). *)

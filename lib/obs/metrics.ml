@@ -1,0 +1,239 @@
+type counter = { mutable count : int }
+type gauge = { mutable value : float; mutable high_water : float }
+
+type histogram = {
+  bounds : float array; (* strictly increasing inclusive upper bounds *)
+  counts : int array; (* length bounds + 1; last is the overflow bucket *)
+  mutable n : int;
+  mutable total : float;
+}
+
+type entry = E_counter of counter | E_gauge of gauge | E_histogram of histogram
+
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  mutable order : string list; (* registration order, newest first *)
+}
+
+let create () = { entries = Hashtbl.create 32; order = [] }
+
+let check_name name =
+  if name = "" then invalid_arg "Metrics: empty name";
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\n' || c = '\r' then
+        invalid_arg (Printf.sprintf "Metrics: name %S contains whitespace" name))
+    name
+
+let register t name mk wrong =
+  check_name name;
+  match Hashtbl.find_opt t.entries name with
+  | Some e -> wrong e
+  | None ->
+      let e = mk () in
+      Hashtbl.replace t.entries name e;
+      t.order <- name :: t.order;
+      e
+
+let kind_error name =
+  invalid_arg (Printf.sprintf "Metrics: %S already registered with a different kind" name)
+
+let counter t name =
+  match
+    register t name (fun () -> E_counter { count = 0 }) (fun e -> e)
+  with
+  | E_counter c -> c
+  | E_gauge _ | E_histogram _ -> kind_error name
+
+let incr c = c.count <- c.count + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: counters are monotonic (negative delta)";
+  c.count <- c.count + n
+
+let counter_value c = c.count
+
+let gauge t name =
+  match register t name (fun () -> E_gauge { value = 0.0; high_water = 0.0 }) (fun e -> e) with
+  | E_gauge g -> g
+  | E_counter _ | E_histogram _ -> kind_error name
+
+let set_gauge g v =
+  g.value <- v;
+  if v > g.high_water then g.high_water <- v
+
+let gauge_value g = g.value
+let gauge_high_water g = g.high_water
+
+let default_bounds =
+  (* 1-2-5 decades, 1 us .. 10 s, in ns. *)
+  let decades = [ 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 ] in
+  Array.of_list (List.concat_map (fun d -> [ d; 2.0 *. d; 5.0 *. d ]) decades @ [ 1e10 ])
+
+let check_bounds bounds =
+  if Array.length bounds = 0 then invalid_arg "Metrics.histogram: empty bounds";
+  for i = 1 to Array.length bounds - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Metrics.histogram: bounds must be strictly increasing"
+  done
+
+let histogram ?(bounds = default_bounds) t name =
+  check_bounds bounds;
+  match
+    register t name
+      (fun () ->
+        E_histogram
+          {
+            bounds = Array.copy bounds;
+            counts = Array.make (Array.length bounds + 1) 0;
+            n = 0;
+            total = 0.0;
+          })
+      (fun e -> e)
+  with
+  | E_histogram h ->
+      if h.bounds <> bounds then
+        invalid_arg (Printf.sprintf "Metrics.histogram: %S re-registered with different bounds" name);
+      h
+  | E_counter _ | E_gauge _ -> kind_error name
+
+let bucket_of h v =
+  (* First bucket whose inclusive upper bound covers [v]; the trailing
+     slot is the overflow bucket. *)
+  let n = Array.length h.bounds in
+  let i = ref 0 in
+  while !i < n && v > h.bounds.(!i) do
+    i := !i + 1
+  done;
+  !i
+
+let observe h v =
+  let b = bucket_of h v in
+  h.counts.(b) <- h.counts.(b) + 1;
+  h.n <- h.n + 1;
+  h.total <- h.total +. v
+
+let observations h = h.n
+let sum h = h.total
+let bucket_counts h = Array.copy h.counts
+
+let percentile h p =
+  if p <= 0.0 || p > 100.0 then invalid_arg "Metrics.percentile: p must be in (0, 100]";
+  if h.n = 0 then Float.nan
+  else begin
+    let rank = max 1 (int_of_float (Float.ceil (p /. 100.0 *. float_of_int h.n))) in
+    let cum = ref 0 in
+    let result = ref Float.infinity in
+    (try
+       Array.iteri
+         (fun i c ->
+           cum := !cum + c;
+           if !cum >= rank then begin
+             result := (if i < Array.length h.bounds then h.bounds.(i) else Float.infinity);
+             raise Exit
+           end)
+         h.counts
+     with Exit -> ());
+    !result
+  end
+
+type sample =
+  | S_counter of { name : string; value : int }
+  | S_gauge of { name : string; value : float; high_water : float }
+  | S_histogram of {
+      name : string;
+      count : int;
+      sum : float;
+      p50 : float;
+      p95 : float;
+      p99 : float;
+    }
+
+let sample_of t name =
+  match Hashtbl.find t.entries name with
+  | E_counter c -> S_counter { name; value = c.count }
+  | E_gauge g -> S_gauge { name; value = g.value; high_water = g.high_water }
+  | E_histogram h ->
+      S_histogram
+        {
+          name;
+          count = h.n;
+          sum = h.total;
+          p50 = (if h.n = 0 then Float.nan else percentile h 50.0);
+          p95 = (if h.n = 0 then Float.nan else percentile h 95.0);
+          p99 = (if h.n = 0 then Float.nan else percentile h 99.0);
+        }
+
+let snapshot t = List.rev_map (sample_of t) t.order
+
+let find_counter t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some (E_counter c) -> c.count
+  | Some _ | None -> raise Not_found
+
+let find_gauge_high_water t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some (E_gauge g) -> g.high_water
+  | Some _ | None -> raise Not_found
+
+(* --- snapshot serialization (the TEE export format) -------------------- *)
+
+let fmt_f v = Printf.sprintf "%.17g" v
+
+let encode_snapshot t =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun s ->
+      (match s with
+      | S_counter { name; value } -> Buffer.add_string buf (Printf.sprintf "C %s %d" name value)
+      | S_gauge { name; value; high_water } ->
+          Buffer.add_string buf (Printf.sprintf "G %s %s %s" name (fmt_f value) (fmt_f high_water))
+      | S_histogram { name; count; sum; p50; p95; p99 } ->
+          Buffer.add_string buf
+            (Printf.sprintf "H %s %d %s %s %s %s" name count (fmt_f sum) (fmt_f p50) (fmt_f p95)
+               (fmt_f p99)));
+      Buffer.add_char buf '\n')
+    (snapshot t);
+  Buffer.to_bytes buf
+
+let decode_snapshot payload =
+  let bad line = invalid_arg (Printf.sprintf "Metrics.decode_snapshot: malformed line %S" line) in
+  let float_field line s = try float_of_string s with Failure _ -> bad line in
+  let int_field line s = try int_of_string s with Failure _ -> bad line in
+  String.split_on_char '\n' (Bytes.to_string payload)
+  |> List.filter (fun l -> l <> "")
+  |> List.map (fun line ->
+         match String.split_on_char ' ' line with
+         | [ "C"; name; v ] -> S_counter { name; value = int_field line v }
+         | [ "G"; name; v; hw ] ->
+             S_gauge { name; value = float_field line v; high_water = float_field line hw }
+         | [ "H"; name; n; s; p50; p95; p99 ] ->
+             S_histogram
+               {
+                 name;
+                 count = int_field line n;
+                 sum = float_field line s;
+                 p50 = float_field line p50;
+                 p95 = float_field line p95;
+                 p99 = float_field line p99;
+               }
+         | _ -> bad line)
+
+let to_json t =
+  Json.Obj
+    (List.map
+       (function
+         | S_counter { name; value } -> (name, Json.num_of_int value)
+         | S_gauge { name; value; high_water } ->
+             (name, Json.Obj [ ("value", Json.Num value); ("high_water", Json.Num high_water) ])
+         | S_histogram { name; count; sum; p50; p95; p99 } ->
+             ( name,
+               Json.Obj
+                 [
+                   ("count", Json.num_of_int count);
+                   ("sum", Json.Num sum);
+                   ("p50", Json.Num p50);
+                   ("p95", Json.Num p95);
+                   ("p99", Json.Num p99);
+                 ] ))
+       (snapshot t))

@@ -1,0 +1,93 @@
+type arg = Int of int | Float of float | Str of string
+
+type event =
+  | Complete of {
+      name : string;
+      cat : string;
+      ts_ns : float;
+      dur_ns : float;
+      pid : int;
+      tid : int;
+      args : (string * arg) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      ts_ns : float;
+      pid : int;
+      tid : int;
+      args : (string * arg) list;
+    }
+  | Counter_sample of {
+      name : string;
+      ts_ns : float;
+      pid : int;
+      tid : int;
+      series : (string * float) list;
+    }
+
+type span = {
+  s_name : string;
+  s_cat : string;
+  s_ts : float;
+  s_pid : int;
+  s_tid : int;
+  s_args : (string * arg) list;
+  mutable s_closed : bool;
+}
+
+type t = {
+  mutable rev_events : event list;
+  mutable n : int;
+  stacks : (int * int, span list) Hashtbl.t; (* (pid, tid) -> open spans, innermost first *)
+}
+
+let create () = { rev_events = []; n = 0; stacks = Hashtbl.create 8 }
+
+let emit t e =
+  t.rev_events <- e :: t.rev_events;
+  t.n <- t.n + 1
+
+let complete ?(args = []) t ~pid ~tid ~cat ~name ~ts_ns ~dur_ns () =
+  emit t (Complete { name; cat; ts_ns; dur_ns; pid; tid; args })
+
+let instant ?(args = []) t ~pid ~tid ~cat ~name ~ts_ns () =
+  emit t (Instant { name; cat; ts_ns; pid; tid; args })
+
+let counter t ~pid ~tid ~name ~ts_ns ~series = emit t (Counter_sample { name; ts_ns; pid; tid; series })
+
+let stack t key = Option.value ~default:[] (Hashtbl.find_opt t.stacks key)
+
+let open_span ?(args = []) t ~pid ~tid ~cat ~name ~ts_ns =
+  let sp = { s_name = name; s_cat = cat; s_ts = ts_ns; s_pid = pid; s_tid = tid; s_args = args; s_closed = false } in
+  Hashtbl.replace t.stacks (pid, tid) (sp :: stack t (pid, tid));
+  sp
+
+let close_span t sp ~ts_ns =
+  if sp.s_closed then invalid_arg "Tracer.close_span: span already closed";
+  if ts_ns < sp.s_ts then invalid_arg "Tracer.close_span: close precedes open";
+  (match stack t (sp.s_pid, sp.s_tid) with
+  | top :: rest when top == sp -> Hashtbl.replace t.stacks (sp.s_pid, sp.s_tid) rest
+  | _ -> invalid_arg "Tracer.close_span: not the innermost open span of its track");
+  sp.s_closed <- true;
+  emit t
+    (Complete
+       {
+         name = sp.s_name;
+         cat = sp.s_cat;
+         ts_ns = sp.s_ts;
+         dur_ns = ts_ns -. sp.s_ts;
+         pid = sp.s_pid;
+         tid = sp.s_tid;
+         args = sp.s_args;
+       })
+
+let open_depth t ~pid ~tid = List.length (stack t (pid, tid))
+
+let events t = List.rev t.rev_events
+let event_count t = t.n
+
+let reset t =
+  t.rev_events <- [];
+  t.n <- 0;
+  Hashtbl.reset t.stacks

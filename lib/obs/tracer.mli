@@ -1,0 +1,105 @@
+(** Virtual-time tracing spans.
+
+    Every timestamp handed to this module is a *virtual* nanosecond from
+    the DES clock (or a modeled cost) — never a host wall-clock reading.
+    That is the load-bearing design rule: recording a span only appends
+    to a buffer, consults no clock and no RNG, so a run with tracing
+    enabled is byte-identical (sealed results, audit log, verifier
+    verdict) to the same run with tracing disabled.
+
+    Track convention: [pid 0] is the normal world (control plane + DES
+    cores, [tid] = virtual core), [pid 1] is the secure world (SMC
+    layer, data plane, allocator). *)
+
+type arg = Int of int | Float of float | Str of string
+
+type event =
+  | Complete of {
+      name : string;
+      cat : string;
+      ts_ns : float;
+      dur_ns : float;
+      pid : int;
+      tid : int;
+      args : (string * arg) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      ts_ns : float;
+      pid : int;
+      tid : int;
+      args : (string * arg) list;
+    }
+  | Counter_sample of {
+      name : string;
+      ts_ns : float;
+      pid : int;
+      tid : int;
+      series : (string * float) list;
+    }
+
+type t
+
+val create : unit -> t
+
+val complete :
+  ?args:(string * arg) list ->
+  t ->
+  pid:int ->
+  tid:int ->
+  cat:string ->
+  name:string ->
+  ts_ns:float ->
+  dur_ns:float ->
+  unit ->
+  unit
+
+val instant :
+  ?args:(string * arg) list ->
+  t ->
+  pid:int ->
+  tid:int ->
+  cat:string ->
+  name:string ->
+  ts_ns:float ->
+  unit ->
+  unit
+
+val counter :
+  t -> pid:int -> tid:int -> name:string -> ts_ns:float -> series:(string * float) list -> unit
+
+(** {2 Open/close spans}
+
+    Spans on the same (pid, tid) track must nest: {!close_span} accepts
+    only the innermost open span of its track.  The [Complete] event is
+    emitted at close time with [dur_ns] = close − open. *)
+
+type span
+
+val open_span :
+  ?args:(string * arg) list ->
+  t ->
+  pid:int ->
+  tid:int ->
+  cat:string ->
+  name:string ->
+  ts_ns:float ->
+  span
+
+val close_span : t -> span -> ts_ns:float -> unit
+(** Raises [Invalid_argument] if [span] is not the innermost open span
+    of its track, was already closed, or [ts_ns] precedes its open
+    time. *)
+
+val open_depth : t -> pid:int -> tid:int -> int
+
+val events : t -> event list
+(** In emission order (a nested span appears before its parent, at its
+    close). *)
+
+val event_count : t -> int
+
+val reset : t -> unit
+(** Drop all recorded events and any open spans (used between repeated
+    recordings of the same run). *)

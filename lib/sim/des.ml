@@ -65,6 +65,7 @@ end
 type t = {
   cores : int;
   host_scale : float;
+  tracer : Sbt_obs.Tracer.t option;
   core_free : float array;
   ready : Heap.h;
   mutable next_id : int;
@@ -74,11 +75,12 @@ type t = {
   mutable busy : float;
 }
 
-let create ?(host_scale = 1.0) ~cores () =
+let create ?(host_scale = 1.0) ?tracer ~cores () =
   if cores <= 0 then invalid_arg "Des.create: cores must be positive";
   {
     cores;
     host_scale;
+    tracer;
     core_free = Array.make cores 0.0;
     ready = Heap.create ();
     next_id = 0;
@@ -153,6 +155,13 @@ let run t =
     let finish = start +. cost in
     t.core_free.(!core) <- finish;
     t.busy <- t.busy +. cost;
+    (match t.tracer with
+    | None -> ()
+    | Some tr ->
+        (* Virtual times only: the span mirrors the schedule the DES
+           computed, so tracing cannot perturb it. *)
+        Sbt_obs.Tracer.complete tr ~pid:0 ~tid:!core ~cat:"des" ~name:task.label
+          ~ts_ns:start ~dur_ns:cost ());
     complete t task finish
   done;
   if t.executed <> t.scheduled then

@@ -21,7 +21,10 @@
 type t
 type task
 
-val create : ?host_scale:float -> cores:int -> unit -> t
+val create : ?host_scale:float -> ?tracer:Sbt_obs.Tracer.t -> cores:int -> unit -> t
+(** [tracer] records one complete span per executed task (pid 0, tid =
+    virtual core, category ["des"]) at the task's virtual start/cost —
+    never host wall-clock, so tracing cannot change the schedule. *)
 
 val schedule :
   t ->

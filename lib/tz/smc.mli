@@ -49,3 +49,14 @@ val clear_fault_hook : ('req, 'resp) t -> unit
 
 val busy_rejections : ('req, 'resp) t -> int
 (** How many calls the fault hook has refused so far. *)
+
+val set_observer :
+  ('req, 'resp) t -> tracer:Sbt_obs.Tracer.t -> now_ns:(unit -> float) -> unit
+(** Record one complete span (pid 1, category ["smc"]) per charged
+    switch pair — including calls whose handler raised, since those
+    still switch worlds — and one instant (category ["smc-busy"]) per
+    {!Entry_busy} rejection.  Span timestamps come from [now_ns] (the
+    caller's virtual clock) and durations from the platform's modeled
+    switch cost, so observation cannot perturb the run. *)
+
+val clear_observer : ('req, 'resp) t -> unit

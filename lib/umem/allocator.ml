@@ -12,6 +12,7 @@ type t = {
   mutable next_uarray_id : int;
   mutable next_group_id : int;
   mutable live_arrays : int;
+  mutable observer : (Sbt_obs.Tracer.t * (unit -> float)) option;
 }
 
 let create ?(mode = Hint_guided) ~pool ?vspace_stride () =
@@ -28,9 +29,25 @@ let create ?(mode = Hint_guided) ~pool ?vspace_stride () =
     next_uarray_id = 0;
     next_group_id = 0;
     live_arrays = 0;
+    observer = None;
   }
 
 let mode t = t.mode
+
+let set_observer t ~tracer ~now_ns = t.observer <- Some (tracer, now_ns)
+let clear_observer t = t.observer <- None
+
+let sample_pool t =
+  match t.observer with
+  | None -> ()
+  | Some (tracer, now_ns) ->
+      Sbt_obs.Tracer.counter tracer ~pid:1 ~tid:0 ~name:"secure-pool" ~ts_ns:(now_ns ())
+        ~series:
+          [
+            ("committed_bytes", float_of_int (Page_pool.committed_bytes t.pool));
+            ("live_uarrays", float_of_int t.live_arrays);
+            ("live_groups", float_of_int (List.length t.groups));
+          ]
 
 let fresh_group t =
   let g = Ugroup.create ~id:t.next_group_id ~vbase:(Vspace.reserve t.vspace) in
@@ -95,6 +112,7 @@ let alloc t ?(hint = No_hint) ?scope ?producer ~width ~capacity () =
   Ugroup.append g ua;
   Hashtbl.replace t.group_of (Uarray.id ua) g;
   t.live_arrays <- t.live_arrays + 1;
+  sample_pool t;
   ua
 
 (* Released members were all retired earlier, and [retire] already dropped
@@ -105,6 +123,16 @@ let reclaim_group t g =
   if Ugroup.is_exhausted g then begin
     Vspace.release t.vspace (Ugroup.vbase g);
     t.groups <- List.filter (fun g' -> Ugroup.id g' <> Ugroup.id g) t.groups
+  end;
+  if released > 0 then begin
+    (match t.observer with
+    | None -> ()
+    | Some (tracer, now_ns) ->
+        Sbt_obs.Tracer.instant tracer ~pid:1 ~tid:0 ~cat:"umem" ~name:"ugroup-reclaim"
+          ~ts_ns:(now_ns ())
+          ~args:[ ("group", Sbt_obs.Tracer.Int (Ugroup.id g)); ("released", Sbt_obs.Tracer.Int released) ]
+          ());
+    sample_pool t
   end
 
 let retire t ua =

@@ -75,3 +75,12 @@ val reserve_id : t -> int
 (** Consume and return the next id without allocating a uArray.  The data
     plane assigns watermarks ids from the same sequence, so audit-record
     identifiers stay near-monotonic and delta-compress well. *)
+
+val set_observer : t -> tracer:Sbt_obs.Tracer.t -> now_ns:(unit -> float) -> unit
+(** Emit a ["secure-pool"] counter sample (committed bytes, live
+    uArrays/uGroups) on every allocation and every reclamation that
+    released arrays, plus a ["ugroup-reclaim"] instant per such
+    reclamation.  Timestamps come from [now_ns] (the data plane's
+    virtual clock); observation never touches allocator decisions. *)
+
+val clear_observer : t -> unit
