@@ -87,6 +87,30 @@ let read_frames path =
               Frame.Events { seq; stream; events; windows; payload; encrypted; mac }
           | k -> invalid_arg (Printf.sprintf "sbt_io: bad frame kind %d" k)))
 
+(* --- sealed results --------------------------------------------------------
+
+   Canonical dump of a run's sealed per-window results, used to compare
+   engines byte-for-byte (CI diffs the files two `--exec` modes write). *)
+
+let results_magic = "SBTR1"
+
+let write_results path (results : (int * Sbt_core.Dataplane.sealed_result) list) =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf results_magic;
+  write_u32 buf (List.length results);
+  List.iter
+    (fun (w, (s : Sbt_core.Dataplane.sealed_result)) ->
+      write_u32 buf w;
+      write_u32 buf s.Sbt_core.Dataplane.window;
+      write_u32 buf s.Sbt_core.Dataplane.events;
+      write_u32 buf s.Sbt_core.Dataplane.width;
+      write_bytes_block buf s.Sbt_core.Dataplane.cipher;
+      write_bytes_block buf s.Sbt_core.Dataplane.tag)
+    results;
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc buf;
+  close_out oc
+
 (* --- audit logs ------------------------------------------------------------ *)
 
 let write_audit path (spec : V.spec) batches =

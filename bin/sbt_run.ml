@@ -14,7 +14,17 @@ let version_of_string = function
   | "insecure" -> Ok D.Insecure
   | s -> Error (`Msg (Printf.sprintf "unknown version %S (full|clear|viaos|insecure)" s))
 
-let run name version windows events_per_window batch cores_list target_ms hints verbose frames_in audit_out trace_out =
+let exec_of_string = function
+  | "des" -> Ok None
+  | s -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "domains" -> (
+          match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+          | Some n when n > 0 -> Ok (Some n)
+          | _ -> Error (`Msg (Printf.sprintf "bad domain count in %S" s)))
+      | _ -> Error (`Msg (Printf.sprintf "unknown exec engine %S (des|domains:N)" s)))
+
+let run name version windows events_per_window batch cores_list target_ms hints verbose frames_in audit_out trace_out exec_domains deterministic exec_time_scale results_out =
   match B.by_name name with
   | None ->
       Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|filter|power)\n" name;
@@ -31,7 +41,7 @@ let run name version windows events_per_window batch cores_list target_ms hints 
       in
       let outcome =
         Runner.run ~cores_list ~target_delay_ms:target ~version ~hints_enabled:hints ?tracer
-          bench.B.pipeline frames
+          ~deterministic ?exec_domains ?exec_time_scale bench.B.pipeline frames
       in
       (match (trace_out, tracer) with
       | Some path, Some tr ->
@@ -44,7 +54,26 @@ let run name version windows events_per_window batch cores_list target_ms hints 
           Sbt_io.write_audit path outcome.Runner.spec outcome.Runner.audit;
           Printf.printf "audit log written to %s (verify with sbt_verify)\n" path
       | None -> ());
+      (match results_out with
+      | Some path ->
+          Sbt_io.write_results path outcome.Runner.results;
+          Printf.printf "sealed results written to %s\n" path
+      | None -> ());
       Format.printf "%a" Runner.pp_outcome outcome;
+      (match outcome.Runner.exec with
+      | None -> ()
+      | Some e ->
+          let module E = Sbt_exec.Executor in
+          let busy =
+            Array.fold_left (fun a (d : E.domain_stats) -> a +. d.E.busy_ns) 0.0
+              e.E.per_domain
+          in
+          Printf.printf
+            "exec: %d domains | wall %.1f ms | %d tasks | %d steals | %d parks | busy/wall %.2f | scratch hw %d B\n"
+            e.E.domains (e.E.wall_ns /. 1e6) e.E.tasks_executed (E.total_steals e)
+            (E.total_parks e)
+            (busy /. Float.max 1.0 e.E.wall_ns)
+            e.E.scratch_high_water_bytes);
       if verbose then begin
         let s = outcome.Runner.dp_stats in
         Format.printf
@@ -88,7 +117,9 @@ let resilience name version windows events_per_window batch fault_rates fault_se
              source generated: frames the link ate never reach the control
              plane, so they are missing from [total_events] already. *)
           let goodput =
-            float_of_int (outcome.Runner.total_events - outcome.Runner.events_dropped)
+            float_of_int
+              (outcome.Runner.total_events
+              - Sbt_core.Runtime.Loss.events_dropped outcome.Runner.loss)
             /. float_of_int (max 1 total_events)
           in
           (* The uplink leg: drop whole signed batches and replay what is
@@ -112,7 +143,9 @@ let resilience name version windows events_per_window batch fault_rates fault_se
           in
           Printf.printf "%-6.2f %-28s %-9.3f %-5d %-7d %-7d %-10b %s\n" rate
             (Printf.sprintf "%d/%d/%d" link.Lossy.delivered link.Lossy.dropped link.Lossy.corrupted)
-            goodput outcome.Runner.gaps_declared outcome.Runner.dp_stats.D.sheds
+            goodput
+            (Sbt_core.Runtime.Loss.gaps_declared outcome.Runner.loss)
+            outcome.Runner.dp_stats.D.sheds
             outcome.Runner.dp_stats.D.smc_busy_rejections outcome.Runner.verified uplink_verdict)
         fault_rates
 
@@ -157,6 +190,47 @@ let audit_arg =
 let trace_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~doc:"Write a Chrome trace_event JSON of the recording run (virtual-time spans; open in Perfetto)")
 
+let exec_arg =
+  let exec_conv =
+    Arg.conv
+      ( exec_of_string,
+        fun fmt -> function
+          | None -> Format.pp_print_string fmt "des"
+          | Some n -> Format.fprintf fmt "domains:%d" n )
+      ~docv:"ENGINE"
+  in
+  Arg.(
+    value & opt exec_conv None
+    & info [ "exec" ]
+        ~doc:
+          "Execution engine: $(b,des) (discrete-event, the default) or \
+           $(b,domains:N) (record under the DES, then measure the recorded task \
+           graph on N real domains with the work-stealing executor; observable \
+           outputs are byte-identical to des)")
+
+let deterministic_arg =
+  Arg.(
+    value & flag
+    & info [ "deterministic" ]
+        ~doc:
+          "Zero the cost model's host_scale so recorded costs carry no measured \
+           host time: results, audit bytes and verdicts become byte-reproducible \
+           across runs and processes")
+
+let exec_time_scale_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "exec-time-scale" ]
+        ~doc:"Multiply recorded task costs by this factor in the domains:N \
+              measurement phase (shrinks long recordings to a quick wall run)")
+
+let results_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "results-out" ]
+        ~doc:"Write the sealed per-window results to a file (byte-comparable \
+              across engines with cmp)")
+
 let resilience_arg =
   Arg.(value & flag & info [ "resilience" ] ~doc:"Fault-rate sweep: lossy link, transient SMC refusals, pool pressure and uplink loss, reporting goodput and verification per rate")
 
@@ -167,11 +241,11 @@ let fault_seed_arg =
   Arg.(value & opt int64 42L & info [ "fault-seed" ] ~doc:"Seed of the deterministic fault plan (same seed, same faults)")
 
 let dispatch name version windows epw batch cores_list target_ms hints verbose frames_in audit_out
-    trace_out resil fault_rates fault_seed =
+    trace_out exec_domains deterministic exec_time_scale results_out resil fault_rates fault_seed =
   if resil then resilience name version windows epw batch fault_rates fault_seed
   else
     run name version windows epw batch cores_list target_ms hints verbose frames_in audit_out
-      trace_out
+      trace_out exec_domains deterministic exec_time_scale results_out
 
 let cmd =
   let doc = "Run a StreamBox-TZ benchmark pipeline" in
@@ -180,6 +254,7 @@ let cmd =
     Term.(
       const dispatch $ name_arg $ version_arg $ windows_arg $ epw_arg $ batch_arg $ cores_arg
       $ target_arg $ hints_arg $ verbose_arg $ frames_arg $ audit_arg $ trace_arg
+      $ exec_arg $ deterministic_arg $ exec_time_scale_arg $ results_out_arg
       $ resilience_arg $ fault_rates_arg $ fault_seed_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -21,7 +21,7 @@ let egress_key = Bytes.of_string "sbt-egress-key16"
 
 let run_edge () =
   let bench = B.win_sum ~windows:3 ~events_per_window:20_000 ~batch_events:4_000 () in
-  let cfg = Control.default_config () in
+  let cfg = Control.Config.make () in
   (Control.run cfg bench.B.pipeline (B.frames bench), bench)
 
 let verdict name report =

@@ -1,61 +1,47 @@
-(** The untrusted control plane.
+(** The untrusted control plane (historical entry point).
 
     Orchestrates pipeline execution (paper §4.2): batches arriving frames,
     invokes the data plane through opaque references, creates abundant
     task parallelism (per-batch stages run concurrently across batches and
     windows; window plans fire on watermarks), generates consumption
-    hints, and applies backpressure.  It runs under the discrete-event
-    scheduler so the recorded task graph can be replayed at any core
-    count and ingestion rate. *)
+    hints, and applies backpressure.
 
-type config = {
+    Since the {!Runtime} redesign this module is a thin veneer:
+    {!Control.run} is exactly [Runtime.run ~engine:(`Des cfg.cores)], and
+    every type here is an equation onto {!Runtime}'s, so the two APIs mix
+    freely.  New code should call {!Runtime.run} and pick an engine. *)
+
+type config = Runtime.config = {
   dp_config : Dataplane.config;
   cores : int;  (** virtual cores for the recording run *)
   hints_enabled : bool;
 }
 
+module Config = Runtime.Config
+module Loss = Runtime.Loss
+
 val default_config : ?version:Dataplane.version -> ?cores:int -> unit -> config
 
-type run_result = {
+type run_result = Runtime.run_result = {
   results : (int * Dataplane.sealed_result) list;  (** per closed window *)
   trace : Sbt_sim.Trace.t;
   dp_stats : Dataplane.stats;
   pool_high_water_bytes : int;
   mem_samples_bytes : int list;
-      (** committed secure memory sampled at every window close — the
-          steady-state usage Figure 7 annotates *)
   audit : Sbt_attest.Log.batch list;
   verifier_spec : Sbt_attest.Verifier.spec;
   makespan_ns : float;
   total_events : int;
   tasks_executed : int;
   live_refs_after : int;
-  gaps_declared : int;
-      (** signed Gap records emitted: link holes + dropped batches *)
-  batches_dropped : int;
-      (** frames lost to the link or shed past the retry budget *)
-  events_dropped : int;  (** events inside dropped frames (link holes excluded) *)
+  loss : Loss.t;
   registry : Sbt_obs.Metrics.t;
-      (** the normal-world metrics registry for this run (always
-          populated; counting is deterministic and costs no virtual
-          time).  Control-plane counters here double-book the loss
-          accounting above so tests can cross-check them. *)
   tee_metrics : bytes;
-      (** TEE-side registry snapshot ({!Sbt_obs.Metrics.encode_snapshot}),
-          exported through the quote path — never read directly *)
   tee_quote : Sbt_attest.Quote.quote;
-      (** quote over [Sha256 (tee_metrics)] under the device key, nonce
-          ["sbt-run-final"] *)
+  exec : Sbt_exec.Executor.report option;
 }
+(** See {!Runtime.run_result} for per-field documentation. *)
 
 val run : config -> Pipeline.t -> Sbt_net.Frame.t list -> run_result
-(** Execute the pipeline over the frame stream once, for real, recording
-    the task graph.  Frames must arrive in source order (watermarks after
-    the data they cover); the last frame should be a watermark closing
-    every window.
-
-    Faults degrade, never crash: transient SMC refusals are retried with
-    exponential backoff up to the fault plan's budget; corrupt or
-    unauthenticated frames, pool sheds, and link sequence holes each drop
-    the affected batch and emit a signed Gap audit record, so the cloud
-    verifier reports the loss as degradation instead of tampering. *)
+(** [run cfg] = {!Runtime.run}[ ~engine:(`Des cfg.cores) cfg] — record
+    under the discrete-event engine at [cfg.cores] virtual cores. *)

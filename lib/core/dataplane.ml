@@ -28,25 +28,65 @@ type config = {
   tracer : Sbt_obs.Tracer.t option;
 }
 
-let default_config ?(version = Full) ?(cores = 8) ?(secure_mb = 512) () =
-  let cost =
-    match version with Insecure -> Tz.Cost_model.free | Full | Clear_ingress | Io_via_os -> Tz.Cost_model.default
-  in
-  {
-    version;
-    platform = Tz.Platform.create ~cores ~cost ~secure_mb ();
-    alloc_mode = Alloc.Hint_guided;
-    sort_algorithm = Sbt_prim.Sort.Radix;
-    ingress_key = Bytes.of_string "sbt-ingress-k16!";
-    egress_key = Bytes.of_string "sbt-egress-key16";
-    audit_flush_every = 256;
-    audit_enabled = (match version with Insecure -> false | Full | Clear_ingress | Io_via_os -> true);
-    backpressure_threshold = 0.90;
-    adaptive_backpressure = false;
-    seed = 42L;
-    fault_plan = Sbt_fault.Fault.none;
-    tracer = None;
-  }
+module Config = struct
+  type t = config
+
+  let make ?(version = Full) ?(cores = 8) ?(secure_mb = 512) ?cost ?platform
+      ?(alloc_mode = Alloc.Hint_guided) ?(sort_algorithm = Sbt_prim.Sort.Radix)
+      ?(ingress_key = Bytes.of_string "sbt-ingress-k16!")
+      ?(egress_key = Bytes.of_string "sbt-egress-key16")
+      ?(audit_flush_every = 256) ?audit_enabled ?(backpressure_threshold = 0.90)
+      ?(adaptive_backpressure = false) ?(seed = 42L)
+      ?(fault_plan = Sbt_fault.Fault.none) ?tracer () =
+    let platform =
+      match platform with
+      | Some p -> p
+      | None ->
+          let cost =
+            match (cost, version) with
+            | Some c, _ -> c
+            | None, Insecure -> Tz.Cost_model.free
+            | None, (Full | Clear_ingress | Io_via_os) -> Tz.Cost_model.default
+          in
+          Tz.Platform.create ~cores ~cost ~secure_mb ()
+    in
+    let audit_enabled =
+      match (audit_enabled, version) with
+      | Some b, _ -> b
+      | None, Insecure -> false
+      | None, (Full | Clear_ingress | Io_via_os) -> true
+    in
+    {
+      version;
+      platform;
+      alloc_mode;
+      sort_algorithm;
+      ingress_key;
+      egress_key;
+      audit_flush_every;
+      audit_enabled;
+      backpressure_threshold;
+      adaptive_backpressure;
+      seed;
+      fault_plan;
+      tracer;
+    }
+
+  let with_platform platform cfg = { cfg with platform }
+  let with_alloc_mode alloc_mode cfg = { cfg with alloc_mode }
+  let with_sort_algorithm sort_algorithm cfg = { cfg with sort_algorithm }
+  let with_fault_plan fault_plan cfg = { cfg with fault_plan }
+  let with_tracer tracer cfg = { cfg with tracer = Some tracer }
+
+  let with_backpressure ?(adaptive = false) threshold cfg =
+    { cfg with backpressure_threshold = threshold; adaptive_backpressure = adaptive }
+
+  let with_audit ?(flush_every = 256) enabled cfg =
+    { cfg with audit_enabled = enabled; audit_flush_every = flush_every }
+end
+
+let default_config ?version ?cores ?secure_mb () =
+  Config.make ?version ?cores ?secure_mb ()
 
 type hint = H_after of int64 | H_parallel
 

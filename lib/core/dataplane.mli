@@ -46,7 +46,52 @@ type config = {
           tracing cannot change any result, audit byte, or verdict. *)
 }
 
+(** Labelled construction and functional update for {!config} — the one
+    way to build a config without writing out every field. *)
+module Config : sig
+  type t = config
+
+  val make :
+    ?version:version ->
+    ?cores:int ->
+    ?secure_mb:int ->
+    ?cost:Sbt_tz.Cost_model.t ->
+    ?platform:Sbt_tz.Platform.t ->
+    ?alloc_mode:Sbt_umem.Allocator.mode ->
+    ?sort_algorithm:Sbt_prim.Sort.algorithm ->
+    ?ingress_key:bytes ->
+    ?egress_key:bytes ->
+    ?audit_flush_every:int ->
+    ?audit_enabled:bool ->
+    ?backpressure_threshold:float ->
+    ?adaptive_backpressure:bool ->
+    ?seed:int64 ->
+    ?fault_plan:Sbt_fault.Fault.plan ->
+    ?tracer:Sbt_obs.Tracer.t ->
+    unit ->
+    t
+  (** Defaults reproduce the paper's Full engine on an 8-core, 512 MB
+      platform: hint-guided allocator, radix sort, audit on (off for
+      [Insecure]), backpressure at 90% pool usage, no faults, no tracer.
+      [cost] defaults per [version] ({!Sbt_tz.Cost_model.free} for
+      [Insecure], [default] otherwise); passing [platform] overrides
+      [cores]/[secure_mb]/[cost] wholesale. *)
+
+  val with_platform : Sbt_tz.Platform.t -> t -> t
+  val with_alloc_mode : Sbt_umem.Allocator.mode -> t -> t
+  val with_sort_algorithm : Sbt_prim.Sort.algorithm -> t -> t
+  val with_fault_plan : Sbt_fault.Fault.plan -> t -> t
+  val with_tracer : Sbt_obs.Tracer.t -> t -> t
+
+  val with_backpressure : ?adaptive:bool -> float -> t -> t
+  (** [with_backpressure thr] sets the stall threshold; [~adaptive:true]
+      also turns on adaptive stalling. *)
+
+  val with_audit : ?flush_every:int -> bool -> t -> t
+end
+
 val default_config : ?version:version -> ?cores:int -> ?secure_mb:int -> unit -> config
+(** [Config.make] restricted to its historical labels. *)
 
 type t
 

@@ -21,15 +21,14 @@ type outcome = {
   audit_compressed_bytes : int;
   verified : bool;
   verifier_report : Sbt_attest.Verifier.report;
-  gaps_declared : int;
-  batches_dropped : int;
-  events_dropped : int;
+  loss : Runtime.Loss.t;
   results : (int * D.sealed_result) list;
   audit : Sbt_attest.Log.batch list;
   spec : Sbt_attest.Verifier.spec;
   registry : Sbt_obs.Metrics.t;
   tee_metrics : bytes;
   tee_quote : Sbt_attest.Quote.quote;
+  exec : Sbt_exec.Executor.report option;
 }
 
 let mean = function
@@ -39,23 +38,32 @@ let mean = function
 let run ?(cores_list = [ 2; 4; 8 ]) ?(target_delay_ms = 500.0) ?(version = D.Full)
     ?(hints_enabled = true) ?(alloc_mode = Sbt_umem.Allocator.Hint_guided)
     ?(sort_algorithm = Sbt_prim.Sort.Radix) ?(secure_mb = 512) ?(repeats = 1)
-    ?(fault_plan = Sbt_fault.Fault.none) ?tracer (pipe : Pipeline.t) frames =
+    ?(fault_plan = Sbt_fault.Fault.none) ?tracer ?(deterministic = false)
+    ?exec_domains ?exec_time_scale ?exec_mode (pipe : Pipeline.t) frames =
+  let max_cores = List.fold_left max 1 cores_list in
+  (* Deterministic runs zero the host_scale so no measured host time leaks
+     into costs — recordings become byte-reproducible across processes. *)
+  let cost =
+    if not deterministic then None
+    else
+      let base =
+        match version with
+        | D.Insecure -> Sbt_tz.Cost_model.free
+        | D.Full | D.Clear_ingress | D.Io_via_os -> Sbt_tz.Cost_model.default
+      in
+      Some { base with Sbt_tz.Cost_model.host_scale = 0.0 }
+  in
+  let cfg =
+    Runtime.Config.make ~version ~cores:max_cores ~secure_mb ?cost ~alloc_mode
+      ~sort_algorithm ~fault_plan ?tracer ~hints_enabled ()
+  in
   let record () =
     (* With repeats > 1 the trace buffer would accumulate every
        recording; keep only the latest (callers wanting a trace use
        repeats = 1, where latest = kept). *)
     Option.iter Sbt_obs.Tracer.reset tracer;
-    let dp_config =
-      { (D.default_config ~version ~cores:(List.fold_left max 1 cores_list) ~secure_mb ()) with
-        D.alloc_mode;
-        sort_algorithm;
-        fault_plan;
-        tracer;
-      }
-    in
-    let cfg = { Control.dp_config; cores = List.fold_left max 1 cores_list; hints_enabled } in
     Gc.full_major ();
-    Control.run cfg pipe frames
+    Runtime.run ~engine:(`Des max_cores) cfg pipe frames
   in
   (* Host noise shows up as inflated task costs; repeated recordings keep
      the least-noisy (cheapest) trace. *)
@@ -68,7 +76,15 @@ let run ?(cores_list = [ 2; 4; 8 ]) ?(target_delay_ms = 500.0) ?(version = D.Ful
     then r := r'
   done;
   let r = !r in
-  let egress_key = (D.default_config ~version ()).D.egress_key in
+  (* Real-parallel phase: once, on the kept recording, so the wall-clock
+     report always corresponds to the trace the outcome carries. *)
+  let exec_report =
+    Option.map
+      (fun domains ->
+        Runtime.exec_trace ?time_scale:exec_time_scale ?mode:exec_mode ~domains cfg r)
+      exec_domains
+  in
+  let egress_key = cfg.Runtime.dp_config.D.egress_key in
   let bytes_per_event = Event.bytes_per_event pipe.Pipeline.schema in
   let points =
     List.map
@@ -118,15 +134,14 @@ let run ?(cores_list = [ 2; 4; 8 ]) ?(target_delay_ms = 500.0) ?(version = D.Ful
     audit_compressed_bytes = audit_compressed;
     verified;
     verifier_report = report;
-    gaps_declared = r.Control.gaps_declared;
-    batches_dropped = r.Control.batches_dropped;
-    events_dropped = r.Control.events_dropped;
+    loss = r.Control.loss;
     results = List.sort (fun (a, _) (b, _) -> compare a b) r.Control.results;
     audit = r.Control.audit;
     spec = r.Control.verifier_spec;
     registry = r.Control.registry;
     tee_metrics = r.Control.tee_metrics;
     tee_quote = r.Control.tee_quote;
+    exec = exec_report;
   }
 
 let pp_outcome fmt o =

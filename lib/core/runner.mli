@@ -27,15 +27,16 @@ type outcome = {
   audit_compressed_bytes : int;
   verified : bool;  (** cloud verifier replayed the audit log cleanly *)
   verifier_report : Sbt_attest.Verifier.report;
-  gaps_declared : int;  (** signed Gap records the run emitted *)
-  batches_dropped : int;
-  events_dropped : int;
+  loss : Runtime.Loss.t;  (** what graceful degradation dropped and declared *)
   results : (int * Dataplane.sealed_result) list;  (** sorted by window *)
   audit : Sbt_attest.Log.batch list;  (** the signed upload, oldest first *)
   spec : Sbt_attest.Verifier.spec;  (** the declaration the verifier used *)
   registry : Sbt_obs.Metrics.t;  (** control-plane metrics for the kept recording *)
   tee_metrics : bytes;  (** attested TEE registry snapshot *)
   tee_quote : Sbt_attest.Quote.quote;
+  exec : Sbt_exec.Executor.report option;
+      (** real-parallel wall-clock report for the kept recording —
+          [Some] iff [exec_domains] was passed *)
 }
 
 val run :
@@ -49,6 +50,10 @@ val run :
   ?repeats:int ->
   ?fault_plan:Sbt_fault.Fault.plan ->
   ?tracer:Sbt_obs.Tracer.t ->
+  ?deterministic:bool ->
+  ?exec_domains:int ->
+  ?exec_time_scale:float ->
+  ?exec_mode:Sbt_exec.Executor.mode ->
   Pipeline.t ->
   Sbt_net.Frame.t list ->
   outcome
@@ -58,6 +63,13 @@ val run :
     trace, suppressing host measurement noise.  [tracer] records
     virtual-time spans for the recording run (use [repeats = 1] so the
     trace matches the kept recording; the buffer is reset before each
-    repeat and holds the last one). *)
+    repeat and holds the last one).
+
+    [deterministic] zeroes the cost model's host_scale so recorded costs
+    carry no measured host time — results, audit bytes and verdicts
+    become byte-reproducible across processes (and [repeats] is then
+    pointless: every recording is identical).  [exec_domains] runs the
+    real-parallel executor ({!Runtime.exec_trace}) once over the kept
+    recording; [exec_time_scale]/[exec_mode] tune that phase. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,591 @@
+module D = Dataplane
+module P = Sbt_prim.Primitive
+module Trace = Sbt_sim.Trace
+module Des = Sbt_sim.Des
+
+type engine = [ `Des of int | `Domains of int ]
+
+type config = { dp_config : D.config; cores : int; hints_enabled : bool }
+
+module Config = struct
+  type t = config
+
+  let make ?version ?(cores = 8) ?secure_mb ?cost ?platform ?alloc_mode
+      ?sort_algorithm ?ingress_key ?egress_key ?audit_flush_every ?audit_enabled
+      ?backpressure_threshold ?adaptive_backpressure ?seed ?fault_plan ?tracer
+      ?(hints_enabled = true) ?dp_config () =
+    let dp_config =
+      match dp_config with
+      | Some c -> c
+      | None ->
+          D.Config.make ?version ~cores ?secure_mb ?cost ?platform ?alloc_mode
+            ?sort_algorithm ?ingress_key ?egress_key ?audit_flush_every
+            ?audit_enabled ?backpressure_threshold ?adaptive_backpressure ?seed
+            ?fault_plan ?tracer ()
+    in
+    { dp_config; cores; hints_enabled }
+
+  let with_dp_config dp_config cfg = { cfg with dp_config }
+  let with_cores cores cfg = { cfg with cores }
+  let with_hints hints_enabled cfg = { cfg with hints_enabled }
+
+  let with_tracer tracer cfg =
+    { cfg with dp_config = D.Config.with_tracer tracer cfg.dp_config }
+
+  let with_fault_plan plan cfg =
+    { cfg with dp_config = D.Config.with_fault_plan plan cfg.dp_config }
+end
+
+let default_config ?version ?cores () = Config.make ?version ?cores ()
+
+module Loss = struct
+  type t = { gaps_declared : int; batches_dropped : int; events_dropped : int }
+
+  let none = { gaps_declared = 0; batches_dropped = 0; events_dropped = 0 }
+  let v ~gaps_declared ~batches_dropped ~events_dropped =
+    { gaps_declared; batches_dropped; events_dropped }
+
+  let gaps_declared t = t.gaps_declared
+  let batches_dropped t = t.batches_dropped
+  let events_dropped t = t.events_dropped
+  let is_lossless t = t = none
+
+  let pp fmt t =
+    Format.fprintf fmt "gaps=%d batches_dropped=%d events_dropped=%d"
+      t.gaps_declared t.batches_dropped t.events_dropped
+end
+
+type run_result = {
+  results : (int * D.sealed_result) list;
+  trace : Trace.t;
+  dp_stats : D.stats;
+  pool_high_water_bytes : int;
+  mem_samples_bytes : int list;
+  audit : Sbt_attest.Log.batch list;
+  verifier_spec : Sbt_attest.Verifier.spec;
+  makespan_ns : float;
+  total_events : int;
+  tasks_executed : int;
+  live_refs_after : int;
+  loss : Loss.t;
+  registry : Sbt_obs.Metrics.t;
+  tee_metrics : bytes;
+  tee_quote : Sbt_attest.Quote.quote;
+  exec : Sbt_exec.Executor.report option;
+}
+
+(* Per-window control state. *)
+type win_state = {
+  mutable ready : (int * int64) list; (* (stream, ref), newest first *)
+  mutable dep_tasks : (Des.task * int) list; (* tasks (and trace indices) preceding the close *)
+  mutable last_ready : (int * int64) list; (* per-stream chain anchors for consumed-after hints *)
+  mutable pending_segments : (int * int64) Queue.t option; (* (stream, ref) awaiting stages *)
+  mutable closed : bool;
+}
+
+let new_win () =
+  { ready = []; dep_tasks = []; last_ready = []; pending_segments = None; closed = false }
+
+let pending_q ws =
+  match ws.pending_segments with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      ws.pending_segments <- Some q;
+      q
+
+(* --- the recording loop ----------------------------------------------------
+
+   Identical under both engines: the observable outputs (sealed results,
+   audit bytes, verifier verdicts) come from this serial, DES-driven pass.
+   [`Domains n] adds a real-parallel measurement phase afterwards but never
+   feeds anything back into the observables — that separation is what makes
+   them byte-identical across engines and domain counts. *)
+
+let record ~recording_cores cfg (pipe : Pipeline.t) frames =
+  let dp = D.create cfg.dp_config in
+  D.set_ingest_width dp pipe.Pipeline.schema.Event.width;
+  let platform = cfg.dp_config.D.platform in
+  let cost = platform.Sbt_tz.Platform.cost in
+  let tracer = cfg.dp_config.D.tracer in
+  (* The DES inherits the platform's host_scale so that at host_scale 0
+     the whole schedule — and every audit timestamp derived from it — is
+     free of host noise (what the observer-effect tests rely on). *)
+  let des =
+    Des.create ?tracer ~host_scale:cost.Sbt_tz.Cost_model.host_scale
+      ~cores:recording_cores ()
+  in
+  (* Normal-world registry: always on (counting is deterministic and
+     cheap); the tracer alone is optional. *)
+  let reg = Sbt_obs.Metrics.create () in
+  let c_frames = Sbt_obs.Metrics.counter reg "control.frames" in
+  let c_gaps = Sbt_obs.Metrics.counter reg "control.gaps_declared" in
+  let c_batches_dropped = Sbt_obs.Metrics.counter reg "control.batches_dropped" in
+  let c_events_dropped = Sbt_obs.Metrics.counter reg "control.events_dropped" in
+  let c_sheds = Sbt_obs.Metrics.counter reg "control.sheds_observed" in
+  let c_busy = Sbt_obs.Metrics.counter reg "control.smc_busy" in
+  let c_closes = Sbt_obs.Metrics.counter reg "control.windows_closed" in
+  let h_stall = Sbt_obs.Metrics.histogram reg "control.ingest_stall_ns" in
+  (* Control-plane instants ride the secure clock (set by the enclosing
+     DES task), so they are virtual-time like everything else. *)
+  let instant ?args name =
+    match tracer with
+    | None -> ()
+    | Some tr ->
+        Sbt_obs.Tracer.instant tr ?args ~pid:0 ~tid:0 ~cat:"control" ~name
+          ~ts_ns:(D.now_ns dp) ()
+  in
+  (* Trace assembly: one pending node per DES task, costs filled after run. *)
+  let pending_nodes :
+      (string * Des.task * int list * int option * Trace.role) list ref =
+    ref []
+  in
+  let node_count = ref 0 in
+  let windows : (int, win_state) Hashtbl.t = Hashtbl.create 64 in
+  let win w =
+    match Hashtbl.find_opt windows w with
+    | Some ws -> ws
+    | None ->
+        let ws = new_win () in
+        Hashtbl.replace windows w ws;
+        ws
+  in
+  let results = ref [] in
+  let mem_samples = ref [] in
+  (* Wrap a work function with secure-clock propagation and modeled-cost
+     extraction (world switches, boundary copies, crypto scaling, stalls). *)
+  let add_task ?(deps = []) ?arrival ?(role = Trace.Plain) ~label body =
+    let work ~start_ns =
+      D.set_now_ns dp start_ns;
+      let s0 = dp |> D.stats in
+      let r = body () in
+      let s1 = dp |> D.stats in
+      let switch_delta = s1.D.modeled_switch_ns -. s0.D.modeled_switch_ns in
+      let copy_delta = s1.D.modeled_copy_ns -. s0.D.modeled_copy_ns in
+      let crypto_delta = s1.D.crypto_ns -. s0.D.crypto_ns in
+      let crypto_adjust =
+        crypto_delta *. (cost.Sbt_tz.Cost_model.crypto_scale -. 1.0)
+        *. cost.Sbt_tz.Cost_model.host_scale
+      in
+      switch_delta +. copy_delta +. crypto_adjust +. r
+    in
+    let not_before =
+      match arrival with
+      | None -> 0.0
+      | Some _ -> 0.0 (* pacing applies only on replay; record mode is unconstrained *)
+    in
+    let deps_tasks = List.map fst deps in
+    let task = Des.schedule des ~deps:deps_tasks ~not_before ~label ~work () in
+    let idx = !node_count in
+    incr node_count;
+    pending_nodes := (label, task, List.map snd deps, arrival, role) :: !pending_nodes;
+    (task, idx)
+  in
+  (* --- batch-stage execution -------------------------------------------- *)
+  let hint_for ws stream =
+    if not cfg.hints_enabled then []
+    else
+      match List.assoc_opt stream ws.last_ready with
+      | Some r -> [ D.H_after r ]
+      | None -> [ D.H_parallel ]
+  in
+  let set_last_ready ws stream r =
+    ws.last_ready <- (stream, r) :: List.remove_assoc stream ws.last_ready
+  in
+  let run_batch_stages w stream seg_ref =
+    let ws = win w in
+    let r = ref seg_ref in
+    List.iter
+      (fun bop ->
+        let hints = hint_for ws stream in
+        let params, op =
+          match bop with
+          | Pipeline.B_sort { key_field; secondary_value } ->
+              let p = [ D.P_key_field key_field ] in
+              let p =
+                match secondary_value with Some v -> D.P_value_field v :: p | None -> p
+              in
+              (p, P.Sort)
+          | Pipeline.B_filter_band { field; lo; hi } ->
+              ([ D.P_value_field field; D.P_lo lo; D.P_hi hi ], P.Filter_band)
+          | Pipeline.B_project fields -> ([ D.P_fields fields ], P.Project)
+        in
+        match
+          D.call dp
+            (D.R_invoke
+               { op; inputs = [ !r ]; trigger = None; params; hints; retire_inputs = true })
+        with
+        | D.Rs_outputs [ out ] -> r := out.D.ref_
+        | D.Rs_outputs _ | D.Rs_watermark _ | D.Rs_egress _ | D.Rs_ingested _ ->
+            failwith "control: unexpected batch-stage response")
+      pipe.Pipeline.batch_ops;
+    ws.ready <- (stream, !r) :: ws.ready;
+    set_last_ready ws stream !r
+  in
+  (* --- frame loop -------------------------------------------------------- *)
+  (* Certified UDFs ship with the pipeline install. *)
+  List.iter
+    (fun (udf, cert) ->
+      match D.call dp (D.R_install_udf { udf; cert }) with
+      | D.Rs_outputs [] -> ()
+      | _ -> failwith "control: unexpected UDF install response")
+    pipe.Pipeline.udfs;
+  let cum_events = ref 0 in
+  let total_events = ref 0 in
+  let next_window_to_close = ref 0 in
+  let wm_audit_ref = ref 0 in
+  (* --- graceful degradation --------------------------------------------- *)
+  let plan = cfg.dp_config.D.fault_plan in
+  let gaps_declared = ref 0 in
+  let batches_dropped = ref 0 in
+  let events_dropped = ref 0 in
+  let declare_gap ~stream ~seq ~events ~windows ~reason =
+    match D.call dp (D.R_declare_gap { stream; seq; events; windows; reason }) with
+    | D.Rs_outputs [] ->
+        incr gaps_declared;
+        Sbt_obs.Metrics.incr c_gaps;
+        instant "gap"
+          ~args:
+            [
+              ("stream", Sbt_obs.Tracer.Int stream);
+              ("seq", Sbt_obs.Tracer.Int seq);
+              ("events", Sbt_obs.Tracer.Int events);
+            ]
+    | _ -> failwith "control: unexpected gap response"
+  in
+  (* Next expected frame seq per stream: a jump means the link dropped
+     frames, which the edge must declare before ingesting past the hole —
+     otherwise the verifier reads the hole as tampering. *)
+  let expected_seq : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let link_holes ~stream ~seq =
+    let exp = Option.value ~default:0 (Hashtbl.find_opt expected_seq stream) in
+    Hashtbl.replace expected_seq stream (max (seq + 1) exp);
+    if seq > exp then List.init (seq - exp) (fun i -> exp + i) else []
+  in
+  (* Ingest with bounded retry against transient SMC refusals.  Returns
+     [Ok (ref, stall)] or [Error (stall, reason)]; every failure path is a
+     declared gap, never an escaped exception. *)
+  let ingest_with_retry ~payload ~encrypted ~stream ~seq ~mac =
+    let rec attempt n stall =
+      match D.call dp (D.R_ingest_events { payload; encrypted; stream; seq; mac }) with
+      | D.Rs_ingested { out; stalled_ns } -> Ok (out, stall +. stalled_ns)
+      | D.Rs_outputs _ | D.Rs_watermark _ | D.Rs_egress _ ->
+          failwith "control: unexpected ingest response"
+      | exception Sbt_tz.Smc.Entry_busy _ ->
+          Sbt_obs.Metrics.incr c_busy;
+          if n < plan.Sbt_fault.Fault.retry_budget then
+            let backoff = Sbt_fault.Fault.backoff_ns plan ~stream ~seq ~attempt:(n + 1) in
+            attempt (n + 1) (stall +. backoff)
+          else Error (stall, Sbt_attest.Record.Smc_unavailable)
+      | exception D.Rejected _ -> Error (stall, Sbt_attest.Record.Corrupt_ingress)
+      | exception D.Overloaded { stalled_ns } ->
+          Sbt_obs.Metrics.incr c_sheds;
+          instant "shed"
+            ~args:[ ("stream", Sbt_obs.Tracer.Int stream); ("seq", Sbt_obs.Tracer.Int seq) ];
+          Error (stall +. stalled_ns, Sbt_attest.Record.Pool_pressure)
+    in
+    attempt 0 0.0
+  in
+  (* Windows egress in watermark order: each close depends on the previous
+     one, which also serializes any cross-window operator state. *)
+  let last_close = ref None in
+  List.iter
+    (fun frame ->
+      match frame with
+      | Sbt_net.Frame.Events
+          { seq; stream; events; windows = frame_windows; payload; encrypted; mac } ->
+          let arrival = !cum_events + events in
+          cum_events := arrival;
+          total_events := !total_events + events;
+          Sbt_obs.Metrics.incr c_frames;
+          let holes = link_holes ~stream ~seq in
+          let batch_ref = ref 0L in
+          let batch_ok = ref false in
+          let ingest_task, ingest_idx =
+            add_task ~arrival
+              ~label:(Printf.sprintf "ingest:%d.%d" stream seq)
+              (fun () ->
+                (* Frames the link lost before this one: declared first so
+                   the audit log vouches for the hole in stream order. *)
+                List.iter
+                  (fun missing ->
+                    incr batches_dropped;
+                    Sbt_obs.Metrics.incr c_batches_dropped;
+                    declare_gap ~stream ~seq:missing ~events:0 ~windows:[]
+                      ~reason:Sbt_attest.Record.Link_loss)
+                  holes;
+                match ingest_with_retry ~payload ~encrypted ~stream ~seq ~mac with
+                | Ok (out, stalled_ns) ->
+                    batch_ref := out.D.ref_;
+                    batch_ok := true;
+                    Sbt_obs.Metrics.observe h_stall stalled_ns;
+                    stalled_ns
+                | Error (stalled_ns, reason) ->
+                    (* Past the retry budget / rejected / shed: degrade by
+                       dropping the batch and leaving a signed gap. *)
+                    incr batches_dropped;
+                    Sbt_obs.Metrics.incr c_batches_dropped;
+                    events_dropped := !events_dropped + events;
+                    Sbt_obs.Metrics.add c_events_dropped events;
+                    declare_gap ~stream ~seq ~events ~windows:frame_windows ~reason;
+                    Sbt_obs.Metrics.observe h_stall stalled_ns;
+                    stalled_ns)
+          in
+          (* Windows already closed when this batch was scheduled: data for
+             them is late (the source broke the watermark contract).  The
+             control plane drops it - and precisely because the drop leaves
+             the segment unconsumed in the audit log, the cloud verifier
+             flags the incident. *)
+          let closed_below = !next_window_to_close in
+          let windowing_task, windowing_idx =
+            add_task
+              ~deps:[ (ingest_task, ingest_idx) ]
+              ~label:(Printf.sprintf "windowing:%d.%d" stream seq)
+              (fun () ->
+                if not !batch_ok then 0.0
+                else begin
+                (match
+                   D.call dp
+                     (D.R_invoke
+                        {
+                          op = P.Segment;
+                          inputs = [ !batch_ref ];
+                          trigger = None;
+                          params =
+                            [
+                              D.P_window_size pipe.Pipeline.window_size_ticks;
+                              D.P_slide pipe.Pipeline.window_slide_ticks;
+                              D.P_ts_field pipe.Pipeline.schema.Event.ts_field;
+                            ];
+                          hints = (if cfg.hints_enabled then [ D.H_parallel ] else []);
+                          retire_inputs = true;
+                        })
+                 with
+                | D.Rs_outputs outs ->
+                    List.iter
+                      (fun (o : D.output) ->
+                        if o.D.win < closed_below then begin
+                          (* late segment: reclaim its memory, leave its
+                             audit trail unconsumed *)
+                          match D.call dp (D.R_retire { input = o.D.ref_ }) with
+                          | D.Rs_outputs [] -> ()
+                          | _ -> failwith "control: unexpected retire response"
+                        end
+                        else begin
+                          let ws = win o.D.win in
+                          if pipe.Pipeline.batch_ops = [] then begin
+                            ws.ready <- (stream, o.D.ref_) :: ws.ready;
+                            set_last_ready ws stream o.D.ref_
+                          end
+                          else Queue.add (stream, o.D.ref_) (pending_q ws)
+                        end)
+                      outs
+                | D.Rs_watermark _ | D.Rs_egress _ | D.Rs_ingested _ ->
+                    failwith "control: unexpected windowing response");
+                0.0
+                end)
+          in
+          List.iter
+            (fun w ->
+              let ws = win w in
+              if pipe.Pipeline.batch_ops = [] then
+                (* Segments become ready inside the windowing task. *)
+                ws.dep_tasks <- (windowing_task, windowing_idx) :: ws.dep_tasks
+              else begin
+                let stage_task, stage_idx =
+                  add_task
+                    ~deps:[ (windowing_task, windowing_idx) ]
+                    ~label:(Printf.sprintf "stage:w%d.%d.%d" w stream seq)
+                    (fun () ->
+                      let ws = win w in
+                      (match ws.pending_segments with
+                      | Some q when not (Queue.is_empty q) ->
+                          let stream', seg = Queue.pop q in
+                          run_batch_stages w stream' seg
+                      | Some _ | None -> () (* window predicted but empty in this batch *));
+                      0.0)
+                in
+                ws.dep_tasks <- (stage_task, stage_idx) :: ws.dep_tasks
+              end)
+            frame_windows
+      | Sbt_net.Frame.Watermark { seq; value } ->
+          let arrival = !cum_events in
+          let wm_task, wm_idx =
+            add_task ~arrival ~label:(Printf.sprintf "watermark:%d" seq) (fun () ->
+                match D.call dp (D.R_ingest_watermark { value }) with
+                | D.Rs_watermark { audit_id; _ } ->
+                    wm_audit_ref := audit_id;
+                    0.0
+                | D.Rs_outputs _ | D.Rs_egress _ | D.Rs_ingested _ ->
+                    failwith "control: unexpected watermark response")
+          in
+          (* Close, in order, every window whose end has passed. *)
+          while
+            (!next_window_to_close * pipe.Pipeline.window_slide_ticks)
+            + pipe.Pipeline.window_size_ticks
+            <= value
+          do
+            let w = !next_window_to_close in
+            incr next_window_to_close;
+            match Hashtbl.find_opt windows w with
+            | None -> () (* empty window: nothing to do *)
+            | Some ws ->
+                ws.closed <- true;
+                let marker_deps = [ (wm_task, wm_idx) ] in
+                let _marker, marker_idx =
+                  add_task ~deps:marker_deps ~arrival ~role:(Trace.Watermark_arrival w)
+                    ~label:(Printf.sprintf "wm-arrive:w%d" w)
+                    (fun () -> 0.0)
+                in
+                ignore marker_idx;
+                let close_deps =
+                  (wm_task, wm_idx) :: (Option.to_list !last_close @ ws.dep_tasks)
+                in
+                let close_task, close_idx =
+                  add_task ~deps:close_deps ~role:(Trace.Egress_of w)
+                    ~label:(Printf.sprintf "close:w%d" w)
+                    (fun () ->
+                      Sbt_obs.Metrics.incr c_closes;
+                      instant "window-close" ~args:[ ("win", Sbt_obs.Tracer.Int w) ];
+                      let trigger_used = ref false in
+                      let invoke ?(params = []) ?(hints = []) ?(retire = true) op inputs =
+                        let trigger =
+                          if !trigger_used then None
+                          else begin
+                            trigger_used := true;
+                            Some !wm_audit_ref
+                          end
+                        in
+                        let hints =
+                          if cfg.hints_enabled && hints = [] then [] else hints
+                        in
+                        match
+                          D.call dp
+                            (D.R_invoke { op; inputs; trigger; params; hints; retire_inputs = retire })
+                        with
+                        | D.Rs_outputs outs -> List.map (fun (o : D.output) -> o.D.ref_) outs
+                        | D.Rs_watermark _ | D.Rs_egress _ | D.Rs_ingested _ ->
+                            failwith "control: unexpected invoke response"
+                      in
+                      let invoke_udf ?(hints = []) ?(retire = true) ?(state_output = false)
+                          ~name ~version ~value_field inputs =
+                        let trigger =
+                          if !trigger_used then None
+                          else begin
+                            trigger_used := true;
+                            Some !wm_audit_ref
+                          end
+                        in
+                        match
+                          D.call dp
+                            (D.R_invoke_udf
+                               {
+                                 name;
+                                 version;
+                                 inputs;
+                                 trigger;
+                                 value_field;
+                                 hints;
+                                 retire_inputs = retire;
+                                 state_output;
+                               })
+                        with
+                        | D.Rs_outputs outs -> List.map (fun (o : D.output) -> o.D.ref_) outs
+                        | D.Rs_watermark _ | D.Rs_egress _ | D.Rs_ingested _ ->
+                            failwith "control: unexpected UDF invoke response"
+                      in
+                      let retire_ref r =
+                        match D.call dp (D.R_retire { input = r }) with
+                        | D.Rs_outputs [] -> ()
+                        | _ -> failwith "control: unexpected retire response"
+                      in
+                      if ws.ready = [] then
+                        (* Every batch of this window was lost and declared
+                           as a gap: degrade by producing no result rather
+                           than invoking the plan on nothing. *)
+                        0.0
+                      else begin
+                        let ctx =
+                          { Pipeline.window = w; ready = List.rev ws.ready; invoke; invoke_udf; retire_ref }
+                        in
+                        (* Sample steady memory while the window's data is
+                           still live (before the plan consumes it). *)
+                        mem_samples := D.pool_committed_bytes dp :: !mem_samples;
+                        let result_ref = pipe.Pipeline.plan ctx in
+                        (match D.call dp (D.R_egress { input = result_ref; window = w }) with
+                        | D.Rs_egress sealed -> results := (w, sealed) :: !results
+                        | D.Rs_outputs _ | D.Rs_watermark _ | D.Rs_ingested _ ->
+                            failwith "control: unexpected egress response");
+                        0.0
+                      end)
+                in
+                last_close := Some (close_task, close_idx)
+          done)
+    frames;
+  Des.run des;
+  D.finalize dp;
+  (* Assemble the trace: node order is schedule order (reverse of the
+     accumulation list). *)
+  let nodes_in_order = List.rev !pending_nodes in
+  let trace_nodes =
+    Array.of_list
+      (List.map
+         (fun (label, task, dep_idxs, arrival, role) ->
+           {
+             Trace.label;
+             cost_ns = Des.cost_ns_of task;
+             deps = dep_idxs;
+             arrival_events = arrival;
+             role;
+           })
+         nodes_in_order)
+  in
+  let trace = Trace.of_nodes trace_nodes in
+  let dp_stats = D.stats dp in
+  let tee_metrics, tee_quote = D.metrics_quote dp ~nonce:(Bytes.of_string "sbt-run-final") in
+  {
+    results = List.rev !results;
+    trace;
+    dp_stats;
+    pool_high_water_bytes = D.pool_high_water_bytes dp;
+    mem_samples_bytes = List.rev !mem_samples;
+    audit = D.uploaded_batches dp;
+    verifier_spec = Pipeline.verifier_spec pipe;
+    makespan_ns = Des.makespan_ns des;
+    total_events = !total_events;
+    tasks_executed = Des.tasks_executed des;
+    live_refs_after = D.live_refs dp;
+    loss =
+      Loss.v ~gaps_declared:!gaps_declared ~batches_dropped:!batches_dropped
+        ~events_dropped:!events_dropped;
+    registry = reg;
+    tee_metrics;
+    tee_quote;
+    exec = None;
+  }
+
+let exec_trace ?time_scale ?mode ?scratch_pages ~domains cfg (r : run_result) =
+  (* The executor's scratch shards draw from a pool with the same budget
+     as the platform's secure DRAM, so real-parallel scratch pressure is
+     bounded by the same number Figure 7 reports against. *)
+  let pool =
+    Sbt_umem.Page_pool.create
+      ~budget_bytes:(Sbt_tz.Platform.secure_bytes cfg.dp_config.D.platform)
+  in
+  Sbt_exec.Executor.run
+    ?tracer:cfg.dp_config.D.tracer
+    ~registry:r.registry ~pool ?time_scale ?mode ?scratch_pages ~domains r.trace
+
+let run ?engine ?exec_time_scale ?exec_mode cfg pipe frames =
+  let engine = match engine with Some e -> e | None -> `Des cfg.cores in
+  match engine with
+  | `Des cores -> record ~recording_cores:cores cfg pipe frames
+  | `Domains domains ->
+      (* Record with cfg.cores untouched — [domains] sizes only the real
+         executor — so a [`Domains n] run's observables match [`Des
+         cfg.cores] byte for byte. *)
+      let r = record ~recording_cores:cfg.cores cfg pipe frames in
+      let report =
+        exec_trace ?time_scale:exec_time_scale ?mode:exec_mode ~domains cfg r
+      in
+      { r with exec = Some report }

@@ -1,0 +1,160 @@
+(** The unified run API: one entry point, two execution engines.
+
+    [run ~engine] executes a pipeline over a frame stream and returns the
+    same {!run_result} whichever engine drives it:
+
+    - [`Des cores] — the discrete-event engine: the control plane runs for
+      real (every data-plane effect happens once, serially) while the DES
+      schedules its task graph on [cores] {e virtual} cores and accounts
+      virtual time.  This is the recording engine behind every figure.
+    - [`Domains n] — the real-parallel engine: records exactly as
+      [`Des cfg.cores] does, then replays the recorded task graph on [n]
+      OCaml 5 domains with the work-stealing executor
+      ({!Sbt_exec.Executor}) and reports wall-clock scaling in
+      {!run_result.exec}.
+
+    {b Invariant} (tested by the engine-equivalence property): sealed
+    results, audit bytes and verifier verdicts are byte-identical across
+    [`Des cores], [`Domains 1] and [`Domains n].  The observables come
+    from the single serial recording pass; the parallel phase only
+    measures.  Determinism across {e processes} additionally needs a
+    noise-free cost model ([host_scale = 0]); see
+    {!Sbt_tz.Cost_model.free}. *)
+
+type engine = [ `Des of int  (** virtual cores *) | `Domains of int  (** real domains *) ]
+
+type config = {
+  dp_config : Dataplane.config;
+  cores : int;  (** virtual cores for the recording run *)
+  hints_enabled : bool;
+}
+
+(** Labelled construction and functional update for {!config}.  [make]'s
+    data-plane labels are forwarded to {!Dataplane.Config.make}; passing
+    [?dp_config] overrides them wholesale. *)
+module Config : sig
+  type t = config
+
+  val make :
+    ?version:Dataplane.version ->
+    ?cores:int ->
+    ?secure_mb:int ->
+    ?cost:Sbt_tz.Cost_model.t ->
+    ?platform:Sbt_tz.Platform.t ->
+    ?alloc_mode:Sbt_umem.Allocator.mode ->
+    ?sort_algorithm:Sbt_prim.Sort.algorithm ->
+    ?ingress_key:bytes ->
+    ?egress_key:bytes ->
+    ?audit_flush_every:int ->
+    ?audit_enabled:bool ->
+    ?backpressure_threshold:float ->
+    ?adaptive_backpressure:bool ->
+    ?seed:int64 ->
+    ?fault_plan:Sbt_fault.Fault.plan ->
+    ?tracer:Sbt_obs.Tracer.t ->
+    ?hints_enabled:bool ->
+    ?dp_config:Dataplane.config ->
+    unit ->
+    t
+  (** Defaults: 8 cores, hints on, and {!Dataplane.Config.make}'s
+      defaults for the data plane.  [cores] sizes both the recording DES
+      and the data-plane platform. *)
+
+  val with_dp_config : Dataplane.config -> t -> t
+  val with_cores : int -> t -> t
+  val with_hints : bool -> t -> t
+  val with_tracer : Sbt_obs.Tracer.t -> t -> t
+  val with_fault_plan : Sbt_fault.Fault.plan -> t -> t
+end
+
+val default_config : ?version:Dataplane.version -> ?cores:int -> unit -> config
+(** [Config.make] with only the historical labels — kept so existing
+    call sites read unchanged. *)
+
+(** Loss accounting for one run: what graceful degradation dropped, and
+    declared.  Every drop is covered by a signed Gap record, so
+    [gaps_declared >= batches_dropped] whenever loss occurred. *)
+module Loss : sig
+  type t = private {
+    gaps_declared : int;  (** signed Gap records: link holes + dropped batches *)
+    batches_dropped : int;  (** frames lost to the link or shed past the retry budget *)
+    events_dropped : int;  (** events inside dropped frames (link holes excluded) *)
+  }
+
+  val none : t
+  val v : gaps_declared:int -> batches_dropped:int -> events_dropped:int -> t
+  val gaps_declared : t -> int
+  val batches_dropped : t -> int
+  val events_dropped : t -> int
+
+  val is_lossless : t -> bool
+  (** No gaps, no drops — the run saw every event it was sent. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type run_result = {
+  results : (int * Dataplane.sealed_result) list;  (** per closed window *)
+  trace : Sbt_sim.Trace.t;
+  dp_stats : Dataplane.stats;
+  pool_high_water_bytes : int;
+  mem_samples_bytes : int list;
+      (** committed secure memory sampled at every window close — the
+          steady-state usage Figure 7 annotates *)
+  audit : Sbt_attest.Log.batch list;
+  verifier_spec : Sbt_attest.Verifier.spec;
+  makespan_ns : float;
+  total_events : int;
+  tasks_executed : int;
+  live_refs_after : int;
+  loss : Loss.t;  (** what degradation dropped — see {!Loss} *)
+  registry : Sbt_obs.Metrics.t;
+      (** the normal-world metrics registry for this run (always
+          populated; counting is deterministic and costs no virtual
+          time).  Control-plane counters here double-book the loss
+          accounting above so tests can cross-check them; a [`Domains]
+          run adds the executor's [exec.*] counters. *)
+  tee_metrics : bytes;
+      (** TEE-side registry snapshot ({!Sbt_obs.Metrics.encode_snapshot}),
+          exported through the quote path — never read directly *)
+  tee_quote : Sbt_attest.Quote.quote;
+      (** quote over [Sha256 (tee_metrics)] under the device key, nonce
+          ["sbt-run-final"] *)
+  exec : Sbt_exec.Executor.report option;
+      (** real-parallel measurement — [Some] iff the engine was [`Domains _] *)
+}
+
+val run :
+  ?engine:engine ->
+  ?exec_time_scale:float ->
+  ?exec_mode:Sbt_exec.Executor.mode ->
+  config ->
+  Pipeline.t ->
+  Sbt_net.Frame.t list ->
+  run_result
+(** Execute the pipeline over the frame stream.  [engine] defaults to
+    [`Des cfg.cores].  [exec_time_scale] and [exec_mode] apply only to
+    the [`Domains _] measurement phase (see {!Sbt_exec.Executor.run}).
+
+    Frames must arrive in source order (watermarks after the data they
+    cover); the last frame should be a watermark closing every window.
+
+    Faults degrade, never crash: transient SMC refusals are retried with
+    exponential backoff up to the fault plan's budget; corrupt or
+    unauthenticated frames, pool sheds, and link sequence holes each drop
+    the affected batch and emit a signed Gap audit record, so the cloud
+    verifier reports the loss as degradation instead of tampering. *)
+
+val exec_trace :
+  ?time_scale:float ->
+  ?mode:Sbt_exec.Executor.mode ->
+  ?scratch_pages:int ->
+  domains:int ->
+  config ->
+  run_result ->
+  Sbt_exec.Executor.report
+(** Run the real-parallel measurement phase once more over an existing
+    recording — benches use this to sweep domain counts without
+    re-recording.  The executor's scratch pool gets the platform's
+    secure-DRAM budget; spans/counters go to the run's tracer and
+    registry. *)

@@ -1,0 +1,54 @@
+type 'a t = {
+  lock : Mutex.t;
+  mutable buf : 'a array;
+  mutable head : int; (* index of the oldest element *)
+  mutable len : int;
+}
+
+(* A growable ring of ['a option] would box every slot; instead keep a
+   plain ['a array] that is empty until the first push provides a seed
+   value for [Array.make]. *)
+
+let create () = { lock = Mutex.create (); buf = [||]; head = 0; len = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let grow t seed =
+  let cap = Array.length t.buf in
+  let cap' = max 16 (2 * cap) in
+  let buf' = Array.make cap' seed in
+  for i = 0 to t.len - 1 do
+    buf'.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- buf';
+  t.head <- 0
+
+let push t x =
+  locked t (fun () ->
+      if t.len = Array.length t.buf then grow t x;
+      t.buf.((t.head + t.len) mod Array.length t.buf) <- x;
+      t.len <- t.len + 1)
+
+let pop t =
+  locked t (fun () ->
+      if t.len = 0 then None
+      else begin
+        t.len <- t.len - 1;
+        Some t.buf.((t.head + t.len) mod Array.length t.buf)
+      end)
+
+let steal_half t =
+  locked t (fun () ->
+      if t.len = 0 then []
+      else begin
+        let k = (t.len + 1) / 2 in
+        let cap = Array.length t.buf in
+        let out = List.init k (fun i -> t.buf.((t.head + i) mod cap)) in
+        t.head <- (t.head + k) mod cap;
+        t.len <- t.len - k;
+        out
+      end)
+
+let length t = locked t (fun () -> t.len)

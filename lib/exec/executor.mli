@@ -1,0 +1,97 @@
+(** Work-stealing executor on OCaml 5 Domains.
+
+    Runs a recorded control-plane task graph ({!Sbt_sim.Trace}) for real:
+    every node becomes a task on a per-domain work deque, dependencies are
+    tracked with atomic countdowns over the trace's edges, idle domains
+    steal the oldest half of a victim's deque, and the wall clock — not
+    the DES's virtual clock — measures the result.  This is the
+    measured-hardware counterpart to {!Sbt_sim.Trace.replay}: the replay
+    answers "what would N cores do" in virtual time; this module answers
+    "what does this host actually do" with N domains.
+
+    {b What a task does.}  The recorded graph carries each task's virtual
+    cost, not a re-runnable closure (its real effects on the data plane
+    happened during recording, and re-running them concurrently would
+    race on ids, audit order and allocator state — see DESIGN.md §8).  So
+    a task's body reproduces its {e cost}, two ways:
+
+    - [`Paced] (default): the task occupies its domain for
+      [cost_ns * time_scale] of wall time (coarse sleep + a short
+      calibrated spin tail), touching its domain's scratch arena as it
+      goes.  Paced tasks overlap across domains even on a single-core
+      host, so the measured speedup reflects the executor's real
+      scheduling — deques, steals, dependency stalls — rather than the
+      host's core count.
+    - [`Spin]: the task performs [cost_ns * time_scale] worth of
+      calibrated integer/memory work.  On a multicore host this measures
+      genuine parallel compute; on a single-core host spinning domains
+      time-slice and show no speedup.
+
+    {b Memory.}  Each domain owns one {!Sbt_umem.Page_pool} shard as its
+    scratch arena: commits and releases hit lock-free shard-local
+    counters, and every window-close task ([Egress_of]) merges its
+    domain's shard back into the parent pool, so secure-pool accounting
+    stays race-free and the parent's committed/high-water numbers remain
+    the conservative bound Figures 7/10 report.
+
+    {b Determinism.}  Scheduling order is nondeterministic; observable
+    outputs are not derived from it.  The {!report}'s [journal] lists
+    completed tasks merged from per-domain buffers in schedule-index
+    order, so it is byte-identical across domain counts and runs — the
+    executor-level instance of the audit-merge discipline
+    ({!Sbt_attest.Log.merge_shards}). *)
+
+type mode = [ `Paced | `Spin ]
+
+type domain_stats = {
+  tasks : int;  (** tasks this domain executed *)
+  steals : int;  (** successful steal-half operations *)
+  steal_attempts : int;  (** steal probes, successful or not *)
+  parks : int;  (** backoff sleeps while the graph had no ready task *)
+  busy_ns : float;  (** wall time spent inside task bodies *)
+}
+
+type report = {
+  domains : int;
+  wall_ns : float;  (** wall time from first dispatch to last completion *)
+  tasks_executed : int;
+  per_domain : domain_stats array;
+  pool_merges : int;  (** shard-to-parent merges (one per window close) *)
+  scratch_high_water_bytes : int;  (** sum of per-shard high waters *)
+  journal : string;
+      (** canonical completion journal: ["<index> <label>\n"] per task,
+          in schedule-index order — byte-identical across domain counts *)
+}
+
+val total_steals : report -> int
+val total_parks : report -> int
+
+val run :
+  ?tracer:Sbt_obs.Tracer.t ->
+  ?registry:Sbt_obs.Metrics.t ->
+  ?pool:Sbt_umem.Page_pool.t ->
+  ?time_scale:float ->
+  ?mode:mode ->
+  ?scratch_pages:int ->
+  domains:int ->
+  Sbt_sim.Trace.t ->
+  report
+(** Execute the graph on [domains] domains (the caller's domain plus
+    [domains - 1] spawned ones).
+
+    [time_scale] (default 1.0) multiplies every task's recorded cost —
+    benches use it to shrink big recordings to a measurable-but-quick
+    wall footprint.  [pool] is the parent secure pool backing the
+    per-domain scratch shards (a private 64 MB pool by default);
+    [scratch_pages] (default 8) is each task's scratch working set.
+
+    [tracer] receives one span per task on the real-parallel track
+    (pid 2, tid = domain index, cat ["exec"]) with {e wall-clock}
+    timestamps relative to the run start — the one track where wall time
+    is the point; spans are buffered per domain and emitted after the
+    run, so tracing never synchronizes domains.  [registry] gains
+    [exec.tasks], [exec.steals], [exec.steal_attempts], [exec.parks],
+    [exec.pool_merges], [exec.domains] and [exec.wall_ns] counters.
+
+    Raises [Invalid_argument] if [domains <= 0] or the trace's
+    dependency edges are malformed. *)

@@ -15,10 +15,22 @@ let path ?dir ~section () =
   check_section section;
   Filename.concat (out_dir dir) (Printf.sprintf "BENCH_%s.json" section)
 
+(* Files touched by this process: the first append to a path truncates it,
+   so a bench run starts each section file fresh instead of accreting lines
+   across runs; later appends within the run accumulate as before. *)
+let touched : (string, unit) Hashtbl.t = Hashtbl.create 8
+
 let append ?dir ~section fields =
   let file = path ?dir ~section () in
   let line = Json.to_string (Json.Obj (("section", Json.Str section) :: fields)) in
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
+  let flags =
+    if Hashtbl.mem touched file then [ Open_append; Open_creat ]
+    else begin
+      Hashtbl.replace touched file ();
+      [ Open_wronly; Open_creat; Open_trunc ]
+    end
+  in
+  let oc = open_out_gen flags 0o644 file in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->

@@ -1,6 +1,10 @@
 (** Machine-readable bench output: one [BENCH_<section>.json] file per
-    bench section, one JSON object per line, appended per run — the
-    repo's perf trajectory.
+    bench section, one JSON object per line.
+
+    The first append a process makes to a given file truncates it, so
+    every bench run starts its section files fresh (stale lines from
+    earlier runs would silently skew trend plots); appends after the
+    first, within the same process, accumulate.
 
     The destination directory is [SBT_BENCH_OUT_DIR] when set, else the
     working directory (dune exec runs from the invocation directory, so
@@ -12,4 +16,5 @@ val path : ?dir:string -> section:string -> unit -> string
 
 val append : ?dir:string -> section:string -> (string * Json.t) list -> string
 (** Appends one line [{"section": <section>, ...fields}] and returns
-    the file path. *)
+    the file path.  The process's first append to each path truncates
+    the file (see above). *)

@@ -20,6 +20,7 @@ let of_nodes nodes =
   { nodes }
 
 let node_count t = Array.length t.nodes
+let nodes t = Array.copy t.nodes
 let total_cost_ns t = Array.fold_left (fun acc n -> acc +. n.cost_ns) 0.0 t.nodes
 
 let total_events t =

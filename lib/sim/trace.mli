@@ -28,6 +28,11 @@ val of_nodes : node array -> t
     otherwise. *)
 
 val node_count : t -> int
+
+val nodes : t -> node array
+(** A copy of the recorded nodes in schedule order — the edge list the
+    real-parallel executor ({!Sbt_exec.Executor}) walks. *)
+
 val total_cost_ns : t -> float
 
 val total_events : t -> int

@@ -2,6 +2,11 @@ type t = {
   budget_pages : int;
   mutable committed : int;
   mutable high_water : int;
+  lock : Mutex.t;
+      (* Taken only on the shard refill/return paths.  The single-threaded
+         data-plane paths never contend: recording and parallel execution
+         are sequential phases, and shards are the only multi-domain
+         clients of the pool. *)
 }
 
 exception Out_of_secure_memory of { requested_pages : int; available_pages : int }
@@ -11,7 +16,12 @@ let pages_for_bytes n = (n + page_size - 1) / page_size
 
 let create ~budget_bytes =
   if budget_bytes <= 0 then invalid_arg "Page_pool.create: budget must be positive";
-  { budget_pages = pages_for_bytes budget_bytes; committed = 0; high_water = 0 }
+  {
+    budget_pages = pages_for_bytes budget_bytes;
+    committed = 0;
+    high_water = 0;
+    lock = Mutex.create ();
+  }
 
 let available_pages t = t.budget_pages - t.committed
 
@@ -31,3 +41,79 @@ let committed_bytes t = t.committed * page_size
 let budget_bytes t = t.budget_pages * page_size
 let high_water_bytes t = t.high_water * page_size
 let reset_high_water t = t.high_water <- t.committed
+
+(* --- per-domain shards ---------------------------------------------------
+
+   A shard is a domain-local view of the parent pool: the owning domain
+   commits and releases against shard-local counters without taking any
+   lock, and the shard draws page quota from the parent in [refill]-page
+   chunks (under the parent lock) only when its local quota runs dry.
+   Quota held by a shard is counted as committed in the parent, so the
+   parent's committed/high-water accounting — the source of truth behind
+   Figures 7 and 10 — stays a conservative bound on real usage; the slack
+   is at most [refill] pages per shard and is returned at every
+   [merge_shard] (window close). *)
+
+type shard = {
+  parent : t;
+  refill : int;
+  mutable quota : int;  (* parent pages granted but not locally committed *)
+  mutable s_committed : int;
+  mutable s_high_water : int;
+}
+
+let default_refill_pages = 16
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let shards ?(refill_pages = default_refill_pages) t ~n =
+  if n <= 0 then invalid_arg "Page_pool.shards: n must be positive";
+  if refill_pages <= 0 then invalid_arg "Page_pool.shards: refill_pages must be positive";
+  Array.init n (fun _ ->
+      { parent = t; refill = refill_pages; quota = 0; s_committed = 0; s_high_water = 0 })
+
+let shard_commit s ~pages =
+  if pages < 0 then invalid_arg "Page_pool.shard_commit: negative pages";
+  if s.quota < pages then begin
+    let need = pages - s.quota in
+    let want = max need s.refill in
+    locked s.parent (fun () ->
+        let take = min want (available_pages s.parent) in
+        if take < need then
+          raise
+            (Out_of_secure_memory
+               { requested_pages = need; available_pages = available_pages s.parent });
+        commit s.parent ~pages:take;
+        s.quota <- s.quota + take)
+  end;
+  s.quota <- s.quota - pages;
+  s.s_committed <- s.s_committed + pages;
+  if s.s_committed > s.s_high_water then s.s_high_water <- s.s_committed
+
+let shard_release s ~pages =
+  if pages < 0 || pages > s.s_committed then
+    invalid_arg "Page_pool.shard_release: bad page count";
+  s.s_committed <- s.s_committed - pages;
+  s.quota <- s.quota + pages;
+  (* Cap the idle quota a shard sits on so one domain cannot starve the
+     others between merges. *)
+  if s.quota > 2 * s.refill then begin
+    let spare = s.quota - s.refill in
+    locked s.parent (fun () -> release s.parent ~pages:spare);
+    s.quota <- s.quota - spare
+  end
+
+let merge_shard s =
+  (* Window close: return every unused quota page to the parent so its
+     committed count drops back to real (shard-committed) usage.  Only
+     the owning domain may call this — shard counters are unlocked. *)
+  if s.quota > 0 then begin
+    let spare = s.quota in
+    locked s.parent (fun () -> release s.parent ~pages:spare);
+    s.quota <- 0
+  end
+
+let shard_committed_bytes s = s.s_committed * page_size
+let shard_high_water_bytes s = s.s_high_water * page_size

@@ -194,7 +194,7 @@ let test_dataplane_version_accounting () =
 
 let test_dataplane_backpressure () =
   (* A tiny pool: ingesting enough data crosses the threshold and stalls. *)
-  let cfg = { (D.default_config ~secure_mb:1 ()) with D.backpressure_threshold = 0.3 } in
+  let cfg = D.Config.make ~secure_mb:1 ~backpressure_threshold:0.3 () in
   let dp = D.create cfg in
   let big_rows = List.init 30_000 (fun i -> [ Int32.of_int i; 1l; 0l ]) in
   (match
@@ -218,10 +218,7 @@ let test_dataplane_adaptive_backpressure () =
   (* Adaptive flow control: the stall grows as the pool fills deeper past
      the threshold. *)
   let cfg =
-    { (D.default_config ~secure_mb:2 ()) with
-      D.backpressure_threshold = 0.1;
-      adaptive_backpressure = true;
-    }
+    D.Config.make ~secure_mb:2 ~backpressure_threshold:0.1 ~adaptive_backpressure:true ()
   in
   let dp = D.create cfg in
   let rows = List.init 20_000 (fun i -> [ Int32.of_int i; 1l; 0l ]) in
@@ -265,13 +262,7 @@ let window_of ts = Int32.to_int ts / Event.ticks_per_second
 
 let run_pipeline ?(version = D.Full) (bench : B.t) =
   let frames = B.frames bench in
-  let cfg =
-    {
-      Control.dp_config = D.default_config ~version ();
-      cores = 8;
-      hints_enabled = true;
-    }
-  in
+  let cfg = Control.Config.make ~version ~cores:8 () in
   (Control.run cfg bench.B.pipeline frames, frames)
 
 let result_rows (r : Control.run_result) w =
@@ -565,13 +556,7 @@ let faulty_run ?(rate = 0.12) ?(seed = 21L) () =
   let spec = { bench.B.spec with Sbt_workloads.Datagen.authenticated = true } in
   let plan = Fault.uniform ~seed ~rate () in
   let frames, link = Lossy.apply plan (Sbt_workloads.Datagen.frames spec) in
-  let cfg =
-    {
-      Control.dp_config = { (D.default_config ()) with D.fault_plan = plan };
-      cores = 8;
-      hints_enabled = true;
-    }
-  in
+  let cfg = Control.Config.make ~cores:8 ~fault_plan:plan () in
   (Control.run cfg bench.B.pipeline frames, link)
 
 (* Gap identity without the host-time-dependent [ts]. *)
@@ -594,19 +579,19 @@ let test_resilience_three_regimes () =
   let clean, _ = run_pipeline bench in
   let clean_report = V.verify clean.Control.verifier_spec (records_of_run clean) in
   Alcotest.(check bool) "clean verifies" true (V.ok clean_report);
-  Alcotest.(check int) "clean has no gaps" 0 clean.Control.gaps_declared;
+  Alcotest.(check int) "clean has no gaps" 0 (Control.Loss.gaps_declared clean.Control.loss);
   Alcotest.(check int) "clean report agrees" 0 clean_report.V.declared_gaps;
   (* Regime 2 - degraded: faults happen, losses are declared, still ok. *)
   let faulty, link = faulty_run () in
   Alcotest.(check bool) "link did damage" true (link.Lossy.dropped + link.Lossy.corrupted > 0);
-  Alcotest.(check bool) "gaps declared" true (faulty.Control.gaps_declared > 0);
-  Alcotest.(check bool) "batches dropped" true (faulty.Control.batches_dropped > 0);
+  Alcotest.(check bool) "gaps declared" true ((Control.Loss.gaps_declared faulty.Control.loss) > 0);
+  Alcotest.(check bool) "batches dropped" true ((Control.Loss.batches_dropped faulty.Control.loss) > 0);
   let records = records_of_run faulty in
   let report = V.verify faulty.Control.verifier_spec records in
   if not (V.ok report) then
     Alcotest.failf "declared loss must verify as degradation: %s"
       (Format.asprintf "%a" V.pp_report report);
-  Alcotest.(check int) "report sees the gaps" faulty.Control.gaps_declared report.V.declared_gaps;
+  Alcotest.(check int) "report sees the gaps" (Control.Loss.gaps_declared faulty.Control.loss) report.V.declared_gaps;
   Alcotest.(check bool) "loss reported" true
     (report.V.lost_batches > 0 && report.V.loss_fraction > 0.0);
   (* Regime 3 - tampered: stripping the gap declarations from the same log
@@ -623,9 +608,9 @@ let test_resilience_deterministic () =
   let r1, l1 = faulty_run () in
   let r2, l2 = faulty_run () in
   Alcotest.(check bool) "same link damage" true (l1 = l2);
-  Alcotest.(check int) "same gap count" r1.Control.gaps_declared r2.Control.gaps_declared;
-  Alcotest.(check int) "same drops" r1.Control.batches_dropped r2.Control.batches_dropped;
-  Alcotest.(check int) "same events lost" r1.Control.events_dropped r2.Control.events_dropped;
+  Alcotest.(check int) "same gap count" (Control.Loss.gaps_declared r1.Control.loss) (Control.Loss.gaps_declared r2.Control.loss);
+  Alcotest.(check int) "same drops" (Control.Loss.batches_dropped r1.Control.loss) (Control.Loss.batches_dropped r2.Control.loss);
+  Alcotest.(check int) "same events lost" (Control.Loss.events_dropped r1.Control.loss) (Control.Loss.events_dropped r2.Control.loss);
   Alcotest.(check bool) "same gaps" true
     (gap_tuples (records_of_run r1) = gap_tuples (records_of_run r2));
   Alcotest.(check bool) "same results" true (opened_results r1 = opened_results r2);
@@ -643,8 +628,8 @@ let test_resilience_zero_cost_opt_in () =
   let plain, _ = run_pipeline bench in
   let r, link = faulty_run ~rate:0.0 () in
   Alcotest.(check int) "nothing dropped" 0 link.Lossy.dropped;
-  Alcotest.(check int) "no gaps" 0 r.Control.gaps_declared;
-  Alcotest.(check int) "no drops" 0 r.Control.batches_dropped;
+  Alcotest.(check int) "no gaps" 0 (Control.Loss.gaps_declared r.Control.loss);
+  Alcotest.(check int) "no drops" 0 (Control.Loss.batches_dropped r.Control.loss);
   Alcotest.(check int) "no sheds" 0 r.Control.dp_stats.D.sheds;
   Alcotest.(check int) "no smc refusals" 0 r.Control.dp_stats.D.smc_busy_rejections;
   Alcotest.(check bool) "same results as the plain path" true
@@ -658,17 +643,11 @@ let test_smc_retry_within_budget () =
     { Fault.none with Fault.smc = { Fault.quiet with Fault.fail_p = 0.5; max_burst = 2 } }
   in
   Alcotest.(check bool) "budget covers bursts" true (plan.Fault.retry_budget >= 2);
-  let cfg =
-    {
-      Control.dp_config = { (D.default_config ()) with D.fault_plan = plan };
-      cores = 8;
-      hints_enabled = true;
-    }
-  in
+  let cfg = Control.Config.make ~cores:8 ~fault_plan:plan () in
   let r = Control.run cfg bench.B.pipeline (B.frames bench) in
   Alcotest.(check bool) "refusals injected" true (r.Control.dp_stats.D.smc_busy_rejections > 0);
-  Alcotest.(check int) "no batch lost" 0 r.Control.batches_dropped;
-  Alcotest.(check int) "no gaps needed" 0 r.Control.gaps_declared;
+  Alcotest.(check int) "no batch lost" 0 (Control.Loss.batches_dropped r.Control.loss);
+  Alcotest.(check int) "no gaps needed" 0 (Control.Loss.gaps_declared r.Control.loss);
   let report = V.verify r.Control.verifier_spec (records_of_run r) in
   Alcotest.(check bool) "verifies clean" true (V.ok report);
   (* And the retried run computes the same answers.  (Fresh bench: the
@@ -687,17 +666,11 @@ let test_smc_budget_exhausted_degrades () =
       smc = { Fault.quiet with Fault.fail_p = 0.4; max_burst = 4 };
     }
   in
-  let cfg =
-    {
-      Control.dp_config = { (D.default_config ()) with D.fault_plan = plan };
-      cores = 8;
-      hints_enabled = true;
-    }
-  in
+  let cfg = Control.Config.make ~cores:8 ~fault_plan:plan () in
   let r = Control.run cfg bench.B.pipeline (B.frames bench) in
-  Alcotest.(check bool) "some batches dropped" true (r.Control.batches_dropped > 0);
+  Alcotest.(check bool) "some batches dropped" true ((Control.Loss.batches_dropped r.Control.loss) > 0);
   let gaps = gap_tuples (records_of_run r) in
-  Alcotest.(check int) "every drop declared" r.Control.batches_dropped (List.length gaps);
+  Alcotest.(check int) "every drop declared" (Control.Loss.batches_dropped r.Control.loss) (List.length gaps);
   Alcotest.(check bool) "smc reason recorded" true
     (List.exists
        (fun (_, _, _, _, tag) -> R.gap_reason_of_tag tag = R.Smc_unavailable)
@@ -711,16 +684,10 @@ let test_pool_pressure_sheds_and_degrades () =
      Out_of_secure_memory, the batch is declared lost, the run verifies. *)
   let bench = resilience_bench () in
   let plan = { Fault.none with Fault.pool = { Fault.quiet with Fault.fail_p = 0.25 } } in
-  let cfg =
-    {
-      Control.dp_config = { (D.default_config ()) with D.fault_plan = plan };
-      cores = 8;
-      hints_enabled = true;
-    }
-  in
+  let cfg = Control.Config.make ~cores:8 ~fault_plan:plan () in
   let r = Control.run cfg bench.B.pipeline (B.frames bench) in
   Alcotest.(check bool) "sheds happened" true (r.Control.dp_stats.D.sheds > 0);
-  Alcotest.(check bool) "drops recorded" true (r.Control.batches_dropped > 0);
+  Alcotest.(check bool) "drops recorded" true ((Control.Loss.batches_dropped r.Control.loss) > 0);
   Alcotest.(check bool) "pool reason recorded" true
     (List.exists
        (fun (_, _, _, _, tag) -> R.gap_reason_of_tag tag = R.Pool_pressure)
@@ -777,19 +744,12 @@ let test_control_adaptive_backpressure () =
   let mk () = B.win_sum ~windows:2 ~events_per_window:8_000 ~batch_events:1_000 () in
   let bench = mk () in
   let cfg =
-    {
-      Control.dp_config =
-        { (D.default_config ~secure_mb:1 ()) with
-          D.backpressure_threshold = 0.05;
-          adaptive_backpressure = true;
-        };
-      cores = 8;
-      hints_enabled = true;
-    }
+    Control.Config.make ~cores:8 ~secure_mb:1 ~backpressure_threshold:0.05
+      ~adaptive_backpressure:true ()
   in
   let r = Control.run cfg bench.B.pipeline (B.frames bench) in
   Alcotest.(check bool) "stalls recorded" true (r.Control.dp_stats.D.backpressure_stalls > 0);
-  Alcotest.(check int) "nothing dropped" 0 r.Control.batches_dropped;
+  Alcotest.(check int) "nothing dropped" 0 (Control.Loss.batches_dropped r.Control.loss);
   let plain, _ = run_pipeline (mk ()) in
   Alcotest.(check bool) "same results under pressure" true
     (opened_results plain = opened_results r);

@@ -409,8 +409,8 @@ let det_run ?(fault_plan = Fault.none) ?tracer ?(windows = 2) ?(events_per_windo
   let frames = match frames with Some f -> f | None -> B.frames bench in
   let cost = { Sbt_tz.Cost_model.default with Sbt_tz.Cost_model.host_scale = 0.0 } in
   let platform = Sbt_tz.Platform.create ~cores:8 ~cost () in
-  let dp_config = { (D.default_config ()) with D.platform; fault_plan; tracer } in
-  let r = Control.run { Control.dp_config; cores = 4; hints_enabled = true } bench.B.pipeline frames in
+  let cfg = Control.Config.make ~cores:4 ~platform ~fault_plan ?tracer () in
+  let r = Control.run cfg bench.B.pipeline frames in
   (bench, r)
 
 let verdict (bench : B.t) (r : Control.run_result) =
@@ -431,7 +431,7 @@ let observable_state (r : Control.run_result) =
       r.Control.audit,
     r.Control.tee_metrics,
     Metrics.encode_snapshot r.Control.registry,
-    (r.Control.gaps_declared, r.Control.batches_dropped, r.Control.events_dropped) )
+    ((Control.Loss.gaps_declared r.Control.loss), (Control.Loss.batches_dropped r.Control.loss), (Control.Loss.events_dropped r.Control.loss)) )
 
 let obs_effect_free =
   QCheck.Test.make ~name:"tracing on vs off: byte-identical sealed results and audit"
@@ -543,11 +543,11 @@ let test_resilience_metrics_match () =
   let _, r = det_run ~fault_plan:plan ~windows ~events_per_window ~batch_events ~frames () in
   let reg = r.Control.registry in
   (* The registry double-books the control plane's loss accounting. *)
-  Alcotest.(check bool) "faults actually declared gaps" true (r.Control.gaps_declared > 0);
-  Alcotest.(check int) "gaps" r.Control.gaps_declared (Metrics.find_counter reg "control.gaps_declared");
-  Alcotest.(check int) "batches dropped" r.Control.batches_dropped
+  Alcotest.(check bool) "faults actually declared gaps" true ((Control.Loss.gaps_declared r.Control.loss) > 0);
+  Alcotest.(check int) "gaps" (Control.Loss.gaps_declared r.Control.loss) (Metrics.find_counter reg "control.gaps_declared");
+  Alcotest.(check int) "batches dropped" (Control.Loss.batches_dropped r.Control.loss)
     (Metrics.find_counter reg "control.batches_dropped");
-  Alcotest.(check int) "events dropped" r.Control.events_dropped
+  Alcotest.(check int) "events dropped" (Control.Loss.events_dropped r.Control.loss)
     (Metrics.find_counter reg "control.events_dropped");
   Alcotest.(check int) "sheds observed = dataplane sheds" r.Control.dp_stats.D.sheds
     (Metrics.find_counter reg "control.sheds_observed");
@@ -577,7 +577,7 @@ let test_resilience_metrics_match () =
   Alcotest.(check int) "tee.sheds" r.Control.dp_stats.D.sheds (tee_counter "tee.sheds");
   Alcotest.(check int) "tee.events_ingested" r.Control.dp_stats.D.events_ingested
     (tee_counter "tee.events_ingested");
-  Alcotest.(check int) "tee.gaps_declared" r.Control.gaps_declared (tee_counter "tee.gaps_declared");
+  Alcotest.(check int) "tee.gaps_declared" (Control.Loss.gaps_declared r.Control.loss) (tee_counter "tee.gaps_declared");
   Alcotest.(check int) "tee.invocations" r.Control.dp_stats.D.invocations
     (tee_counter "tee.invocations")
 

@@ -322,8 +322,7 @@ let prop_hints_do_not_change_results =
       let spec = small_spec ~seed:(Int64.of_int (1000 + salt)) () in
       let frames = Datagen.frames spec in
       let run hints_enabled alloc_mode =
-        let dp_config = { (D.default_config ()) with D.alloc_mode } in
-        let cfg = { Control.dp_config; cores = 8; hints_enabled } in
+        let cfg = Control.Config.make ~cores:8 ~alloc_mode ~hints_enabled () in
         let r = Control.run cfg (Pipeline.distinct ()) frames in
         List.map (fun (w, s) -> (w, D.open_result ~egress_key s)) r.Control.results
         |> List.sort compare
