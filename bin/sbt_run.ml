@@ -24,7 +24,15 @@ let exec_of_string = function
           | _ -> Error (`Msg (Printf.sprintf "bad domain count in %S" s)))
       | _ -> Error (`Msg (Printf.sprintf "unknown exec engine %S (des|domains:N)" s)))
 
-let run name version windows events_per_window batch cores_list target_ms hints verbose frames_in audit_out trace_out exec_domains deterministic exec_time_scale results_out =
+let exec_mode_of_string = function
+  | "paced" -> Ok `Paced
+  | "spin" -> Ok `Spin
+  | "work" -> Ok `Work
+  | s -> Error (`Msg (Printf.sprintf "unknown exec mode %S (paced|spin|work)" s))
+
+let exec_mode_name = function `Paced -> "paced" | `Spin -> "spin" | `Work -> "work"
+
+let run name version windows events_per_window batch cores_list target_ms hints verbose frames_in audit_out trace_out exec_domains exec_mode deterministic exec_time_scale results_out =
   match B.by_name name with
   | None ->
       Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|filter|power)\n" name;
@@ -41,7 +49,7 @@ let run name version windows events_per_window batch cores_list target_ms hints 
       in
       let outcome =
         Runner.run ~cores_list ~target_delay_ms:target ~version ~hints_enabled:hints ?tracer
-          ~deterministic ?exec_domains ?exec_time_scale bench.B.pipeline frames
+          ~deterministic ?exec_domains ?exec_mode ?exec_time_scale bench.B.pipeline frames
       in
       (match (trace_out, tracer) with
       | Some path, Some tr ->
@@ -69,9 +77,9 @@ let run name version windows events_per_window batch cores_list target_ms hints 
               e.E.per_domain
           in
           Printf.printf
-            "exec: %d domains | wall %.1f ms | %d tasks | %d steals | %d parks | busy/wall %.2f | scratch hw %d B\n"
-            e.E.domains (e.E.wall_ns /. 1e6) e.E.tasks_executed (E.total_steals e)
-            (E.total_parks e)
+            "exec: %d domains | wall %.1f ms | %d tasks | %d chunks | %d steals | %d parks | busy/wall %.2f | scratch hw %d B\n"
+            e.E.domains (e.E.wall_ns /. 1e6) e.E.tasks_executed e.E.chunks_executed
+            (E.total_steals e) (E.total_parks e)
             (busy /. Float.max 1.0 e.E.wall_ns)
             e.E.scratch_high_water_bytes);
       if verbose then begin
@@ -208,6 +216,22 @@ let exec_arg =
            graph on N real domains with the work-stealing executor; observable \
            outputs are byte-identical to des)")
 
+let exec_mode_arg =
+  let mode_conv =
+    Arg.conv
+      (exec_mode_of_string, fun fmt m -> Format.pp_print_string fmt (exec_mode_name m))
+      ~docv:"MODE"
+  in
+  Arg.(
+    value & opt (some mode_conv) None
+    & info [ "exec-mode" ]
+        ~doc:
+          "Kernel mode for the domains:N measurement phase: $(b,paced) (default; \
+           tasks occupy wall time equal to their recorded cost), $(b,spin) \
+           (calibrated busy work), or $(b,work) (tasks re-execute the recorded \
+           real primitive kernels data-parallel via Par_kernel — the recording \
+           captures kernel inputs, and observable outputs stay byte-identical)")
+
 let deterministic_arg =
   Arg.(
     value & flag
@@ -241,11 +265,12 @@ let fault_seed_arg =
   Arg.(value & opt int64 42L & info [ "fault-seed" ] ~doc:"Seed of the deterministic fault plan (same seed, same faults)")
 
 let dispatch name version windows epw batch cores_list target_ms hints verbose frames_in audit_out
-    trace_out exec_domains deterministic exec_time_scale results_out resil fault_rates fault_seed =
+    trace_out exec_domains exec_mode deterministic exec_time_scale results_out resil fault_rates
+    fault_seed =
   if resil then resilience name version windows epw batch fault_rates fault_seed
   else
     run name version windows epw batch cores_list target_ms hints verbose frames_in audit_out
-      trace_out exec_domains deterministic exec_time_scale results_out
+      trace_out exec_domains exec_mode deterministic exec_time_scale results_out
 
 let cmd =
   let doc = "Run a StreamBox-TZ benchmark pipeline" in
@@ -254,7 +279,7 @@ let cmd =
     Term.(
       const dispatch $ name_arg $ version_arg $ windows_arg $ epw_arg $ batch_arg $ cores_arg
       $ target_arg $ hints_arg $ verbose_arg $ frames_arg $ audit_arg $ trace_arg
-      $ exec_arg $ deterministic_arg $ exec_time_scale_arg $ results_out_arg
+      $ exec_arg $ exec_mode_arg $ deterministic_arg $ exec_time_scale_arg $ results_out_arg
       $ resilience_arg $ fault_rates_arg $ fault_seed_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -39,6 +39,7 @@ type run_result = Runtime.run_result = {
   tee_metrics : bytes;
   tee_quote : Sbt_attest.Quote.quote;
   exec : Sbt_exec.Executor.report option;
+  work : (int -> Sbt_exec.Executor.work_fn option) option;
 }
 (** See {!Runtime.run_result} for per-field documentation. *)
 

@@ -151,6 +151,16 @@ exception Overloaded of { stalled_ns : float }
 type rpc = Rpc_init | Rpc_finalize | Rpc_debug | Rpc_op of request
 type rpc_resp = Rr_unit | Rr_debug of string | Rr_op of response
 
+(* Snapshot of a heavy primitive invocation, taken before inputs retire.
+   The executor's [`Work] mode replays these through Par_kernel into
+   throwaway buffers so measured wall time reflects the real kernels
+   without touching the recorded pass's observables (DESIGN.md §9). *)
+type capture = {
+  cap_op : P.t;
+  cap_params : param list;
+  cap_inputs : (int * int * U.buf) list; (* width, records, host snapshot *)
+}
+
 type t = {
   cfg : config;
   pool : Pool.t;
@@ -172,6 +182,7 @@ type t = {
   mutable consecutive_sheds : int;
   mutable uploaded : Sbt_attest.Log.batch list; (* newest first *)
   mutable ingest_width : int; (* set per stream schema via first ingest params *)
+  mutable capture : (capture -> unit) option; (* heavy-kernel snapshot sink *)
   udfs : (string * int, Udf.t) Hashtbl.t; (* certified-and-installed UDFs *)
   (* TEE-side metrics registry: never read across the boundary directly;
      exported only as an attested snapshot via [metrics_quote]. *)
@@ -405,10 +416,35 @@ let scalar_i64 v =
   let hi = Int64.to_int32 (Int64.shift_right_logical v 32) in
   [| lo; hi |]
 
+(* Ops whose cost is dominated by a data-parallel kernel worth replaying
+   on real domains.  Scalar folds (Sum, Count, ...) are not worth a
+   snapshot: their replay cost would be dwarfed by the copy. *)
+let capture_worthy = function
+  | P.Sort | P.Merge | P.Kway_merge | P.Segment | P.Sum_per_key | P.Count_per_key
+  | P.Avg_per_key | P.Filter_band | P.Select | P.Project | P.Concat ->
+      true
+  | _ -> false
+
+let set_capture t sink = t.capture <- sink
+
+(* Snapshots live on the host heap, not in the secure pool: captures are
+   a measurement aid for the normal-world executor and must not perturb
+   the recorded pass's pool accounting. *)
+let snapshot_input ua =
+  let w = U.width ua and n = U.length ua in
+  let copy = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout (n * w) in
+  if n * w > 0 then
+    Bigarray.Array1.blit (Bigarray.Array1.sub (U.raw ua) 0 (n * w)) copy;
+  (w, n, copy)
+
 let do_invoke (t : t) ~op ~inputs ~trigger ~params ~hints ~retire_inputs =
   t.invocations <- t.invocations + 1;
   Sbt_obs.Metrics.incr t.m_invocations;
   let uas = List.map (Opaque.resolve t.refs) inputs in
+  (match t.capture with
+  | Some sink when capture_worthy op ->
+      sink { cap_op = op; cap_params = params; cap_inputs = List.map snapshot_input uas }
+  | _ -> ());
   let producer = P.to_id op in
   let hint_for i =
     match hints with [] -> None | [ h ] -> Some h | l -> List.nth_opt l i
@@ -881,6 +917,7 @@ let create cfg =
       consecutive_sheds = 0;
       uploaded = [];
       ingest_width = 3;
+      capture = None;
       udfs = Hashtbl.create 8;
       reg;
       m_events = Sbt_obs.Metrics.counter reg "tee.events_ingested";

@@ -255,5 +255,25 @@ val set_ingest_width : t -> int -> unit
 (** Record width (32-bit fields per event) of ingested payloads —
     installed with the pipeline, part of the certified configuration. *)
 
+type capture = {
+  cap_op : Sbt_prim.Primitive.t;
+  cap_params : param list;
+  cap_inputs : (int * int * Sbt_umem.Uarray.buf) list;
+      (** per input: (width, records, host-heap snapshot of the raw data) *)
+}
+(** Snapshot of one heavy primitive invocation, taken on entry to
+    [R_invoke] — before outputs are allocated or inputs retired.  The
+    executor's [`Work] mode replays captures through
+    {!Sbt_prim.Par_kernel} into throwaway buffers, so measured wall time
+    reflects the real kernels while the recorded pass's observables stay
+    untouched (DESIGN.md §9). *)
+
+val set_capture : t -> (capture -> unit) option -> unit
+(** Install (or clear) the capture sink.  Only data-parallel-worthy ops
+    (sort, merges, segment, per-key aggregation, filter/select, project,
+    concat) are captured; scalar folds are skipped because copying their
+    input would cost more than replaying it.  Snapshots are host-heap
+    copies and never touch the secure pool's accounting. *)
+
 val audit_log_stats : t -> int * int * int
 (** (records produced, raw bytes, compressed bytes). *)

@@ -63,7 +63,10 @@ let run ?(cores_list = [ 2; 4; 8 ]) ?(target_delay_ms = 500.0) ?(version = D.Ful
        repeats = 1, where latest = kept). *)
     Option.iter Sbt_obs.Tracer.reset tracer;
     Gc.full_major ();
-    Runtime.run ~engine:(`Des max_cores) cfg pipe frames
+    (* Capture heavy-kernel inputs only when a [`Work] measurement will
+       replay them; snapshot copies are pure overhead otherwise. *)
+    let capture = exec_domains <> None && exec_mode = Some `Work in
+    Runtime.run ~engine:(`Des max_cores) ~capture cfg pipe frames
   in
   (* Host noise shows up as inflated task costs; repeated recordings keep
      the least-noisy (cheapest) trace. *)

@@ -55,6 +55,114 @@ module Loss = struct
       t.gaps_declared t.batches_dropped t.events_dropped
 end
 
+(* --- real-work replay ------------------------------------------------------
+
+   Maps captured invocations ({!Dataplane.capture}) back onto the
+   data-parallel kernels.  Replays write into throwaway host buffers: the
+   recorded pass's outputs, audit bytes and pool accounting are already
+   fixed, so the only thing a replay produces is honest wall-clock work
+   for the executor's [`Work] mode to measure (DESIGN.md §9). *)
+
+module PK = Sbt_prim.Par_kernel
+
+let host_buf cells = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout (max 1 cells)
+let cap_find params f = List.find_map f params
+
+let cap_key_field params d =
+  Option.value ~default:d (cap_find params (function D.P_key_field k -> Some k | _ -> None))
+
+let cap_value_field params d =
+  Option.value ~default:d (cap_find params (function D.P_value_field v -> Some v | _ -> None))
+
+let cap_slice (_, n, buf) = { PK.buf; off = 0; len = n }
+
+let replay_capture runner (c : D.capture) =
+  let params = c.D.cap_params in
+  match (c.D.cap_op, c.D.cap_inputs) with
+  | P.Sort, [ ((w, n, _) as inp) ] ->
+      let kf = cap_key_field params 0 in
+      let dst = host_buf (n * w) in
+      (match cap_find params (function D.P_value_field v -> Some v | _ -> None) with
+      | Some vf ->
+          (* Secondary order, as recorded: stable by value, then by key. *)
+          PK.sort_raw ~runner ~w ~key_field:vf ~src:(cap_slice inp) ~dst_buf:dst ~dst_off:0 ();
+          PK.sort_raw ~runner ~w ~key_field:kf
+            ~src:{ PK.buf = dst; off = 0; len = n }
+            ~dst_buf:dst ~dst_off:0 ()
+      | None ->
+          PK.sort_raw ~runner ~w ~key_field:kf ~src:(cap_slice inp) ~dst_buf:dst ~dst_off:0 ())
+  | (P.Merge | P.Kway_merge), ((w, _, _) :: _ as inputs) ->
+      let kf = cap_key_field params 0 in
+      let total = List.fold_left (fun acc (_, n, _) -> acc + n) 0 inputs in
+      let dst = host_buf (total * w) in
+      PK.merge_raw ~runner ~w ~key_field:kf
+        ~runs:(Array.of_list (List.map cap_slice inputs))
+        ~dst_buf:dst ~dst_off:0 ()
+  | P.Segment, [ ((w, _, _) as inp) ] ->
+      let ws =
+        match cap_find params (function D.P_window_size v -> Some v | _ -> None) with
+        | Some v -> v
+        | None -> 1
+      in
+      let tf =
+        Option.value ~default:2 (cap_find params (function D.P_ts_field f -> Some f | _ -> None))
+      in
+      let slide =
+        Option.value ~default:ws (cap_find params (function D.P_slide v -> Some v | _ -> None))
+      in
+      PK.segment_raw ~runner ~w ~ts_field:tf ~window_size:ws ~slide ~src:(cap_slice inp)
+        ~alloc:(fun _win count -> (host_buf (count * w), 0))
+        ()
+  | (P.Sum_per_key | P.Count_per_key | P.Avg_per_key), [ ((w, _, _) as inp) ] ->
+      let kf = cap_key_field params 0 in
+      let vf = cap_value_field params 1 in
+      let agg =
+        match c.D.cap_op with
+        | P.Sum_per_key -> PK.Agg_sum
+        | P.Count_per_key -> PK.Agg_count
+        | _ -> PK.Agg_avg
+      in
+      PK.per_key_raw ~runner ~w ~key_field:kf ~value_field:vf ~agg ~src:(cap_slice inp)
+        ~alloc:(fun groups -> (host_buf (groups * 2), 0))
+        ()
+  | P.Filter_band, ((w, _, _) as inp) :: rest ->
+      let f = cap_value_field params 1 in
+      let lo, hi =
+        match rest with
+        | [ (tw, tn, tbuf) ] when tn > 0 && (tw = 1 || tw = 2) ->
+            (* Runtime threshold input, as recorded: strictly above. *)
+            (Int32.add tbuf.{0} 1l, Int32.max_int)
+        | _ ->
+            ( Option.value ~default:Int32.min_int
+                (cap_find params (function D.P_lo v -> Some v | _ -> None)),
+              Option.value ~default:Int32.max_int
+                (cap_find params (function D.P_hi v -> Some v | _ -> None)) )
+      in
+      PK.filter_band_raw ~runner ~w ~field:f ~lo ~hi ~src:(cap_slice inp)
+        ~alloc:(fun n -> (host_buf (n * w), 0))
+        ()
+  | P.Select, [ ((w, _, _) as inp) ] ->
+      let f = cap_value_field params 0 in
+      let v =
+        Option.value ~default:0l (cap_find params (function D.P_lo v -> Some v | _ -> None))
+      in
+      PK.filter_band_raw ~runner ~w ~field:f ~lo:v ~hi:v ~src:(cap_slice inp)
+        ~alloc:(fun n -> (host_buf (n * w), 0))
+        ()
+  | P.Project, [ ((w, n, _) as inp) ] -> (
+      match cap_find params (function D.P_fields f -> Some f | _ -> None) with
+      | Some fields ->
+          let dst = host_buf (n * Array.length fields) in
+          PK.project_raw ~runner ~w ~fields ~src:(cap_slice inp) ~dst_buf:dst ~dst_off:0 ()
+      | None -> ())
+  | P.Concat, ((w, _, _) :: _ as inputs) ->
+      let total = List.fold_left (fun acc (_, n, _) -> acc + n) 0 inputs in
+      let dst = host_buf (total * w) in
+      PK.concat_raw ~runner ~w
+        ~inputs:(Array.of_list (List.map cap_slice inputs))
+        ~dst_buf:dst ~dst_off:0 ()
+  | _ -> () (* shape the replayer doesn't model: contributes no work *)
+
 type run_result = {
   results : (int * D.sealed_result) list;
   trace : Trace.t;
@@ -72,6 +180,7 @@ type run_result = {
   tee_metrics : bytes;
   tee_quote : Sbt_attest.Quote.quote;
   exec : Sbt_exec.Executor.report option;
+  work : (int -> Sbt_exec.Executor.work_fn option) option;
 }
 
 (* Per-window control state. *)
@@ -102,7 +211,7 @@ let pending_q ws =
    feeds anything back into the observables — that separation is what makes
    them byte-identical across engines and domain counts. *)
 
-let record ~recording_cores cfg (pipe : Pipeline.t) frames =
+let record ~recording_cores ?(capture = false) cfg (pipe : Pipeline.t) frames =
   let dp = D.create cfg.dp_config in
   D.set_ingest_width dp pipe.Pipeline.schema.Event.width;
   let platform = cfg.dp_config.D.platform in
@@ -141,6 +250,18 @@ let record ~recording_cores cfg (pipe : Pipeline.t) frames =
     ref []
   in
   let node_count = ref 0 in
+  (* Heavy-kernel captures, in invocation order; [node_caps] maps a node's
+     schedule index to its [c0, c1) slice of that sequence so the executor
+     can replay exactly the kernels each task ran. *)
+  let captures = ref [] in
+  let ncap = ref 0 in
+  let node_caps : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  if capture then
+    D.set_capture dp
+      (Some
+         (fun c ->
+           captures := c :: !captures;
+           incr ncap));
   let windows : (int, win_state) Hashtbl.t = Hashtbl.create 64 in
   let win w =
     match Hashtbl.find_opt windows w with
@@ -155,11 +276,15 @@ let record ~recording_cores cfg (pipe : Pipeline.t) frames =
   (* Wrap a work function with secure-clock propagation and modeled-cost
      extraction (world switches, boundary copies, crypto scaling, stalls). *)
   let add_task ?(deps = []) ?arrival ?(role = Trace.Plain) ~label body =
+    let idx = !node_count in
+    incr node_count;
     let work ~start_ns =
       D.set_now_ns dp start_ns;
+      let c0 = !ncap in
       let s0 = dp |> D.stats in
       let r = body () in
       let s1 = dp |> D.stats in
+      if !ncap > c0 then Hashtbl.replace node_caps idx (c0, !ncap);
       let switch_delta = s1.D.modeled_switch_ns -. s0.D.modeled_switch_ns in
       let copy_delta = s1.D.modeled_copy_ns -. s0.D.modeled_copy_ns in
       let crypto_delta = s1.D.crypto_ns -. s0.D.crypto_ns in
@@ -176,8 +301,6 @@ let record ~recording_cores cfg (pipe : Pipeline.t) frames =
     in
     let deps_tasks = List.map fst deps in
     let task = Des.schedule des ~deps:deps_tasks ~not_before ~label ~work () in
-    let idx = !node_count in
-    incr node_count;
     pending_nodes := (label, task, List.map snd deps, arrival, role) :: !pending_nodes;
     (task, idx)
   in
@@ -541,6 +664,22 @@ let record ~recording_cores cfg (pipe : Pipeline.t) frames =
          nodes_in_order)
   in
   let trace = Trace.of_nodes trace_nodes in
+  let work =
+    if not capture then None
+    else begin
+      let caps = Array.of_list (List.rev !captures) in
+      Some
+        (fun i ->
+          match Hashtbl.find_opt node_caps i with
+          | None -> None
+          | Some (c0, c1) ->
+              Some
+                (fun runner ->
+                  for j = c0 to c1 - 1 do
+                    replay_capture runner caps.(j)
+                  done))
+    end
+  in
   let dp_stats = D.stats dp in
   let tee_metrics, tee_quote = D.metrics_quote dp ~nonce:(Bytes.of_string "sbt-run-final") in
   {
@@ -562,6 +701,7 @@ let record ~recording_cores cfg (pipe : Pipeline.t) frames =
     tee_metrics;
     tee_quote;
     exec = None;
+    work;
   }
 
 let exec_trace ?time_scale ?mode ?scratch_pages ~domains cfg (r : run_result) =
@@ -574,17 +714,23 @@ let exec_trace ?time_scale ?mode ?scratch_pages ~domains cfg (r : run_result) =
   in
   Sbt_exec.Executor.run
     ?tracer:cfg.dp_config.D.tracer
-    ~registry:r.registry ~pool ?time_scale ?mode ?scratch_pages ~domains r.trace
+    ~registry:r.registry ~pool ?time_scale ?mode ?scratch_pages ?work:r.work ~domains
+    r.trace
 
-let run ?engine ?exec_time_scale ?exec_mode cfg pipe frames =
+let run ?engine ?exec_time_scale ?exec_mode ?capture cfg pipe frames =
   let engine = match engine with Some e -> e | None -> `Des cfg.cores in
+  (* [`Work] measurement needs kernel captures from the recording pass;
+     capture them by default exactly when that mode is requested. *)
+  let capture =
+    match capture with Some c -> c | None -> exec_mode = Some `Work
+  in
   match engine with
-  | `Des cores -> record ~recording_cores:cores cfg pipe frames
+  | `Des cores -> record ~recording_cores:cores ~capture cfg pipe frames
   | `Domains domains ->
       (* Record with cfg.cores untouched — [domains] sizes only the real
          executor — so a [`Domains n] run's observables match [`Des
          cfg.cores] byte for byte. *)
-      let r = record ~recording_cores:cfg.cores cfg pipe frames in
+      let r = record ~recording_cores:cfg.cores ~capture cfg pipe frames in
       let report =
         exec_trace ?time_scale:exec_time_scale ?mode:exec_mode ~domains cfg r
       in

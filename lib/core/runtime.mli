@@ -122,12 +122,18 @@ type run_result = {
           ["sbt-run-final"] *)
   exec : Sbt_exec.Executor.report option;
       (** real-parallel measurement — [Some] iff the engine was [`Domains _] *)
+  work : (int -> Sbt_exec.Executor.work_fn option) option;
+      (** [Some] iff the run captured heavy kernels: maps a trace node's
+          schedule index to a replay of the real primitive kernels that
+          task ran, through {!Sbt_prim.Par_kernel} into throwaway
+          buffers — what the executor's [`Work] mode executes *)
 }
 
 val run :
   ?engine:engine ->
   ?exec_time_scale:float ->
   ?exec_mode:Sbt_exec.Executor.mode ->
+  ?capture:bool ->
   config ->
   Pipeline.t ->
   Sbt_net.Frame.t list ->
@@ -135,6 +141,12 @@ val run :
 (** Execute the pipeline over the frame stream.  [engine] defaults to
     [`Des cfg.cores].  [exec_time_scale] and [exec_mode] apply only to
     the [`Domains _] measurement phase (see {!Sbt_exec.Executor.run}).
+
+    [capture] records heavy-kernel input snapshots during the serial pass
+    and populates {!run_result.work}; it defaults to [true] exactly when
+    [exec_mode] is [`Work] (the mode that replays them).  Capturing never
+    affects observables — snapshots live on the host heap and the secure
+    pool's accounting ignores them.
 
     Frames must arrive in source order (watermarks after the data they
     cover); the last frame should be a watermark closing every window.
@@ -157,4 +169,6 @@ val exec_trace :
     recording — benches use this to sweep domain counts without
     re-recording.  The executor's scratch pool gets the platform's
     secure-DRAM budget; spans/counters go to the run's tracer and
-    registry. *)
+    registry.  Under [~mode:`Work] the recording must have captured
+    kernels ([run ~capture:true] or [~exec_mode:`Work]); otherwise every
+    task replays as a no-op and the measurement is vacuous. *)

@@ -1,14 +1,18 @@
 module Trace = Sbt_sim.Trace
 module Clock = Sbt_sim.Clock
 module Pool = Sbt_umem.Page_pool
+module PK = Sbt_prim.Par_kernel
 
-type mode = [ `Paced | `Spin ]
+type mode = [ `Paced | `Spin | `Work ]
+
+type work_fn = PK.runner -> unit
 
 type domain_stats = {
   tasks : int;
   steals : int;
   steal_attempts : int;
   parks : int;
+  chunks : int;
   busy_ns : float;
 }
 
@@ -16,6 +20,7 @@ type report = {
   domains : int;
   wall_ns : float;
   tasks_executed : int;
+  chunks_executed : int;
   per_domain : domain_stats array;
   pool_merges : int;
   scratch_high_water_bytes : int;
@@ -74,7 +79,7 @@ let chunks_per_ns =
    [`Paced] exists to show. *)
 let sleep_margin_ns = 30_000.
 
-let run_kernel ~mode ~scratch ~target_ns =
+let run_kernel ~(mode : [ `Paced | `Spin ]) ~scratch ~target_ns =
   if target_ns > 0.0 then
     match mode with
     | `Spin ->
@@ -107,6 +112,7 @@ type worker = {
   mutable w_steals : int;
   mutable w_steal_attempts : int;
   mutable w_parks : int;
+  mutable w_chunks : int;
   mutable w_busy : float;
   (* Buffered observability: spans and journal entries are collected
      domain-locally and merged after the join, so recording never makes
@@ -114,8 +120,13 @@ type worker = {
   mutable spans : (int * string * float * float) list; (* (node, label, start, dur) *)
 }
 
+(* A [`Work] task's parallel kernel publishes its chunk array here; idle
+   workers claim chunks through [next] and bump [completed] per finished
+   chunk, so the owner can wait for stragglers without a lock. *)
+type batch = { b_chunks : PK.chunk array; b_next : int Atomic.t; b_completed : int Atomic.t }
+
 let run ?tracer ?registry ?pool ?(time_scale = 1.0) ?(mode : mode = `Paced)
-    ?(scratch_pages = 8) ~domains trace =
+    ?(scratch_pages = 8) ?work ~domains trace =
   if domains <= 0 then invalid_arg "Executor.run: domains must be positive";
   if time_scale < 0.0 then invalid_arg "Executor.run: negative time_scale";
   if scratch_pages <= 0 then invalid_arg "Executor.run: scratch_pages must be positive";
@@ -136,7 +147,7 @@ let run ?tracer ?registry ?pool ?(time_scale = 1.0) ?(mode : mode = `Paced)
   done;
   let remaining = Atomic.make n in
   let pool_merges = Atomic.make 0 in
-  (match mode with `Spin -> ignore (Lazy.force chunks_per_ns) | `Paced -> ());
+  (match mode with `Spin -> ignore (Lazy.force chunks_per_ns) | `Paced | `Work -> ());
   let workers =
     Array.init domains (fun id ->
         {
@@ -148,9 +159,68 @@ let run ?tracer ?registry ?pool ?(time_scale = 1.0) ?(mode : mode = `Paced)
           w_steals = 0;
           w_steal_attempts = 0;
           w_parks = 0;
+          w_chunks = 0;
           w_busy = 0.0;
           spans = [];
         })
+  in
+  (* --- intra-task chunk parallelism (`Work` mode) ---------------------- *)
+  let slots : batch option Atomic.t array = Array.init domains (fun _ -> Atomic.make None) in
+  let run_chunk w (c : PK.chunk) =
+    let pages = max 0 c.PK.scratch_pages in
+    if pages > 0 then begin
+      Pool.shard_commit w.shard ~pages;
+      Fun.protect ~finally:(fun () -> Pool.shard_release w.shard ~pages) c.PK.run
+    end
+    else c.PK.run ();
+    w.w_chunks <- w.w_chunks + 1
+  in
+  let help_batch w (b : batch) =
+    let m = Array.length b.b_chunks in
+    let rec loop () =
+      let i = Atomic.fetch_and_add b.b_next 1 in
+      if i < m then begin
+        run_chunk w b.b_chunks.(i);
+        Atomic.incr b.b_completed;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  (* Idle path: before parking, look for a published batch with unclaimed
+     chunks and help drain it. *)
+  let try_help w =
+    let rec probe k =
+      if k >= domains then false
+      else
+        match Atomic.get slots.((w.id + k) mod domains) with
+        | Some b when Atomic.get b.b_next < Array.length b.b_chunks ->
+            help_batch w b;
+            true
+        | _ -> probe (k + 1)
+    in
+    probe 1
+  in
+  (* The runner a [`Work] task body sees: chunks are published in this
+     worker's slot, claimed by whoever is idle, and the owner both works
+     and waits for the last claimed chunk to finish (spin — chunk bodies
+     are compute, not I/O). *)
+  let runner_for w : PK.runner =
+    let run_chunks chunks =
+      let m = Array.length chunks in
+      if m = 0 then ()
+      else if m = 1 || domains = 1 then Array.iter (run_chunk w) chunks
+      else begin
+        let b = { b_chunks = chunks; b_next = Atomic.make 0; b_completed = Atomic.make 0 } in
+        Atomic.set slots.(w.id) (Some b);
+        help_batch w b;
+        while Atomic.get b.b_completed < m do
+          Domain.cpu_relax ()
+        done;
+        Atomic.set slots.(w.id) None
+      end
+    in
+    { PK.width = domains; run_chunks }
   in
   (* Seed the roots round-robin so even the initial frontier is spread. *)
   let seeded = ref 0 in
@@ -164,11 +234,20 @@ let run ?tracer ?registry ?pool ?(time_scale = 1.0) ?(mode : mode = `Paced)
   let execute w i =
     let node = nodes.(i) in
     let t0 = Clock.now_ns () in
-    Pool.shard_commit w.shard ~pages:scratch_pages;
-    Fun.protect
-      ~finally:(fun () -> Pool.shard_release w.shard ~pages:scratch_pages)
-      (fun () ->
-        run_kernel ~mode ~scratch:w.scratch ~target_ns:(node.Trace.cost_ns *. time_scale));
+    (match mode with
+    | `Work ->
+        (* Real work: replay this node's captured kernels through the
+           chunk pool.  Nodes without captured kernels (pacing, control
+           bookkeeping) cost nothing here.  Chunk scratch is accounted on
+           the executing worker's shard inside [run_chunk]. *)
+        let fn = match work with None -> None | Some lookup -> lookup i in
+        Option.iter (fun f -> f (runner_for w)) fn
+    | (`Paced | `Spin) as m ->
+        Pool.shard_commit w.shard ~pages:scratch_pages;
+        Fun.protect
+          ~finally:(fun () -> Pool.shard_release w.shard ~pages:scratch_pages)
+          (fun () ->
+            run_kernel ~mode:m ~scratch:w.scratch ~target_ns:(node.Trace.cost_ns *. time_scale)));
     (* Window close: fold this domain's scratch arena back into the
        parent pool so its accounting drops to real usage. *)
     (match node.Trace.role with
@@ -218,12 +297,15 @@ let run ?tracer ?registry ?pool ?(time_scale = 1.0) ?(mode : mode = `Paced)
                 backoff := 20e-6;
                 execute w i
             | None ->
-                (* Nothing runnable anywhere: dependencies are still in
-                   flight on other domains.  Back off (bounded) and
-                   re-probe. *)
-                w.w_parks <- w.w_parks + 1;
-                Unix.sleepf !backoff;
-                backoff := Float.min 1e-3 (!backoff *. 2.0)));
+                if try_help w then backoff := 20e-6
+                else begin
+                  (* Nothing runnable anywhere: dependencies are still in
+                     flight on other domains.  Back off (bounded) and
+                     re-probe. *)
+                  w.w_parks <- w.w_parks + 1;
+                  Unix.sleepf !backoff;
+                  backoff := Float.min 1e-3 (!backoff *. 2.0)
+                end));
         loop ()
       end
     in
@@ -266,6 +348,7 @@ let run ?tracer ?registry ?pool ?(time_scale = 1.0) ?(mode : mode = `Paced)
           steals = w.w_steals;
           steal_attempts = w.w_steal_attempts;
           parks = w.w_parks;
+          chunks = w.w_chunks;
           busy_ns = w.w_busy;
         })
       workers
@@ -278,6 +361,7 @@ let run ?tracer ?registry ?pool ?(time_scale = 1.0) ?(mode : mode = `Paced)
       domains;
       wall_ns;
       tasks_executed = executed;
+      chunks_executed = Array.fold_left (fun a w -> a + w.w_chunks) 0 workers;
       per_domain;
       pool_merges = Atomic.get pool_merges;
       scratch_high_water_bytes = scratch_hw;
@@ -293,6 +377,7 @@ let run ?tracer ?registry ?pool ?(time_scale = 1.0) ?(mode : mode = `Paced)
       add (counter reg "exec.steal_attempts")
         (Array.fold_left (fun a s -> a + s.steal_attempts) 0 per_domain);
       add (counter reg "exec.parks") (total_parks report);
+      add (counter reg "exec.chunks") report.chunks_executed;
       add (counter reg "exec.pool_merges") report.pool_merges;
       add (counter reg "exec.domains") domains;
       add (counter reg "exec.wall_ns") (int_of_float (Float.max 0.0 wall_ns)));

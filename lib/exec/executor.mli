@@ -9,11 +9,10 @@
     answers "what would N cores do" in virtual time; this module answers
     "what does this host actually do" with N domains.
 
-    {b What a task does.}  The recorded graph carries each task's virtual
-    cost, not a re-runnable closure (its real effects on the data plane
-    happened during recording, and re-running them concurrently would
-    race on ids, audit order and allocator state — see DESIGN.md §8).  So
-    a task's body reproduces its {e cost}, two ways:
+    {b What a task does.}  The recorded graph's {e observable} effects on
+    the data plane happened during recording (re-running them concurrently
+    would race on ids, audit order and allocator state — see DESIGN.md
+    §8), so a task's body reproduces its cost, three ways:
 
     - [`Paced] (default): the task occupies its domain for
       [cost_ns * time_scale] of wall time (coarse sleep + a short
@@ -26,6 +25,14 @@
       calibrated integer/memory work.  On a multicore host this measures
       genuine parallel compute; on a single-core host spinning domains
       time-slice and show no speedup.
+    - [`Work]: the task re-executes the {e real} primitive kernels the
+      recording captured for its node ([?work]) through the data-parallel
+      {!Sbt_prim.Par_kernel} variants, into throwaway buffers — honest
+      compute with the recorded pass's bytes untouched (DESIGN.md §9).
+      Each kernel's chunks are published in the executing worker's slot;
+      idle domains claim chunks before parking, so a lone window-close
+      merge still spreads across the machine.  [time_scale] is ignored,
+      and nodes with no captured kernels cost ~nothing.
 
     {b Memory.}  Each domain owns one {!Sbt_umem.Page_pool} shard as its
     scratch arena: commits and releases hit lock-free shard-local
@@ -41,13 +48,18 @@
     executor-level instance of the audit-merge discipline
     ({!Sbt_attest.Log.merge_shards}). *)
 
-type mode = [ `Paced | `Spin ]
+type mode = [ `Paced | `Spin | `Work ]
+
+type work_fn = Sbt_prim.Par_kernel.runner -> unit
+(** A node's captured real work: invoked with a runner backed by the
+    executor's worker domains. *)
 
 type domain_stats = {
   tasks : int;  (** tasks this domain executed *)
   steals : int;  (** successful steal-half operations *)
   steal_attempts : int;  (** steal probes, successful or not *)
   parks : int;  (** backoff sleeps while the graph had no ready task *)
+  chunks : int;  (** parallel kernel chunks this domain executed ([`Work]) *)
   busy_ns : float;  (** wall time spent inside task bodies *)
 }
 
@@ -55,6 +67,7 @@ type report = {
   domains : int;
   wall_ns : float;  (** wall time from first dispatch to last completion *)
   tasks_executed : int;
+  chunks_executed : int;  (** total kernel chunks across domains ([`Work]) *)
   per_domain : domain_stats array;
   pool_merges : int;  (** shard-to-parent merges (one per window close) *)
   scratch_high_water_bytes : int;  (** sum of per-shard high waters *)
@@ -73,6 +86,7 @@ val run :
   ?time_scale:float ->
   ?mode:mode ->
   ?scratch_pages:int ->
+  ?work:(int -> work_fn option) ->
   domains:int ->
   Sbt_sim.Trace.t ->
   report
@@ -83,7 +97,10 @@ val run :
     benches use it to shrink big recordings to a measurable-but-quick
     wall footprint.  [pool] is the parent secure pool backing the
     per-domain scratch shards (a private 64 MB pool by default);
-    [scratch_pages] (default 8) is each task's scratch working set.
+    [scratch_pages] (default 8) is each task's scratch working set in
+    [`Paced]/[`Spin] mode ([`Work] accounts each chunk's own
+    [scratch_pages] instead).  [work] maps a schedule index to the node's
+    captured kernels; only consulted in [`Work] mode.
 
     [tracer] receives one span per task on the real-parallel track
     (pid 2, tid = domain index, cat ["exec"]) with {e wall-clock}

@@ -30,16 +30,20 @@ let all =
     Median_per_key; Top_k_per_key; Select; Project; Shift_key;
   ]
 
-let count = List.length all
+(* Lookup tables are precomputed once at module init: to_id/of_id/of_name
+   sit on the audit and planning hot paths, where per-call list scans cost
+   O(|all|) each. *)
+let by_id = Array.of_list all
 
-let to_id t =
-  let rec index i = function
-    | [] -> assert false
-    | x :: rest -> if x = t then i else index (i + 1) rest
-  in
-  index 0 all
+let count = Array.length by_id
 
-let of_id i = List.nth_opt all i
+let id_of : (t, int) Hashtbl.t = Hashtbl.create count
+
+let () = Array.iteri (fun i t -> Hashtbl.replace id_of t i) by_id
+
+let to_id t = Hashtbl.find id_of t
+
+let of_id i = if i >= 0 && i < count then Some by_id.(i) else None
 
 let name = function
   | Sort -> "Sort"
@@ -66,7 +70,11 @@ let name = function
   | Project -> "Project"
   | Shift_key -> "ShiftKey"
 
-let of_name s = List.find_opt (fun t -> name t = s) all
+let name_of : (string, t) Hashtbl.t = Hashtbl.create count
+
+let () = Array.iter (fun t -> Hashtbl.replace name_of (name t) t) by_id
+
+let of_name s = Hashtbl.find_opt name_of s
 
 let ingress_id = 100
 let egress_id = 101

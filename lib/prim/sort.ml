@@ -56,6 +56,8 @@ let radix_sort (buf : U.buf) (scratch : U.buf) w kf n =
   done
 (* radix_passes is even, so the sorted data ends up back in [buf]. *)
 
+let radix_sort_range buf ~scratch ~w ~key_field ~n = radix_sort buf scratch w key_field n
+
 (* ------------------------------------------------------------------ *)
 (* Comparison sorts: one specialized version with the key comparison
    inlined (the std::sort template model) and one driven through a
@@ -163,20 +165,18 @@ let sort algorithm ~src ~dst ~key_field =
   if key_field < 0 || key_field >= w then invalid_arg "Sort.sort: bad key field";
   let n = U.length src in
   let first = U.reserve dst n in
-  if first <> 0 && algorithm = Radix then
-    invalid_arg "Sort.sort: radix requires an empty destination";
   let dbuf = U.raw dst in
   Bigarray.Array1.blit
     (Bigarray.Array1.sub (U.raw src) 0 (n * w))
     (Bigarray.Array1.sub dbuf (first * w) (n * w));
+  (* All algorithms work on the slice starting at [first], so sorting
+     composes with pre-filled destinations. *)
+  let slice = Bigarray.Array1.sub dbuf (first * w) (n * w) in
   match algorithm with
   | Radix ->
       let scratch = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout (n * w) in
-      radix_sort dbuf scratch w key_field n
-  | Std | Qsort ->
-      (* Comparison sorts work on the slice starting at [first]. *)
-      let slice = Bigarray.Array1.sub dbuf (first * w) (n * w) in
-      sort_open_buffer algorithm slice slice w key_field n
+      radix_sort slice scratch w key_field n
+  | Std | Qsort -> sort_open_buffer algorithm slice slice w key_field n
 
 let sort_in_place algorithm ua ~key_field =
   if not (U.is_open ua) then raise (U.Sealed { id = U.id ua });
@@ -192,8 +192,6 @@ let sort_in_place algorithm ua ~key_field =
 let is_sorted ua ~key_field =
   let w = U.width ua and n = U.length ua in
   let buf = U.raw ua in
-  let ok = ref true in
-  for r = 1 to n - 1 do
-    if key buf w key_field (r - 1) > key buf w key_field r then ok := false
-  done;
-  !ok
+  let r = ref 1 in
+  while !r < n && key buf w key_field (!r - 1) <= key buf w key_field !r do incr r done;
+  !r >= n

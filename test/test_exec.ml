@@ -171,13 +171,17 @@ let prop_engine_equivalence =
           Fault.uniform ~seed:(Int64.of_int (fault_pct * 7)) ~rate:(float_of_int fault_pct /. 100.0) ()
       in
       let cfg = det_cfg ~fault_plan () in
-      let run engine =
+      let run ?exec_mode engine =
         let bench = B.win_sum ~windows ~events_per_window ~batch_events:500 () in
-        Runtime.run ~engine ~exec_time_scale:0.0 cfg bench.B.pipeline (B.frames bench)
+        Runtime.run ~engine ?exec_mode ~exec_time_scale:0.0 cfg bench.B.pipeline
+          (B.frames bench)
       in
+      (* The [`Domains] runs execute the captured kernels for real
+         ([`Work]); the reference [`Des] run records without capture, so
+         equality also proves capturing perturbs nothing. *)
       let des = run (`Des 4) in
-      let d1 = run (`Domains 1) in
-      let d4 = run (`Domains 4) in
+      let d1 = run ~exec_mode:`Work (`Domains 1) in
+      let d4 = run ~exec_mode:`Work (`Domains 4) in
       observables des = observables d1
       && observables des = observables d4
       && verdict des = verdict d1
@@ -206,6 +210,36 @@ let test_exec_metrics_registered () =
     (Metrics.find_counter reg "exec.parks");
   Alcotest.(check bool) "exec.wall_ns registered" true
     (Metrics.find_counter reg "exec.wall_ns" >= 0)
+
+(* --- real-work (`Work) mode -------------------------------------------------- *)
+
+let test_work_mode_executes_kernels () =
+  (* A sort-heavy recording with capture: the [`Work] replay must execute
+     real kernel chunks, and re-measuring at another domain count must
+     leave the recording's observables untouched. *)
+  let bench = B.topk ~windows:2 ~events_per_window:6_000 ~batch_events:1_000 () in
+  let cfg = det_cfg () in
+  let r =
+    Runtime.run ~engine:(`Domains 2) ~exec_mode:`Work cfg bench.B.pipeline (B.frames bench)
+  in
+  let exec = match r.Runtime.exec with Some e -> e | None -> Alcotest.fail "no exec report" in
+  Alcotest.(check bool) "captured work present" true (r.Runtime.work <> None);
+  Alcotest.(check int) "every task executed" r.Runtime.tasks_executed
+    exec.Executor.tasks_executed;
+  Alcotest.(check bool) "real kernel chunks ran" true (exec.Executor.chunks_executed > 0);
+  let before = observables r in
+  let again = Runtime.exec_trace ~mode:`Work ~domains:4 cfg r in
+  Alcotest.(check bool) "re-measure runs chunks too" true (again.Executor.chunks_executed > 0);
+  Alcotest.(check bool) "observables untouched by replay" true (observables r = before)
+
+let test_work_mode_without_capture_is_noop () =
+  let bench = B.win_sum ~windows:1 ~events_per_window:1_000 ~batch_events:500 () in
+  let r = Runtime.run ~engine:(`Des 4) (det_cfg ()) bench.B.pipeline (B.frames bench) in
+  Alcotest.(check bool) "no capture by default" true (r.Runtime.work = None);
+  let rep = Runtime.exec_trace ~mode:`Work ~domains:2 (det_cfg ()) r in
+  Alcotest.(check int) "tasks still complete" r.Runtime.tasks_executed
+    rep.Executor.tasks_executed;
+  Alcotest.(check int) "but no kernels run" 0 rep.Executor.chunks_executed
 
 (* --- page-pool shards -------------------------------------------------------- *)
 
@@ -303,6 +337,11 @@ let () =
         ] );
       ("engine-equivalence", [ q prop_engine_equivalence ]);
       ("metrics", [ Alcotest.test_case "exec.* counters" `Quick test_exec_metrics_registered ]);
+      ( "work-mode",
+        [
+          Alcotest.test_case "executes captured kernels" `Quick test_work_mode_executes_kernels;
+          Alcotest.test_case "no capture, no work" `Quick test_work_mode_without_capture_is_noop;
+        ] );
       ( "pool-shards",
         [
           Alcotest.test_case "accounting" `Quick test_pool_shard_accounting;
