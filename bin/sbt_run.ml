@@ -94,6 +94,88 @@ let run name version windows events_per_window batch cores_list target_ms hints 
       end;
       if not outcome.Runner.verified then exit 2
 
+(* --- crash/recovery --------------------------------------------------------
+
+   Run under the crash-recovery supervisor: sealed TEE checkpoints every
+   [ckpt_every] closed windows, source-side frame replay, and — with
+   --crash-at N — a deterministic injected crash after N executed tasks.
+   With --recover the supervisor restarts from the latest sealed
+   checkpoint and the multi-epoch verifier must accept the stitched log;
+   without it the crash is fatal (exit 3), which is what the CI smoke
+   uses to prove the crash actually fired. *)
+let recovery name version windows events_per_window batch ckpt_every max_restarts crash_at
+    crash_site recover deterministic verbose audit_out results_out =
+  match B.by_name name with
+  | None ->
+      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|filter|power)\n" name;
+      exit 1
+  | Some mk ->
+      let module Runtime = Sbt_core.Runtime in
+      let module V = Sbt_attest.Verifier in
+      let encrypted = match version with D.Full | D.Io_via_os -> true | _ -> false in
+      let bench = mk ~windows ~events_per_window ~batch_events:batch ~encrypted () in
+      let fault_plan =
+        match crash_at with
+        | None -> Fault.none
+        | Some n -> Fault.with_crash Fault.none ~site:crash_site ~after_tasks:n
+      in
+      let cost =
+        if deterministic then
+          let base =
+            match version with
+            | D.Insecure -> Sbt_tz.Cost_model.free
+            | D.Full | D.Clear_ingress | D.Io_via_os -> Sbt_tz.Cost_model.default
+          in
+          Some { base with Sbt_tz.Cost_model.host_scale = 0.0 }
+        else None
+      in
+      let cfg = Runtime.Config.make ~version ?cost ~fault_plan () in
+      let frames = B.frames bench in
+      let spec = Sbt_core.Pipeline.verifier_spec bench.B.pipeline in
+      if not recover then (
+        (* Crash armed but no supervisor: the run dies where the crash
+           fires, keeping only what the normal world already held. *)
+        match Runtime.run cfg bench.B.pipeline frames with
+        | outcome ->
+            Printf.printf "run completed (%d results) — crash point beyond the run\n"
+              (List.length outcome.Runtime.results);
+            if crash_at <> None then exit 3
+        | exception Runtime.Crashed { site; uploads; results } ->
+            Printf.printf
+              "crashed at %s: %d audit batches and %d sealed results durable, in-TEE state lost \
+               (re-run with --recover)\n"
+              (Fault.site_name site) (List.length uploads) (List.length results);
+            exit 3)
+      else begin
+        let s = Runtime.run_supervised ~max_restarts ~ckpt_every cfg bench.B.pipeline frames in
+        Printf.printf
+          "recovery: %d epoch(s), %d crash(es)%s | %d checkpoint(s), %d sealed B | %d frame(s) \
+           replayed\n"
+          s.Runtime.sv_epoch_count
+          (List.length s.Runtime.sv_crash_sites)
+          (match s.Runtime.sv_crash_sites with
+          | [] -> ""
+          | sites -> " [" ^ String.concat ", " (List.map Fault.site_name sites) ^ "]")
+          s.Runtime.sv_checkpoints s.Runtime.sv_checkpoint_bytes s.Runtime.sv_replayed_frames;
+        (match audit_out with
+        | Some path ->
+            Sbt_io.write_audit path spec s.Runtime.sv_audit;
+            Printf.printf "stitched audit log written to %s\n" path
+        | None -> ());
+        (match results_out with
+        | Some path ->
+            Sbt_io.write_results path s.Runtime.sv_results;
+            Printf.printf "sealed results written to %s\n" path
+        | None -> ());
+        let r = s.Runtime.sv_report in
+        if verbose then Format.printf "verifier: %a" V.pp_report r
+        else
+          Printf.printf "verifier: %s (%d windows, %d violations)\n"
+            (if V.ok r then "ok" else "VIOLATIONS")
+            r.V.windows_verified (List.length r.V.violations);
+        if not (V.ok r) then exit 2
+      end
+
 (* --- resilience scenario ---------------------------------------------------
 
    Sweep fault rates over one benchmark: authenticated frames cross a lossy
@@ -116,6 +198,7 @@ let resilience name version windows events_per_window batch fault_rates fault_se
         (D.version_name version) total_events fault_seed;
       Printf.printf "%-6s %-28s %-9s %-5s %-7s %-7s %-10s %s\n" "rate" "link(del/drop/corr)" "goodput"
         "gaps" "shed" "busy" "verified" "uplink-drop";
+      let all_verified = ref true in
       List.iter
         (fun rate ->
           let plan = Fault.uniform ~seed:fault_seed ~rate () in
@@ -149,13 +232,18 @@ let resilience name version windows events_per_window batch fault_rates fault_se
                 (List.length outcome.Runner.audit - List.length kept)
                 (List.length r.Sbt_attest.Verifier.violations)
           in
+          if not outcome.Runner.verified then all_verified := false;
           Printf.printf "%-6.2f %-28s %-9.3f %-5d %-7d %-7d %-10b %s\n" rate
             (Printf.sprintf "%d/%d/%d" link.Lossy.delivered link.Lossy.dropped link.Lossy.corrupted)
             goodput
             (Sbt_core.Runtime.Loss.gaps_declared outcome.Runner.loss)
             outcome.Runner.dp_stats.D.sheds
             outcome.Runner.dp_stats.D.smc_busy_rejections outcome.Runner.verified uplink_verdict)
-        fault_rates
+        fault_rates;
+      (* Loss must surface as declared degradation, never as tamper
+         evidence: any rate whose replay raised violations fails the
+         sweep (previously this path always exited 0). *)
+      if not !all_verified then exit 2
 
 open Cmdliner
 
@@ -264,10 +352,59 @@ let fault_rates_arg =
 let fault_seed_arg =
   Arg.(value & opt int64 42L & info [ "fault-seed" ] ~doc:"Seed of the deterministic fault plan (same seed, same faults)")
 
+let ckpt_every_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "ckpt-every" ]
+        ~doc:"Sealed-checkpoint interval in closed windows for --recover / --crash-at runs")
+
+let max_restarts_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "max-restarts" ] ~doc:"Supervisor restart budget before a crash becomes fatal")
+
+let crash_at_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "crash-at" ]
+        ~doc:
+          "Inject a crash after $(docv) executed tasks: in-TEE state is lost and only \
+           normal-world durable state (sealed checkpoints, uploaded audit batches, egressed \
+           results) survives.  Fatal (exit 3) unless --recover supervises the run"
+        ~docv:"N")
+
+let crash_site_arg =
+  let site_conv =
+    Arg.conv
+      ( (function
+        | "control" -> Ok Fault.Crash_control
+        | "reboot" -> Ok Fault.Crash_reboot
+        | s -> Error (`Msg (Printf.sprintf "unknown crash site %S (control|reboot)" s))),
+        fun fmt s -> Format.pp_print_string fmt (Fault.site_name s) )
+      ~docv:"SITE"
+  in
+  Arg.(
+    value & opt site_conv Fault.Crash_control
+    & info [ "crash-site" ]
+        ~doc:"Where --crash-at fires: $(b,control) (mid-task, control plane) or $(b,reboot) \
+              (at a checkpoint boundary, after the blob is durable)")
+
+let recover_arg =
+  Arg.(
+    value & flag
+    & info [ "recover" ]
+        ~doc:
+          "Supervise the run: seal TEE checkpoints every --ckpt-every closed windows, and on \
+           a crash restart from the latest valid checkpoint, replay the unacknowledged frame \
+           suffix, and verify the stitched multi-epoch audit log (exit 2 on any violation)")
+
 let dispatch name version windows epw batch cores_list target_ms hints verbose frames_in audit_out
     trace_out exec_domains exec_mode deterministic exec_time_scale results_out resil fault_rates
-    fault_seed =
+    fault_seed ckpt_every max_restarts crash_at crash_site recover =
   if resil then resilience name version windows epw batch fault_rates fault_seed
+  else if recover || crash_at <> None then
+    recovery name version windows epw batch ckpt_every max_restarts crash_at crash_site recover
+      deterministic verbose audit_out results_out
   else
     run name version windows epw batch cores_list target_ms hints verbose frames_in audit_out
       trace_out exec_domains exec_mode deterministic exec_time_scale results_out
@@ -280,6 +417,7 @@ let cmd =
       const dispatch $ name_arg $ version_arg $ windows_arg $ epw_arg $ batch_arg $ cores_arg
       $ target_arg $ hints_arg $ verbose_arg $ frames_arg $ audit_arg $ trace_arg
       $ exec_arg $ exec_mode_arg $ deterministic_arg $ exec_time_scale_arg $ results_out_arg
-      $ resilience_arg $ fault_rates_arg $ fault_seed_arg)
+      $ resilience_arg $ fault_rates_arg $ fault_seed_arg $ ckpt_every_arg $ max_restarts_arg
+      $ crash_at_arg $ crash_site_arg $ recover_arg)
 
 let () = exit (Cmd.eval cmd)

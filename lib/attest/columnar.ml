@@ -117,7 +117,12 @@ let split records =
           put_val events;
           Buffer.add_char c.counts (Char.unsafe_chr (Record.gap_reason_tag reason land 0xFF));
           Buffer.add_char c.counts (Char.unsafe_chr (List.length windows land 0xFF));
-          List.iter put_win windows)
+          List.iter put_win windows
+      | Record.Checkpoint { ts; seq; watermark } ->
+          Buffer.add_char c.tags '\006';
+          put_ts ts;
+          put_seq seq;
+          put_val watermark)
     records;
   c
 
@@ -256,6 +261,11 @@ let decompress data =
           let n_w = get_byte counts cnt_pos in
           let windows = List.init n_w (fun _ -> get_win ()) in
           Record.Gap { ts; stream; seq; events; windows; reason }
+      | 6 ->
+          let ts = get_ts () in
+          let seq = get_seq () in
+          let watermark = get_val () in
+          Record.Checkpoint { ts; seq; watermark }
       | t -> invalid_arg (Printf.sprintf "Columnar.decompress: bad tag %d" t))
 
 let raw_size records = Bytes.length (Record.encode_all records)

@@ -1,0 +1,49 @@
+(* Boot-epoch manifests.
+
+   Every boot of the data plane — the initial one and each supervised
+   restart — seals a manifest naming its epoch number, the checkpoint
+   it resumed from (-1 for a fresh start) and the audit-batch sequence
+   number it resumes at.  Manifests travel beside the audit stream,
+   not inside it, so the audit bytes of a recovered run stay identical
+   to an uninterrupted one; the MAC (device key) is what lets the
+   verifier trust the stitching metadata. *)
+
+let magic = "SBTE1"
+
+type manifest = { epoch : int; resumed_from : int; resume_batch_seq : int }
+type sealed = { payload : bytes; tag : bytes }
+
+let i64_to buf v =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.unsafe_chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
+  done
+
+let i64_of b off =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get b (off + i))))
+  done;
+  !v
+
+let seal ~key m =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf magic;
+  i64_to buf (Int64.of_int m.epoch);
+  i64_to buf (Int64.of_int m.resumed_from);
+  i64_to buf (Int64.of_int m.resume_batch_seq);
+  let payload = Buffer.to_bytes buf in
+  { payload; tag = Sbt_crypto.Hmac.mac ~key payload }
+
+let open_ ~key s =
+  if not (Sbt_crypto.Hmac.verify ~key ~tag:s.tag s.payload) then
+    invalid_arg "Epoch.open_: MAC verification failed";
+  if
+    Bytes.length s.payload <> String.length magic + 24
+    || Bytes.sub_string s.payload 0 (String.length magic) <> magic
+  then invalid_arg "Epoch.open_: malformed manifest";
+  let base = String.length magic in
+  {
+    epoch = Int64.to_int (i64_of s.payload base);
+    resumed_from = Int64.to_int (i64_of s.payload (base + 8));
+    resume_batch_seq = Int64.to_int (i64_of s.payload (base + 16));
+  }

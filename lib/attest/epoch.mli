@@ -1,0 +1,26 @@
+(** Boot-epoch manifests for multi-epoch audit stitching.
+
+    A run that survives crashes spans several boot epochs, each
+    producing a slice of the audit stream.  The manifest — sealed
+    under the device key — binds an epoch to the checkpoint it resumed
+    from and the audit-batch sequence number it resumed at, which is
+    exactly what {!Verifier.verify_epochs} needs to (a) order and trim
+    the per-epoch batch lists, (b) prove the chain has no missing
+    epoch, and (c) reject a restart from a stale (rolled-back)
+    checkpoint.  Manifests live beside the audit stream rather than in
+    it, so recovered and uninterrupted runs emit byte-identical audit
+    batches. *)
+
+type manifest = {
+  epoch : int;  (** boot number, 0-based and contiguous *)
+  resumed_from : int;  (** checkpoint sequence resumed from; -1 = fresh *)
+  resume_batch_seq : int;
+      (** first audit-batch sequence this epoch produces; earlier
+          batches belong to prior epochs *)
+}
+
+type sealed = { payload : bytes; tag : bytes }
+
+val seal : key:bytes -> manifest -> sealed
+val open_ : key:bytes -> sealed -> manifest
+(** Raises [Invalid_argument] on a bad MAC or malformed payload. *)

@@ -65,6 +65,16 @@ let open_batch ~key b =
 let records_produced t = t.records_produced
 let raw_bytes t = t.raw_bytes
 let compressed_bytes t = t.compressed_bytes
+let seq t = t.seq
+
+let restore_cursor t ~seq ~records_produced ~raw_bytes ~compressed_bytes =
+  if t.pending_count > 0 then invalid_arg "Log.restore_cursor: pending records";
+  if seq < 0 || records_produced < 0 || raw_bytes < 0 || compressed_bytes < 0 then
+    invalid_arg "Log.restore_cursor: negative cursor";
+  t.seq <- seq;
+  t.records_produced <- records_produced;
+  t.raw_bytes <- raw_bytes;
+  t.compressed_bytes <- compressed_bytes
 
 (* --- per-domain shards ---------------------------------------------------
 

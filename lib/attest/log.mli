@@ -32,6 +32,16 @@ val raw_bytes : t -> int
 val compressed_bytes : t -> int
 (** Total size of all flushed payloads. *)
 
+val seq : t -> int
+(** The next batch sequence number (= batches flushed so far). *)
+
+val restore_cursor :
+  t -> seq:int -> records_produced:int -> raw_bytes:int -> compressed_bytes:int -> unit
+(** Restore the log's cursor from a sealed checkpoint, so a recovered
+    data plane continues the batch sequence exactly where the
+    checkpointed one left off.  Only legal on a log with no pending
+    records (checkpoints are taken right after a flush). *)
+
 (** {2 Domain-safe sharded appends}
 
     For the real-parallel executor: each domain stages records into its

@@ -26,6 +26,7 @@ type t =
   | Execution of { ts : int; op : int; inputs : int list; outputs : int list; hints : int64 list }
   | Egress of { ts : int; uarray : int; win_no : int }
   | Gap of { ts : int; stream : int; seq : int; events : int; windows : int list; reason : gap_reason }
+  | Checkpoint of { ts : int; seq : int; watermark : int }
 
 let pp fmt = function
   | Ingress { ts; uarray; stream; seq } ->
@@ -45,6 +46,8 @@ let pp fmt = function
         seq events
         (String.concat "," (List.map string_of_int windows))
         (gap_reason_name reason)
+  | Checkpoint { ts; seq; watermark } ->
+      Format.fprintf fmt "ts=%d CKPT seq=%d watermark=%d" ts seq watermark
 
 let tag = function
   | Ingress _ -> 0
@@ -53,10 +56,11 @@ let tag = function
   | Execution _ -> 3
   | Egress _ -> 4
   | Gap _ -> 5
+  | Checkpoint _ -> 6
 
 let ts_of = function
   | Ingress { ts; _ } | Ingress_watermark { ts; _ } | Windowing { ts; _ }
-  | Execution { ts; _ } | Egress { ts; _ } | Gap { ts; _ } ->
+  | Execution { ts; _ } | Egress { ts; _ } | Gap { ts; _ } | Checkpoint { ts; _ } ->
       ts
 
 let encode_row buf r =
@@ -110,6 +114,10 @@ let encode_row buf r =
       u16 (gap_reason_tag reason);
       u16 (List.length windows);
       List.iter u32 windows
+  | Checkpoint { ts; seq; watermark } ->
+      u32 ts;
+      u32 seq;
+      u32 watermark
 
 let decode_row data pos =
   let byte () =
@@ -173,6 +181,11 @@ let decode_row data pos =
       let n = u16 () in
       let windows = List.init n (fun _ -> u32 ()) in
       Gap { ts; stream; seq; events; windows; reason }
+  | 6 ->
+      let ts = u32 () in
+      let seq = u32 () in
+      let watermark = u32 () in
+      Checkpoint { ts; seq; watermark }
   | t -> invalid_arg (Printf.sprintf "Record.decode_row: bad tag %d" t)
 
 let encode_all records =

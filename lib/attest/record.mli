@@ -48,6 +48,13 @@ type t =
           was lost to a benign fault.  Declared gaps let the verifier
           report degradation instead of flagging a violation; missing
           dataflow {e without} a covering gap remains a violation. *)
+  | Checkpoint of { ts : int; seq : int; watermark : int }
+      (** In-TEE state was sealed as checkpoint [seq] after watermark
+          [watermark].  Riding in the signed audit stream makes the
+          latest checkpoint sequence number attestable: on restart the
+          recovery path derives its rollback lower bound from these
+          records, so the normal world cannot present a stale blob as
+          fresh without also truncating the (MAC'd, sequenced) log. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -20,6 +20,9 @@ type violation =
   | Watermark_regression of { id : int; value : int; prev : int }
   | Egress_of_non_result of { record_index : int; id : int }
   | Undeclared_loss of { stream : int; seq : int }
+  | Missing_epoch of { expected : int; got : int }
+  | Checkpoint_rollback of { epoch : int; resumed_from : int; latest : int }
+  | Duplicate_window_across_epochs of { window : int; first_epoch : int; second_epoch : int }
 
 let pp_violation fmt = function
   | Unknown_uarray { record_index; id } ->
@@ -47,6 +50,14 @@ let pp_violation fmt = function
       Format.fprintf fmt "record %d externalizes non-result uArray %d" record_index id
   | Undeclared_loss { stream; seq } ->
       Format.fprintf fmt "stream %d frame %d missing with no declared gap" stream seq
+  | Missing_epoch { expected; got } ->
+      Format.fprintf fmt "epoch chain broken: expected epoch %d, got %d" expected got
+  | Checkpoint_rollback { epoch; resumed_from; latest } ->
+      Format.fprintf fmt "epoch %d resumed from checkpoint %d but the log attests checkpoint %d"
+        epoch resumed_from latest
+  | Duplicate_window_across_epochs { window; first_epoch; second_epoch } ->
+      Format.fprintf fmt "window %d emitted in both epoch %d and epoch %d" window first_epoch
+        second_epoch
 
 type report = {
   violations : violation list;
@@ -258,7 +269,11 @@ let verify spec records =
           Hashtbl.replace (seq_set gap_seqs stream) seq ();
           incr declared_gaps;
           gap_events := !gap_events + events;
-          List.iter (fun w -> Hashtbl.replace gap_windows w ()) ws)
+          List.iter (fun w -> Hashtbl.replace gap_windows w ()) ws
+      | Record.Checkpoint _ ->
+          (* State sealing has no dataflow of its own; its sequence
+             numbers matter to [verify_epochs], not to single-log replay. *)
+          ())
     records;
   (* Final sweep. *)
   Hashtbl.iter
@@ -381,3 +396,97 @@ let pp_report fmt r =
     Format.fprintf fmt "verdict: %d VIOLATION(S)@." (List.length r.violations);
     List.iter (fun v -> Format.fprintf fmt "  - %a@." pp_violation v) r.violations
   end
+
+(* --- multi-epoch stitching ---------------------------------------------
+
+   A recovered run presents one (manifest, batches) segment per boot
+   epoch.  Stitching proves three cross-epoch properties before handing
+   the concatenated records to the ordinary replay above:
+
+   - the epoch chain is contiguous from 0 (a dropped epoch would be the
+     place to hide a whole boot's worth of emissions);
+   - each restart resumed from the *latest* checkpoint the presented
+     log attests (an authentic-but-stale blob, or "this was a fresh
+     run", is a rollback);
+   - no window result was externalized in two different epochs (the
+     exactly-once guarantee a replayed suffix could otherwise break).
+
+   Trimming: a crashed epoch may have flushed batches after its last
+   checkpoint; the next epoch regenerates them byte-identically.  The
+   successor's authenticated [resume_batch_seq] says where the cut is,
+   so duplicates between a crashed tail and its regeneration are
+   resolved by construction, not by content comparison.  The rollback
+   check deliberately runs on the *untrimmed* prior batches: checkpoint
+   records past the claimed resume point are exactly the evidence of a
+   rollback. *)
+
+let verify_epochs ~key spec segments =
+  let epoch_violations = ref [] in
+  let violate v = epoch_violations := v :: !epoch_violations in
+  let opened =
+    List.map (fun (sealed, batches) -> (Epoch.open_ ~key sealed, batches)) segments
+    |> List.sort (fun (a, _) (b, _) -> compare a.Epoch.epoch b.Epoch.epoch)
+  in
+  List.iteri
+    (fun i (m, _) ->
+      if m.Epoch.epoch <> i then violate (Missing_epoch { expected = i; got = m.Epoch.epoch }))
+    opened;
+  let arr = Array.of_list opened in
+  let n = Array.length arr in
+  let all_records =
+    Array.map (fun (m, batches) -> (m, List.concat_map (fun b -> Log.open_batch ~key b) batches)) arr
+  in
+  (* Rollback: each epoch after the first must resume from the newest
+     checkpoint attested by everything that came before it. *)
+  let max_ckpt = ref (-1) in
+  Array.iteri
+    (fun i (m, records) ->
+      if i > 0 && m.Epoch.resumed_from < !max_ckpt then
+        violate
+          (Checkpoint_rollback
+             { epoch = m.Epoch.epoch; resumed_from = m.Epoch.resumed_from; latest = !max_ckpt });
+      List.iter
+        (function
+          | Record.Checkpoint { seq; _ } -> if seq > !max_ckpt then max_ckpt := seq
+          | _ -> ())
+        records)
+    all_records;
+  (* Trim each epoch's batches to the earliest resume point of any later
+     epoch (not just its immediate successor: a later fresh restart
+     resuming at batch 0 invalidates every prior epoch's stream, or the
+     stitch would carry overlapping batch ranges).  Re-open only the
+     retained ones for the stitched replay. *)
+  let retained =
+    Array.mapi
+      (fun i (m, batches) ->
+        let limit = ref max_int in
+        for j = i + 1 to n - 1 do
+          limit := min !limit (fst arr.(j)).Epoch.resume_batch_seq
+        done;
+        (m, List.filter (fun b -> b.Log.seq < !limit) batches))
+      arr
+  in
+  let retained_records =
+    Array.map (fun (m, batches) -> (m, List.concat_map (fun b -> Log.open_batch ~key b) batches)) retained
+  in
+  (* Exactly-once across the restart gap: a window may only ever leave
+     the TEE in one epoch of the retained stream. *)
+  let emitted : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (m, records) ->
+      List.iter
+        (function
+          | Record.Egress { win_no; _ } -> (
+              match Hashtbl.find_opt emitted win_no with
+              | Some e0 when e0 <> m.Epoch.epoch ->
+                  violate
+                    (Duplicate_window_across_epochs
+                       { window = win_no; first_epoch = e0; second_epoch = m.Epoch.epoch })
+              | Some _ -> ()
+              | None -> Hashtbl.replace emitted win_no m.Epoch.epoch)
+          | _ -> ())
+        records)
+    retained_records;
+  let stitched = List.concat_map snd (Array.to_list retained_records) in
+  let base = verify spec stitched in
+  { base with violations = List.rev !epoch_violations @ base.violations }

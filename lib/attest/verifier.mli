@@ -52,6 +52,16 @@ type violation =
       (** a frame inside a stream's observed sequence range was neither
           ingested nor covered by a {!Record.Gap} declaration — dataflow
           vanished without the TEE vouching for the loss *)
+  | Missing_epoch of { expected : int; got : int }
+      (** the boot-epoch chain presented to {!verify_epochs} skips an
+          epoch — a whole boot's emissions could hide in the hole *)
+  | Checkpoint_rollback of { epoch : int; resumed_from : int; latest : int }
+      (** a restart resumed from checkpoint [resumed_from] although the
+          presented log attests a newer checkpoint [latest] — a stale
+          (or "fresh run") presentation of rolled-back state *)
+  | Duplicate_window_across_epochs of { window : int; first_epoch : int; second_epoch : int }
+      (** the same window result left the TEE in two different boot
+          epochs — exactly-once across the restart gap is broken *)
 
 val pp_violation : Format.formatter -> violation -> unit
 
@@ -78,5 +88,21 @@ val ok : report -> bool
 
 val verify : spec -> Record.t list -> report
 (** Replay one contiguous record stream. *)
+
+val verify_epochs : key:bytes -> spec -> (Epoch.sealed * Log.batch list) list -> report
+(** Verify a run that spans boot epochs: one (sealed manifest, audit
+    batches) segment per epoch.  Authenticates every manifest and batch
+    under [key], then checks the chain is contiguous from epoch 0
+    ({!Missing_epoch}), that each restart resumed from the newest
+    checkpoint the presented log attests ({!Checkpoint_rollback} —
+    this also catches a resumed run presented as fresh), and that no
+    window was externalized in two epochs
+    ({!Duplicate_window_across_epochs}).  Each epoch's batches are then
+    trimmed at its successor's authenticated [resume_batch_seq] —
+    batches a crashed epoch flushed after its last checkpoint are
+    regenerated by the next epoch, and the resume point says which copy
+    is canonical — and the concatenation replays through {!verify}.  A
+    single-epoch run degenerates to plain {!verify} of its records.
+    Raises [Invalid_argument] if a manifest or batch fails its MAC. *)
 
 val pp_report : Format.formatter -> report -> unit

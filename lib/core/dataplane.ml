@@ -133,6 +133,7 @@ type request =
       state_output : bool;
     }
   | R_retire of { input : int64 }
+  | R_checkpoint of { control : bytes; watermark : int }
 
 type output = { win : int; ref_ : int64; events : int }
 type sealed_result = { window : int; cipher : bytes; tag : bytes; events : int; width : int }
@@ -142,6 +143,7 @@ type response =
   | Rs_watermark of { audit_id : int; value : int }
   | Rs_egress of sealed_result
   | Rs_ingested of { out : output; stalled_ns : float }
+  | Rs_checkpoint of { blob : bytes; seq : int }
 
 exception Rejected of string
 exception Overloaded of { stalled_ns : float }
@@ -181,6 +183,7 @@ type t = {
   mutable sheds : int;
   mutable consecutive_sheds : int;
   mutable uploaded : Sbt_attest.Log.batch list; (* newest first *)
+  mutable next_ckpt_seq : int;
   mutable ingest_width : int; (* set per stream schema via first ingest params *)
   mutable capture : (capture -> unit) option; (* heavy-kernel snapshot sink *)
   udfs : (string * int, Udf.t) Hashtbl.t; (* certified-and-installed UDFs *)
@@ -851,6 +854,88 @@ let do_retire t ~input =
       Opaque.remove t.refs input);
   Rs_outputs []
 
+(* --- checkpoint sealing ------------------------------------------------
+
+   The Checkpoint trusted primitive serializes everything volatile the
+   data plane would need to continue after a reboot — PRNG limbs (so
+   opaque references and any future draws continue the exact sequence),
+   the allocator's id counter, the audit-log cursor, ingest/ingest-width
+   counters, and every live uArray with its contents and its opaque
+   reference — plus an opaque control-plane section the runtime hands
+   in.  The whole state leaves the TEE only through Seal (AES-CTR +
+   HMAC under device-derived keys); a Checkpoint audit record is
+   appended and the log flushed *first*, so the sealed cursor is clean
+   and the checkpoint's own sequence number is attested in the signed
+   log the cloud already holds. *)
+
+module C = Sbt_recovery.Codec
+
+let state_version = 1
+
+let scope_tag = function U.Streaming -> 0 | U.State -> 1 | U.Temporary -> 2
+
+let scope_of_tag = function
+  | 0 -> U.Streaming
+  | 1 -> U.State
+  | 2 -> U.Temporary
+  | tag -> invalid_arg (Printf.sprintf "Dataplane.restore: bad scope tag %d" tag)
+
+let serialize_state t ~control =
+  let w = C.writer () in
+  C.u8 w state_version;
+  let s0, s1, s2, s3 = Sbt_crypto.Rng.state t.rng in
+  C.i64 w s0;
+  C.i64 w s1;
+  C.i64 w s2;
+  C.i64 w s3;
+  C.int_ w t.next_ckpt_seq;
+  C.int_ w (Sbt_attest.Log.seq t.log);
+  C.int_ w (Sbt_attest.Log.records_produced t.log);
+  C.int_ w (Sbt_attest.Log.raw_bytes t.log);
+  C.int_ w (Sbt_attest.Log.compressed_bytes t.log);
+  C.int_ w t.ingest_width;
+  C.int_ w t.invocations;
+  C.int_ w t.events_ingested;
+  C.int_ w t.bytes_ingested;
+  C.int_ w t.backpressure_stalls;
+  C.int_ w t.sheds;
+  C.int_ w t.consecutive_sheds;
+  C.f64 w t.compute_ns;
+  C.f64 w t.mem_ns;
+  C.f64 w t.crypto_ns;
+  C.f64 w t.ingest_ns;
+  C.list_ w
+    (fun w (ref_, ua) ->
+      C.i64 w ref_;
+      C.int_ w (U.id ua);
+      C.int_ w (U.width ua);
+      C.int_ w (U.capacity ua);
+      C.u8 w (scope_tag (U.scope ua));
+      C.u8 w (match U.state ua with U.Open -> 0 | U.Produced -> 1 | U.Retired -> 2);
+      C.int_ w (U.length ua);
+      let n = U.length ua * U.width ua in
+      let buf = U.raw ua in
+      C.u32 w n;
+      for i = 0 to n - 1 do
+        C.i32 w (Bigarray.Array1.get buf i)
+      done)
+    (Opaque.sorted_bindings t.refs);
+  C.int_ w (Alloc.next_uarray_id t.alloc);
+  C.bytes_ w control;
+  C.contents w
+
+let do_checkpoint t ~control ~watermark =
+  let seq = t.next_ckpt_seq in
+  t.next_ckpt_seq <- seq + 1;
+  append_record t (Sbt_attest.Record.Checkpoint { ts = now_us t; seq; watermark });
+  flush_log t;
+  let state = serialize_state t ~control in
+  let blob =
+    timed t `Crypto (fun () ->
+        Sbt_recovery.Seal.seal ~device_key:t.cfg.egress_key ~seq state)
+  in
+  Rs_checkpoint { blob; seq }
+
 let measured_total (t : t) = t.compute_ns +. t.mem_ns +. t.crypto_ns +. t.ingest_ns
 
 (* One "prim" span per primitive/udf/seal execution, at the TEE's virtual
@@ -886,6 +971,7 @@ let dispatch t = function
           do_invoke_udf t ~name ~version ~inputs ~trigger ~value_field ~hints ~retire_inputs
             ~state_output)
   | R_retire { input } -> do_retire t ~input
+  | R_checkpoint { control; watermark } -> do_checkpoint t ~control ~watermark
 
 let create cfg =
   let budget = Tz.Platform.secure_bytes cfg.platform in
@@ -916,6 +1002,7 @@ let create cfg =
       sheds = 0;
       consecutive_sheds = 0;
       uploaded = [];
+      next_ckpt_seq = 0;
       ingest_width = 3;
       capture = None;
       udfs = Hashtbl.create 8;
@@ -973,6 +1060,82 @@ let create cfg =
   | Insecure -> ()
   | Full | Clear_ingress | Io_via_os -> ignore (Tz.Smc.call smc Tz.Smc.Init Rpc_init));
   t
+
+(* Boot-time recovery: build a fresh data plane (fresh SMC monitor, fresh
+   pool — the old TEE memory is gone), unseal the checkpoint under the
+   device key, and replay the serialized state into it.  Opaque refs are
+   re-bound to their *original* 64-bit values without consuming PRNG
+   draws, and the PRNG limbs themselves are restored, so every reference
+   and nonce the recovered plane hands out matches what the uninterrupted
+   run would have produced. *)
+
+type restored = { rt : t; control : bytes; ckpt_seq : int; log_seq : int }
+
+let restore cfg ~expect_seq blob =
+  let seq, plain =
+    Sbt_recovery.Seal.unseal ~device_key:cfg.egress_key ~expect_at_least:expect_seq blob
+  in
+  let r = C.reader plain in
+  let v = C.get_u8 r in
+  if v <> state_version then
+    invalid_arg (Printf.sprintf "Dataplane.restore: state version %d (want %d)" v state_version);
+  let t = create cfg in
+  let s0 = C.get_i64 r in
+  let s1 = C.get_i64 r in
+  let s2 = C.get_i64 r in
+  let s3 = C.get_i64 r in
+  Sbt_crypto.Rng.set_state t.rng (s0, s1, s2, s3);
+  t.next_ckpt_seq <- C.get_int r;
+  let log_seq = C.get_int r in
+  let records_produced = C.get_int r in
+  let raw_bytes = C.get_int r in
+  let compressed_bytes = C.get_int r in
+  Sbt_attest.Log.restore_cursor t.log ~seq:log_seq ~records_produced ~raw_bytes
+    ~compressed_bytes;
+  t.ingest_width <- C.get_int r;
+  t.invocations <- C.get_int r;
+  t.events_ingested <- C.get_int r;
+  t.bytes_ingested <- C.get_int r;
+  t.backpressure_stalls <- C.get_int r;
+  t.sheds <- C.get_int r;
+  t.consecutive_sheds <- C.get_int r;
+  t.compute_ns <- C.get_f64 r;
+  t.mem_ns <- C.get_f64 r;
+  t.crypto_ns <- C.get_f64 r;
+  t.ingest_ns <- C.get_f64 r;
+  let arrays =
+    C.get_list r (fun r ->
+        let ref_ = C.get_i64 r in
+        let id = C.get_int r in
+        let width = C.get_int r in
+        let capacity = C.get_int r in
+        let scope = scope_of_tag (C.get_u8 r) in
+        let state_tag = C.get_u8 r in
+        let length = C.get_int r in
+        let n = C.get_u32 r in
+        if n <> length * width then invalid_arg "Dataplane.restore: field count mismatch";
+        let fields = Array.init n (fun _ -> C.get_i32 r) in
+        (ref_, id, width, capacity, scope, state_tag, length, fields))
+  in
+  List.iter
+    (fun (ref_, id, width, capacity, scope, state_tag, length, fields) ->
+      let ua = Alloc.alloc_restored t.alloc ~id ~scope ~width ~capacity () in
+      if length > 0 then begin
+        ignore (U.reserve ua length);
+        let buf = U.raw ua in
+        Array.iteri (fun i v -> Bigarray.Array1.set buf i v) fields
+      end;
+      (match state_tag with
+      | 0 -> ()
+      | 1 -> Alloc.produce t.alloc ua
+      | 2 -> invalid_arg "Dataplane.restore: retired array in checkpoint"
+      | n -> invalid_arg (Printf.sprintf "Dataplane.restore: bad state tag %d" n));
+      Opaque.restore t.refs ~ref_ ua)
+    arrays;
+  Alloc.force_next_id t.alloc ~next:(C.get_int r);
+  let control = C.get_bytes r in
+  if not (C.at_end r) then invalid_arg "Dataplane.restore: trailing bytes";
+  { rt = t; control; ckpt_seq = seq; log_seq }
 
 let call t req =
   match t.cfg.version with

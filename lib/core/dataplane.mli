@@ -162,6 +162,14 @@ type request =
   | R_retire of { input : int64 }
       (** Explicitly retire a uArray — required for State-scope arrays,
           which ordinary [retire_inputs] never touches. *)
+  | R_checkpoint of { control : bytes; watermark : int }
+      (** The Checkpoint trusted primitive (crash recovery).  Appends a
+          {!Sbt_attest.Record.Checkpoint} audit record, flushes the log,
+          serializes all volatile TEE state (PRNG limbs, allocator and
+          audit-log cursors, every live uArray with its opaque reference)
+          together with the caller-supplied opaque [control] section, and
+          seals the blob under the device key ({!Sbt_recovery.Seal}).
+          Only ciphertext crosses to normal-world storage. *)
 
 type output = { win : int; ref_ : int64; events : int }
 
@@ -175,6 +183,10 @@ type response =
       (** [stalled_ns > 0] models backpressure: secure-memory usage was
           above the threshold, so the source was slowed by that long
           before this batch could enter (paper §4.2) *)
+  | Rs_checkpoint of { blob : bytes; seq : int }
+      (** Sealed checkpoint ciphertext and its monotonic sequence number
+          (also recorded in the signed audit log, giving the verifier a
+          rollback lower bound). *)
 
 exception Rejected of string
 (** Structurally invalid request (wrong arity, bad params, fabricated
@@ -189,6 +201,21 @@ exception Overloaded of { stalled_ns : float }
 val create : config -> t
 (** Builds the platform-attached data plane and registers the four SMC
     entries.  [Init] is called once here. *)
+
+type restored = {
+  rt : t;  (** the recovered data plane (fresh boot, restored state) *)
+  control : bytes;  (** the opaque control-plane section, returned verbatim *)
+  ckpt_seq : int;  (** the checkpoint's authenticated sequence number *)
+  log_seq : int;  (** the audit-log batch cursor at checkpoint time *)
+}
+
+val restore : config -> expect_seq:int -> bytes -> restored
+(** Boot-time recovery: create a fresh data plane from [config] and replay
+    a sealed checkpoint into it.  Raises {!Sbt_recovery.Seal.Tamper} if the
+    blob fails authentication and {!Sbt_recovery.Seal.Rollback} if its
+    sequence number is below [expect_seq] (the supervisor derives
+    [expect_seq] from Checkpoint records in the signed audit log, so a
+    rolled-back blob cannot masquerade as the latest). *)
 
 val call : t -> request -> response
 (** Cross into the TEE ([Insecure] version: plain call, no crossing). *)

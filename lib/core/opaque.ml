@@ -24,3 +24,17 @@ let remove t r =
 
 let live_count t = Hashtbl.length t.table
 let mem t r = Hashtbl.mem t.table r
+
+(* Checkpoint restore: re-bind a recorded (reference, uArray) pair
+   without drawing from the RNG — the generator's limbs are restored
+   separately and must continue the original draw sequence exactly. *)
+let restore t ~ref_ ua =
+  if Int64.equal ref_ 0L then invalid_arg "Opaque.restore: zero reference";
+  if Hashtbl.mem t.table ref_ then invalid_arg "Opaque.restore: reference already bound";
+  Hashtbl.replace t.table ref_ ua
+
+(* Canonical order for serialization: Hashtbl iteration order is
+   unspecified, uArray ids are unique and stable. *)
+let sorted_bindings t =
+  Hashtbl.fold (fun r ua acc -> (r, ua) :: acc) t.table []
+  |> List.sort (fun (_, a) (_, b) -> compare (Sbt_umem.Uarray.id a) (Sbt_umem.Uarray.id b))

@@ -25,3 +25,13 @@ val remove : t -> int64 -> unit
 
 val live_count : t -> int
 val mem : t -> int64 -> bool
+
+val restore : t -> ref_:int64 -> Sbt_umem.Uarray.t -> unit
+(** Checkpoint restore: re-bind a recorded reference to its rebuilt
+    uArray without drawing from the RNG (whose restored limbs must
+    continue the original sequence).  Raises [Invalid_argument] on a
+    zero or already-bound reference. *)
+
+val sorted_bindings : t -> (int64 * Sbt_umem.Uarray.t) list
+(** Live (reference, uArray) pairs in ascending uArray-id order — the
+    canonical serialization order for checkpoints. *)

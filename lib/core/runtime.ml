@@ -55,6 +55,13 @@ module Loss = struct
       t.gaps_declared t.batches_dropped t.events_dropped
 end
 
+exception
+  Crashed of {
+    site : Sbt_fault.Fault.site;
+    uploads : Sbt_attest.Log.batch list;  (** durable at crash, oldest first *)
+    results : (int * Dataplane.sealed_result) list;  (** egressed before the crash *)
+  }
+
 (* --- real-work replay ------------------------------------------------------
 
    Maps captured invocations ({!Dataplane.capture}) back onto the
@@ -203,6 +210,112 @@ let pending_q ws =
       ws.pending_segments <- Some q;
       q
 
+(* --- checkpointed control state --------------------------------------------
+
+   The control plane's resume coordinates, carried as the opaque [control]
+   section of a sealed checkpoint: the data plane seals it without
+   interpreting it, and only a successfully unsealed checkpoint can hand
+   it back.  References inside window states are the same opaque 64-bit
+   values the restored data plane re-binds, so the rebuilt control state
+   points at exactly the arrays it did before the crash. *)
+
+module C = Sbt_recovery.Codec
+
+type win_ckpt = {
+  wk_win : int;
+  wk_ready : (int * int64) list;
+  wk_last_ready : (int * int64) list;
+  wk_pending : (int * int64) list; (* queue contents, front first *)
+}
+
+type ctl_state = {
+  ck_frame_idx : int; (* absolute index of the next frame to ingest *)
+  ck_base_ns : float; (* virtual time the next segment starts at *)
+  ck_next_window_to_close : int;
+  ck_total_events : int;
+  ck_cum_events : int;
+  ck_gaps_declared : int;
+  ck_batches_dropped : int;
+  ck_events_dropped : int;
+  ck_wm_audit_ref : int;
+  ck_expected_seq : (int * int) list; (* per-stream next expected frame seq *)
+  ck_windows : win_ckpt list; (* open windows only, ascending *)
+}
+
+let put_sref w (s, r) =
+  C.int_ w s;
+  C.i64 w r
+
+let get_sref r =
+  let s = C.get_int r in
+  let v = C.get_i64 r in
+  (s, v)
+
+let encode_control st =
+  let w = C.writer () in
+  C.int_ w st.ck_frame_idx;
+  C.f64 w st.ck_base_ns;
+  C.int_ w st.ck_next_window_to_close;
+  C.int_ w st.ck_total_events;
+  C.int_ w st.ck_cum_events;
+  C.int_ w st.ck_gaps_declared;
+  C.int_ w st.ck_batches_dropped;
+  C.int_ w st.ck_events_dropped;
+  C.int_ w st.ck_wm_audit_ref;
+  C.list_ w
+    (fun w (s, n) ->
+      C.int_ w s;
+      C.int_ w n)
+    st.ck_expected_seq;
+  C.list_ w
+    (fun w wk ->
+      C.int_ w wk.wk_win;
+      C.list_ w put_sref wk.wk_ready;
+      C.list_ w put_sref wk.wk_last_ready;
+      C.list_ w put_sref wk.wk_pending)
+    st.ck_windows;
+  C.contents w
+
+let decode_control blob =
+  let r = C.reader blob in
+  let ck_frame_idx = C.get_int r in
+  let ck_base_ns = C.get_f64 r in
+  let ck_next_window_to_close = C.get_int r in
+  let ck_total_events = C.get_int r in
+  let ck_cum_events = C.get_int r in
+  let ck_gaps_declared = C.get_int r in
+  let ck_batches_dropped = C.get_int r in
+  let ck_events_dropped = C.get_int r in
+  let ck_wm_audit_ref = C.get_int r in
+  let ck_expected_seq =
+    C.get_list r (fun r ->
+        let s = C.get_int r in
+        let n = C.get_int r in
+        (s, n))
+  in
+  let ck_windows =
+    C.get_list r (fun r ->
+        let wk_win = C.get_int r in
+        let wk_ready = C.get_list r get_sref in
+        let wk_last_ready = C.get_list r get_sref in
+        let wk_pending = C.get_list r get_sref in
+        { wk_win; wk_ready; wk_last_ready; wk_pending })
+  in
+  if not (C.at_end r) then invalid_arg "Runtime.decode_control: trailing bytes";
+  {
+    ck_frame_idx;
+    ck_base_ns;
+    ck_next_window_to_close;
+    ck_total_events;
+    ck_cum_events;
+    ck_gaps_declared;
+    ck_batches_dropped;
+    ck_events_dropped;
+    ck_wm_audit_ref;
+    ck_expected_seq;
+    ck_windows;
+  }
+
 (* --- the recording loop ----------------------------------------------------
 
    Identical under both engines: the observable outputs (sealed results,
@@ -211,8 +324,14 @@ let pending_q ws =
    feeds anything back into the observables — that separation is what makes
    them byte-identical across engines and domain counts. *)
 
-let record ~recording_cores ?(capture = false) cfg (pipe : Pipeline.t) frames =
-  let dp = D.create cfg.dp_config in
+let record ~recording_cores ?(capture = false) ?ckpt_every ?on_checkpoint ?resume
+    ?(frame_offset = 0) cfg (pipe : Pipeline.t) frames =
+  let dp, resume_ctl =
+    match resume with
+    | None -> (D.create cfg.dp_config, None)
+    | Some (rt, ctl) -> (rt, Some ctl)
+  in
+  let ctl_or v f = match resume_ctl with None -> v | Some c -> f c in
   D.set_ingest_width dp pipe.Pipeline.schema.Event.width;
   let platform = cfg.dp_config.D.platform in
   let cost = platform.Sbt_tz.Platform.cost in
@@ -220,10 +339,23 @@ let record ~recording_cores ?(capture = false) cfg (pipe : Pipeline.t) frames =
   (* The DES inherits the platform's host_scale so that at host_scale 0
      the whole schedule — and every audit timestamp derived from it — is
      free of host noise (what the observer-effect tests rely on). *)
-  let des =
+  let fresh_des () =
     Des.create ?tracer ~host_scale:cost.Sbt_tz.Cost_model.host_scale
       ~cores:recording_cores ()
   in
+  (* With checkpointing, the run is split into segments at checkpoint
+     boundaries: each segment drains its own DES, and the next segment's
+     tasks are released no earlier than the accumulated makespan.  The
+     segmentation — hence the schedule, hence every audit timestamp — is a
+     function of [ckpt_every] alone, so a crashed-and-recovered run and an
+     uninterrupted run with the same interval produce identical bytes. *)
+  let des = ref (fresh_des ()) in
+  let base_ns = ref (ctl_or 0.0 (fun c -> c.ck_base_ns)) in
+  let tasks_total = ref 0 in
+  (* Deterministic crash injection: the fault plan names a site and how
+     many control tasks may complete this boot before it fires. *)
+  let crash_arm = Sbt_fault.Fault.crash_after cfg.dp_config.D.fault_plan in
+  let executed_tasks = ref 0 in
   (* Normal-world registry: always on (counting is deterministic and
      cheap); the tracer alone is optional. *)
   let reg = Sbt_obs.Metrics.create () in
@@ -263,6 +395,29 @@ let record ~recording_cores ?(capture = false) cfg (pipe : Pipeline.t) frames =
            captures := c :: !captures;
            incr ncap));
   let windows : (int, win_state) Hashtbl.t = Hashtbl.create 64 in
+  (* Open windows from the checkpoint: same ready/last-ready/pending
+     structure (references re-bound by the restored data plane), empty
+     dep-task lists — the checkpoint boundary drained its segment, so
+     there is nothing scheduled to depend on. *)
+  List.iter
+    (fun wk ->
+      let q =
+        if wk.wk_pending = [] then None
+        else begin
+          let q = Queue.create () in
+          List.iter (fun sr -> Queue.add sr q) wk.wk_pending;
+          Some q
+        end
+      in
+      Hashtbl.replace windows wk.wk_win
+        {
+          ready = wk.wk_ready;
+          dep_tasks = [];
+          last_ready = wk.wk_last_ready;
+          pending_segments = q;
+          closed = false;
+        })
+    (ctl_or [] (fun c -> c.ck_windows));
   let win w =
     match Hashtbl.find_opt windows w with
     | Some ws -> ws
@@ -279,11 +434,16 @@ let record ~recording_cores ?(capture = false) cfg (pipe : Pipeline.t) frames =
     let idx = !node_count in
     incr node_count;
     let work ~start_ns =
+      (match crash_arm with
+      | Some (Sbt_fault.Fault.Crash_control, after) when !executed_tasks >= after ->
+          raise (Sbt_fault.Fault.Crash Sbt_fault.Fault.Crash_control)
+      | _ -> ());
       D.set_now_ns dp start_ns;
       let c0 = !ncap in
       let s0 = dp |> D.stats in
       let r = body () in
       let s1 = dp |> D.stats in
+      incr executed_tasks;
       if !ncap > c0 then Hashtbl.replace node_caps idx (c0, !ncap);
       let switch_delta = s1.D.modeled_switch_ns -. s0.D.modeled_switch_ns in
       let copy_delta = s1.D.modeled_copy_ns -. s0.D.modeled_copy_ns in
@@ -294,13 +454,12 @@ let record ~recording_cores ?(capture = false) cfg (pipe : Pipeline.t) frames =
       in
       switch_delta +. copy_delta +. crypto_adjust +. r
     in
-    let not_before =
-      match arrival with
-      | None -> 0.0
-      | Some _ -> 0.0 (* pacing applies only on replay; record mode is unconstrained *)
-    in
+    (* Segments start at the accumulated virtual time; within the first
+       (or only) segment this is 0 and scheduling is unconstrained, as
+       before checkpointing existed. *)
+    let not_before = !base_ns in
     let deps_tasks = List.map fst deps in
-    let task = Des.schedule des ~deps:deps_tasks ~not_before ~label ~work () in
+    let task = Des.schedule !des ~deps:deps_tasks ~not_before ~label ~work () in
     pending_nodes := (label, task, List.map snd deps, arrival, role) :: !pending_nodes;
     (task, idx)
   in
@@ -339,7 +498,8 @@ let record ~recording_cores ?(capture = false) cfg (pipe : Pipeline.t) frames =
                { op; inputs = [ !r ]; trigger = None; params; hints; retire_inputs = true })
         with
         | D.Rs_outputs [ out ] -> r := out.D.ref_
-        | D.Rs_outputs _ | D.Rs_watermark _ | D.Rs_egress _ | D.Rs_ingested _ ->
+        | D.Rs_outputs _ | D.Rs_watermark _ | D.Rs_egress _ | D.Rs_ingested _
+        | D.Rs_checkpoint _ ->
             failwith "control: unexpected batch-stage response")
       pipe.Pipeline.batch_ops;
     ws.ready <- (stream, !r) :: ws.ready;
@@ -353,15 +513,15 @@ let record ~recording_cores ?(capture = false) cfg (pipe : Pipeline.t) frames =
       | D.Rs_outputs [] -> ()
       | _ -> failwith "control: unexpected UDF install response")
     pipe.Pipeline.udfs;
-  let cum_events = ref 0 in
-  let total_events = ref 0 in
-  let next_window_to_close = ref 0 in
-  let wm_audit_ref = ref 0 in
+  let cum_events = ref (ctl_or 0 (fun c -> c.ck_cum_events)) in
+  let total_events = ref (ctl_or 0 (fun c -> c.ck_total_events)) in
+  let next_window_to_close = ref (ctl_or 0 (fun c -> c.ck_next_window_to_close)) in
+  let wm_audit_ref = ref (ctl_or 0 (fun c -> c.ck_wm_audit_ref)) in
   (* --- graceful degradation --------------------------------------------- *)
   let plan = cfg.dp_config.D.fault_plan in
-  let gaps_declared = ref 0 in
-  let batches_dropped = ref 0 in
-  let events_dropped = ref 0 in
+  let gaps_declared = ref (ctl_or 0 (fun c -> c.ck_gaps_declared)) in
+  let batches_dropped = ref (ctl_or 0 (fun c -> c.ck_batches_dropped)) in
+  let events_dropped = ref (ctl_or 0 (fun c -> c.ck_events_dropped)) in
   let declare_gap ~stream ~seq ~events ~windows ~reason =
     match D.call dp (D.R_declare_gap { stream; seq; events; windows; reason }) with
     | D.Rs_outputs [] ->
@@ -380,6 +540,9 @@ let record ~recording_cores ?(capture = false) cfg (pipe : Pipeline.t) frames =
      frames, which the edge must declare before ingesting past the hole —
      otherwise the verifier reads the hole as tampering. *)
   let expected_seq : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (s, n) -> Hashtbl.replace expected_seq s n)
+    (ctl_or [] (fun c -> c.ck_expected_seq));
   let link_holes ~stream ~seq =
     let exp = Option.value ~default:0 (Hashtbl.find_opt expected_seq stream) in
     Hashtbl.replace expected_seq stream (max (seq + 1) exp);
@@ -392,7 +555,7 @@ let record ~recording_cores ?(capture = false) cfg (pipe : Pipeline.t) frames =
     let rec attempt n stall =
       match D.call dp (D.R_ingest_events { payload; encrypted; stream; seq; mac }) with
       | D.Rs_ingested { out; stalled_ns } -> Ok (out, stall +. stalled_ns)
-      | D.Rs_outputs _ | D.Rs_watermark _ | D.Rs_egress _ ->
+      | D.Rs_outputs _ | D.Rs_watermark _ | D.Rs_egress _ | D.Rs_checkpoint _ ->
           failwith "control: unexpected ingest response"
       | exception Sbt_tz.Smc.Entry_busy _ ->
           Sbt_obs.Metrics.incr c_busy;
@@ -412,8 +575,80 @@ let record ~recording_cores ?(capture = false) cfg (pipe : Pipeline.t) frames =
   (* Windows egress in watermark order: each close depends on the previous
      one, which also serializes any cross-window operator state. *)
   let last_close = ref None in
-  List.iter
-    (fun frame ->
+  (* --- checkpointing ------------------------------------------------------ *)
+  let last_ckpt_window = ref !next_window_to_close in
+  let crashed site =
+    raise (Crashed { site; uploads = D.uploaded_batches dp; results = List.rev !results })
+  in
+  let drain_segment () =
+    (try Des.run !des with Sbt_fault.Fault.Crash site -> crashed site);
+    tasks_total := !tasks_total + Des.tasks_executed !des;
+    base_ns := Float.max !base_ns (Des.makespan_ns !des)
+  in
+  let take_checkpoint ~next_frame_idx ~watermark =
+    (* Quiesce: drain everything scheduled so far, then start a fresh DES
+       for the next segment.  Cross-segment orderings (previous close,
+       stages feeding a close) are enforced by [base_ns] rather than task
+       dependencies, so the drained task handles can be dropped. *)
+    drain_segment ();
+    des := fresh_des ();
+    Hashtbl.iter (fun _ ws -> ws.dep_tasks <- []) windows;
+    last_close := None;
+    D.set_now_ns dp !base_ns;
+    let open_windows =
+      Hashtbl.fold
+        (fun w ws acc -> if w >= !next_window_to_close then (w, ws) :: acc else acc)
+        windows []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    let control =
+      encode_control
+        {
+          ck_frame_idx = next_frame_idx;
+          ck_base_ns = !base_ns;
+          ck_next_window_to_close = !next_window_to_close;
+          ck_total_events = !total_events;
+          ck_cum_events = !cum_events;
+          ck_gaps_declared = !gaps_declared;
+          ck_batches_dropped = !batches_dropped;
+          ck_events_dropped = !events_dropped;
+          ck_wm_audit_ref = !wm_audit_ref;
+          ck_expected_seq =
+            Hashtbl.fold (fun s n acc -> (s, n) :: acc) expected_seq []
+            |> List.sort compare;
+          ck_windows =
+            List.map
+              (fun (w, ws) ->
+                {
+                  wk_win = w;
+                  wk_ready = ws.ready;
+                  wk_last_ready = ws.last_ready;
+                  wk_pending =
+                    (match ws.pending_segments with
+                    | None -> []
+                    | Some q -> List.of_seq (Queue.to_seq q));
+                })
+              open_windows;
+        }
+    in
+    (match D.call dp (D.R_checkpoint { control; watermark }) with
+    | D.Rs_checkpoint { blob; seq } -> (
+        last_ckpt_window := !next_window_to_close;
+        instant "checkpoint"
+          ~args:[ ("seq", Sbt_obs.Tracer.Int seq); ("bytes", Sbt_obs.Tracer.Int (Bytes.length blob)) ];
+        match on_checkpoint with
+        | Some f -> f ~blob ~seq ~frame_idx:next_frame_idx
+        | None -> ())
+    | _ -> failwith "control: unexpected checkpoint response");
+    (* A reboot crash is modeled at the boundary where TEE state is lost
+       with the checkpoint already durable: right after persisting it. *)
+    match crash_arm with
+    | Some (Sbt_fault.Fault.Crash_reboot, after) when !executed_tasks >= after ->
+        crashed Sbt_fault.Fault.Crash_reboot
+    | _ -> ()
+  in
+  List.iteri
+    (fun frame_i frame ->
       match frame with
       | Sbt_net.Frame.Events
           { seq; stream; events; windows = frame_windows; payload; encrypted; mac } ->
@@ -503,7 +738,7 @@ let record ~recording_cores ?(capture = false) cfg (pipe : Pipeline.t) frames =
                           else Queue.add (stream, o.D.ref_) (pending_q ws)
                         end)
                       outs
-                | D.Rs_watermark _ | D.Rs_egress _ | D.Rs_ingested _ ->
+                | D.Rs_watermark _ | D.Rs_egress _ | D.Rs_ingested _ | D.Rs_checkpoint _ ->
                     failwith "control: unexpected windowing response");
                 0.0
                 end)
@@ -539,7 +774,7 @@ let record ~recording_cores ?(capture = false) cfg (pipe : Pipeline.t) frames =
                 | D.Rs_watermark { audit_id; _ } ->
                     wm_audit_ref := audit_id;
                     0.0
-                | D.Rs_outputs _ | D.Rs_egress _ | D.Rs_ingested _ ->
+                | D.Rs_outputs _ | D.Rs_egress _ | D.Rs_ingested _ | D.Rs_checkpoint _ ->
                     failwith "control: unexpected watermark response")
           in
           (* Close, in order, every window whose end has passed. *)
@@ -587,7 +822,8 @@ let record ~recording_cores ?(capture = false) cfg (pipe : Pipeline.t) frames =
                             (D.R_invoke { op; inputs; trigger; params; hints; retire_inputs = retire })
                         with
                         | D.Rs_outputs outs -> List.map (fun (o : D.output) -> o.D.ref_) outs
-                        | D.Rs_watermark _ | D.Rs_egress _ | D.Rs_ingested _ ->
+                        | D.Rs_watermark _ | D.Rs_egress _ | D.Rs_ingested _
+                        | D.Rs_checkpoint _ ->
                             failwith "control: unexpected invoke response"
                       in
                       let invoke_udf ?(hints = []) ?(retire = true) ?(state_output = false)
@@ -614,7 +850,8 @@ let record ~recording_cores ?(capture = false) cfg (pipe : Pipeline.t) frames =
                                })
                         with
                         | D.Rs_outputs outs -> List.map (fun (o : D.output) -> o.D.ref_) outs
-                        | D.Rs_watermark _ | D.Rs_egress _ | D.Rs_ingested _ ->
+                        | D.Rs_watermark _ | D.Rs_egress _ | D.Rs_ingested _
+                        | D.Rs_checkpoint _ ->
                             failwith "control: unexpected UDF invoke response"
                       in
                       let retire_ref r =
@@ -637,15 +874,20 @@ let record ~recording_cores ?(capture = false) cfg (pipe : Pipeline.t) frames =
                         let result_ref = pipe.Pipeline.plan ctx in
                         (match D.call dp (D.R_egress { input = result_ref; window = w }) with
                         | D.Rs_egress sealed -> results := (w, sealed) :: !results
-                        | D.Rs_outputs _ | D.Rs_watermark _ | D.Rs_ingested _ ->
+                        | D.Rs_outputs _ | D.Rs_watermark _ | D.Rs_ingested _
+                        | D.Rs_checkpoint _ ->
                             failwith "control: unexpected egress response");
                         0.0
                       end)
                 in
                 last_close := Some (close_task, close_idx)
-          done)
+          done;
+          (match ckpt_every with
+          | Some every when !next_window_to_close - !last_ckpt_window >= every ->
+              take_checkpoint ~next_frame_idx:(frame_offset + frame_i + 1) ~watermark:value
+          | Some _ | None -> ()))
     frames;
-  Des.run des;
+  drain_segment ();
   D.finalize dp;
   (* Assemble the trace: node order is schedule order (reverse of the
      accumulation list). *)
@@ -690,9 +932,9 @@ let record ~recording_cores ?(capture = false) cfg (pipe : Pipeline.t) frames =
     mem_samples_bytes = List.rev !mem_samples;
     audit = D.uploaded_batches dp;
     verifier_spec = Pipeline.verifier_spec pipe;
-    makespan_ns = Des.makespan_ns des;
+    makespan_ns = !base_ns;
     total_events = !total_events;
-    tasks_executed = Des.tasks_executed des;
+    tasks_executed = !tasks_total;
     live_refs_after = D.live_refs dp;
     loss =
       Loss.v ~gaps_declared:!gaps_declared ~batches_dropped:!batches_dropped
@@ -735,3 +977,138 @@ let run ?engine ?exec_time_scale ?exec_mode ?capture cfg pipe frames =
         exec_trace ?time_scale:exec_time_scale ?mode:exec_mode ~domains cfg r
       in
       { r with exec = Some report }
+
+(* --- supervised restart ----------------------------------------------------
+
+   The normal-world supervisor around a checkpointed run: it owns the
+   durable stores (sealed checkpoints, uploaded audit batches, sealed
+   results, the source's replay buffer) and the restart policy.  On a
+   crash it derives the newest attested checkpoint sequence from the
+   signed audit stream — so a rolled-back blob cannot pose as the latest
+   — unseals, rebuilds a fresh data plane, trims durable state back to
+   the checkpoint's cut, re-ingests the replay suffix, and stamps each
+   boot with a sealed epoch manifest for the multi-epoch verifier. *)
+
+type supervised = {
+  sv_results : (int * D.sealed_result) list;  (* stitched, ascending window *)
+  sv_audit : Sbt_attest.Log.batch list;  (* stitched, oldest first *)
+  sv_epochs : (Sbt_attest.Epoch.sealed * Sbt_attest.Log.batch list) list;
+  sv_report : Sbt_attest.Verifier.report;
+  sv_crash_sites : Sbt_fault.Fault.site list;
+  sv_epoch_count : int;
+  sv_replayed_frames : int;
+  sv_checkpoints : int;
+  sv_checkpoint_bytes : int;
+  sv_last_run : run_result option;  (* the completing boot's full result *)
+}
+
+let run_supervised ?(max_restarts = 3) ?(ckpt_every = 1) cfg pipe frames =
+  let key = cfg.dp_config.D.egress_key in
+  let store = Sbt_recovery.Store.create () in
+  let replay = Sbt_net.Replay.create frames in
+  let ckpts = ref 0 and ckpt_bytes = ref 0 in
+  let replayed = ref 0 in
+  let crash_sites = ref [] in
+  let epochs = ref [] in (* (manifest, that boot's batches), newest first *)
+  let durable_uploads = ref [] in (* stitched normal-world storage, oldest first *)
+  let durable_results = ref [] in
+  let on_checkpoint ~blob ~seq ~frame_idx =
+    Sbt_recovery.Store.put store ~seq blob;
+    incr ckpts;
+    ckpt_bytes := !ckpt_bytes + Bytes.length blob;
+    Sbt_net.Replay.ack replay ~upto:frame_idx
+  in
+  let rec boot ~epoch ~resume ~frame_offset ~resumed_from ~resume_batch_seq cfgb suffix =
+    let manifest = { Sbt_attest.Epoch.epoch; resumed_from; resume_batch_seq } in
+    match
+      record ~recording_cores:cfgb.cores ~ckpt_every ~on_checkpoint ?resume ~frame_offset
+        cfgb pipe suffix
+    with
+    | r ->
+        epochs := (manifest, r.audit) :: !epochs;
+        durable_uploads := !durable_uploads @ r.audit;
+        durable_results := !durable_results @ r.results;
+        Some r
+    | exception Crashed { site; uploads; results } ->
+        crash_sites := site :: !crash_sites;
+        epochs := (manifest, uploads) :: !epochs;
+        durable_uploads := !durable_uploads @ uploads;
+        durable_results := !durable_results @ results;
+        if epoch >= max_restarts then
+          raise (Crashed { site; uploads = !durable_uploads; results = !durable_results })
+        else begin
+          (* The newest checkpoint the durable (signed) audit stream
+             attests: the floor below which a presented blob is a
+             rollback. *)
+          let attested_ckpt =
+            List.fold_left
+              (fun acc b ->
+                List.fold_left
+                  (fun acc r ->
+                    match r with
+                    | Sbt_attest.Record.Checkpoint { seq; _ } -> max acc seq
+                    | _ -> acc)
+                  acc
+                  (Sbt_attest.Log.open_batch ~key b))
+              (-1) !durable_uploads
+          in
+          let cfgb =
+            Config.with_fault_plan
+              (Sbt_fault.Fault.without_crash cfgb.dp_config.D.fault_plan)
+              cfgb
+          in
+          match Sbt_recovery.Store.latest store with
+          | None ->
+              (* Crashed before any checkpoint: nothing was acked, the
+                 source still holds every frame — restart from scratch,
+                 and the fresh boot regenerates everything durable. *)
+              durable_uploads := [];
+              durable_results := [];
+              let suffix = Sbt_net.Replay.suffix replay ~from:0 in
+              replayed := !replayed + List.length suffix;
+              boot ~epoch:(epoch + 1) ~resume:None ~frame_offset:0 ~resumed_from:(-1)
+                ~resume_batch_seq:0 cfgb suffix
+          | Some (_, blob) ->
+              let restored =
+                D.restore cfgb.dp_config ~expect_seq:(max attested_ckpt 0) blob
+              in
+              let ctl = decode_control restored.D.control in
+              (* Trim durable state back to the checkpoint's cut: batches
+                 and windows past it are regenerated by the resumed boot,
+                 byte for byte. *)
+              durable_uploads :=
+                List.filter
+                  (fun b -> b.Sbt_attest.Log.seq < restored.D.log_seq)
+                  !durable_uploads;
+              durable_results :=
+                List.filter (fun (w, _) -> w < ctl.ck_next_window_to_close) !durable_results;
+              let suffix = Sbt_net.Replay.suffix replay ~from:ctl.ck_frame_idx in
+              replayed := !replayed + List.length suffix;
+              boot ~epoch:(epoch + 1)
+                ~resume:(Some (restored.D.rt, ctl))
+                ~frame_offset:ctl.ck_frame_idx ~resumed_from:restored.D.ckpt_seq
+                ~resume_batch_seq:restored.D.log_seq cfgb suffix
+        end
+  in
+  let last =
+    boot ~epoch:0 ~resume:None ~frame_offset:0 ~resumed_from:(-1) ~resume_batch_seq:0 cfg
+      frames
+  in
+  let sealed_epochs =
+    List.rev_map (fun (m, batches) -> (Sbt_attest.Epoch.seal ~key m, batches)) !epochs
+  in
+  let report =
+    Sbt_attest.Verifier.verify_epochs ~key (Pipeline.verifier_spec pipe) sealed_epochs
+  in
+  {
+    sv_results = List.sort (fun (a, _) (b, _) -> compare a b) !durable_results;
+    sv_audit = !durable_uploads;
+    sv_epochs = sealed_epochs;
+    sv_report = report;
+    sv_crash_sites = List.rev !crash_sites;
+    sv_epoch_count = List.length !epochs;
+    sv_replayed_frames = !replayed;
+    sv_checkpoints = !ckpts;
+    sv_checkpoint_bytes = !ckpt_bytes;
+    sv_last_run = last;
+  }

@@ -172,3 +172,58 @@ val exec_trace :
     registry.  Under [~mode:`Work] the recording must have captured
     kernels ([run ~capture:true] or [~exec_mode:`Work]); otherwise every
     task replays as a no-op and the measurement is vacuous. *)
+
+exception
+  Crashed of {
+    site : Sbt_fault.Fault.site;
+    uploads : Sbt_attest.Log.batch list;  (** audit batches durable at crash, oldest first *)
+    results : (int * Dataplane.sealed_result) list;  (** results egressed before the crash *)
+  }
+(** An injected crash ({!Sbt_fault.Fault.plan}[.crash]) killed the run.
+    The payload is exactly what the normal world already held durably —
+    everything in-TEE is gone.  {!run_supervised} catches this and
+    restarts; it escapes only when the restart budget is exhausted (or
+    the caller ran {!run} directly with a crash armed). *)
+
+(** Result of a supervised (crash-recovering) run: the stitched durable
+    state after every boot epoch, plus the multi-epoch verifier's
+    report.  For a given [ckpt_every], [sv_results] and [sv_audit] are
+    byte-identical whether or not crashes occurred — the exactly-once
+    guarantee the recovery tests and the CI smoke assert. *)
+type supervised = {
+  sv_results : (int * Dataplane.sealed_result) list;  (** stitched, ascending window *)
+  sv_audit : Sbt_attest.Log.batch list;  (** stitched, oldest first *)
+  sv_epochs : (Sbt_attest.Epoch.sealed * Sbt_attest.Log.batch list) list;
+      (** one (sealed manifest, audit slice) per boot epoch, oldest
+          first — the exact input {!Sbt_attest.Verifier.verify_epochs}
+          takes *)
+  sv_report : Sbt_attest.Verifier.report;
+      (** multi-epoch verification: no window emitted twice, none lost,
+          no rollback, freshness across the restart gap *)
+  sv_crash_sites : Sbt_fault.Fault.site list;  (** one per crash, in order *)
+  sv_epoch_count : int;  (** boots, = crashes + 1 *)
+  sv_replayed_frames : int;  (** frames re-ingested from the replay buffer *)
+  sv_checkpoints : int;
+  sv_checkpoint_bytes : int;  (** total sealed-blob bytes exported *)
+  sv_last_run : run_result option;  (** the completing boot's full result *)
+}
+
+val run_supervised :
+  ?max_restarts:int ->
+  ?ckpt_every:int ->
+  config ->
+  Pipeline.t ->
+  Sbt_net.Frame.t list ->
+  supervised
+(** Run under a normal-world supervisor with sealed TEE checkpoints
+    every [ckpt_every] closed windows (default 1) and source-side frame
+    replay.  On an injected crash the supervisor unseals the latest
+    checkpoint — rejecting tampered blobs ({!Sbt_recovery.Seal.Tamper})
+    and blobs older than the newest checkpoint attested in the signed
+    audit stream ({!Sbt_recovery.Seal.Rollback}) — rebuilds the data
+    plane, re-ingests the unacknowledged frame suffix, and continues;
+    up to [max_restarts] (default 3) times, re-raising {!Crashed}
+    beyond that.  Stateful cross-window pipelines (operator state held
+    in plan closures, e.g. [power_grid]) are not checkpointable — their
+    state lives outside the TEE snapshot; use stateless-per-window
+    pipelines with recovery. *)

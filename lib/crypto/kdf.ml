@@ -1,0 +1,18 @@
+(* HKDF-style expand-only derivation: one HMAC invocation per output
+   block, keyed by the master secret, with the label and a block counter
+   as the message.  A single 32-byte block covers every key size used in
+   this repository, but the loop keeps the construction general. *)
+
+let derive ~master ~label n =
+  if n <= 0 then invalid_arg "Kdf.derive: length must be positive";
+  let out = Bytes.create n in
+  let blocks = (n + 31) / 32 in
+  for i = 0 to blocks - 1 do
+    let msg = Bytes.of_string (Printf.sprintf "sbt-kdf:%s:%d" label i) in
+    let block = Hmac.mac ~key:master msg in
+    Bytes.blit block 0 out (i * 32) (min 32 (n - (i * 32)))
+  done;
+  out
+
+let enc_key ~master ~label = derive ~master ~label:(label ^ ":enc") 16
+let mac_key ~master ~label = derive ~master ~label:(label ^ ":mac") 32

@@ -1,0 +1,19 @@
+(** Key derivation from a device master secret.
+
+    The data plane owns a single master key (the device key fused at
+    manufacture in the StreamBox-TZ fiction).  Every sub-protocol —
+    checkpoint sealing, egress, attestation — must use an independent
+    key so a compromise or nonce collision in one cannot cross into
+    another.  [derive] expands the master into labeled sub-keys with an
+    HKDF-style HMAC-SHA-256 expand step; equal labels always derive
+    equal keys, distinct labels derive independent ones. *)
+
+val derive : master:bytes -> label:string -> int -> bytes
+(** [derive ~master ~label n] is [n] bytes of key material bound to
+    [label].  Deterministic in [(master, label, n)]. *)
+
+val enc_key : master:bytes -> label:string -> bytes
+(** 16-byte AES-CTR encryption key for [label] (label suffix [":enc"]). *)
+
+val mac_key : master:bytes -> label:string -> bytes
+(** 32-byte HMAC key for [label] (label suffix [":mac"]). *)

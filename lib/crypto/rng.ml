@@ -66,3 +66,12 @@ let shuffle_in_place t a =
     a.(i) <- a.(j);
     a.(j) <- tmp
   done
+
+let state t = (t.s0, t.s1, t.s2, t.s3)
+let of_state (s0, s1, s2, s3) = { s0; s1; s2; s3 }
+
+let set_state t (s0, s1, s2, s3) =
+  t.s0 <- s0;
+  t.s1 <- s1;
+  t.s2 <- s2;
+  t.s3 <- s3

@@ -32,3 +32,14 @@ val bytes : t -> int -> bytes
 
 val shuffle_in_place : t -> 'a array -> unit
 (** Fisher-Yates shuffle driven by [t]. *)
+
+val state : t -> int64 * int64 * int64 * int64
+(** Snapshot of the four xoshiro256** limbs, for sealed checkpoints.  A
+    generator restored with {!set_state} continues the exact output
+    sequence of the snapshotted one. *)
+
+val of_state : int64 * int64 * int64 * int64 -> t
+(** Rebuild a generator from a {!state} snapshot. *)
+
+val set_state : t -> int64 * int64 * int64 * int64 -> unit
+(** Overwrite [t]'s limbs with a {!state} snapshot in place. *)

@@ -14,19 +14,31 @@
 
 module Rng = Sbt_crypto.Rng
 
-type site = Ingress_link | Smc_boundary | Secure_pool | Uplink
+type site =
+  | Ingress_link
+  | Smc_boundary
+  | Secure_pool
+  | Uplink
+  | Crash_control
+  | Crash_reboot
+
+exception Crash of site
 
 let site_tag = function
   | Ingress_link -> 0x11
   | Smc_boundary -> 0x22
   | Secure_pool -> 0x33
   | Uplink -> 0x44
+  | Crash_control -> 0x55
+  | Crash_reboot -> 0x66
 
 let site_name = function
   | Ingress_link -> "ingress-link"
   | Smc_boundary -> "smc-boundary"
   | Secure_pool -> "secure-pool"
   | Uplink -> "uplink"
+  | Crash_control -> "crash-control"
+  | Crash_reboot -> "crash-reboot"
 
 type spec = {
   drop_p : float;
@@ -46,6 +58,8 @@ type plan = {
   uplink : spec;
   retry_budget : int;
   backoff_base_ns : float;
+  backoff_cap_ns : float;
+  crash : (site * int) option;
 }
 
 let none =
@@ -57,6 +71,8 @@ let none =
     uplink = quiet;
     retry_budget = 3;
     backoff_base_ns = 50_000.0;
+    backoff_cap_ns = 10_000_000.0;
+    crash = None;
   }
 
 let spec_quiet s = s.drop_p = 0.0 && s.corrupt_p = 0.0 && s.fail_p = 0.0
@@ -81,6 +97,19 @@ let spec_for plan site =
   | Smc_boundary -> plan.smc
   | Secure_pool -> plan.pool
   | Uplink -> plan.uplink
+  (* Crash sites trigger on an executed-task count, not a probability. *)
+  | Crash_control | Crash_reboot -> quiet
+
+let crash_after plan = plan.crash
+
+let with_crash plan ~site ~after_tasks =
+  (match site with
+  | Crash_control | Crash_reboot -> ()
+  | _ -> invalid_arg "Fault.with_crash: not a crash site");
+  if after_tasks <= 0 then invalid_arg "Fault.with_crash: after_tasks must be positive";
+  { plan with crash = Some (site, after_tasks) }
+
+let without_crash plan = { plan with crash = None }
 
 (* --- deterministic draws ------------------------------------------------ *)
 
@@ -141,8 +170,18 @@ let pool_sheds plan ~stream ~seq =
 let uplink_drops plan ~seq =
   chance plan ~site:Uplink ~salt:1 ~stream:0 ~seq plan.uplink.drop_p
 
-(* Exponential backoff with full deterministic jitter, attempt >= 1. *)
-let backoff_ns plan ~stream ~seq ~attempt =
+(* Exponential backoff with full deterministic jitter, attempt >= 1.
+   [retrier] decorrelates concurrent retriers contending on the same
+   (stream, seq): each retrier identity perturbs the jitter key, so two
+   sources backing off from the same busy SMC entry re-arrive at
+   different times instead of colliding in lockstep.  [retrier = 0]
+   (the default) reproduces the historical single-retrier sequence
+   bit-for-bit.  The doubling is clamped by [backoff_cap_ns] so a deep
+   retry burst cannot stall ingest unboundedly. *)
+let backoff_ns ?(retrier = 0) plan ~stream ~seq ~attempt =
   let base = plan.backoff_base_ns *. Float.of_int (1 lsl min 16 (max 0 (attempt - 1))) in
-  let jitter = to_unit (draw plan ~site:Smc_boundary ~salt:(100 + attempt) ~stream ~seq) in
-  base *. (0.5 +. (0.5 *. jitter))
+  let key_stream = if retrier = 0 then stream else stream lxor (retrier * 0x10000) in
+  let jitter =
+    to_unit (draw plan ~site:Smc_boundary ~salt:(100 + attempt) ~stream:key_stream ~seq)
+  in
+  Float.min plan.backoff_cap_ns (base *. (0.5 +. (0.5 *. jitter)))

@@ -9,7 +9,19 @@
     scheduling or host timing.  {!none} disables everything and is the
     zero-cost default threaded through the stack. *)
 
-type site = Ingress_link | Smc_boundary | Secure_pool | Uplink
+type site =
+  | Ingress_link
+  | Smc_boundary
+  | Secure_pool
+  | Uplink
+  | Crash_control  (** the untrusted control process is killed mid-run *)
+  | Crash_reboot  (** the whole edge box reboots (TEE state also lost) *)
+
+exception Crash of site
+(** Raised at an injected crash point.  Both crash sites lose all
+    in-TEE volatile state; what survives either way is what the normal
+    world already held durably — sealed checkpoints, uploaded audit
+    batches, sealed egress results. *)
 
 val site_name : site -> string
 
@@ -34,10 +46,16 @@ type plan = {
   uplink : spec;
   retry_budget : int;  (** SMC retries before degrading to a gap *)
   backoff_base_ns : float;  (** first-retry backoff; doubles per attempt *)
+  backoff_cap_ns : float;  (** upper bound on any single backoff *)
+  crash : (site * int) option;
+      (** kill the run at a crash site after N executed tasks; [None] =
+          never.  Task-count-keyed rather than clock-keyed so the crash
+          point replays deterministically. *)
 }
 
 val none : plan
-(** No faults anywhere; [retry_budget = 3], [backoff_base_ns = 50us]. *)
+(** No faults anywhere; [retry_budget = 3], [backoff_base_ns = 50us],
+    [backoff_cap_ns = 10ms], no crash. *)
 
 val is_none : plan -> bool
 (** True when every site is quiet (injection short-circuits). *)
@@ -61,6 +79,22 @@ val pool_sheds : plan -> stream:int -> seq:int -> bool
 val uplink_drops : plan -> seq:int -> bool
 (** Whether the uplink loses audit batch [seq]. *)
 
-val backoff_ns : plan -> stream:int -> seq:int -> attempt:int -> float
+val crash_after : plan -> (site * int) option
+(** The plan's crash point, if any. *)
+
+val with_crash : plan -> site:site -> after_tasks:int -> plan
+(** [with_crash plan ~site ~after_tasks] arms a crash at [site] once
+    [after_tasks] tasks have executed.  [site] must be a crash site and
+    [after_tasks] positive. *)
+
+val without_crash : plan -> plan
+(** Disarm the crash point (a supervisor restarts with this so an
+    injected crash fires exactly once). *)
+
+val backoff_ns : ?retrier:int -> plan -> stream:int -> seq:int -> attempt:int -> float
 (** Deterministic exponential backoff with jitter for retry [attempt]
-    (1-based). *)
+    (1-based), clamped to [backoff_cap_ns].  [retrier] (default 0)
+    names the retrying agent: distinct retriers contending on the same
+    [(stream, seq)] draw decorrelated jitter so they do not re-arrive
+    in lockstep.  [retrier = 0] is bit-compatible with the historical
+    single-retrier sequence. *)

@@ -1,0 +1,32 @@
+(* Source-side replay buffer.
+
+   The source keeps every frame it has sent until the sink acknowledges
+   a checkpoint covering it; on restart the sink asks for exactly the
+   unacknowledged suffix.  Frames are indexed by their position in the
+   original send order (the control plane's frame index), which is also
+   what a sealed checkpoint records as "next frame to process" — so the
+   ack watermark and the replay cursor speak the same coordinate. *)
+
+type t = {
+  frames : Frame.t array;
+  mutable acked : int; (* frames [0, acked) are trimmed *)
+}
+
+let create frames = { frames = Array.of_list frames; acked = 0 }
+
+let length t = Array.length t.frames
+
+let ack t ~upto =
+  if upto > Array.length t.frames then invalid_arg "Replay.ack: beyond last frame";
+  (* Acks never regress: a stale (reordered) ack is a no-op. *)
+  if upto > t.acked then t.acked <- upto
+
+let acked t = t.acked
+let pending t = Array.length t.frames - t.acked
+
+let suffix t ~from =
+  if from < t.acked then
+    invalid_arg
+      (Printf.sprintf "Replay.suffix: frames before %d were trimmed (asked for %d)" t.acked from);
+  if from > Array.length t.frames then invalid_arg "Replay.suffix: beyond last frame";
+  Array.to_list (Array.sub t.frames from (Array.length t.frames - from))

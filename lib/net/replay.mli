@@ -1,0 +1,29 @@
+(** Source-side replay buffer for crash recovery.
+
+    Retains sent frames until a checkpoint-acknowledged watermark trims
+    them; after a sink restart, {!suffix} returns exactly the
+    unacknowledged tail for re-ingestion.  Indices are frame positions
+    in the original send order — the same coordinate a sealed
+    checkpoint stores as its resume point. *)
+
+type t
+
+val create : Frame.t list -> t
+(** Buffer the full send-order frame list. *)
+
+val length : t -> int
+
+val ack : t -> upto:int -> unit
+(** [ack t ~upto] trims frames with index [< upto].  Monotonic: a stale
+    ack is a no-op.  Raises [Invalid_argument] past the last frame. *)
+
+val acked : t -> int
+(** Current ack watermark (first retained index). *)
+
+val pending : t -> int
+(** Frames still retained for possible replay. *)
+
+val suffix : t -> from:int -> Frame.t list
+(** The frames from index [from] to the end.  Raises
+    [Invalid_argument] if [from] precedes the ack watermark (those
+    frames are gone — the checkpoint that acked them supersedes them). *)

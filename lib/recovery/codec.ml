@@ -1,0 +1,84 @@
+(* Little-endian append-only byte codec shared by the checkpoint
+   serializers.  A writer is a growable buffer; a reader is a byte
+   string plus a mutable cursor.  Both sides must agree on field order —
+   there is no tagging, the layout *is* the schema (versioned by the
+   seal header magic). *)
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 1024
+let contents w = Buffer.to_bytes w
+
+let u8 w v = Buffer.add_char w (Char.chr (v land 0xFF))
+
+let u32 w v =
+  if v < 0 then invalid_arg "Codec.u32: negative";
+  Buffer.add_char w (Char.chr (v land 0xFF));
+  Buffer.add_char w (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char w (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char w (Char.chr ((v lsr 24) land 0xFF))
+
+let i64 w v =
+  for i = 0 to 7 do
+    Buffer.add_char w (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
+  done
+
+(* Signed ints (e.g. epoch back-pointers that may be -1) ride as int64. *)
+let int_ w v = i64 w (Int64.of_int v)
+let i32 w v = u32 w (Int32.to_int v land 0xFFFFFFFF)
+let f64 w v = i64 w (Int64.bits_of_float v)
+
+let bytes_ w b =
+  u32 w (Bytes.length b);
+  Buffer.add_bytes w b
+
+let list_ w f items =
+  u32 w (List.length items);
+  List.iter (f w) items
+
+type reader = { buf : bytes; mutable pos : int }
+
+exception Truncated
+
+let reader buf = { buf; pos = 0 }
+let at_end r = r.pos = Bytes.length r.buf
+
+let need r n = if r.pos + n > Bytes.length r.buf then raise Truncated
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code (Bytes.get r.buf r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u32 r =
+  need r 4;
+  let b i = Char.code (Bytes.get r.buf (r.pos + i)) in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  r.pos <- r.pos + 4;
+  v
+
+let get_i64 r =
+  need r 8;
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8)
+          (Int64.of_int (Char.code (Bytes.get r.buf (r.pos + i))))
+  done;
+  r.pos <- r.pos + 8;
+  !v
+
+let get_int r = Int64.to_int (get_i64 r)
+let get_i32 r = Int32.of_int (get_u32 r)
+let get_f64 r = Int64.float_of_bits (get_i64 r)
+
+let get_bytes r =
+  let n = get_u32 r in
+  need r n;
+  let b = Bytes.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  b
+
+let get_list r f =
+  let n = get_u32 r in
+  List.init n (fun _ -> f r)

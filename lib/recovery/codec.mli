@@ -1,0 +1,43 @@
+(** Little-endian byte codec for checkpoint serialization.
+
+    Field order is the schema: the writer and reader of a blob must
+    emit/consume fields in the same sequence.  The sealed-blob magic in
+    {!Seal} versions the layout as a whole. *)
+
+type writer
+
+val writer : unit -> writer
+val contents : writer -> bytes
+
+val u8 : writer -> int -> unit
+val u32 : writer -> int -> unit
+val i64 : writer -> int64 -> unit
+
+val int_ : writer -> int -> unit
+(** Signed OCaml int as int64 (handles -1 sentinels). *)
+
+val i32 : writer -> int32 -> unit
+
+val f64 : writer -> float -> unit
+val bytes_ : writer -> bytes -> unit
+(** Length-prefixed byte block. *)
+
+val list_ : writer -> (writer -> 'a -> unit) -> 'a list -> unit
+(** Count-prefixed sequence. *)
+
+type reader
+
+exception Truncated
+(** Raised when a read runs past the end of the blob. *)
+
+val reader : bytes -> reader
+val at_end : reader -> bool
+
+val get_u8 : reader -> int
+val get_u32 : reader -> int
+val get_i64 : reader -> int64
+val get_int : reader -> int
+val get_i32 : reader -> int32
+val get_f64 : reader -> float
+val get_bytes : reader -> bytes
+val get_list : reader -> (reader -> 'a) -> 'a list

@@ -1,0 +1,32 @@
+(* Normal-world checkpoint storage: a mutable map seq -> sealed blob.
+   The store is untrusted by construction — it only ever sees
+   ciphertext, and tests use [tamper]/[truncate_to] to play the
+   adversary (bit flips, rollback to a stale blob). *)
+
+type t = { mutable blobs : (int * bytes) list (* newest first *) }
+
+let create () = { blobs = [] }
+
+let put t ~seq blob =
+  t.blobs <- (seq, blob) :: List.filter (fun (s, _) -> s <> seq) t.blobs
+
+let latest t =
+  match t.blobs with
+  | [] -> None
+  | l ->
+      let seq, blob = List.fold_left (fun (bs, bb) (s, b) -> if s > bs then (s, b) else (bs, bb)) (List.hd l) (List.tl l) in
+      Some (seq, blob)
+
+let get t ~seq = List.assoc_opt seq t.blobs
+let count t = List.length t.blobs
+let total_bytes t = List.fold_left (fun acc (_, b) -> acc + Bytes.length b) 0 t.blobs
+
+let tamper t ~seq ~at =
+  match List.assoc_opt seq t.blobs with
+  | None -> invalid_arg "Store.tamper: no such checkpoint"
+  | Some blob ->
+      let bad = Bytes.copy blob in
+      Bytes.set bad at (Char.chr (Char.code (Bytes.get bad at) lxor 0x01));
+      t.blobs <- (seq, bad) :: List.filter (fun (s, _) -> s <> seq) t.blobs
+
+let truncate_to t ~seq = t.blobs <- List.filter (fun (s, _) -> s <= seq) t.blobs

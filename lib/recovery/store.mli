@@ -1,0 +1,22 @@
+(** Normal-world (untrusted) storage for sealed checkpoints.
+
+    Holds ciphertext blobs keyed by checkpoint sequence number.  The
+    adversarial operations ([tamper], [truncate_to]) let tests and the
+    resilience harness play the normal world: flip ciphertext bits, or
+    roll the store back to a stale checkpoint.  The TEE-side unseal is
+    what must catch both. *)
+
+type t
+
+val create : unit -> t
+val put : t -> seq:int -> bytes -> unit
+val latest : t -> (int * bytes) option
+val get : t -> seq:int -> bytes option
+val count : t -> int
+val total_bytes : t -> int
+
+val tamper : t -> seq:int -> at:int -> unit
+(** Flip one bit of byte [at] of the stored blob [seq]. *)
+
+val truncate_to : t -> seq:int -> unit
+(** Drop every checkpoint newer than [seq] (rollback attack). *)

@@ -115,6 +115,30 @@ let alloc t ?(hint = No_hint) ?scope ?producer ~width ~capacity () =
   sample_pool t;
   ua
 
+(* Checkpoint restore: re-materialize an array under its original id.
+   Each restored array gets its own fresh group — hint-guided grouping
+   reflects a production order the restored plane no longer replays —
+   and the id counter only ever moves forward so post-restore allocs
+   continue the original sequence. *)
+let alloc_restored t ~id ?scope ~width ~capacity () =
+  if id < 0 then invalid_arg "Allocator.alloc_restored: negative id";
+  let g = fresh_group t in
+  let ua =
+    match scope with
+    | Some scope -> Uarray.create ~id ~pool:t.pool ~width ~capacity ~scope ()
+    | None -> Uarray.create ~id ~pool:t.pool ~width ~capacity ()
+  in
+  if id >= t.next_uarray_id then t.next_uarray_id <- id + 1;
+  Ugroup.append g ua;
+  Hashtbl.replace t.group_of (Uarray.id ua) g;
+  t.live_arrays <- t.live_arrays + 1;
+  sample_pool t;
+  ua
+
+let force_next_id t ~next =
+  if next < t.next_uarray_id then invalid_arg "Allocator.force_next_id: would reuse ids";
+  t.next_uarray_id <- next
+
 (* Released members were all retired earlier, and [retire] already dropped
    their [group_of] entries, so only the live-array count needs updating. *)
 let reclaim_group t g =

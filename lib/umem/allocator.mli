@@ -76,6 +76,17 @@ val reserve_id : t -> int
     plane assigns watermarks ids from the same sequence, so audit-record
     identifiers stay near-monotonic and delta-compress well. *)
 
+val alloc_restored :
+  t -> id:int -> ?scope:Uarray.scope -> width:int -> capacity:int -> unit -> Uarray.t
+(** Checkpoint restore: allocate a uArray under its {e original} id (each
+    in a fresh group) and advance the id counter past it, so audit
+    records emitted after recovery name exactly the ids the uninterrupted
+    run would have. *)
+
+val force_next_id : t -> next:int -> unit
+(** Pin the id counter to the checkpointed value after restoring live
+    arrays.  Refuses to move backwards (ids must never be reused). *)
+
 val set_observer : t -> tracer:Sbt_obs.Tracer.t -> now_ns:(unit -> float) -> unit
 (** Emit a ["secure-pool"] counter sample (committed bytes, live
     uArrays/uGroups) on every allocation and every reclamation that

@@ -539,6 +539,142 @@ let test_verifier_clean_run_reports_no_loss () =
   Alcotest.(check (float 0.0)) "zero loss" 0.0 r.V.loss_fraction;
   Alcotest.(check (list int)) "no degradation" [] r.V.degraded_windows
 
+(* --- multi-epoch stitching --------------------------------------------------- *)
+
+module Epoch = Sbt_attest.Epoch
+
+(* Flush [records] as a single batch whose sequence number starts at
+   [from_seq] — exactly how a recovered log continues the chain. *)
+let batch_at ~from_seq records =
+  let log = Log.create ~key ~flush_every:1_000_000 in
+  if from_seq > 0 then
+    Log.restore_cursor log ~seq:from_seq ~records_produced:0 ~raw_bytes:0 ~compressed_bytes:0;
+  List.iter (fun r -> ignore (Log.append log r)) records;
+  match Log.flush log with Some b -> b | None -> Alcotest.fail "expected a batch"
+
+let manifest ~epoch ~resumed_from ~resume_batch_seq =
+  Epoch.seal ~key { Epoch.epoch; resumed_from; resume_batch_seq }
+
+(* [good_run] split at a checkpoint taken after the batch stage: epoch 0
+   crashes after checkpoint 0 is durable, epoch 1 resumes from it and
+   finishes the window.  Stitched, the two epochs are exactly [good_run]
+   plus the Checkpoint record. *)
+let epoch0_records =
+  [
+    Record.Ingress { ts = 1; uarray = 0; stream = 0; seq = 0 };
+    Record.Windowing { ts = 5; data_in = 0; win_no = 0; data_out = 1 };
+    Record.Execution { ts = 10; op = P.to_id P.Sort; inputs = [ 1 ]; outputs = [ 3 ]; hints = [] };
+    Record.Checkpoint { ts = 12; seq = 0; watermark = 0 };
+  ]
+
+let epoch1_records =
+  [
+    Record.Ingress_watermark { ts = 15; id = wm_id; value = 1000 };
+    Record.Execution { ts = 25; op = P.to_id P.Sum; inputs = [ 3; wm_id ]; outputs = [ 5 ]; hints = [] };
+    Record.Egress { ts = 30; uarray = 5; win_no = 0 };
+  ]
+
+let two_epochs () =
+  [
+    (manifest ~epoch:0 ~resumed_from:(-1) ~resume_batch_seq:0, [ batch_at ~from_seq:0 epoch0_records ]);
+    (manifest ~epoch:1 ~resumed_from:0 ~resume_batch_seq:1, [ batch_at ~from_seq:1 epoch1_records ]);
+  ]
+
+let test_epochs_accepts_honest_restart () =
+  let r = V.verify_epochs ~key spec (two_epochs ()) in
+  if not (V.ok r) then
+    Alcotest.failf "expected clean stitch, got: %s" (Format.asprintf "%a" V.pp_report r);
+  Alcotest.(check int) "one window across the restart" 1 r.V.windows_verified
+
+let test_epochs_single_epoch_degenerates () =
+  (* One fresh epoch holding all of [good_run] is just a plain verify. *)
+  let segs =
+    [ (manifest ~epoch:0 ~resumed_from:(-1) ~resume_batch_seq:0, [ batch_at ~from_seq:0 good_run ]) ]
+  in
+  Alcotest.(check bool) "ok" true (V.ok (V.verify_epochs ~key spec segs))
+
+let test_epochs_duplicate_window () =
+  (* Epoch 0 already egressed window 0 before crashing; epoch 1 replays
+     and egresses it again — the same result left the TEE twice. *)
+  let e0 = good_run @ [ Record.Checkpoint { ts = 31; seq = 0; watermark = 1000 } ] in
+  let segs =
+    [
+      (manifest ~epoch:0 ~resumed_from:(-1) ~resume_batch_seq:0, [ batch_at ~from_seq:0 e0 ]);
+      (manifest ~epoch:1 ~resumed_from:0 ~resume_batch_seq:1, [ batch_at ~from_seq:1 epoch1_records ]);
+    ]
+  in
+  let r = V.verify_epochs ~key spec segs in
+  Alcotest.(check bool) "duplicate window flagged" true
+    (List.exists
+       (function
+         | V.Duplicate_window_across_epochs { window = 0; first_epoch = 0; second_epoch = 1 } -> true
+         | _ -> false)
+       r.V.violations)
+
+let test_epochs_missing_epoch () =
+  (* The chain presents epochs 0 and 2 — a whole boot's emissions hide
+     in the hole. *)
+  let segs =
+    [
+      (manifest ~epoch:0 ~resumed_from:(-1) ~resume_batch_seq:0, [ batch_at ~from_seq:0 epoch0_records ]);
+      (manifest ~epoch:2 ~resumed_from:0 ~resume_batch_seq:1, [ batch_at ~from_seq:1 epoch1_records ]);
+    ]
+  in
+  let r = V.verify_epochs ~key spec segs in
+  Alcotest.(check bool) "missing epoch flagged" true
+    (List.exists
+       (function V.Missing_epoch { expected = 1; got = 2 } -> true | _ -> false)
+       r.V.violations)
+
+let test_epochs_rollback_presented_as_fresh () =
+  (* Epoch 0's log attests checkpoint 0, but epoch 1 claims it booted
+     fresh — i.e. the checkpoint store was rolled back (or wiped) and
+     the restart is presented as a new run. *)
+  let segs =
+    [
+      (manifest ~epoch:0 ~resumed_from:(-1) ~resume_batch_seq:0, [ batch_at ~from_seq:0 epoch0_records ]);
+      (manifest ~epoch:1 ~resumed_from:(-1) ~resume_batch_seq:1, [ batch_at ~from_seq:1 epoch1_records ]);
+    ]
+  in
+  let r = V.verify_epochs ~key spec segs in
+  Alcotest.(check bool) "rollback flagged" true
+    (List.exists
+       (function
+         | V.Checkpoint_rollback { epoch = 1; resumed_from = -1; latest = 0 } -> true
+         | _ -> false)
+       r.V.violations)
+
+let test_epochs_stale_checkpoint_rollback () =
+  (* Two checkpoints attested; the restart resumes from the older one. *)
+  let e0 =
+    epoch0_records @ [ Record.Checkpoint { ts = 13; seq = 1; watermark = 0 } ]
+  in
+  let segs =
+    [
+      (manifest ~epoch:0 ~resumed_from:(-1) ~resume_batch_seq:0, [ batch_at ~from_seq:0 e0 ]);
+      (manifest ~epoch:1 ~resumed_from:0 ~resume_batch_seq:1, [ batch_at ~from_seq:1 epoch1_records ]);
+    ]
+  in
+  let r = V.verify_epochs ~key spec segs in
+  Alcotest.(check bool) "stale resume flagged" true
+    (List.exists
+       (function
+         | V.Checkpoint_rollback { epoch = 1; resumed_from = 0; latest = 1 } -> true
+         | _ -> false)
+       r.V.violations)
+
+let test_epochs_tampered_manifest_rejected () =
+  let m, batches = List.hd (two_epochs ()) in
+  let tampered = Bytes.copy m.Epoch.payload in
+  Bytes.set tampered 0 (Char.chr (Char.code (Bytes.get tampered 0) lxor 1));
+  let flagged =
+    try
+      ignore (V.verify_epochs ~key spec [ ({ m with Epoch.payload = tampered }, batches) ]);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "tampered manifest rejected" true flagged
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "attest"
@@ -608,5 +744,15 @@ let () =
           Alcotest.test_case "undeclared loss flagged" `Quick test_verifier_flags_undeclared_loss;
           Alcotest.test_case "gap covers missing egress" `Quick test_verifier_gap_covers_missing_egress;
           Alcotest.test_case "clean run no loss" `Quick test_verifier_clean_run_reports_no_loss;
+        ] );
+      ( "epochs",
+        [
+          Alcotest.test_case "honest restart accepted" `Quick test_epochs_accepts_honest_restart;
+          Alcotest.test_case "single epoch = plain verify" `Quick test_epochs_single_epoch_degenerates;
+          Alcotest.test_case "duplicate window across epochs" `Quick test_epochs_duplicate_window;
+          Alcotest.test_case "missing epoch" `Quick test_epochs_missing_epoch;
+          Alcotest.test_case "rollback presented as fresh" `Quick test_epochs_rollback_presented_as_fresh;
+          Alcotest.test_case "stale checkpoint resume" `Quick test_epochs_stale_checkpoint_rollback;
+          Alcotest.test_case "tampered manifest rejected" `Quick test_epochs_tampered_manifest_rejected;
         ] );
     ]

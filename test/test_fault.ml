@@ -112,6 +112,37 @@ let test_backoff_grows () =
   Alcotest.(check bool) "roughly exponential" true (b3 > 2.0 *. b1);
   Alcotest.(check (float 0.0)) "deterministic" b1 (Fault.backoff_ns plan ~stream:0 ~seq:7 ~attempt:1)
 
+let test_backoff_capped () =
+  (* However deep the retry chain, no single backoff exceeds the cap. *)
+  let plan = { (Fault.uniform ~seed:9L ~rate:0.5 ()) with Fault.backoff_cap_ns = 200_000.0 } in
+  for attempt = 1 to 40 do
+    for seq = 0 to 20 do
+      let b = Fault.backoff_ns plan ~stream:1 ~seq ~attempt in
+      Alcotest.(check bool) "positive" true (b > 0.0);
+      Alcotest.(check bool) "within cap" true (b <= plan.Fault.backoff_cap_ns)
+    done
+  done
+
+let test_backoff_decorrelates_retriers () =
+  (* Concurrent retriers of the same entry draw different jitter, so
+     they do not thunder back through the SMC gate in lockstep. *)
+  let plan = Fault.uniform ~seed:3L ~rate:0.5 () in
+  let b r = Fault.backoff_ns ~retrier:r plan ~stream:0 ~seq:7 ~attempt:1 in
+  Alcotest.(check bool) "retriers differ" true (b 0 <> b 1 && b 1 <> b 2);
+  Alcotest.(check (float 0.0)) "default retrier is retrier 0"
+    (Fault.backoff_ns plan ~stream:0 ~seq:7 ~attempt:1)
+    (b 0)
+
+let test_crash_plan_arming () =
+  Alcotest.(check bool) "none has no crash" true (Fault.crash_after Fault.none = None);
+  let armed = Fault.with_crash Fault.none ~site:Fault.Crash_control ~after_tasks:5 in
+  (match Fault.crash_after armed with
+  | Some (Fault.Crash_control, 5) -> ()
+  | _ -> Alcotest.fail "expected Crash_control after 5 tasks");
+  Alcotest.(check bool) "disarmed again" true
+    (Fault.crash_after (Fault.without_crash armed) = None);
+  Alcotest.(check string) "site names" "crash-reboot" (Fault.site_name Fault.Crash_reboot)
+
 (* --- lossy link ------------------------------------------------------------- *)
 
 let test_lossy_identity_when_none () =
@@ -171,6 +202,9 @@ let () =
           Alcotest.test_case "corrupt byte bounds" `Quick test_corrupt_byte_bounds;
           Alcotest.test_case "smc burst bounded" `Quick test_smc_failures_bounded;
           Alcotest.test_case "backoff grows" `Quick test_backoff_grows;
+          Alcotest.test_case "backoff capped" `Quick test_backoff_capped;
+          Alcotest.test_case "backoff decorrelates retriers" `Quick test_backoff_decorrelates_retriers;
+          Alcotest.test_case "crash plan arming" `Quick test_crash_plan_arming;
         ] );
       ( "lossy-link",
         [
