@@ -981,6 +981,88 @@ let recovery_bench () =
   Printf.printf "  wrote %s\n" (Bench_json.path ~section:"recovery" ())
 
 (* ------------------------------------------------------------------ *)
+(* Fleet: aggregate throughput and output freshness vs fleet size and
+   churn (one permanent kill + attested handoff)                        *)
+
+let fleet_bench () =
+  section "[fleet] partitioned multi-edge ingestion, churn vs clean (WinSum)";
+  let module Fault = Sbt_fault.Fault in
+  let module Fleet = Sbt_fleet.Fleet in
+  let module V = Sbt_attest.Verifier in
+  let epw_f = max 400 (epw / 8) in
+  let batch_f = max 100 (batch / 8) in
+  let cost = { Sbt_tz.Cost_model.default with Sbt_tz.Cost_model.host_scale = 0.0 } in
+  let cfg = Sbt_core.Runtime.Config.make ~cores:4 ~cost () in
+  let bench = B.win_sum ~windows ~events_per_window:epw_f ~batch_events:batch_f () in
+  let frames = B.frames bench in
+  let p99_freshness (r : V.fleet_report) =
+    let delays =
+      List.concat_map
+        (fun (cr : V.chain_report) -> List.map snd cr.V.cr_report.V.delays)
+        r.V.chain_reports
+      |> List.sort compare
+    in
+    match delays with
+    | [] -> 0
+    | ds ->
+        let n = List.length ds in
+        List.nth ds (max 0 (int_of_float (Float.ceil (0.99 *. float_of_int n)) - 1))
+  in
+  let run_one ~m ~churn =
+    let scenario =
+      if churn then
+        Fault.fleet_scenario ~suspect_after:2
+          [ Fault.Kill { node = 1; at_beat = 1; permanent = true } ]
+      else Fault.fleet_none ~suspect_after:2
+    in
+    let t0 = Unix.gettimeofday () in
+    let s = Fleet.run ~scenario ~nodes:m ~batch_events:batch_f cfg bench.B.pipeline frames in
+    let wall = Unix.gettimeofday () -. t0 in
+    (s, wall)
+  in
+  Printf.printf "  %-3s %-6s %-10s %-12s %-9s %-7s %-8s %-9s %s\n" "M" "churn" "events/s"
+    "makespan-ms" "p99-frsh" "deaths" "handoffs" "verified" "identical";
+  List.iter
+    (fun m ->
+      let clean, clean_wall = run_one ~m ~churn:false in
+      let emit tag (s : Fleet.summary) wall identical =
+        let makespan_ms = s.Fleet.makespan_ns /. 1e6 in
+        let rate = float_of_int s.Fleet.total_events /. (s.Fleet.makespan_ns /. 1e9) in
+        let p99 = p99_freshness s.Fleet.report in
+        let verified = V.fleet_ok s.Fleet.report in
+        ignore
+          (Bench_json.append ~section:"fleet"
+             [
+               ("nodes", J.num_of_int m);
+               ("churn", J.Bool (tag = "kill"));
+               ("events", J.num_of_int s.Fleet.total_events);
+               ("windows", J.num_of_int s.Fleet.windows);
+               ("agg_events_per_s", J.Num rate);
+               ("makespan_ms", J.Num makespan_ms);
+               ("wall_ms", J.Num (wall *. 1e3));
+               ("p99_freshness_ticks", J.num_of_int p99);
+               ("uplink_bytes", J.num_of_int s.Fleet.uplink_bytes);
+               ("deaths", J.num_of_int s.Fleet.deaths);
+               ("handoffs", J.num_of_int (List.length s.Fleet.handoffs));
+               ("replayed_frames", J.num_of_int s.Fleet.replayed_frames);
+               ("verified", J.Bool verified);
+               ("identical_to_clean", J.Bool identical);
+             ]);
+        Printf.printf "  %-3d %-6s %-10.0f %-12.2f %-9d %-7d %-8d %-9b %b\n" m tag rate
+          makespan_ms p99 s.Fleet.deaths (List.length s.Fleet.handoffs) verified identical
+      in
+      emit "none" clean clean_wall true;
+      (* one permanent kill needs a survivor to adopt the partition *)
+      if m > 1 then begin
+        let churned, churned_wall = run_one ~m ~churn:true in
+        emit "kill" churned churned_wall (churned.Fleet.merged = clean.Fleet.merged)
+      end)
+    [ 1; 2; 4; 8 ];
+  Printf.printf
+    "  (identical = churned fleet's merged egress matches the un-churned run byte-for-byte)\n";
+  Printf.printf "  wrote %s\n" (Bench_json.path ~section:"fleet" ())
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1000,6 +1082,7 @@ let sections =
     ("opaque-refs", opaque_refs);
     ("resilience", resilience);
     ("recovery", recovery_bench);
+    ("fleet", fleet_bench);
   ]
 
 let () =

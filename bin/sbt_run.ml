@@ -245,6 +245,119 @@ let resilience name version windows events_per_window batch fault_rates fault_se
          sweep (previously this path always exited 0). *)
       if not !all_verified then exit 2
 
+(* --- fleet under churn ------------------------------------------------------
+
+   Drive M simulated edge nodes over one key-partitioned workload with a
+   deterministic churn scenario: --kill halts an edge at a checkpoint
+   boundary (transient crashes reboot in place; permanent ones are
+   declared dead after --suspect-after missed beats and their key range
+   is handed off to a survivor under a signed manifest), --uplink-down
+   silences heartbeats without stopping work, --straggle slows a node.
+   The merged egress of a churned fleet is byte-identical to the
+   un-churned run (cmp the --results-out files).  Exit 2 = the fleet
+   verifier found violations, exit 3 = a death found no survivor. *)
+let fleet name version windows events_per_window batch m partition_by kills uplinks stragglers
+    suspect_after recover_after rogue omit_manifests ckpt_every deterministic verbose audit_out
+    results_out =
+  match B.by_name name with
+  | None ->
+      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|filter|power)\n" name;
+      exit 1
+  | Some mk ->
+      let module Runtime = Sbt_core.Runtime in
+      let module V = Sbt_attest.Verifier in
+      let module Fleet = Sbt_fleet.Fleet in
+      if partition_by <> "key" then begin
+        Printf.eprintf "unsupported --partition-by %S (only: key)\n" partition_by;
+        exit 1
+      end;
+      (* partitioning happens at the source, before wire protection *)
+      let bench = mk ~windows ~events_per_window ~batch_events:batch ~encrypted:false () in
+      let cost =
+        if deterministic then
+          let base =
+            match version with
+            | D.Insecure -> Sbt_tz.Cost_model.free
+            | D.Full | D.Clear_ingress | D.Io_via_os -> Sbt_tz.Cost_model.default
+          in
+          Some { base with Sbt_tz.Cost_model.host_scale = 0.0 }
+        else None
+      in
+      let cfg = Sbt_core.Runtime.Config.make ~version ?cost () in
+      let events =
+        List.map (fun (node, at_beat, permanent) -> Fault.Kill { node; at_beat; permanent }) kills
+        @ List.map (fun (node, at_beat, beats) -> Fault.Uplink_partition { node; at_beat; beats })
+            uplinks
+        @ List.map (fun (node, factor) -> Fault.Straggle { node; factor }) stragglers
+      in
+      let scenario =
+        try Fault.fleet_scenario ~recover_after ~suspect_after events
+        with Invalid_argument msg ->
+          Printf.eprintf "bad churn scenario: %s\n" msg;
+          exit 1
+      in
+      let frames = B.frames bench in
+      match
+        Fleet.run ~ckpt_every ~rogue_handoff:rogue ~scenario ~nodes:m ~batch_events:batch cfg
+          bench.B.pipeline frames
+      with
+      | exception Fleet.No_survivor { partition; beat } ->
+          Printf.eprintf
+            "partition %d lost its edge at beat %d and no eligible survivor remains\n" partition
+            beat;
+          exit 3
+      | s ->
+          let throughput =
+            float_of_int s.Fleet.total_events /. Float.max 1e-9 (s.Fleet.makespan_ns /. 1e9)
+          in
+          Printf.printf
+            "fleet: %d edges | %d windows x %d partitions | %d events | makespan %.2f ms | %.0f events/s\n"
+            s.Fleet.nodes s.Fleet.windows s.Fleet.nodes s.Fleet.total_events
+            (s.Fleet.makespan_ns /. 1e6) throughput;
+          Printf.printf
+            "churn: %d death(s), %d handoff(s) sealed, %d suspicion(s) raised / %d cleared, %d \
+             fenced heartbeat(s), %d frame(s) re-ingested\n"
+            s.Fleet.deaths
+            (List.length s.Fleet.handoffs)
+            s.Fleet.suspicions_raised s.Fleet.suspicions_cleared s.Fleet.fenced_heartbeats
+            s.Fleet.replayed_frames;
+          List.iter
+            (fun ((mh : Sbt_attest.Handoff.manifest), _) ->
+              Printf.printf
+                "handoff: partition %d, edge %d (epoch %d) -> edge %d, resume ckpt %d / cursor %d\n"
+                mh.Sbt_attest.Handoff.partition mh.Sbt_attest.Handoff.donor
+                mh.Sbt_attest.Handoff.donor_epoch mh.Sbt_attest.Handoff.recipient
+                mh.Sbt_attest.Handoff.resume_ckpt mh.Sbt_attest.Handoff.resume_cursor)
+            s.Fleet.handoffs;
+          (* durable outputs land before the verdict decides the exit code *)
+          (match audit_out with
+          | Some path ->
+              let manifests =
+                if omit_manifests then [] else List.map snd s.Fleet.handoffs
+              in
+              Sbt_io.write_fleet_audit path
+                (Sbt_core.Pipeline.verifier_spec bench.B.pipeline)
+                ~partitions:s.Fleet.nodes ~windows:s.Fleet.windows s.Fleet.edges manifests;
+              Printf.printf "fleet audit bundle written to %s%s (verify with sbt_verify)\n" path
+                (if omit_manifests && s.Fleet.handoffs <> [] then
+                   Printf.sprintf " with %d handoff manifest(s) DELIBERATELY OMITTED"
+                     (List.length s.Fleet.handoffs)
+                 else "")
+          | None -> ());
+          (match results_out with
+          | Some path ->
+              Sbt_io.write_results path
+                (List.map (fun (_, p, sr) -> (p, sr)) s.Fleet.merged);
+              Printf.printf "merged sealed results written to %s\n" path
+          | None -> ());
+          let r = s.Fleet.report in
+          if verbose then Format.printf "fleet verifier: %a" V.pp_fleet_report r
+          else
+            Printf.printf "fleet verifier: %s (%d/%d partitions, %d handoff(s) verified)\n"
+              (if V.fleet_ok r then "ok" else "VIOLATIONS")
+              r.V.partitions_present r.V.partitions_expected r.V.handoffs_verified;
+          if not (V.fleet_ok r) then exit 2
+
 open Cmdliner
 
 let name_arg =
@@ -398,10 +511,139 @@ let recover_arg =
            a crash restart from the latest valid checkpoint, replay the unacknowledged frame \
            suffix, and verify the stitched multi-epoch audit log (exit 2 on any violation)")
 
+(* --- fleet arguments -------------------------------------------------------- *)
+
+let fleet_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fleet" ]
+        ~doc:
+          "Run $(docv) simulated edge nodes over the workload key-partitioned $(docv) ways, \
+           merge their egress cloud-side, and judge the fleet with the fleet-scope verifier \
+           (exit 2 on violations, exit 3 if a death finds no survivor)"
+        ~docv:"M")
+
+let partition_by_arg =
+  Arg.(
+    value & opt string "key"
+    & info [ "partition-by" ] ~doc:"Partitioning dimension for --fleet (only: $(b,key))")
+
+let kill_conv =
+  let parse s =
+    let fail () =
+      Error (`Msg (Printf.sprintf "bad kill %S (expected NODE@BEAT or NODE@BEAT:permanent)" s))
+    in
+    match String.split_on_char '@' s with
+    | [ n; rest ] -> (
+        let node = int_of_string_opt n in
+        match (node, String.split_on_char ':' rest) with
+        | Some node, [ b ] -> (
+            match int_of_string_opt b with
+            | Some at_beat -> Ok (node, at_beat, false)
+            | None -> fail ())
+        | Some node, [ b; "permanent" ] -> (
+            match int_of_string_opt b with
+            | Some at_beat -> Ok (node, at_beat, true)
+            | None -> fail ())
+        | _ -> fail ())
+    | _ -> fail ()
+  in
+  let print fmt (n, b, p) =
+    Format.fprintf fmt "%d@%d%s" n b (if p then ":permanent" else "")
+  in
+  Arg.conv (parse, print) ~docv:"NODE@BEAT[:permanent]"
+
+let kills_arg =
+  Arg.(
+    value & opt_all kill_conv []
+    & info [ "kill" ]
+        ~doc:
+          "Kill edge NODE after it closes window BEAT (repeatable).  The checkpoint for that \
+           beat is durable; in-TEE state is lost.  Transient kills reboot --recover-after \
+           beats later; $(b,:permanent) kills are declared dead after --suspect-after missed \
+           beats and the node's key range is handed off to a survivor under a signed manifest")
+
+let uplink_conv =
+  let parse s =
+    match String.split_on_char '@' s with
+    | [ n; rest ] -> (
+        match (int_of_string_opt n, String.split_on_char ':' rest) with
+        | Some node, [ b; d ] -> (
+            match (int_of_string_opt b, int_of_string_opt d) with
+            | Some at_beat, Some beats -> Ok (node, at_beat, beats)
+            | _ -> Error (`Msg (Printf.sprintf "bad uplink outage %S" s)))
+        | _ -> Error (`Msg (Printf.sprintf "bad uplink outage %S (expected NODE@BEAT:BEATS)" s)))
+    | _ -> Error (`Msg (Printf.sprintf "bad uplink outage %S (expected NODE@BEAT:BEATS)" s))
+  in
+  let print fmt (n, b, d) = Format.fprintf fmt "%d@%d:%d" n b d in
+  Arg.conv (parse, print) ~docv:"NODE@BEAT:BEATS"
+
+let uplinks_arg =
+  Arg.(
+    value & opt_all uplink_conv []
+    & info [ "uplink-down" ]
+        ~doc:
+          "Silence edge NODE's heartbeats for BEATS beats starting at BEAT (repeatable); the \
+           node keeps working and reconnects with backoff.  Long enough outages are declared \
+           deaths")
+
+let straggle_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ n; f ] -> (
+        match (int_of_string_opt n, float_of_string_opt f) with
+        | Some node, Some factor when factor >= 1.0 -> Ok (node, factor)
+        | _ -> Error (`Msg (Printf.sprintf "bad straggler %S (expected NODE:FACTOR>=1)" s)))
+    | _ -> Error (`Msg (Printf.sprintf "bad straggler %S (expected NODE:FACTOR)" s))
+  in
+  let print fmt (n, f) = Format.fprintf fmt "%d:%g" n f in
+  Arg.conv (parse, print) ~docv:"NODE:FACTOR"
+
+let stragglers_arg =
+  Arg.(
+    value & opt_all straggle_conv []
+    & info [ "straggle" ]
+        ~doc:
+          "Run edge NODE FACTOR times slower (repeatable); a straggler too slow for \
+           --suspect-after is declared dead and handed off")
+
+let suspect_after_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "suspect-after" ]
+        ~doc:"Missed beats before the failure detector declares an edge dead")
+
+let recover_after_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "recover-after" ] ~doc:"Beats a transiently-killed edge stays down before rebooting")
+
+let rogue_arg =
+  Arg.(
+    value & flag
+    & info [ "rogue-handoff" ]
+        ~doc:
+          "Adversarial failover demo: the survivor re-runs the dead edge's partition from \
+           scratch and discards the handoff manifest — the fleet verifier must flag the \
+           unattested handoff and the cross-edge duplicates (exit 2)")
+
+let omit_manifests_arg =
+  Arg.(
+    value & flag
+    & info [ "omit-handoff-manifests" ]
+        ~doc:
+          "Strip the sealed handoff manifests from the --audit-out bundle (the run itself \
+           is honest) — sbt_verify must then refuse the cross-edge stitch (exit 2)")
+
 let dispatch name version windows epw batch cores_list target_ms hints verbose frames_in audit_out
     trace_out exec_domains exec_mode deterministic exec_time_scale results_out resil fault_rates
-    fault_seed ckpt_every max_restarts crash_at crash_site recover =
-  if resil then resilience name version windows epw batch fault_rates fault_seed
+    fault_seed ckpt_every max_restarts crash_at crash_site recover fleet_m partition_by kills
+    uplinks stragglers suspect_after recover_after rogue omit_manifests =
+  if fleet_m > 0 then
+    fleet name version windows epw batch fleet_m partition_by kills uplinks stragglers
+      suspect_after recover_after rogue omit_manifests ckpt_every deterministic verbose audit_out
+      results_out
+  else if resil then resilience name version windows epw batch fault_rates fault_seed
   else if recover || crash_at <> None then
     recovery name version windows epw batch ckpt_every max_restarts crash_at crash_site recover
       deterministic verbose audit_out results_out
@@ -418,6 +660,8 @@ let cmd =
       $ target_arg $ hints_arg $ verbose_arg $ frames_arg $ audit_arg $ trace_arg
       $ exec_arg $ exec_mode_arg $ deterministic_arg $ exec_time_scale_arg $ results_out_arg
       $ resilience_arg $ fault_rates_arg $ fault_seed_arg $ ckpt_every_arg $ max_restarts_arg
-      $ crash_at_arg $ crash_site_arg $ recover_arg)
+      $ crash_at_arg $ crash_site_arg $ recover_arg $ fleet_arg $ partition_by_arg $ kills_arg
+      $ uplinks_arg $ stragglers_arg $ suspect_after_arg $ recover_after_arg $ rogue_arg
+      $ omit_manifests_arg)
 
 let () = exit (Cmd.eval cmd)

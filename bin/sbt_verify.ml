@@ -1,13 +1,15 @@
 (* sbt_verify: the cloud consumer's side of continuous attestation.
-   Reads an audit file written by `sbt_run --audit-out`, authenticates
-   every signed batch, replays the records against the embedded pipeline
-   declaration, and prints the verdict.  Exit code 0 = verified. *)
+   Reads an audit file written by `sbt_run --audit-out` — a single-edge
+   log (SBTA1) or a fleet bundle (SBTF1, M edges + sealed handoff
+   manifests), dispatching on the magic — authenticates every signed
+   artifact, replays the records against the embedded pipeline
+   declaration, and prints the verdict.  Exit codes: 0 = verified,
+   2 = violations, 3 = an artifact failed authentication. *)
 
 module Log = Sbt_attest.Log
 module V = Sbt_attest.Verifier
 
-let run path key_string freshness_us =
-  let key = Bytes.of_string key_string in
+let verify_single path key freshness_us =
   let spec, batches = Sbt_io.read_audit path in
   let spec =
     match freshness_us with None -> spec | Some b -> { spec with V.freshness_bound = Some b }
@@ -25,6 +27,37 @@ let run path key_string freshness_us =
   let report = V.verify spec records in
   Format.printf "%a" V.pp_report report;
   if not (V.ok report) then exit 2
+
+let verify_fleet path key freshness_us =
+  let spec, partitions, windows, edges, handoffs = Sbt_io.read_fleet_audit path in
+  let spec =
+    match freshness_us with None -> spec | Some b -> { spec with V.freshness_bound = Some b }
+  in
+  let batches =
+    List.fold_left
+      (fun acc (e : V.edge_chains) ->
+        List.fold_left (fun acc (_, eps) -> List.fold_left (fun a (_, bs) -> a + List.length bs) acc eps) acc e.V.chains)
+      0 edges
+  in
+  Printf.printf "fleet bundle: %d edges, %d partitions, %d windows, %d audit batches, %d handoff manifest(s)\n"
+    (List.length edges) partitions windows batches (List.length handoffs);
+  let report =
+    try V.verify_fleet ~key spec ~partitions ~windows ~edges ~handoffs
+    with Invalid_argument msg ->
+      Printf.eprintf "bundle rejected: %s\n" msg;
+      exit 3
+  in
+  Format.printf "%a" V.pp_fleet_report report;
+  if not (V.fleet_ok report) then exit 2
+
+let run path key_string freshness_us =
+  let key = Bytes.of_string key_string in
+  match Sbt_io.file_magic path with
+  | "SBTF1" -> verify_fleet path key freshness_us
+  | "SBTA1" -> verify_single path key freshness_us
+  | m ->
+      Printf.eprintf "not an audit file (magic %S)\n" m;
+      exit 1
 
 open Cmdliner
 

@@ -1,0 +1,78 @@
+(* Attested partition-handoff manifests.
+
+   When the fleet's failure detector declares an edge permanently dead,
+   the dead node's key partition is re-assigned to a survivor, which
+   resumes from the partition's newest durable checkpoint and replay
+   cursor.  The manifest — sealed under the device key, like an epoch
+   manifest — is the normal world's signed claim that this particular
+   cross-edge stitch was authorized: it names the partition, the donor
+   edge and the last epoch it executed, the recipient edge, and the
+   exact resume coordinates (checkpoint seq, replay frame cursor, audit
+   batch seq) the recipient's first epoch must carry.  The fleet
+   verifier refuses to stitch donor and recipient chains without one,
+   which is what turns a silent re-ingestion into a visible cross-edge
+   duplicate violation. *)
+
+let magic = "SBTH1"
+
+type manifest = {
+  partition : int;
+  donor : int;
+  donor_epoch : int;
+  recipient : int;
+  resume_ckpt : int;
+  resume_cursor : int;
+  resume_batch_seq : int;
+}
+
+type sealed = { payload : bytes; tag : bytes }
+
+let fields = 7
+
+let i64_to buf v =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.unsafe_chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
+  done
+
+let i64_of b off =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get b (off + i))))
+  done;
+  !v
+
+let seal ~key m =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf magic;
+  List.iter
+    (fun v -> i64_to buf (Int64.of_int v))
+    [
+      m.partition;
+      m.donor;
+      m.donor_epoch;
+      m.recipient;
+      m.resume_ckpt;
+      m.resume_cursor;
+      m.resume_batch_seq;
+    ];
+  let payload = Buffer.to_bytes buf in
+  { payload; tag = Sbt_crypto.Hmac.mac ~key payload }
+
+let open_ ~key s =
+  if not (Sbt_crypto.Hmac.verify ~key ~tag:s.tag s.payload) then
+    invalid_arg "Handoff.open_: MAC verification failed";
+  if
+    Bytes.length s.payload <> String.length magic + (8 * fields)
+    || Bytes.sub_string s.payload 0 (String.length magic) <> magic
+  then invalid_arg "Handoff.open_: malformed manifest";
+  let base = String.length magic in
+  let f i = Int64.to_int (i64_of s.payload (base + (8 * i))) in
+  {
+    partition = f 0;
+    donor = f 1;
+    donor_epoch = f 2;
+    recipient = f 3;
+    resume_ckpt = f 4;
+    resume_cursor = f 5;
+    resume_batch_seq = f 6;
+  }

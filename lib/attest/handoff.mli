@@ -1,0 +1,34 @@
+(** Attested partition-handoff manifests for cross-edge failover.
+
+    A handoff moves a key partition from a dead edge (the donor) to a
+    survivor (the recipient), which resumes from the partition's newest
+    durable checkpoint.  The manifest is the signed stitching authority
+    the fleet verifier demands before it will treat donor and recipient
+    epoch chains as one: it binds the partition, the donor and its last
+    executed epoch, the recipient, and the resume coordinates the
+    recipient's first epoch manifest must repeat ({!Verifier.verify_fleet}
+    cross-checks all of them against both logs).  Without a valid
+    manifest the chains are judged independently, and any overlap in
+    egressed windows surfaces as a cross-edge duplicate violation — a
+    re-ingestion cannot hide by discarding its paperwork. *)
+
+type manifest = {
+  partition : int;  (** the key partition being handed off *)
+  donor : int;  (** edge declared dead *)
+  donor_epoch : int;
+      (** last boot epoch the donor executed; the recipient's first
+          epoch must be [donor_epoch + 1] *)
+  recipient : int;  (** surviving edge adopting the partition *)
+  resume_ckpt : int;  (** checkpoint sequence the recipient resumes from *)
+  resume_cursor : int;  (** replay-buffer frame index re-ingestion starts at *)
+  resume_batch_seq : int;
+      (** audit-batch sequence the recipient's epoch resumes at — must
+          equal the recipient's first epoch manifest's field *)
+}
+
+type sealed = { payload : bytes; tag : bytes }
+
+val seal : key:bytes -> manifest -> sealed
+
+val open_ : key:bytes -> sealed -> manifest
+(** Raises [Invalid_argument] on a bad MAC or malformed payload. *)

@@ -23,6 +23,10 @@ type violation =
   | Missing_epoch of { expected : int; got : int }
   | Checkpoint_rollback of { epoch : int; resumed_from : int; latest : int }
   | Duplicate_window_across_epochs of { window : int; first_epoch : int; second_epoch : int }
+  | Fleet_partition_loss of { partition : int; missing_windows : int; total_windows : int }
+  | Cross_edge_duplicate of { partition : int; window : int; first_edge : int; second_edge : int }
+  | Handoff_unattested of { partition : int; donor : int; recipient : int }
+  | Handoff_mismatch of { partition : int; donor : int; recipient : int; reason : string }
 
 let pp_violation fmt = function
   | Unknown_uarray { record_index; id } ->
@@ -58,6 +62,19 @@ let pp_violation fmt = function
   | Duplicate_window_across_epochs { window; first_epoch; second_epoch } ->
       Format.fprintf fmt "window %d emitted in both epoch %d and epoch %d" window first_epoch
         second_epoch
+  | Fleet_partition_loss { partition; missing_windows; total_windows } ->
+      Format.fprintf fmt "partition %d: %d of %d window(s) egressed nowhere with no declared gap"
+        partition missing_windows total_windows
+  | Cross_edge_duplicate { partition; window; first_edge; second_edge } ->
+      Format.fprintf fmt "partition %d window %d egressed by both edge %d and edge %d" partition
+        window first_edge second_edge
+  | Handoff_unattested { partition; donor; recipient } ->
+      Format.fprintf fmt
+        "partition %d executed on edge %d then edge %d with no handoff manifest linking them"
+        partition donor recipient
+  | Handoff_mismatch { partition; donor; recipient; reason } ->
+      Format.fprintf fmt "partition %d handoff edge %d -> edge %d invalid: %s" partition donor
+        recipient reason
 
 type report = {
   violations : violation list;
@@ -490,3 +507,271 @@ let verify_epochs ~key spec segments =
   let stitched = List.concat_map snd (Array.to_list retained_records) in
   let base = verify spec stitched in
   { base with violations = List.rev !epoch_violations @ base.violations }
+
+(* --- fleet-scope verification ------------------------------------------
+
+   The fleet dimension adds one question per partition — "whose epoch
+   chains may be stitched into one?" — and two fleet-wide invariants:
+   every partition of every window egressed exactly once, somewhere.
+
+   Stitching authority is the sealed handoff manifest: donor and
+   recipient fragments are joined into one chain (then judged by
+   [verify_epochs], independently per chain so one node's violation
+   cannot taint another's verdict) only where a manifest names that
+   exact donor epoch, recipient, and resume coordinates, all
+   cross-checked against both logs.  Fragments left unlinked are judged
+   alone — a recipient chain starting past epoch 0 then fails chain
+   contiguity on its own — and any window egressed by two unlinked
+   chains is a cross-edge duplicate: precisely the double-ingestion an
+   omitted manifest would otherwise hide. *)
+
+type edge_chains = {
+  edge : int;
+  chains : (int * (Epoch.sealed * Log.batch list) list) list;
+}
+
+type chain_report = { cr_partition : int; cr_edges : int list; cr_report : report }
+
+type fleet_report = {
+  fleet_violations : violation list;
+  chain_reports : chain_report list;
+  partitions_expected : int;
+  partitions_present : int;
+  fleet_windows : int;
+  handoffs_verified : int;
+}
+
+let fleet_ok fr =
+  fr.fleet_violations = [] && List.for_all (fun c -> ok c.cr_report) fr.chain_reports
+
+(* One fragment: the contiguous run of boot epochs a single edge
+   executed for one partition. *)
+type fragment = {
+  f_edge : int;
+  f_segs : (Epoch.sealed * Log.batch list) list;
+  f_manifests : Epoch.manifest list; (* opened, epoch-ascending *)
+  f_first : int;
+  f_last : int;
+}
+
+(* A chain under assembly: fragments joined by valid handoff manifests. *)
+type group = {
+  mutable g_frags : fragment list; (* chain order, oldest first *)
+  mutable g_last : int; (* newest epoch in the chain *)
+  mutable g_last_edge : int;
+}
+
+let records_of_segs ~key segs =
+  List.concat_map (fun (_, batches) -> List.concat_map (fun b -> Log.open_batch ~key b) batches) segs
+
+let verify_fleet ~key spec ~partitions ~windows ~edges ~handoffs =
+  if partitions <= 0 then invalid_arg "Verifier.verify_fleet: partitions must be positive";
+  let fleet_violations = ref [] in
+  let violate v = fleet_violations := v :: !fleet_violations in
+  let handoffs = List.map (fun s -> Handoff.open_ ~key s) handoffs in
+  let handoffs_verified = ref 0 in
+  let chain_reports = ref [] in
+  let partitions_present = ref 0 in
+  for p = 0 to partitions - 1 do
+    let frags =
+      List.concat_map
+        (fun ec ->
+          List.filter_map
+            (fun (part, segs) ->
+              if part <> p || segs = [] then None
+              else begin
+                let ms =
+                  List.map (fun (s, _) -> Epoch.open_ ~key s) segs
+                  |> List.sort (fun a b -> compare a.Epoch.epoch b.Epoch.epoch)
+                in
+                let f_first = (List.hd ms).Epoch.epoch in
+                let f_last = (List.hd (List.rev ms)).Epoch.epoch in
+                Some { f_edge = ec.edge; f_segs = segs; f_manifests = ms; f_first; f_last }
+              end)
+            ec.chains)
+        edges
+      |> List.sort (fun a b -> compare (a.f_first, a.f_edge) (b.f_first, b.f_edge))
+    in
+    if frags = [] then
+      violate
+        (Fleet_partition_loss { partition = p; missing_windows = windows; total_windows = windows })
+    else begin
+      incr partitions_present;
+      (* Assemble chains: a fragment continues the open chain only under
+         a valid manifest; otherwise it opens a chain of its own. *)
+      let groups = ref [] in (* newest group first *)
+      List.iter
+        (fun f ->
+          let continued =
+            match !groups with
+            | g :: _ when f.f_first = g.g_last + 1 -> (
+                match
+                  List.find_opt
+                    (fun (h : Handoff.manifest) ->
+                      h.Handoff.partition = p && h.Handoff.donor_epoch = g.g_last
+                      && h.Handoff.recipient = f.f_edge)
+                    handoffs
+                with
+                | Some h ->
+                    let first_m = List.hd f.f_manifests in
+                    let problems = ref [] in
+                    if h.Handoff.donor <> g.g_last_edge then
+                      problems := "manifest names a different donor edge" :: !problems;
+                    if first_m.Epoch.resumed_from <> h.Handoff.resume_ckpt then
+                      problems := "recipient resumed from a different checkpoint" :: !problems;
+                    if first_m.Epoch.resume_batch_seq <> h.Handoff.resume_batch_seq then
+                      problems := "recipient resumed at a different batch seq" :: !problems;
+                    let donor_records =
+                      records_of_segs ~key (List.concat_map (fun fr -> fr.f_segs) g.g_frags)
+                    in
+                    if
+                      not
+                        (List.exists
+                           (function
+                             | Record.Checkpoint { seq; _ } -> seq = h.Handoff.resume_ckpt
+                             | _ -> false)
+                           donor_records)
+                    then problems := "donor log attests no such checkpoint" :: !problems;
+                    if !problems = [] then begin
+                      incr handoffs_verified;
+                      true
+                    end
+                    else begin
+                      violate
+                        (Handoff_mismatch
+                           {
+                             partition = p;
+                             donor = h.Handoff.donor;
+                             recipient = f.f_edge;
+                             reason = String.concat "; " (List.rev !problems);
+                           });
+                      (* The stitch claim exists; link so the chain is
+                         judged as the presentation intends — the
+                         mismatch violation already fails the fleet. *)
+                      true
+                    end
+                | None -> false)
+            | _ -> false
+          in
+          match !groups with
+          | g :: _ when continued ->
+              g.g_frags <- g.g_frags @ [ f ];
+              g.g_last <- f.f_last;
+              g.g_last_edge <- f.f_edge
+          | g :: _ ->
+              (* A second chain for the same partition: dual execution
+                 with no (valid) stitching authority. *)
+              (match
+                 List.find_opt
+                   (fun (h : Handoff.manifest) ->
+                     h.Handoff.partition = p && h.Handoff.recipient = f.f_edge)
+                   handoffs
+               with
+              | Some h ->
+                  violate
+                    (Handoff_mismatch
+                       {
+                         partition = p;
+                         donor = h.Handoff.donor;
+                         recipient = f.f_edge;
+                         reason = "recipient chain does not resume at donor_epoch + 1";
+                       })
+              | None ->
+                  violate
+                    (Handoff_unattested
+                       { partition = p; donor = g.g_last_edge; recipient = f.f_edge }));
+              groups :=
+                { g_frags = [ f ]; g_last = f.f_last; g_last_edge = f.f_edge } :: !groups
+          | [] ->
+              groups :=
+                { g_frags = [ f ]; g_last = f.f_last; g_last_edge = f.f_edge } :: !groups)
+        frags;
+      let groups = List.rev !groups in
+      (* Judge each chain independently. *)
+      let degraded = Hashtbl.create 8 in
+      List.iter
+        (fun g ->
+          let segs = List.concat_map (fun fr -> fr.f_segs) g.g_frags in
+          let r = verify_epochs ~key spec segs in
+          List.iter (fun w -> Hashtbl.replace degraded w ()) r.degraded_windows;
+          chain_reports :=
+            {
+              cr_partition = p;
+              cr_edges = List.map (fun fr -> fr.f_edge) g.g_frags;
+              cr_report = r;
+            }
+            :: !chain_reports)
+        groups;
+      (* Fleet-scope exactly-once: each window of the partition must
+         leave some edge exactly once across chains.  Within one chain,
+         [verify_epochs] has already resolved checkpoint-tail replays by
+         manifest-authorized trimming; across chains there is no such
+         authority, so raw overlap is a duplicate. *)
+      let emitted : (int, int) Hashtbl.t = Hashtbl.create 32 in (* window -> edge *)
+      List.iter
+        (fun g ->
+          let seen_here = Hashtbl.create 32 in
+          List.iter
+            (fun fr ->
+              List.iter
+                (function
+                  | Record.Egress { win_no; _ } when not (Hashtbl.mem seen_here win_no) -> (
+                      Hashtbl.replace seen_here win_no ();
+                      match Hashtbl.find_opt emitted win_no with
+                      | Some e0 ->
+                          violate
+                            (Cross_edge_duplicate
+                               {
+                                 partition = p;
+                                 window = win_no;
+                                 first_edge = e0;
+                                 second_edge = fr.f_edge;
+                               })
+                      | None -> Hashtbl.replace emitted win_no fr.f_edge)
+                  | _ -> ())
+                (records_of_segs ~key fr.f_segs))
+            g.g_frags)
+        groups;
+      (* Fleet-scope completeness: windows egressed nowhere and covered
+         by no declared gap are undeclared loss at fleet scope. *)
+      let missing = ref 0 in
+      for w = 0 to windows - 1 do
+        if not (Hashtbl.mem emitted w) && not (Hashtbl.mem degraded w) then incr missing
+      done;
+      if !missing > 0 then
+        violate
+          (Fleet_partition_loss
+             { partition = p; missing_windows = !missing; total_windows = windows })
+    end
+  done;
+  {
+    fleet_violations = List.rev !fleet_violations;
+    chain_reports = List.rev !chain_reports;
+    partitions_expected = partitions;
+    partitions_present = !partitions_present;
+    fleet_windows = windows;
+    handoffs_verified = !handoffs_verified;
+  }
+
+let pp_fleet_report fmt fr =
+  Format.fprintf fmt "fleet: %d/%d partition(s) present over %d window(s), %d handoff(s) verified@."
+    fr.partitions_present fr.partitions_expected fr.fleet_windows fr.handoffs_verified;
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "partition %d via edge(s) %s: %s@." c.cr_partition
+        (String.concat "->" (List.map string_of_int c.cr_edges))
+        (if ok c.cr_report then "OK"
+         else Printf.sprintf "%d violation(s)" (List.length c.cr_report.violations));
+      List.iter
+        (fun v -> Format.fprintf fmt "  - %a@." pp_violation v)
+        c.cr_report.violations)
+    fr.chain_reports;
+  if fr.fleet_violations = [] then
+    (if List.for_all (fun c -> ok c.cr_report) fr.chain_reports then
+       Format.fprintf fmt "fleet verdict: OK@."
+     else Format.fprintf fmt "fleet verdict: CHAIN VIOLATION(S)@.")
+  else begin
+    Format.fprintf fmt "fleet verdict: %d FLEET VIOLATION(S)@."
+      (List.length fr.fleet_violations);
+    List.iter (fun v -> Format.fprintf fmt "  - %a@." pp_violation v) fr.fleet_violations
+  end

@@ -62,6 +62,23 @@ type violation =
   | Duplicate_window_across_epochs of { window : int; first_epoch : int; second_epoch : int }
       (** the same window result left the TEE in two different boot
           epochs — exactly-once across the restart gap is broken *)
+  | Fleet_partition_loss of { partition : int; missing_windows : int; total_windows : int }
+      (** {!Undeclared_loss} at fleet scope: windows of a key partition
+          egressed from no edge and were covered by no declared gap — a
+          partition silently dropped (wholly, when
+          [missing_windows = total_windows]) *)
+  | Cross_edge_duplicate of { partition : int; window : int; first_edge : int; second_edge : int }
+      (** a partition's window left the TEE on two edges whose chains no
+          handoff manifest links — the double-ingestion a manifest-less
+          failover hides *)
+  | Handoff_unattested of { partition : int; donor : int; recipient : int }
+      (** a partition's execution moved between edges with no handoff
+          manifest presenting the stitching authority *)
+  | Handoff_mismatch of { partition : int; donor : int; recipient : int; reason : string }
+      (** a handoff manifest exists but contradicts the donor or
+          recipient log (wrong donor edge, resume coordinates the
+          recipient's first epoch does not carry, or a resume checkpoint
+          the donor log never attested) *)
 
 val pp_violation : Format.formatter -> violation -> unit
 
@@ -106,3 +123,61 @@ val verify_epochs : key:bytes -> spec -> (Epoch.sealed * Log.batch list) list ->
     Raises [Invalid_argument] if a manifest or batch fails its MAC. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {2 Fleet-scope verification}
+
+    [verify_fleet] lifts {!verify_epochs} to M edges over P key
+    partitions: each partition's epoch chains are stitched across edges
+    only where a sealed {!Handoff} manifest authorizes the link (and its
+    coordinates survive cross-checking against both logs), every
+    resulting chain is judged by {!verify_epochs} {e independently} — one
+    node's violation never taints another's verdict — and two fleet-wide
+    invariants are swept on top: every partition of every window egressed
+    exactly once somewhere ({!Fleet_partition_loss},
+    {!Cross_edge_duplicate}), and no cross-edge execution moved without
+    its paperwork ({!Handoff_unattested}, {!Handoff_mismatch}). *)
+
+type edge_chains = {
+  edge : int;  (** edge node id *)
+  chains : (int * (Epoch.sealed * Log.batch list) list) list;
+      (** per partition this edge executed: the contiguous run of boot
+          epochs it ran, each with its audit slice (epoch order free —
+          manifests carry the ordering) *)
+}
+
+type chain_report = {
+  cr_partition : int;
+  cr_edges : int list;  (** executing edges, chain order *)
+  cr_report : report;  (** the chain's independent {!verify_epochs} verdict *)
+}
+
+type fleet_report = {
+  fleet_violations : violation list;  (** fleet-scope only *)
+  chain_reports : chain_report list;  (** per stitched chain, partition-ascending *)
+  partitions_expected : int;
+  partitions_present : int;  (** partitions with at least one fragment *)
+  fleet_windows : int;  (** expected windows per partition *)
+  handoffs_verified : int;  (** manifests that authorized a stitch and validated *)
+}
+
+val fleet_ok : fleet_report -> bool
+(** No fleet-scope violations and every chain report {!ok}. *)
+
+val verify_fleet :
+  key:bytes ->
+  spec ->
+  partitions:int ->
+  windows:int ->
+  edges:edge_chains list ->
+  handoffs:Handoff.sealed list ->
+  fleet_report
+(** Verify a fleet run of [partitions] key partitions over [windows]
+    windows each.  An absent partition, or windows egressed nowhere
+    (and not covered by a declared gap), is {!Fleet_partition_loss};
+    a partition executing on a second edge without a valid manifest
+    leaves two independent chains whose egress overlap surfaces as
+    {!Cross_edge_duplicate} (plus {!Handoff_unattested}).  Raises
+    [Invalid_argument] if any manifest or batch fails its MAC, or
+    [partitions <= 0]. *)
+
+val pp_fleet_report : Format.formatter -> fleet_report -> unit

@@ -62,6 +62,19 @@ exception
     results : (int * Dataplane.sealed_result) list;  (** egressed before the crash *)
   }
 
+(* A fleet-scheduled stop at a checkpoint boundary: like [Crash_reboot]
+   (checkpoint durable, in-TEE state lost) but requested by the caller —
+   the fleet runner uses it to fell a node at a given virtual-time beat.
+   Internal: [Node.boot] turns it into an [outcome]. *)
+exception
+  Halted_at of {
+    uploads : Sbt_attest.Log.batch list;
+    results : (int * Dataplane.sealed_result) list;
+    ckpt_seq : int;
+    frame_idx : int;
+    vt_ns : float;
+  }
+
 (* --- real-work replay ------------------------------------------------------
 
    Maps captured invocations ({!Dataplane.capture}) back onto the
@@ -325,7 +338,7 @@ let decode_control blob =
    them byte-identical across engines and domain counts. *)
 
 let record ~recording_cores ?(capture = false) ?ckpt_every ?on_checkpoint ?resume
-    ?(frame_offset = 0) cfg (pipe : Pipeline.t) frames =
+    ?(frame_offset = 0) ?registry ?halt_after_window cfg (pipe : Pipeline.t) frames =
   let dp, resume_ctl =
     match resume with
     | None -> (D.create cfg.dp_config, None)
@@ -357,8 +370,9 @@ let record ~recording_cores ?(capture = false) ?ckpt_every ?on_checkpoint ?resum
   let crash_arm = Sbt_fault.Fault.crash_after cfg.dp_config.D.fault_plan in
   let executed_tasks = ref 0 in
   (* Normal-world registry: always on (counting is deterministic and
-     cheap); the tracer alone is optional. *)
-  let reg = Sbt_obs.Metrics.create () in
+     cheap); the tracer alone is optional.  A caller-supplied (possibly
+     scoped) registry lets M fleet nodes share one store. *)
+  let reg = match registry with Some r -> r | None -> Sbt_obs.Metrics.create () in
   let c_frames = Sbt_obs.Metrics.counter reg "control.frames" in
   let c_gaps = Sbt_obs.Metrics.counter reg "control.gaps_declared" in
   let c_batches_dropped = Sbt_obs.Metrics.counter reg "control.batches_dropped" in
@@ -631,21 +645,39 @@ let record ~recording_cores ?(capture = false) ?ckpt_every ?on_checkpoint ?resum
               open_windows;
         }
     in
-    (match D.call dp (D.R_checkpoint { control; watermark }) with
-    | D.Rs_checkpoint { blob; seq } -> (
-        last_ckpt_window := !next_window_to_close;
-        instant "checkpoint"
-          ~args:[ ("seq", Sbt_obs.Tracer.Int seq); ("bytes", Sbt_obs.Tracer.Int (Bytes.length blob)) ];
-        match on_checkpoint with
-        | Some f -> f ~blob ~seq ~frame_idx:next_frame_idx
-        | None -> ())
-    | _ -> failwith "control: unexpected checkpoint response");
+    let ckpt_seq =
+      match D.call dp (D.R_checkpoint { control; watermark }) with
+      | D.Rs_checkpoint { blob; seq } ->
+          last_ckpt_window := !next_window_to_close;
+          instant "checkpoint"
+            ~args:[ ("seq", Sbt_obs.Tracer.Int seq); ("bytes", Sbt_obs.Tracer.Int (Bytes.length blob)) ];
+          (match on_checkpoint with
+          | Some f -> f ~blob ~seq ~frame_idx:next_frame_idx
+          | None -> ());
+          seq
+      | _ -> failwith "control: unexpected checkpoint response"
+    in
     (* A reboot crash is modeled at the boundary where TEE state is lost
        with the checkpoint already durable: right after persisting it. *)
-    match crash_arm with
+    (match crash_arm with
     | Some (Sbt_fault.Fault.Crash_reboot, after) when !executed_tasks >= after ->
         crashed Sbt_fault.Fault.Crash_reboot
-    | _ -> ()
+    | _ -> ());
+    (* A scheduled halt stops the node at the same durable boundary: the
+       checkpoint just persisted is exactly where a resume (or a handoff
+       recipient) picks up, so the stitched run stays byte-identical. *)
+    match halt_after_window with
+    | Some h when !next_window_to_close > h ->
+        raise
+          (Halted_at
+             {
+               uploads = D.uploaded_batches dp;
+               results = List.rev !results;
+               ckpt_seq;
+               frame_idx = next_frame_idx;
+               vt_ns = !base_ns;
+             })
+    | Some _ | None -> ()
   in
   List.iteri
     (fun frame_i frame ->
@@ -1112,3 +1144,154 @@ let run_supervised ?(max_restarts = 3) ?(ckpt_every = 1) cfg pipe frames =
     sv_checkpoint_bytes = !ckpt_bytes;
     sv_last_run = last;
   }
+
+(* --- resumable partition node ----------------------------------------------
+
+   The fleet-facing decomposition of [run_supervised]: one [Node.t] per
+   key partition owns the partition's durable normal-world state (sealed
+   checkpoint store, source replay buffer, uploaded audit batches,
+   sealed results) and runs it one boot epoch at a time.  A boot either
+   completes the stream or halts at a scheduled checkpoint boundary (the
+   fleet's kill/fence point); the next [boot] — issued by whichever edge
+   owns the partition after a handoff — resumes from the newest durable
+   checkpoint exactly as the supervisor's crash path does, so donor +
+   recipient stitched output is byte-identical to an uninterrupted run
+   with the same [ckpt_every]. *)
+
+module Node = struct
+  type outcome = Completed | Halted of { at_window : int }
+
+  type t = {
+    n_cfg : config;
+    n_pipe : Pipeline.t;
+    n_ckpt_every : int;
+    n_store : Sbt_recovery.Store.t;
+    n_replay : Sbt_net.Replay.t;
+    mutable n_epochs : (Sbt_attest.Epoch.manifest * Sbt_attest.Log.batch list) list;
+        (* newest first *)
+    mutable n_uploads : Sbt_attest.Log.batch list; (* stitched, oldest first *)
+    mutable n_results : (int * D.sealed_result) list; (* stitched, ascending *)
+    mutable n_finished : bool;
+    mutable n_vt_ns : float;
+    mutable n_total_events : int;
+    mutable n_replayed : int;
+    mutable n_ckpts : int;
+    mutable n_ckpt_bytes : int;
+  }
+
+  let create ?(ckpt_every = 1) cfg pipe frames =
+    {
+      n_cfg = cfg;
+      n_pipe = pipe;
+      n_ckpt_every = ckpt_every;
+      n_store = Sbt_recovery.Store.create ();
+      n_replay = Sbt_net.Replay.create frames;
+      n_epochs = [];
+      n_uploads = [];
+      n_results = [];
+      n_finished = false;
+      n_vt_ns = 0.0;
+      n_total_events = 0;
+      n_replayed = 0;
+      n_ckpts = 0;
+      n_ckpt_bytes = 0;
+    }
+
+  let key t = t.n_cfg.dp_config.D.egress_key
+
+  let boot ?registry ?halt_after_window t =
+    if t.n_finished then Completed
+    else begin
+      let epoch = List.length t.n_epochs in
+      let resume, frame_offset, resumed_from, resume_batch_seq =
+        if epoch = 0 then (None, 0, -1, 0)
+        else begin
+          (* Rollback floor: the newest checkpoint the signed audit
+             stream attests (same derivation as [run_supervised]). *)
+          let attested_ckpt =
+            List.fold_left
+              (fun acc b ->
+                List.fold_left
+                  (fun acc r ->
+                    match r with
+                    | Sbt_attest.Record.Checkpoint { seq; _ } -> max acc seq
+                    | _ -> acc)
+                  acc
+                  (Sbt_attest.Log.open_batch ~key:(key t) b))
+              (-1) t.n_uploads
+          in
+          match Sbt_recovery.Store.latest t.n_store with
+          | None ->
+              (* Died before any checkpoint: nothing acked, restart from
+                 scratch; the fresh boot regenerates all durable state. *)
+              t.n_uploads <- [];
+              t.n_results <- [];
+              (None, 0, -1, 0)
+          | Some (_, blob) ->
+              let restored =
+                D.restore t.n_cfg.dp_config ~expect_seq:(max attested_ckpt 0) blob
+              in
+              let ctl = decode_control restored.D.control in
+              t.n_uploads <-
+                List.filter
+                  (fun b -> b.Sbt_attest.Log.seq < restored.D.log_seq)
+                  t.n_uploads;
+              t.n_results <-
+                List.filter (fun (w, _) -> w < ctl.ck_next_window_to_close) t.n_results;
+              ( Some (restored.D.rt, ctl),
+                ctl.ck_frame_idx,
+                restored.D.ckpt_seq,
+                restored.D.log_seq )
+        end
+      in
+      let suffix = Sbt_net.Replay.suffix t.n_replay ~from:frame_offset in
+      if epoch > 0 then t.n_replayed <- t.n_replayed + List.length suffix;
+      let manifest = { Sbt_attest.Epoch.epoch; resumed_from; resume_batch_seq } in
+      let on_checkpoint ~blob ~seq ~frame_idx =
+        Sbt_recovery.Store.put t.n_store ~seq blob;
+        t.n_ckpts <- t.n_ckpts + 1;
+        t.n_ckpt_bytes <- t.n_ckpt_bytes + Bytes.length blob;
+        Sbt_net.Replay.ack t.n_replay ~upto:frame_idx
+      in
+      match
+        record ~recording_cores:t.n_cfg.cores ~ckpt_every:t.n_ckpt_every ~on_checkpoint
+          ?resume ~frame_offset ?registry ?halt_after_window t.n_cfg t.n_pipe suffix
+      with
+      | r ->
+          t.n_epochs <- (manifest, r.audit) :: t.n_epochs;
+          t.n_uploads <- t.n_uploads @ r.audit;
+          t.n_results <- t.n_results @ r.results;
+          t.n_finished <- true;
+          t.n_vt_ns <- Float.max t.n_vt_ns r.makespan_ns;
+          t.n_total_events <- r.total_events;
+          Completed
+      | exception Halted_at { uploads; results; vt_ns; _ } ->
+          t.n_epochs <- (manifest, uploads) :: t.n_epochs;
+          t.n_uploads <- t.n_uploads @ uploads;
+          t.n_results <- t.n_results @ results;
+          t.n_vt_ns <- Float.max t.n_vt_ns vt_ns;
+          Halted { at_window = Option.value ~default:0 halt_after_window }
+    end
+
+  let finished t = t.n_finished
+  let epoch_count t = List.length t.n_epochs
+  let results t = List.sort (fun (a, _) (b, _) -> compare a b) t.n_results
+  let audit t = t.n_uploads
+
+  let epochs t =
+    List.rev_map
+      (fun (m, batches) -> (Sbt_attest.Epoch.seal ~key:(key t) m, batches))
+      t.n_epochs
+
+  let manifests t = List.rev_map fst t.n_epochs
+  let acked_frames t = Sbt_net.Replay.acked t.n_replay
+
+  let last_ckpt_seq t =
+    match Sbt_recovery.Store.latest t.n_store with Some (seq, _) -> seq | None -> -1
+
+  let vt_ns t = t.n_vt_ns
+  let total_events t = t.n_total_events
+  let replayed_frames t = t.n_replayed
+  let checkpoints t = t.n_ckpts
+  let checkpoint_bytes t = t.n_ckpt_bytes
+end

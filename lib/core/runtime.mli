@@ -208,6 +208,73 @@ type supervised = {
   sv_last_run : run_result option;  (** the completing boot's full result *)
 }
 
+(** A resumable per-partition node — the fleet-facing decomposition of
+    {!run_supervised}.  A [Node.t] owns one key partition's durable
+    normal-world state (sealed checkpoint store, source replay buffer,
+    stitched audit batches and sealed results) and advances it one boot
+    epoch at a time: [boot] either completes the partition's stream or
+    halts at the first checkpoint boundary past [halt_after_window] (the
+    fleet's kill/fence point — the checkpoint is durable, in-TEE state is
+    lost, exactly the [Crash_reboot] cut).  A later [boot] — issued by
+    whichever edge owns the partition after a handoff — resumes from the
+    newest durable checkpoint with the same rollback-floor validation as
+    the supervisor, so the stitched donor+recipient output is
+    byte-identical to an uninterrupted run with the same [ckpt_every]. *)
+module Node : sig
+  type t
+
+  type outcome =
+    | Completed  (** the partition's stream is fully processed *)
+    | Halted of { at_window : int }
+        (** stopped at the scheduled boundary; durable state is a
+            consistent resume point *)
+
+  val create : ?ckpt_every:int -> config -> Pipeline.t -> Sbt_net.Frame.t list -> t
+  (** [ckpt_every] defaults to 1 (a checkpoint at every closed window —
+      every fleet beat is a potential kill point). *)
+
+  val boot : ?registry:Sbt_obs.Metrics.t -> ?halt_after_window:int -> t -> outcome
+  (** Run one boot epoch.  [registry] (typically a
+      {!Sbt_obs.Metrics.scoped} view named after the executing edge)
+      receives the boot's control-plane counters; omitted, each boot gets
+      a private registry.  On an already-[finished] node this is a no-op
+      returning [Completed]. *)
+
+  val finished : t -> bool
+  val epoch_count : t -> int  (** boots so far *)
+
+  val results : t -> (int * Dataplane.sealed_result) list
+  (** Stitched durable results, ascending window. *)
+
+  val audit : t -> Sbt_attest.Log.batch list
+  (** Stitched durable audit batches, oldest first. *)
+
+  val epochs : t -> (Sbt_attest.Epoch.sealed * Sbt_attest.Log.batch list) list
+  (** One (sealed manifest, audit slice) per boot, oldest first — the
+      per-chain input {!Sbt_attest.Verifier.verify_epochs} takes. *)
+
+  val manifests : t -> Sbt_attest.Epoch.manifest list
+  (** The unsealed epoch manifests, oldest first (handoff manifests copy
+      the recipient's resume coordinates from here). *)
+
+  val acked_frames : t -> int
+  (** Source-replay cursor: frames acknowledged by durable checkpoints —
+      the resume cursor a handoff manifest records. *)
+
+  val last_ckpt_seq : t -> int
+  (** Newest durable checkpoint seq; -1 if none. *)
+
+  val vt_ns : t -> float
+  (** Accumulated virtual time across boots. *)
+
+  val total_events : t -> int
+  (** Populated once [finished]. *)
+
+  val replayed_frames : t -> int
+  val checkpoints : t -> int
+  val checkpoint_bytes : t -> int
+end
+
 val run_supervised :
   ?max_restarts:int ->
   ?ckpt_every:int ->

@@ -185,3 +185,53 @@ let backoff_ns ?(retrier = 0) plan ~stream ~seq ~attempt =
     to_unit (draw plan ~site:Smc_boundary ~salt:(100 + attempt) ~stream:key_stream ~seq)
   in
   Float.min plan.backoff_cap_ns (base *. (0.5 +. (0.5 *. jitter)))
+
+(* --- fleet churn scenarios -------------------------------------------------
+
+   The fleet runner's deterministic churn vocabulary.  Beats are the
+   fleet's virtual-time heartbeat unit (one beat per closed window), so
+   a scenario is replayable by construction: no wall clock anywhere.
+   At most one event per node keeps the failover story well-defined —
+   a node that died cannot also straggle. *)
+
+type fleet_event =
+  | Kill of { node : int; at_beat : int; permanent : bool }
+  | Uplink_partition of { node : int; at_beat : int; beats : int }
+  | Straggle of { node : int; factor : float }
+
+type fleet_scenario = {
+  events : fleet_event list;
+  suspect_after : int;
+  recover_after : int;
+}
+
+let fleet_event_node = function
+  | Kill { node; _ } | Uplink_partition { node; _ } | Straggle { node; _ } -> node
+
+let fleet_scenario ?(recover_after = 1) ~suspect_after events =
+  if suspect_after < 1 then invalid_arg "Fault.fleet_scenario: suspect_after must be >= 1";
+  if recover_after < 1 then invalid_arg "Fault.fleet_scenario: recover_after must be >= 1";
+  List.iter
+    (function
+      | Kill { node; at_beat; _ } ->
+          if node < 0 || at_beat < 0 then invalid_arg "Fault.fleet_scenario: bad kill"
+      | Uplink_partition { node; at_beat; beats } ->
+          if node < 0 || at_beat < 0 || beats < 1 then
+            invalid_arg "Fault.fleet_scenario: bad uplink partition"
+      | Straggle { node; factor } ->
+          if node < 0 || factor < 1.0 then invalid_arg "Fault.fleet_scenario: bad straggler")
+    events;
+  let nodes = List.map fleet_event_node events in
+  if List.length (List.sort_uniq compare nodes) <> List.length nodes then
+    invalid_arg "Fault.fleet_scenario: at most one event per node";
+  { events; suspect_after; recover_after }
+
+let fleet_none ~suspect_after = fleet_scenario ~suspect_after []
+
+(* An uplink outage ends with a backoff'd reconnect: the node re-tries
+   its heartbeat with the plan's deterministic jittered backoff (keyed
+   by node identity), expressed in whole beats of [beat_ns]. *)
+let reconnect_beat plan ~node ~at_beat ~beats ~beat_ns =
+  if beat_ns <= 0.0 then invalid_arg "Fault.reconnect_beat: beat_ns must be positive";
+  let delay = backoff_ns ~retrier:(node + 1) plan ~stream:node ~seq:at_beat ~attempt:1 in
+  at_beat + beats + int_of_float (Float.ceil (delay /. beat_ns))

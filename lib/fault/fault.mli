@@ -98,3 +98,46 @@ val backoff_ns : ?retrier:int -> plan -> stream:int -> seq:int -> attempt:int ->
     [(stream, seq)] draw decorrelated jitter so they do not re-arrive
     in lockstep.  [retrier = 0] is bit-compatible with the historical
     single-retrier sequence. *)
+
+(** {2 Fleet churn scenarios}
+
+    The deterministic vocabulary the fleet runner interprets.  Beats are
+    the fleet's virtual-time heartbeat unit — one beat per closed window
+    — so scenarios replay identically run to run; no event is keyed to a
+    wall clock. *)
+
+type fleet_event =
+  | Kill of { node : int; at_beat : int; permanent : bool }
+      (** the edge halts after closing window [at_beat] (its checkpoint
+          for that beat is durable; in-TEE state is lost).  Transient
+          kills reboot [recover_after] beats later; permanent ones never
+          come back *)
+  | Uplink_partition of { node : int; at_beat : int; beats : int }
+      (** heartbeats from [node] stop reaching the fleet for [beats]
+          beats starting at [at_beat]; the node itself keeps working and
+          reconnects with the plan's backoff'd jitter *)
+  | Straggle of { node : int; factor : float }
+      (** the node runs [factor] >= 1 times slower in virtual time, so
+          its heartbeats thin out by the same factor *)
+
+type fleet_scenario = {
+  events : fleet_event list;
+  suspect_after : int;  (** missed beats before a suspect is declared dead *)
+  recover_after : int;  (** beats a transiently-killed edge stays down *)
+}
+
+val fleet_scenario : ?recover_after:int -> suspect_after:int -> fleet_event list -> fleet_scenario
+(** Validates the scenario: [suspect_after >= 1], [recover_after >= 1]
+    (default 1), non-negative nodes/beats, straggle factors >= 1, and at
+    most one event per node.  Raises [Invalid_argument] otherwise. *)
+
+val fleet_none : suspect_after:int -> fleet_scenario
+(** No churn. *)
+
+val fleet_event_node : fleet_event -> int
+
+val reconnect_beat : plan -> node:int -> at_beat:int -> beats:int -> beat_ns:float -> int
+(** First beat a partitioned node's heartbeats reach the fleet again:
+    the outage end plus the plan's deterministic jittered first-attempt
+    backoff ({!backoff_ns}, retrier-keyed by node), rounded up to whole
+    beats of [beat_ns]. *)

@@ -1,0 +1,91 @@
+(* Virtual-time heartbeat failure detector.
+
+   Beats are the fleet's discrete heartbeat unit: each edge reports once
+   per window it closes, and the detector ticks once per beat after
+   deliveries.  A node whose newest heartbeat is [suspect_after] beats
+   old at a tick is declared dead — sticky: later heartbeats from a dead
+   node are fenced (counted, never honored), which is what keeps a
+   late-returning node from double-emitting after its partition was
+   handed off.  Everything is integer beat arithmetic on delivered
+   heartbeats, so verdicts are a pure function of the delivery schedule. *)
+
+type verdict = Alive | Suspect of { missed : int } | Dead of { declared_at : int }
+
+type node_state = {
+  mutable last_beat : int;
+  mutable suspected : bool;
+  mutable dead_at : int option;
+}
+
+type t = {
+  suspect_after : int;
+  states : node_state array;
+  mutable now : int;
+  mutable suspicions_raised : int;
+  mutable suspicions_cleared : int;
+  mutable fenced_heartbeats : int;
+}
+
+let create ~nodes ~suspect_after =
+  if nodes < 1 then invalid_arg "Detector.create: nodes must be >= 1";
+  if suspect_after < 1 then invalid_arg "Detector.create: suspect_after must be >= 1";
+  {
+    suspect_after;
+    states =
+      Array.init nodes (fun _ -> { last_beat = -1; suspected = false; dead_at = None });
+    now = -1;
+    suspicions_raised = 0;
+    suspicions_cleared = 0;
+    fenced_heartbeats = 0;
+  }
+
+let nodes t = Array.length t.states
+
+let check_node t node =
+  if node < 0 || node >= nodes t then invalid_arg "Detector: node out of range"
+
+let heartbeat t ~node ~beat =
+  check_node t node;
+  let s = t.states.(node) in
+  match s.dead_at with
+  | Some _ -> t.fenced_heartbeats <- t.fenced_heartbeats + 1
+  | None ->
+      if beat > s.last_beat then s.last_beat <- beat;
+      if s.suspected then begin
+        s.suspected <- false;
+        t.suspicions_cleared <- t.suspicions_cleared + 1
+      end
+
+let tick t ~beat =
+  if beat <= t.now then invalid_arg "Detector.tick: beats must advance";
+  t.now <- beat;
+  let newly_dead = ref [] in
+  Array.iteri
+    (fun i s ->
+      match s.dead_at with
+      | Some _ -> ()
+      | None ->
+          let missed = beat - s.last_beat in
+          if missed >= 1 && not s.suspected then begin
+            s.suspected <- true;
+            t.suspicions_raised <- t.suspicions_raised + 1
+          end;
+          if missed >= t.suspect_after then begin
+            s.dead_at <- Some beat;
+            newly_dead := i :: !newly_dead
+          end)
+    t.states;
+  List.rev !newly_dead
+
+let verdict t ~node =
+  check_node t node;
+  let s = t.states.(node) in
+  match s.dead_at with
+  | Some declared_at -> Dead { declared_at }
+  | None ->
+      if s.suspected then Suspect { missed = max 0 (t.now - s.last_beat) } else Alive
+
+let is_dead t ~node = match verdict t ~node with Dead _ -> true | _ -> false
+let suspicions_raised t = t.suspicions_raised
+let suspicions_cleared t = t.suspicions_cleared
+let fenced_heartbeats t = t.fenced_heartbeats

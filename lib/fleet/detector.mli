@@ -1,0 +1,45 @@
+(** Virtual-time heartbeat failure detector (beat-indexed).
+
+    Each edge delivers one heartbeat per window it closes; the fleet
+    ticks the detector once per beat after deliveries.  A node whose
+    newest delivered heartbeat is [suspect_after] beats old at a tick is
+    declared dead — permanently: later heartbeats are {e fenced}
+    (counted, never honored), so a node that went silent long enough to
+    lose its partition can never double-emit into the fleet.  A
+    heartbeat delivered one beat before the boundary clears the
+    suspicion and no death is declared.  Verdicts are a pure function of
+    the delivery schedule — no wall clock anywhere. *)
+
+type t
+
+type verdict =
+  | Alive
+  | Suspect of { missed : int }  (** beats since the newest heartbeat *)
+  | Dead of { declared_at : int }
+
+val create : nodes:int -> suspect_after:int -> t
+(** All nodes start alive with an implicit registration heartbeat at
+    beat [-1] (so a node must miss [suspect_after] beats from the start
+    to die without ever reporting).  Raises [Invalid_argument] on
+    [nodes < 1] or [suspect_after < 1]. *)
+
+val nodes : t -> int
+
+val heartbeat : t -> node:int -> beat:int -> unit
+(** Deliver a heartbeat.  Clears an active suspicion; fenced (counted,
+    ignored) if the node is already dead. *)
+
+val tick : t -> beat:int -> int list
+(** Advance to [beat] (strictly increasing; raises otherwise) and
+    return the nodes newly declared dead at this tick, ascending.  A
+    node with [beat - last_heartbeat >= suspect_after] dies exactly at
+    this boundary; with one less missed beat it is only suspected. *)
+
+val verdict : t -> node:int -> verdict
+val is_dead : t -> node:int -> bool
+
+val suspicions_raised : t -> int
+val suspicions_cleared : t -> int
+
+val fenced_heartbeats : t -> int
+(** Heartbeats delivered by already-dead (fenced) nodes. *)

@@ -1,0 +1,103 @@
+(* Key-range partitioner: splits one generated workload into M
+   disjoint per-partition frame streams, each a valid source stream in
+   its own right (fresh per-stream frame sequences, watermarks copied to
+   every partition).  Partitioning happens at the source, before
+   encryption/sealing — a frame protected for the wire cannot be split
+   without the source key, so encrypted input is rejected rather than
+   silently decrypted. *)
+
+module Frame = Sbt_net.Frame
+
+let assign ~parts key =
+  if parts < 1 then invalid_arg "Partition.assign: parts must be >= 1";
+  Int32.to_int key land max_int mod parts
+
+(* Same shape as Datagen's per-stream accumulator: one pending batch,
+   flushed when full and at watermark boundaries. *)
+type pstate = {
+  mutable buffer : int32 array list; (* reversed *)
+  mutable buffered : int;
+  mutable windows_touched : int list;
+  mutable seq : int;
+}
+
+let split ~parts ~schema ~window_size ~window_slide ~batch_events frames =
+  if parts < 1 then invalid_arg "Partition.split: parts must be >= 1";
+  if batch_events < 1 then invalid_arg "Partition.split: batch_events must be >= 1";
+  if window_size < 1 || window_slide < 1 then
+    invalid_arg "Partition.split: window geometry must be positive";
+  let width = schema.Sbt_core.Event.width in
+  let key_field = schema.Sbt_core.Event.key_field in
+  let ts_field = schema.Sbt_core.Event.ts_field in
+  let out = Array.make parts [] in
+  let states : (int, pstate) Hashtbl.t array = Array.init parts (fun _ -> Hashtbl.create 4) in
+  let state p stream =
+    match Hashtbl.find_opt states.(p) stream with
+    | Some st -> st
+    | None ->
+        let st = { buffer = []; buffered = 0; windows_touched = []; seq = 0 } in
+        Hashtbl.add states.(p) stream st;
+        st
+  in
+  let flush p stream st =
+    if st.buffered > 0 then begin
+      let records = Array.of_list (List.rev st.buffer) in
+      let payload = Frame.pack_events ~width records in
+      out.(p) <-
+        Frame.Events
+          {
+            seq = st.seq;
+            stream;
+            events = st.buffered;
+            windows = List.sort_uniq compare st.windows_touched;
+            payload;
+            encrypted = false;
+            mac = Bytes.empty;
+          }
+        :: out.(p);
+      st.seq <- st.seq + 1;
+      st.buffer <- [];
+      st.buffered <- 0;
+      st.windows_touched <- []
+    end
+  in
+  (* Hashtbl iteration order is unspecified; flush streams in ascending
+     id order so partitioned streams are byte-reproducible. *)
+  let flush_all p =
+    Hashtbl.fold (fun stream _ acc -> stream :: acc) states.(p) []
+    |> List.sort compare
+    |> List.iter (fun stream -> flush p stream (Hashtbl.find states.(p) stream))
+  in
+  List.iter
+    (fun frame ->
+      match frame with
+      | Frame.Events { payload; encrypted; stream; _ } ->
+          if encrypted then
+            invalid_arg "Partition.split: encrypted frame (partition at the source, before encryption)";
+          if Frame.sealed frame then
+            invalid_arg "Partition.split: sealed frame (partition at the source, before sealing)";
+          let records = Frame.unpack_events ~width payload in
+          Array.iter
+            (fun r ->
+              let p = assign ~parts r.(key_field) in
+              let st = state p stream in
+              st.buffer <- r :: st.buffer;
+              st.buffered <- st.buffered + 1;
+              let lo, hi =
+                Sbt_prim.Segment.windows_of ~ts:(Int32.to_int r.(ts_field)) ~size:window_size
+                  ~slide:window_slide
+              in
+              for wi = lo to hi do
+                if not (List.mem wi st.windows_touched) then
+                  st.windows_touched <- wi :: st.windows_touched
+              done;
+              if st.buffered >= batch_events then flush p stream st)
+            records
+      | Frame.Watermark { seq; value } ->
+          for p = 0 to parts - 1 do
+            flush_all p;
+            out.(p) <- Frame.Watermark { seq; value } :: out.(p)
+          done)
+    frames;
+  Array.iteri (fun p _ -> flush_all p) out;
+  Array.map List.rev out

@@ -1,0 +1,31 @@
+(** Source-side key-range partitioner.
+
+    Splits one generated workload into [parts] disjoint frame streams by
+    hashing each record's key field, so M edge nodes can ingest one
+    logical workload side by side.  Each partition is a well-formed
+    source stream of its own: per-stream frame sequences restart at 0,
+    batch window metadata is recomputed from the partition's actual
+    records, and every watermark is copied to every partition (event
+    time is global; a partition with few records still closes its
+    windows).  Batches flush at [batch_events] and at watermark
+    boundaries, mirroring the generator, so a partitioned stream is
+    byte-reproducible from (workload, parts). *)
+
+val assign : parts:int -> int32 -> int
+(** The partition a key routes to: [key mod parts] on the key's
+    non-negative image.  Raises [Invalid_argument] on [parts < 1]. *)
+
+val split :
+  parts:int ->
+  schema:Sbt_core.Event.schema ->
+  window_size:int ->
+  window_slide:int ->
+  batch_events:int ->
+  Sbt_net.Frame.t list ->
+  Sbt_net.Frame.t list array
+(** Partition a cleartext frame stream ([parts] lists, index =
+    partition).  Window metadata is recomputed per partition under the
+    given window geometry (event-time ticks).  Raises
+    [Invalid_argument] on encrypted or sealed input — partitioning
+    happens at the source, before wire protection — and on non-positive
+    [parts], [batch_events], or window geometry. *)

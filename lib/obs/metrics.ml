@@ -10,12 +10,18 @@ type histogram = {
 
 type entry = E_counter of counter | E_gauge of gauge | E_histogram of histogram
 
-type t = {
+type root = {
   entries : (string, entry) Hashtbl.t;
   mutable order : string list; (* registration order, newest first *)
 }
 
-let create () = { entries = Hashtbl.create 32; order = [] }
+(* A registry handle is a view onto a shared root: [scoped] derives a
+   handle whose prefix is prepended to every name, so M fleet nodes can
+   share one root without colliding, while existing call sites (empty
+   prefix) are untouched. *)
+type t = { root : root; prefix : string }
+
+let create () = { root = { entries = Hashtbl.create 32; order = [] }; prefix = "" }
 
 let check_name name =
   if name = "" then invalid_arg "Metrics: empty name";
@@ -25,14 +31,21 @@ let check_name name =
         invalid_arg (Printf.sprintf "Metrics: name %S contains whitespace" name))
     name
 
+let scoped t scope =
+  check_name scope;
+  { root = t.root; prefix = t.prefix ^ scope ^ "." }
+
+let full t name = if t.prefix = "" then name else t.prefix ^ name
+
 let register t name mk wrong =
   check_name name;
-  match Hashtbl.find_opt t.entries name with
+  let name = full t name in
+  match Hashtbl.find_opt t.root.entries name with
   | Some e -> wrong e
   | None ->
       let e = mk () in
-      Hashtbl.replace t.entries name e;
-      t.order <- name :: t.order;
+      Hashtbl.replace t.root.entries name e;
+      t.root.order <- name :: t.root.order;
       e
 
 let kind_error name =
@@ -150,7 +163,7 @@ type sample =
     }
 
 let sample_of t name =
-  match Hashtbl.find t.entries name with
+  match Hashtbl.find t.root.entries name with
   | E_counter c -> S_counter { name; value = c.count }
   | E_gauge g -> S_gauge { name; value = g.value; high_water = g.high_water }
   | E_histogram h ->
@@ -164,15 +177,15 @@ let sample_of t name =
           p99 = (if h.n = 0 then Float.nan else percentile h 99.0);
         }
 
-let snapshot t = List.rev_map (sample_of t) t.order
+let snapshot t = List.rev_map (sample_of t) t.root.order
 
 let find_counter t name =
-  match Hashtbl.find_opt t.entries name with
+  match Hashtbl.find_opt t.root.entries (full t name) with
   | Some (E_counter c) -> c.count
   | Some _ | None -> raise Not_found
 
 let find_gauge_high_water t name =
-  match Hashtbl.find_opt t.entries name with
+  match Hashtbl.find_opt t.root.entries (full t name) with
   | Some (E_gauge g) -> g.high_water
   | Some _ | None -> raise Not_found
 

@@ -21,6 +21,17 @@ type t
     snapshot encoding). *)
 
 val create : unit -> t
+(** A fresh root registry (empty scope prefix). *)
+
+val scoped : t -> string -> t
+(** [scoped t "edge3"] is a view onto [t]'s underlying store that
+    prefixes every metric name with ["edge3."] — M fleet nodes share one
+    registry without colliding, and existing unscoped call sites keep
+    their bare ["control.*"]/["exec.*"] names via the default root
+    scope.  Scopes nest ([scoped (scoped t "edge3") "boot1"] prefixes
+    ["edge3.boot1."]); {!snapshot} and friends always cover the whole
+    shared store, in global registration order.  The scope name obeys
+    the same lexical rules as metric names. *)
 
 (** {2 Counters (monotonic)} *)
 
