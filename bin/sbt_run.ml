@@ -32,10 +32,15 @@ let exec_mode_of_string = function
 
 let exec_mode_name = function `Paced -> "paced" | `Spin -> "spin" | `Work -> "work"
 
-let run name version windows events_per_window batch cores_list target_ms hints verbose frames_in audit_out trace_out exec_domains exec_mode deterministic exec_time_scale results_out =
+let fuse_of_string = function
+  | "on" -> Ok true
+  | "off" -> Ok false
+  | s -> Error (`Msg (Printf.sprintf "unknown fuse setting %S (on|off)" s))
+
+let run name version windows events_per_window batch cores_list target_ms hints fuse verbose frames_in audit_out trace_out exec_domains exec_mode deterministic exec_time_scale results_out =
   match B.by_name name with
   | None ->
-      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|filter|power)\n" name;
+      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|fps|filter|power)\n" name;
       exit 1
   | Some mk ->
       let encrypted = match version with D.Full | D.Io_via_os -> true | _ -> false in
@@ -48,8 +53,9 @@ let run name version windows events_per_window batch cores_list target_ms hints 
         match trace_out with Some _ -> Some (Sbt_obs.Tracer.create ()) | None -> None
       in
       let outcome =
-        Runner.run ~cores_list ~target_delay_ms:target ~version ~hints_enabled:hints ?tracer
-          ~deterministic ?exec_domains ?exec_mode ?exec_time_scale bench.B.pipeline frames
+        Runner.run ~cores_list ~target_delay_ms:target ~version ~hints_enabled:hints ~fuse
+          ?tracer ~deterministic ?exec_domains ?exec_mode ?exec_time_scale bench.B.pipeline
+          frames
       in
       (match (trace_out, tracer) with
       | Some path, Some tr ->
@@ -107,7 +113,7 @@ let recovery name version windows events_per_window batch ckpt_every max_restart
     crash_site recover deterministic verbose audit_out results_out =
   match B.by_name name with
   | None ->
-      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|filter|power)\n" name;
+      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|fps|filter|power)\n" name;
       exit 1
   | Some mk ->
       let module Runtime = Sbt_core.Runtime in
@@ -186,7 +192,7 @@ let recovery name version windows events_per_window batch ckpt_every max_restart
 let resilience name version windows events_per_window batch fault_rates fault_seed =
   match B.by_name name with
   | None ->
-      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|filter|power)\n" name;
+      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|fps|filter|power)\n" name;
       exit 1
   | Some mk ->
       let encrypted = match version with D.Full | D.Io_via_os -> true | _ -> false in
@@ -261,7 +267,7 @@ let fleet name version windows events_per_window batch m partition_by kills upli
     results_out =
   match B.by_name name with
   | None ->
-      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|filter|power)\n" name;
+      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|fps|filter|power)\n" name;
       exit 1
   | Some mk ->
       let module Runtime = Sbt_core.Runtime in
@@ -361,7 +367,7 @@ let fleet name version windows events_per_window batch m partition_by kills upli
 open Cmdliner
 
 let name_arg =
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"topk, distinct, join, winsum, filter or power")
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"topk, distinct, join, winsum, fps, filter or power")
 
 let version_arg =
   let version_conv =
@@ -387,6 +393,22 @@ let target_arg =
 
 let hints_arg =
   Arg.(value & opt bool true & info [ "hints" ] ~doc:"Enable consumption hints")
+
+let fuse_arg =
+  let fuse_conv =
+    Arg.conv
+      (fuse_of_string, fun fmt b -> Format.pp_print_string fmt (if b then "on" else "off"))
+      ~docv:"on|off"
+  in
+  Arg.(
+    value & opt fuse_conv false
+    & info [ "fuse" ]
+        ~doc:
+          "Operator fusion: $(b,on) runs each maximal chain of adjacent per-record \
+           batch stages (Filter/Project/Select/ShiftKey) as one fused super-kernel — \
+           one world switch and one composite audit record per chain instead of one \
+           per stage.  Sealed results, verifier verdicts and loss are byte-identical \
+           to $(b,off); compare switch counts with --verbose")
 
 let verbose_arg = Arg.(value & flag & info [ "verbose" ] ~doc:"Print data-plane statistics")
 
@@ -635,10 +657,10 @@ let omit_manifests_arg =
           "Strip the sealed handoff manifests from the --audit-out bundle (the run itself \
            is honest) — sbt_verify must then refuse the cross-edge stitch (exit 2)")
 
-let dispatch name version windows epw batch cores_list target_ms hints verbose frames_in audit_out
-    trace_out exec_domains exec_mode deterministic exec_time_scale results_out resil fault_rates
-    fault_seed ckpt_every max_restarts crash_at crash_site recover fleet_m partition_by kills
-    uplinks stragglers suspect_after recover_after rogue omit_manifests =
+let dispatch name version windows epw batch cores_list target_ms hints fuse verbose frames_in
+    audit_out trace_out exec_domains exec_mode deterministic exec_time_scale results_out resil
+    fault_rates fault_seed ckpt_every max_restarts crash_at crash_site recover fleet_m
+    partition_by kills uplinks stragglers suspect_after recover_after rogue omit_manifests =
   if fleet_m > 0 then
     fleet name version windows epw batch fleet_m partition_by kills uplinks stragglers
       suspect_after recover_after rogue omit_manifests ckpt_every deterministic verbose audit_out
@@ -648,8 +670,8 @@ let dispatch name version windows epw batch cores_list target_ms hints verbose f
     recovery name version windows epw batch ckpt_every max_restarts crash_at crash_site recover
       deterministic verbose audit_out results_out
   else
-    run name version windows epw batch cores_list target_ms hints verbose frames_in audit_out
-      trace_out exec_domains exec_mode deterministic exec_time_scale results_out
+    run name version windows epw batch cores_list target_ms hints fuse verbose frames_in
+      audit_out trace_out exec_domains exec_mode deterministic exec_time_scale results_out
 
 let cmd =
   let doc = "Run a StreamBox-TZ benchmark pipeline" in
@@ -657,7 +679,7 @@ let cmd =
     (Cmd.info "sbt_run" ~doc)
     Term.(
       const dispatch $ name_arg $ version_arg $ windows_arg $ epw_arg $ batch_arg $ cores_arg
-      $ target_arg $ hints_arg $ verbose_arg $ frames_arg $ audit_arg $ trace_arg
+      $ target_arg $ hints_arg $ fuse_arg $ verbose_arg $ frames_arg $ audit_arg $ trace_arg
       $ exec_arg $ exec_mode_arg $ deterministic_arg $ exec_time_scale_arg $ results_out_arg
       $ resilience_arg $ fault_rates_arg $ fault_seed_arg $ ckpt_every_arg $ max_restarts_arg
       $ crash_at_arg $ crash_site_arg $ recover_arg $ fleet_arg $ partition_by_arg $ kills_arg

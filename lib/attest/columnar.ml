@@ -14,6 +14,7 @@ type columns = {
   hints : Buffer.t; (* (pred, succ) id pairs, delta varints *)
   streams : Buffer.t; (* ingress/gap stream ids - delta varint *)
   seqs : Buffer.t; (* ingress/gap frame seqs (near-monotonic) - delta varint *)
+  blobs : Buffer.t; (* length-prefixed opaque bytes (fused params + chain hashes) *)
 }
 
 let split records =
@@ -30,6 +31,7 @@ let split records =
       hints = Buffer.create 64;
       streams = Buffer.create 64;
       seqs = Buffer.create 64;
+      blobs = Buffer.create 64;
     }
   in
   let prev_ts = ref 0 and prev_id = ref 0 and prev_win = ref 0 and prev_val = ref 0 in
@@ -64,6 +66,20 @@ let split records =
   let put_val v =
     Varint.write_signed c.values (Int64.of_int (v - !prev_val));
     prev_val := v
+  in
+  (* Fused params and chain hashes repeat verbatim across segments of the
+     same pipeline (the chain is a function of ops+params alone), so the
+     blob column back-references per field: 0 = "same as this field's
+     previous blob", n > 0 = a literal of n-1 bytes.  This is what keeps
+     composite audit records cheaper than the per-op rows they replace. *)
+  let prev_params_blob = ref Bytes.empty and prev_chain_blob = ref Bytes.empty in
+  let put_blob prev b =
+    if Bytes.equal b !prev then Varint.write_unsigned c.blobs 0L
+    else begin
+      Varint.write_unsigned c.blobs (Int64.of_int (Bytes.length b + 1));
+      Buffer.add_bytes c.blobs b;
+      prev := b
+    end
   in
   let prev_stream = ref 0 and prev_seq = ref 0 in
   let put_stream v =
@@ -122,7 +138,20 @@ let split records =
           Buffer.add_char c.tags '\006';
           put_ts ts;
           put_seq seq;
-          put_val watermark)
+          put_val watermark
+      | Record.Fused { ts; ops; params; chain; inputs; outputs; hints } ->
+          Buffer.add_char c.tags '\007';
+          put_ts ts;
+          Buffer.add_char c.counts (Char.unsafe_chr (List.length ops land 0xFF));
+          List.iter (fun op -> Buffer.add_char c.ops (Char.unsafe_chr (op land 0xFF))) ops;
+          put_blob prev_params_blob params;
+          put_blob prev_chain_blob chain;
+          Buffer.add_char c.counts (Char.unsafe_chr (List.length inputs land 0xFF));
+          Buffer.add_char c.counts (Char.unsafe_chr (List.length outputs land 0xFF));
+          Buffer.add_char c.counts (Char.unsafe_chr (List.length hints land 0xFF));
+          List.iter put_used_id inputs;
+          List.iter put_new_id outputs;
+          List.iter put_hint hints)
     records;
   c
 
@@ -148,6 +177,7 @@ let compress records =
   add_block (Huffman.encode (Buffer.to_bytes c.hints));
   add_block (Huffman.encode (Buffer.to_bytes c.streams));
   add_block (Huffman.encode (Buffer.to_bytes c.seqs));
+  add_block (Huffman.encode (Buffer.to_bytes c.blobs));
   Buffer.to_bytes out
 
 let decompress data =
@@ -171,10 +201,28 @@ let decompress data =
   let hints_col = Huffman.decode (block ()) in
   let streams_col = Huffman.decode (block ()) in
   let seqs_col = Huffman.decode (block ()) in
+  let blobs_col = Huffman.decode (block ()) in
   let ts_pos = ref 0 and new_id_pos = ref 0 and used_id_pos = ref 0 in
   let win_pos = ref 0 and val_pos = ref 0 in
   let hint_pos = ref 0 and op_pos = ref 0 and cnt_pos = ref 0 in
   let stream_pos = ref 0 and seq_pos = ref 0 in
+  let blob_pos = ref 0 in
+  let prev_params_blob = ref Bytes.empty and prev_chain_blob = ref Bytes.empty in
+  let get_blob prev =
+    (* 0 is a back-reference to this field's previous blob; n > 0 is a
+       literal of n-1 bytes (see [split]). *)
+    let tag = Int64.to_int (Varint.read_unsigned blobs_col blob_pos) in
+    if tag = 0 then !prev
+    else begin
+      let len = tag - 1 in
+      if !blob_pos + len > Bytes.length blobs_col then
+        invalid_arg "Columnar.decompress: truncated blob";
+      let b = Bytes.sub blobs_col !blob_pos len in
+      blob_pos := !blob_pos + len;
+      prev := b;
+      b
+    end
+  in
   let prev_ts = ref 0 and prev_id = ref 0 and prev_win = ref 0 and prev_val = ref 0 in
   let prev_hint = ref 0 and prev_stream = ref 0 and prev_seq = ref 0 in
   let get_hint () =
@@ -266,6 +314,19 @@ let decompress data =
           let seq = get_seq () in
           let watermark = get_val () in
           Record.Checkpoint { ts; seq; watermark }
+      | 7 ->
+          let ts = get_ts () in
+          let n_ops = get_byte counts cnt_pos in
+          let ops = List.init n_ops (fun _ -> get_byte ops op_pos) in
+          let params = get_blob prev_params_blob in
+          let chain = get_blob prev_chain_blob in
+          let n_in = get_byte counts cnt_pos in
+          let n_out = get_byte counts cnt_pos in
+          let n_h = get_byte counts cnt_pos in
+          let inputs = List.init n_in (fun _ -> get_used_id ()) in
+          let outputs = List.init n_out (fun _ -> get_new_id ()) in
+          let hints = List.init n_h (fun _ -> get_hint ()) in
+          Record.Fused { ts; ops; params; chain; inputs; outputs; hints }
       | t -> invalid_arg (Printf.sprintf "Columnar.decompress: bad tag %d" t))
 
 let raw_size records = Bytes.length (Record.encode_all records)

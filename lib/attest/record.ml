@@ -27,6 +27,31 @@ type t =
   | Egress of { ts : int; uarray : int; win_no : int }
   | Gap of { ts : int; stream : int; seq : int; events : int; windows : int list; reason : gap_reason }
   | Checkpoint of { ts : int; seq : int; watermark : int }
+  | Fused of {
+      ts : int;
+      ops : int list;
+      params : bytes;
+      chain : bytes;
+      inputs : int list;
+      outputs : int list;
+      hints : int64 list;
+    }
+
+(* The composite record's chain hash commits to the ordered op ids AND
+   their parameter blob: reordering the chain, swapping an op, or editing
+   a parameter all change the digest.  Truncated to 16 bytes — the hash
+   rides in every fused record, and 128 bits is ample for a second
+   preimage the normal world would have to find. *)
+let chain_hash ~ops ~params =
+  let b = Buffer.create (16 + (2 * List.length ops) + Bytes.length params) in
+  Buffer.add_string b "sbt-fused-chain1";
+  List.iter
+    (fun op ->
+      Buffer.add_char b (Char.chr (op land 0xff));
+      Buffer.add_char b (Char.chr ((op lsr 8) land 0xff)))
+    ops;
+  Buffer.add_bytes b params;
+  Bytes.sub (Sbt_crypto.Sha256.digest (Buffer.to_bytes b)) 0 16
 
 let pp fmt = function
   | Ingress { ts; uarray; stream; seq } ->
@@ -48,6 +73,10 @@ let pp fmt = function
         (gap_reason_name reason)
   | Checkpoint { ts; seq; watermark } ->
       Format.fprintf fmt "ts=%d CKPT seq=%d watermark=%d" ts seq watermark
+  | Fused { ts; ops; inputs; outputs; hints; _ } ->
+      let ints l = String.concat "," (List.map string_of_int l) in
+      Format.fprintf fmt "ts=%d FUSED ops=%s in=%s out=%s hints=%d" ts (ints ops) (ints inputs)
+        (ints outputs) (List.length hints)
 
 let tag = function
   | Ingress _ -> 0
@@ -57,10 +86,12 @@ let tag = function
   | Egress _ -> 4
   | Gap _ -> 5
   | Checkpoint _ -> 6
+  | Fused _ -> 7
 
 let ts_of = function
   | Ingress { ts; _ } | Ingress_watermark { ts; _ } | Windowing { ts; _ }
-  | Execution { ts; _ } | Egress { ts; _ } | Gap { ts; _ } | Checkpoint { ts; _ } ->
+  | Execution { ts; _ } | Egress { ts; _ } | Gap { ts; _ } | Checkpoint { ts; _ }
+  | Fused { ts; _ } ->
       ts
 
 let encode_row buf r =
@@ -118,6 +149,24 @@ let encode_row buf r =
       u32 ts;
       u32 seq;
       u32 watermark
+  | Fused { ts; ops; params; chain; inputs; outputs; hints } ->
+      u32 ts;
+      u16 (List.length ops);
+      List.iter u16 ops;
+      u16 (Bytes.length params);
+      Buffer.add_bytes buf params;
+      u16 (Bytes.length chain);
+      Buffer.add_bytes buf chain;
+      u16 (List.length inputs);
+      List.iter u32 inputs;
+      u16 (List.length outputs);
+      List.iter u32 outputs;
+      u16 (List.length hints);
+      List.iter
+        (fun h ->
+          u32 (Int64.to_int (Int64.logand h 0xFFFFFFFFL));
+          u32 (Int64.to_int (Int64.shift_right_logical h 32)))
+        hints
 
 let decode_row data pos =
   let byte () =
@@ -186,6 +235,30 @@ let decode_row data pos =
       let seq = u32 () in
       let watermark = u32 () in
       Checkpoint { ts; seq; watermark }
+  | 7 ->
+      let bytes_n n =
+        if !pos + n > Bytes.length data then invalid_arg "Record.decode_row: truncated";
+        let b = Bytes.sub data !pos n in
+        pos := !pos + n;
+        b
+      in
+      let ts = u32 () in
+      let n_ops = u16 () in
+      let ops = List.init n_ops (fun _ -> u16 ()) in
+      let params = bytes_n (u16 ()) in
+      let chain = bytes_n (u16 ()) in
+      let n_in = u16 () in
+      let inputs = List.init n_in (fun _ -> u32 ()) in
+      let n_out = u16 () in
+      let outputs = List.init n_out (fun _ -> u32 ()) in
+      let n_h = u16 () in
+      let hints =
+        List.init n_h (fun _ ->
+            let lo = u32 () in
+            let hi = u32 () in
+            Int64.logor (Int64.of_int lo) (Int64.shift_left (Int64.of_int hi) 32))
+      in
+      Fused { ts; ops; params; chain; inputs; outputs; hints }
   | t -> invalid_arg (Printf.sprintf "Record.decode_row: bad tag %d" t)
 
 let encode_all records =

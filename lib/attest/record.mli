@@ -55,6 +55,29 @@ type t =
           recovery path derives its rollback lower bound from these
           records, so the normal world cannot present a stale blob as
           fresh without also truncating the (MAC'd, sequenced) log. *)
+  | Fused of {
+      ts : int;
+      ops : int list;
+          (** ordered primitive ids of the fused chain
+              ({!Sbt_prim.Primitive.to_id}), first-executed first *)
+      params : bytes;  (** the chain's {!Sbt_prim.Fused.encode_steps} blob *)
+      chain : bytes;  (** {!chain_hash} over [ops] and [params], computed in-TEE *)
+      inputs : int list;
+      outputs : int list;
+      hints : int64 list;
+    }
+      (** One fused super-kernel execution (PR 7): the whole chain ran in
+          a single trusted entry and emits this single composite record
+          instead of one {!Execution} row per primitive.  The verifier
+          replays it as the equivalent unfused chain and rejects forged
+          compositions: a [chain] that does not match [ops]/[params], or
+          an op {!Sbt_prim.Primitive.fusable} says cannot be fused. *)
+
+val chain_hash : ops:int list -> params:bytes -> bytes
+(** 16-byte truncated SHA-256 commitment to a fused chain: the ordered op
+    ids and the parameter blob under a domain-separation prefix.  Both
+    the data plane (when emitting) and the verifier (when replaying)
+    compute it with this one function. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -27,6 +27,8 @@ type violation =
   | Cross_edge_duplicate of { partition : int; window : int; first_edge : int; second_edge : int }
   | Handoff_unattested of { partition : int; donor : int; recipient : int }
   | Handoff_mismatch of { partition : int; donor : int; recipient : int; reason : string }
+  | Fused_chain_mismatch of { record_index : int }
+  | Fused_non_fusable of { record_index : int; op : int }
 
 let pp_violation fmt = function
   | Unknown_uarray { record_index; id } ->
@@ -75,6 +77,10 @@ let pp_violation fmt = function
   | Handoff_mismatch { partition; donor; recipient; reason } ->
       Format.fprintf fmt "partition %d handoff edge %d -> edge %d invalid: %s" partition donor
         recipient reason
+  | Fused_chain_mismatch { record_index } ->
+      Format.fprintf fmt "record %d: fused chain hash does not match its ops/params" record_index
+  | Fused_non_fusable { record_index; op } ->
+      Format.fprintf fmt "record %d: fused chain contains non-fusable op %d" record_index op
 
 type report = {
   violations : violation list;
@@ -257,6 +263,112 @@ let verify spec records =
                 else violate (Mixed_window_inputs { record_index = idx })
             | _, _, _ -> violate (Mixed_window_inputs { record_index = idx }));
           (* Hints pair the first output with a predecessor uArray. *)
+          List.iter
+            (fun h ->
+              let pred = Int64.to_int (Int64.shift_right_logical h 32) in
+              let succ = Int64.to_int (Int64.logand h 0xFFFFFFFFL) in
+              hints_seen := (pred, succ) :: !hints_seen)
+            hints)
+      | Record.Fused { ts = _; ops; params; chain; inputs; outputs; hints } -> (
+          (* One composite record claims a whole chain of per-record
+             primitives ran as a single trusted entry.  Judge the claim
+             itself first — the chain hash must commit to exactly these
+             ops and params, the params blob must decode to the same op
+             sequence, and every op must be one the type system allows to
+             fuse — then replay it as the equivalent unfused sequence of
+             batch stages. *)
+          if not (Bytes.equal chain (Record.chain_hash ~ops ~params)) then
+            violate (Fused_chain_mismatch { record_index = idx });
+          (match Sbt_prim.Fused.decode_steps params with
+          | Some steps
+            when List.map (fun s -> Sbt_prim.Primitive.to_id (Sbt_prim.Fused.step_op s)) steps
+                 = ops ->
+              ()
+          | Some _ | None -> violate (Fused_chain_mismatch { record_index = idx }));
+          List.iter
+            (fun op ->
+              match Sbt_prim.Primitive.of_id op with
+              | Some p when Sbt_prim.Primitive.fusable p -> ()
+              | Some _ | None -> violate (Fused_non_fusable { record_index = idx; op }))
+            ops;
+          let n_ops = List.length ops in
+          let wm = ref None and segs = ref [] and window_inputs = ref [] in
+          let bad = ref false in
+          List.iter
+            (fun id ->
+              match Hashtbl.find_opt table id with
+              | None ->
+                  violate (Unknown_uarray { record_index = idx; id });
+                  bad := true
+              | Some (Watermark _) -> wm := Some id
+              | Some (Segment s) -> segs := (id, s) :: !segs
+              | Some (Ready r) -> window_inputs := (id, `Ready r) :: !window_inputs
+              | Some (Group_mid g) -> window_inputs := (id, `Mid g) :: !window_inputs
+              | Some (Batch _) ->
+                  violate (Mixed_window_inputs { record_index = idx });
+                  bad := true)
+            inputs;
+          (if not !bad then
+            match (!segs, !window_inputs, !wm) with
+            | [ (id, s) ], [], None ->
+                (* Fused batch-stage execution: the chain must line up
+                   with the declared batch ops starting at the segment's
+                   current stage, and advances the stage by the whole
+                   chain length at once. *)
+                if s.consumed then violate (Double_consumption { record_index = idx; id })
+                else begin
+                  s.consumed <- true;
+                  note_consumed ~idx id;
+                  List.iteri
+                    (fun k op ->
+                      if s.stage + k >= batch_op_count then
+                        violate (Unexpected_batch_op { id; expected = -1; got = op })
+                      else
+                        let expected = List.nth spec.batch_ops (s.stage + k) in
+                        if op <> expected then
+                          violate (Unexpected_batch_op { id; expected; got = op }))
+                    ops;
+                  let done_after = s.stage + n_ops >= batch_op_count in
+                  List.iter
+                    (fun out ->
+                      if done_after then register_output s.seg_window true out
+                      else begin
+                        Hashtbl.replace table out
+                          (Segment
+                             { seg_window = s.seg_window; stage = s.stage + n_ops; consumed = false });
+                        ignore (win_state s.seg_window)
+                      end)
+                    outputs
+                end
+            | [], ((_ :: _) as wins), _ ->
+                (* Fused window-group execution: all chain ops count
+                   toward the window's op multiset. *)
+                let window_of (_, i) = match i with `Ready r -> r.ready_window | `Mid g -> g.mid_window in
+                let w0 = List.fold_left (fun acc x -> max acc (window_of x)) min_int wins in
+                let ok =
+                  List.for_all
+                    (fun (_, i) ->
+                      match i with
+                      | `Ready r -> r.ready_window = w0
+                      | `Mid g -> g.mid_window <= w0)
+                    wins
+                in
+                if ok then begin
+                  List.iter
+                    (fun (id, i) ->
+                      note_consumed ~idx id;
+                      match i with `Ready r -> r.read <- true | `Mid g -> g.mid_read <- true)
+                    wins;
+                  let s = win_state w0 in
+                  List.iter (fun op -> s.group_ops <- op :: s.group_ops) ops;
+                  List.iter
+                    (fun out ->
+                      Hashtbl.replace table out
+                        (Group_mid { mid_window = w0; mid_read = false; egressed = false }))
+                    outputs
+                end
+                else violate (Mixed_window_inputs { record_index = idx })
+            | _, _, _ -> violate (Mixed_window_inputs { record_index = idx }));
           List.iter
             (fun h ->
               let pred = Int64.to_int (Int64.shift_right_logical h 32) in

@@ -79,6 +79,16 @@ type violation =
           recipient log (wrong donor edge, resume coordinates the
           recipient's first epoch does not carry, or a resume checkpoint
           the donor log never attested) *)
+  | Fused_chain_mismatch of { record_index : int }
+      (** a composite {!Record.Fused} record whose chain hash does not
+          match its claimed op ids and parameter blob (tampered hash,
+          edited params, or a params blob that decodes to a different op
+          sequence than the record names) — the composition is forged *)
+  | Fused_non_fusable of { record_index : int; op : int }
+      (** a composite {!Record.Fused} record smuggles in an op that
+          {!Sbt_prim.Primitive.fusable} forbids from fusing (or an id no
+          primitive carries) — a stateful or windowing op hidden inside
+          one opaque trusted entry *)
 
 val pp_violation : Format.formatter -> violation -> unit
 

@@ -6,6 +6,7 @@ type config = Runtime.config = {
   dp_config : Dataplane.config;
   cores : int;
   hints_enabled : bool;
+  fuse : bool;
 }
 
 module Config = Runtime.Config

@@ -15,6 +15,7 @@ type config = Runtime.config = {
   dp_config : Dataplane.config;
   cores : int;  (** virtual cores for the recording run *)
   hints_enabled : bool;
+  fuse : bool;  (** run batch stages through the {!Ir.fuse} pass *)
 }
 
 module Config = Runtime.Config

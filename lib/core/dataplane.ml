@@ -120,6 +120,13 @@ type request =
       hints : hint list;
       retire_inputs : bool;
     }
+  | R_invoke_fused of {
+      steps : Sbt_prim.Fused.step list;
+      inputs : int64 list;
+      trigger : int option;
+      hints : hint list;
+      retire_inputs : bool;
+    }
   | R_egress of { input : int64; window : int }
   | R_install_udf of { udf : Udf.t; cert : bytes }
   | R_invoke_udf of {
@@ -161,6 +168,7 @@ type capture = {
   cap_op : P.t;
   cap_params : param list;
   cap_inputs : (int * int * U.buf) list; (* width, records, host snapshot *)
+  cap_steps : Sbt_prim.Fused.step list; (* non-empty iff a fused super-kernel *)
 }
 
 type t = {
@@ -446,7 +454,7 @@ let do_invoke (t : t) ~op ~inputs ~trigger ~params ~hints ~retire_inputs =
   let uas = List.map (Opaque.resolve t.refs) inputs in
   (match t.capture with
   | Some sink when capture_worthy op ->
-      sink { cap_op = op; cap_params = params; cap_inputs = List.map snapshot_input uas }
+      sink { cap_op = op; cap_params = params; cap_inputs = List.map snapshot_input uas; cap_steps = [] }
   | _ -> ());
   let producer = P.to_id op in
   let hint_for i =
@@ -710,6 +718,79 @@ let do_invoke (t : t) ~op ~inputs ~trigger ~params ~hints ~retire_inputs =
   if retire_inputs then List.iter (retire_ref t) inputs;
   Rs_outputs out_refs
 
+(* Fused super-kernel (PR 7): a whole chain of per-record primitives runs
+   in this one entry — one world-switch pair, one pass over the data, one
+   composite audit record.  The chain hash is computed here, in-TEE, so
+   the normal world cannot later present a different composition as the
+   one that ran. *)
+let do_invoke_fused (t : t) ~steps ~inputs ~trigger ~hints ~retire_inputs =
+  t.invocations <- t.invocations + 1;
+  Sbt_obs.Metrics.incr t.m_invocations;
+  (match steps with
+  | [] | [ _ ] -> raise (Rejected "fused: chain needs at least two steps")
+  | _ -> ());
+  let uas = List.map (Opaque.resolve t.refs) inputs in
+  let src = as_one uas in
+  let w = U.width src in
+  let dw =
+    match Sbt_prim.Fused.width_after w steps with
+    | Some dw -> dw
+    | None -> raise (Rejected "fused: chain invalid for input width")
+  in
+  (match t.capture with
+  | Some sink ->
+      sink
+        {
+          cap_op = Sbt_prim.Fused.step_op (List.hd steps);
+          cap_params = [];
+          cap_inputs = [ snapshot_input src ];
+          cap_steps = steps;
+        }
+  | None -> ());
+  let producer = P.to_id (Sbt_prim.Fused.step_op (List.hd steps)) in
+  let hint = match hints with h :: _ -> Some h | [] -> None in
+  let dst_ref = ref None in
+  timed t `Compute (fun () ->
+      Sbt_prim.Par_kernel.fused_raw ~w ~steps
+        ~src:(Sbt_prim.Par_kernel.slice_of_uarray src)
+        ~alloc:(fun n ->
+          (* The single alloc happens mid-kernel (after the count pass),
+             so its host time lands in the `Compute bucket — a stats
+             nuance only; no result or audit byte depends on it. *)
+          let dst =
+            Alloc.alloc t.alloc ~hint:(safe_hint t hint) ~scope:U.Streaming ~producer ~width:dw
+              ~capacity:n ()
+          in
+          dst_ref := Some dst;
+          let off = U.reserve dst n in
+          (U.raw dst, off))
+        ());
+  let dst = match !dst_ref with Some d -> d | None -> assert false in
+  produce t dst;
+  let ops = List.map (fun s -> P.to_id (Sbt_prim.Fused.step_op s)) steps in
+  let params = Sbt_prim.Fused.encode_steps steps in
+  let chain =
+    timed t `Crypto (fun () -> Sbt_attest.Record.chain_hash ~ops ~params)
+  in
+  let in_ids = List.map U.id uas @ Option.to_list trigger in
+  let audit_hints =
+    match hint with Some h -> [ encode_hint_for_audit t h (U.id dst) ] | None -> []
+  in
+  append_record t
+    (Sbt_attest.Record.Fused
+       {
+         ts = now_us t;
+         ops;
+         params;
+         chain;
+         inputs = in_ids;
+         outputs = [ U.id dst ];
+         hints = audit_hints;
+       });
+  let out = { win = -1; ref_ = Opaque.register t.refs dst; events = U.length dst } in
+  if retire_inputs then List.iter (retire_ref t) inputs;
+  Rs_outputs [ out ]
+
 let egress_nonce window = Int64.logor 0x4547000000000000L (Int64.of_int window)
 
 let do_egress t ~input ~window =
@@ -964,6 +1045,9 @@ let dispatch t = function
   | R_invoke { op; inputs; trigger; params; hints; retire_inputs } ->
       traced_prim t (P.name op) (fun () ->
           do_invoke t ~op ~inputs ~trigger ~params ~hints ~retire_inputs)
+  | R_invoke_fused { steps; inputs; trigger; hints; retire_inputs } ->
+      traced_prim t "fused" (fun () ->
+          do_invoke_fused t ~steps ~inputs ~trigger ~hints ~retire_inputs)
   | R_egress { input; window } -> traced_prim t "seal" (fun () -> do_egress t ~input ~window)
   | R_install_udf { udf; cert } -> do_install_udf t ~udf ~cert
   | R_invoke_udf { name; version; inputs; trigger; value_field; hints; retire_inputs; state_output } ->
@@ -1035,8 +1119,13 @@ let create cfg =
            (Pool.committed_bytes pool) (Alloc.live_groups alloc)));
   Tz.Smc.register smc Tz.Smc.Invoke (fun rpc ->
       match rpc with
+      | Rpc_op (R_invoke_fused _) -> raise (Rejected "wrong entry")
       | Rpc_op req -> Rr_op (dispatch t req)
       | Rpc_init | Rpc_finalize | Rpc_debug -> raise (Rejected "wrong entry"));
+  Tz.Smc.register smc Tz.Smc.Fused (fun rpc ->
+      match rpc with
+      | Rpc_op (R_invoke_fused _ as req) -> Rr_op (dispatch t req)
+      | Rpc_op _ | Rpc_init | Rpc_finalize | Rpc_debug -> raise (Rejected "wrong entry"));
   (* Transient SMC entry failures: the plan decides, per ingest frame
      identity, how many consecutive attempts the monitor refuses — so the
      schedule replays identically whatever order tasks run in. *)
@@ -1141,7 +1230,10 @@ let call t req =
   match t.cfg.version with
   | Insecure -> dispatch t req
   | Full | Clear_ingress | Io_via_os -> (
-      match Tz.Smc.call t.smc Tz.Smc.Invoke (Rpc_op req) with
+      let entry =
+        match req with R_invoke_fused _ -> Tz.Smc.Fused | _ -> Tz.Smc.Invoke
+      in
+      match Tz.Smc.call t.smc entry (Rpc_op req) with
       | Rr_op resp -> resp
       | Rr_unit | Rr_debug _ -> raise (Rejected "unexpected response"))
 

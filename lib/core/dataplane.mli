@@ -4,8 +4,9 @@
     trusted primitives as the only computations allowed on that data, and
     (iii) the minimum runtime: the specialized memory allocator and the
     audit log.  The untrusted control plane reaches it exclusively through
-    {!Sbt_tz.Smc} with the four-entry interface, passing opaque references
-    (paper §3.2, §4.2).
+    {!Sbt_tz.Smc} with the paper's four-entry interface (plus the PR 7
+    fused-super-kernel entry), passing opaque references (paper §3.2,
+    §4.2).
 
     Engine versions (paper Table 5) differ only in their ingestion path
     and cost model; they are selected by {!version}. *)
@@ -142,6 +143,21 @@ type request =
       hints : hint list;
       retire_inputs : bool;
     }
+  | R_invoke_fused of {
+      steps : Sbt_prim.Fused.step list;
+      inputs : int64 list;
+      trigger : int option;
+      hints : hint list;
+      retire_inputs : bool;
+    }
+      (** Run a fused super-kernel (PR 7): the whole chain of per-record
+          steps executes in a single trusted entry ({!Sbt_tz.Smc.Fused})
+          over one input uArray — one world-switch pair instead of one per
+          primitive — and emits a single composite
+          {!Sbt_attest.Record.Fused} audit record carrying the ordered op
+          ids, the encoded parameters, and an in-TEE chain hash.
+          {!Rejected} if the chain has fewer than two steps or is invalid
+          for the input width ({!Sbt_prim.Fused.width_after}). *)
   | R_egress of { input : int64; window : int }
   | R_install_udf of { udf : Udf.t; cert : bytes }
       (** Admit a certified UDF (paper §4.2); the certificate must verify
@@ -199,7 +215,7 @@ exception Overloaded of { stalled_ns : float }
     the caller degrades by declaring a gap ({!R_declare_gap}). *)
 
 val create : config -> t
-(** Builds the platform-attached data plane and registers the four SMC
+(** Builds the platform-attached data plane and registers the SMC
     entries.  [Init] is called once here. *)
 
 type restored = {
@@ -287,6 +303,11 @@ type capture = {
   cap_params : param list;
   cap_inputs : (int * int * Sbt_umem.Uarray.buf) list;
       (** per input: (width, records, host-heap snapshot of the raw data) *)
+  cap_steps : Sbt_prim.Fused.step list;
+      (** non-empty iff the invocation was a fused super-kernel
+          ([R_invoke_fused]); the replay then runs
+          {!Sbt_prim.Par_kernel.fused_raw} instead of dispatching on
+          [cap_op] *)
 }
 (** Snapshot of one heavy primitive invocation, taken on entry to
     [R_invoke] — before outputs are allocated or inputs retired.  The

@@ -1,0 +1,67 @@
+(* Typed pipeline IR (PR 7).  The control plane lowers a declared
+   pipeline's per-batch stages into a flat node list, then an optional
+   fusion pass collapses maximal runs of adjacent per-record primitives
+   into fused super-kernels.  The IR is deliberately tiny: batch stages
+   are a straight line (1-in/1-out by construction), so fusion is a
+   single left-to-right sweep with two barriers — non-fusable ops and
+   the window boundary. *)
+
+module F = Sbt_prim.Fused
+
+type node =
+  | N_op of Pipeline.batch_op
+  | N_fused of F.step list
+  | N_window
+
+let step_of_op = function
+  | Pipeline.B_filter_band { field; lo; hi } -> Some (F.F_filter_band { field; lo; hi })
+  | Pipeline.B_select { field; value } -> Some (F.F_select { field; value })
+  | Pipeline.B_project fields -> Some (F.F_project { fields })
+  | Pipeline.B_shift_key { field; shift } -> Some (F.F_shift_key { field; shift })
+  | Pipeline.B_sort _ -> None
+
+let lower (p : Pipeline.t) = List.map (fun op -> N_op op) p.Pipeline.batch_ops @ [ N_window ]
+
+(* Greedy maximal-run fusion.  A run of >= 2 consecutive fusable ops
+   becomes one N_fused; a lone fusable op is not worth a fused descriptor
+   (it already costs exactly one switch).  N_fused nodes and N_window are
+   barriers and pass through untouched, which makes the pass idempotent:
+   a second sweep finds no adjacent fusable pair it did not already
+   absorb. *)
+let fuse nodes =
+  let flush acc run =
+    match run with
+    | [] -> acc
+    | [ (op, _) ] -> N_op op :: acc
+    | _ -> N_fused (List.rev_map snd run) :: acc
+  in
+  let rec go acc run = function
+    | [] -> List.rev (flush acc run)
+    | N_op op :: rest -> (
+        match step_of_op op with
+        | Some step -> go acc ((op, step) :: run) rest
+        | None -> go (N_op op :: flush acc run) [] rest)
+    | (N_fused _ as n) :: rest | (N_window as n) :: rest -> go (n :: flush acc run) [] rest
+  in
+  go [] [] nodes
+
+let node_ops = function
+  | N_op op -> [ Sbt_prim.Primitive.to_id (Pipeline.batch_op_primitive op) ]
+  | N_fused steps -> List.map (fun s -> Sbt_prim.Primitive.to_id (F.step_op s)) steps
+  | N_window -> []
+
+let switch_count nodes =
+  List.fold_left
+    (fun acc n -> match n with N_op _ | N_fused _ -> acc + 1 | N_window -> acc)
+    0 nodes
+
+let pp_node fmt = function
+  | N_op op -> Format.fprintf fmt "%s" (Sbt_prim.Primitive.name (Pipeline.batch_op_primitive op))
+  | N_fused steps ->
+      Format.fprintf fmt "fused[%s]"
+        (String.concat ";" (List.map F.step_name steps))
+  | N_window -> Format.fprintf fmt "|window|"
+
+let pp fmt nodes =
+  Format.fprintf fmt "%s"
+    (String.concat " -> " (List.map (Format.asprintf "%a" pp_node) nodes))

@@ -1,0 +1,45 @@
+(** Typed pipeline IR and the in-TEE operator fusion pass (PR 7).
+
+    The control plane {!lower}s a declared pipeline's per-batch stages
+    into a flat node list; {!fuse} then collapses every maximal run of
+    two or more adjacent per-record primitives
+    (Filter∘Project∘Select∘ShiftKey chains) into a single
+    {!N_fused} super-kernel, executed by the data plane in {e one}
+    trusted entry ({!Dataplane.request.R_invoke_fused}) with one
+    composite audit record.  Non-fusable ops (Sort — it is not
+    per-record) and the window boundary are hard barriers: fusion never
+    crosses them. *)
+
+type node =
+  | N_op of Pipeline.batch_op  (** one batch stage, one trusted entry *)
+  | N_fused of Sbt_prim.Fused.step list
+      (** a fused chain: >= 2 steps, one trusted entry *)
+  | N_window
+      (** the batch/window phase boundary — a fusion barrier by
+          construction (window ops run under the watermark trigger, not
+          per segment) *)
+
+val step_of_op : Pipeline.batch_op -> Sbt_prim.Fused.step option
+(** The fused-kernel step equivalent to a batch op, or [None] for ops
+    the fusion pass must not absorb (exactly the ops whose primitive
+    {!Sbt_prim.Primitive.fusable} rejects). *)
+
+val lower : Pipeline.t -> node list
+(** The pipeline's batch stages in declaration order, terminated by
+    {!N_window}. *)
+
+val fuse : node list -> node list
+(** Greedy maximal-run fusion.  Runs of >= 2 adjacent fusable ops become
+    one {!N_fused}; lone fusable ops stay as {!N_op} (fusing one op buys
+    nothing).  Existing {!N_fused} nodes and {!N_window} are barriers
+    and pass through untouched, so the pass is idempotent:
+    [fuse (fuse l) = fuse l]. *)
+
+val node_ops : node -> int list
+(** Primitive ids a node executes, in order ([[]] for {!N_window}). *)
+
+val switch_count : node list -> int
+(** Trusted entries (world-switch pairs) the plan costs per segment. *)
+
+val pp_node : Format.formatter -> node -> unit
+val pp : Format.formatter -> node list -> unit

@@ -5,6 +5,8 @@ type batch_op =
   | B_sort of { key_field : int; secondary_value : int option }
   | B_filter_band of { field : int; lo : int32; hi : int32 }
   | B_project of int array
+  | B_select of { field : int; value : int32 }
+  | B_shift_key of { field : int; shift : int }
 
 type wctx = {
   window : int;
@@ -45,6 +47,8 @@ let batch_op_primitive = function
   | B_sort _ -> P.Sort
   | B_filter_band _ -> P.Filter_band
   | B_project _ -> P.Project
+  | B_select _ -> P.Select
+  | B_shift_key _ -> P.Shift_key
 
 let verifier_spec ?freshness_bound_us p =
   {
@@ -88,6 +92,35 @@ let filter ?(window_size_ticks = default_window) ?(lo = 0l) ?(hi = 42949672l) ()
     window_slide_ticks = window_size_ticks;
     streams = 1;
     batch_ops = [ B_filter_band { field = Event.default.value_field; lo; hi } ];
+    window_ops = [ P.Concat ];
+    window_udf_invocations = 0;
+    udfs = [];
+    plan = (fun ctx -> one (ctx.invoke P.Concat (refs_of ctx.ready)));
+  }
+
+let fps_chain ?(window_size_ticks = default_window) () =
+  (* Filter-Project-Select chain (PR 7): five adjacent per-record batch
+     stages, every one fusable, so the fusion pass collapses the whole
+     run into a single super-kernel.  Unfused, each segment costs five
+     world switches for its batch stages; fused, one.  Keys are
+     plug-style ids ([house*256 + plug] shape), so shifting by 8 then
+     selecting one house id keeps a deterministic ~1/40 slice of the
+     positive-value half. *)
+  let vf = Event.default.value_field in
+  {
+    name = "FpsChain";
+    schema = Event.default;
+    window_size_ticks;
+    window_slide_ticks = window_size_ticks;
+    streams = 1;
+    batch_ops =
+      [
+        B_filter_band { field = vf; lo = 0l; hi = Int32.max_int };
+        B_project [| 0; 1; 2 |];
+        B_shift_key { field = 0; shift = 8 };
+        B_select { field = 0; value = 5l };
+        B_filter_band { field = vf; lo = 0l; hi = 1431655765l };
+      ];
     window_ops = [ P.Concat ];
     window_udf_invocations = 0;
     udfs = [];

@@ -16,6 +16,11 @@ type batch_op =
           field requests a stable (value, key) two-pass radix order. *)
   | B_filter_band of { field : int; lo : int32; hi : int32 }
   | B_project of int array
+  | B_select of { field : int; value : int32 }
+      (** Keep records whose [field] equals [value] exactly. *)
+  | B_shift_key of { field : int; shift : int }
+      (** Arithmetic right-shift of [field] by [shift] bits (key
+          coarsening, e.g. plug id -> house id). *)
 
 (** Context handed to a window plan when its watermark fires. *)
 type wctx = {
@@ -80,6 +85,14 @@ val win_sum : ?window_size_ticks:int -> ?window_slide_ticks:int -> unit -> t
 
 val filter : ?window_size_ticks:int -> ?lo:int32 -> ?hi:int32 -> unit -> t
 (** FilterBand at the given selectivity band (defaults give ~1%). *)
+
+val fps_chain : ?window_size_ticks:int -> unit -> t
+(** Five adjacent fusable per-record batch stages
+    (Filter∘Project∘ShiftKey∘Select∘Filter) — the PR 7 fusion showcase.
+    With [--fuse on] the whole chain runs as one fused super-kernel per
+    segment (one world switch, one composite audit record) instead of
+    five separate trusted entries; results are byte-identical either
+    way. *)
 
 val group_topk : ?window_size_ticks:int -> ?k:int -> unit -> t
 (** Top-K values per key per window. *)

@@ -36,7 +36,8 @@ let mean = function
   | l -> List.fold_left ( +. ) 0.0 (List.map float_of_int l) /. float_of_int (List.length l)
 
 let run ?(cores_list = [ 2; 4; 8 ]) ?(target_delay_ms = 500.0) ?(version = D.Full)
-    ?(hints_enabled = true) ?(alloc_mode = Sbt_umem.Allocator.Hint_guided)
+    ?(hints_enabled = true) ?(fuse = false)
+    ?(alloc_mode = Sbt_umem.Allocator.Hint_guided)
     ?(sort_algorithm = Sbt_prim.Sort.Radix) ?(secure_mb = 512) ?(repeats = 1)
     ?(fault_plan = Sbt_fault.Fault.none) ?tracer ?(deterministic = false)
     ?exec_domains ?exec_time_scale ?exec_mode (pipe : Pipeline.t) frames =
@@ -55,7 +56,7 @@ let run ?(cores_list = [ 2; 4; 8 ]) ?(target_delay_ms = 500.0) ?(version = D.Ful
   in
   let cfg =
     Runtime.Config.make ~version ~cores:max_cores ~secure_mb ?cost ~alloc_mode
-      ~sort_algorithm ~fault_plan ?tracer ~hints_enabled ()
+      ~sort_algorithm ~fault_plan ?tracer ~hints_enabled ~fuse ()
   in
   let record () =
     (* With repeats > 1 the trace buffer would accumulate every

@@ -44,6 +44,7 @@ val run :
   ?target_delay_ms:float ->
   ?version:Dataplane.version ->
   ?hints_enabled:bool ->
+  ?fuse:bool ->
   ?alloc_mode:Sbt_umem.Allocator.mode ->
   ?sort_algorithm:Sbt_prim.Sort.algorithm ->
   ?secure_mb:int ->
@@ -58,8 +59,9 @@ val run :
   Sbt_net.Frame.t list ->
   outcome
 (** Defaults: cores [\[2;4;8\]], 500 ms target, [Full] version, hints on,
-    hint-guided allocator, radix sort, 512 MB secure DRAM, one recording
-    run.  [repeats > 1] records several times and keeps the cheapest
+    fusion off ([fuse] runs adjacent per-record batch stages as fused
+    super-kernels — fewer world switches, same bytes out), hint-guided
+    allocator, radix sort, 512 MB secure DRAM, one recording run.  [repeats > 1] records several times and keeps the cheapest
     trace, suppressing host measurement noise.  [tracer] records
     virtual-time spans for the recording run (use [repeats = 1] so the
     trace matches the kept recording; the buffer is reset before each

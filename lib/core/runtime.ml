@@ -5,7 +5,12 @@ module Des = Sbt_sim.Des
 
 type engine = [ `Des of int | `Domains of int ]
 
-type config = { dp_config : D.config; cores : int; hints_enabled : bool }
+type config = {
+  dp_config : D.config;
+  cores : int;
+  hints_enabled : bool;
+  fuse : bool;
+}
 
 module Config = struct
   type t = config
@@ -13,7 +18,7 @@ module Config = struct
   let make ?version ?(cores = 8) ?secure_mb ?cost ?platform ?alloc_mode
       ?sort_algorithm ?ingress_key ?egress_key ?audit_flush_every ?audit_enabled
       ?backpressure_threshold ?adaptive_backpressure ?seed ?fault_plan ?tracer
-      ?(hints_enabled = true) ?dp_config () =
+      ?(hints_enabled = true) ?(fuse = false) ?dp_config () =
     let dp_config =
       match dp_config with
       | Some c -> c
@@ -23,11 +28,12 @@ module Config = struct
             ?audit_enabled ?backpressure_threshold ?adaptive_backpressure ?seed
             ?fault_plan ?tracer ()
     in
-    { dp_config; cores; hints_enabled }
+    { dp_config; cores; hints_enabled; fuse }
 
   let with_dp_config dp_config cfg = { cfg with dp_config }
   let with_cores cores cfg = { cfg with cores }
   let with_hints hints_enabled cfg = { cfg with hints_enabled }
+  let with_fuse fuse cfg = { cfg with fuse }
 
   let with_tracer tracer cfg =
     { cfg with dp_config = D.Config.with_tracer tracer cfg.dp_config }
@@ -98,6 +104,18 @@ let cap_slice (_, n, buf) = { PK.buf; off = 0; len = n }
 
 let replay_capture runner (c : D.capture) =
   let params = c.D.cap_params in
+  (* Fused super-kernels carry their whole step chain in [cap_steps];
+     [cap_op] is only the head of the chain, so dispatch on the chain
+     first. *)
+  match (c.D.cap_steps, c.D.cap_inputs) with
+  | (_ :: _ as steps), [ ((w, _, _) as inp) ] -> (
+      match Sbt_prim.Fused.width_after w steps with
+      | Some dw ->
+          PK.fused_raw ~runner ~w ~steps ~src:(cap_slice inp)
+            ~alloc:(fun n -> (host_buf (n * max 1 dw), 0))
+            ()
+      | None -> ())
+  | _ -> (
   match (c.D.cap_op, c.D.cap_inputs) with
   | P.Sort, [ ((w, n, _) as inp) ] ->
       let kf = cap_key_field params 0 in
@@ -181,7 +199,7 @@ let replay_capture runner (c : D.capture) =
       PK.concat_raw ~runner ~w
         ~inputs:(Array.of_list (List.map cap_slice inputs))
         ~dst_buf:dst ~dst_off:0 ()
-  | _ -> () (* shape the replayer doesn't model: contributes no work *)
+  | _ -> () (* shape the replayer doesn't model: contributes no work *))
 
 type run_result = {
   results : (int * D.sealed_result) list;
@@ -488,34 +506,58 @@ let record ~recording_cores ?(capture = false) ?ckpt_every ?on_checkpoint ?resum
   let set_last_ready ws stream r =
     ws.last_ready <- (stream, r) :: List.remove_assoc stream ws.last_ready
   in
+  (* The batch-stage plan: lowered once per run, fused when the control
+     plane asked for it.  With fusion off the plan is exactly the declared
+     op list (plus the window barrier, which executes nothing), so the
+     default path is byte-identical to the unfused runtime. *)
+  let batch_plan =
+    let lowered = Ir.lower pipe in
+    if cfg.fuse then Ir.fuse lowered else lowered
+  in
   let run_batch_stages w stream seg_ref =
     let ws = win w in
     let r = ref seg_ref in
     List.iter
-      (fun bop ->
-        let hints = hint_for ws stream in
-        let params, op =
-          match bop with
-          | Pipeline.B_sort { key_field; secondary_value } ->
-              let p = [ D.P_key_field key_field ] in
-              let p =
-                match secondary_value with Some v -> D.P_value_field v :: p | None -> p
-              in
-              (p, P.Sort)
-          | Pipeline.B_filter_band { field; lo; hi } ->
-              ([ D.P_value_field field; D.P_lo lo; D.P_hi hi ], P.Filter_band)
-          | Pipeline.B_project fields -> ([ D.P_fields fields ], P.Project)
-        in
-        match
-          D.call dp
-            (D.R_invoke
-               { op; inputs = [ !r ]; trigger = None; params; hints; retire_inputs = true })
-        with
-        | D.Rs_outputs [ out ] -> r := out.D.ref_
-        | D.Rs_outputs _ | D.Rs_watermark _ | D.Rs_egress _ | D.Rs_ingested _
-        | D.Rs_checkpoint _ ->
-            failwith "control: unexpected batch-stage response")
-      pipe.Pipeline.batch_ops;
+      (fun node ->
+        match node with
+        | Ir.N_window -> ()
+        | Ir.N_fused steps -> (
+            let hints = hint_for ws stream in
+            match
+              D.call dp
+                (D.R_invoke_fused
+                   { steps; inputs = [ !r ]; trigger = None; hints; retire_inputs = true })
+            with
+            | D.Rs_outputs [ out ] -> r := out.D.ref_
+            | _ -> failwith "control: unexpected fused batch-stage response")
+        | Ir.N_op bop -> (
+            let hints = hint_for ws stream in
+            let params, op =
+              match bop with
+              | Pipeline.B_sort { key_field; secondary_value } ->
+                  let p = [ D.P_key_field key_field ] in
+                  let p =
+                    match secondary_value with Some v -> D.P_value_field v :: p | None -> p
+                  in
+                  (p, P.Sort)
+              | Pipeline.B_filter_band { field; lo; hi } ->
+                  ([ D.P_value_field field; D.P_lo lo; D.P_hi hi ], P.Filter_band)
+              | Pipeline.B_project fields -> ([ D.P_fields fields ], P.Project)
+              | Pipeline.B_select { field; value } ->
+                  ([ D.P_value_field field; D.P_lo value ], P.Select)
+              | Pipeline.B_shift_key { field; shift } ->
+                  ([ D.P_key_field field; D.P_shift shift ], P.Shift_key)
+            in
+            match
+              D.call dp
+                (D.R_invoke
+                   { op; inputs = [ !r ]; trigger = None; params; hints; retire_inputs = true })
+            with
+            | D.Rs_outputs [ out ] -> r := out.D.ref_
+            | D.Rs_outputs _ | D.Rs_watermark _ | D.Rs_egress _ | D.Rs_ingested _
+            | D.Rs_checkpoint _ ->
+                failwith "control: unexpected batch-stage response"))
+      batch_plan;
     ws.ready <- (stream, !r) :: ws.ready;
     set_last_ready ws stream !r
   in
@@ -955,6 +997,19 @@ let record ~recording_cores ?(capture = false) ?ckpt_every ?on_checkpoint ?resum
     end
   in
   let dp_stats = D.stats dp in
+  (* PR 7 observability: world-switch pairs the run cost, and the audit
+     volume it shipped (compressed, authenticated batch payloads).  Both
+     are what operator fusion is meant to shrink, so they get first-class
+     counters (added to, not reset, so a shared fleet registry
+     accumulates across nodes). *)
+  Sbt_obs.Metrics.add
+    (Sbt_obs.Metrics.counter reg "smc.switches")
+    dp_stats.D.switch_pairs;
+  Sbt_obs.Metrics.add
+    (Sbt_obs.Metrics.counter reg "audit.bytes")
+    (List.fold_left
+       (fun acc (b : Sbt_attest.Log.batch) -> acc + Bytes.length b.payload)
+       0 (D.uploaded_batches dp));
   let tee_metrics, tee_quote = D.metrics_quote dp ~nonce:(Bytes.of_string "sbt-run-final") in
   {
     results = List.rev !results;

@@ -27,6 +27,11 @@ type config = {
   dp_config : Dataplane.config;
   cores : int;  (** virtual cores for the recording run *)
   hints_enabled : bool;
+  fuse : bool;
+      (** run the {!Ir.fuse} pass over the lowered batch stages, executing
+          each maximal fusable run as one fused super-kernel (one world
+          switch, one composite audit record).  Off by default; sealed
+          results, verdicts and loss are byte-identical either way. *)
 }
 
 (** Labelled construction and functional update for {!config}.  [make]'s
@@ -53,16 +58,18 @@ module Config : sig
     ?fault_plan:Sbt_fault.Fault.plan ->
     ?tracer:Sbt_obs.Tracer.t ->
     ?hints_enabled:bool ->
+    ?fuse:bool ->
     ?dp_config:Dataplane.config ->
     unit ->
     t
-  (** Defaults: 8 cores, hints on, and {!Dataplane.Config.make}'s
-      defaults for the data plane.  [cores] sizes both the recording DES
-      and the data-plane platform. *)
+  (** Defaults: 8 cores, hints on, fusion off, and
+      {!Dataplane.Config.make}'s defaults for the data plane.  [cores]
+      sizes both the recording DES and the data-plane platform. *)
 
   val with_dp_config : Dataplane.config -> t -> t
   val with_cores : int -> t -> t
   val with_hints : bool -> t -> t
+  val with_fuse : bool -> t -> t
   val with_tracer : Sbt_obs.Tracer.t -> t -> t
   val with_fault_plan : Sbt_fault.Fault.plan -> t -> t
 end

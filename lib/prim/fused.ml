@@ -1,0 +1,141 @@
+(* Fused super-kernel descriptors: an ordered chain of per-record
+   primitives executed in a single pass (and a single trusted entry).
+   Only stateless 1-in/1-out per-record operators are fusable; anything
+   that reorders, splits or aggregates records (Sort, Segment, per-key
+   aggregation) breaks a chain. *)
+
+type step =
+  | F_filter_band of { field : int; lo : int32; hi : int32 }
+  | F_select of { field : int; value : int32 }
+  | F_project of { fields : int array }
+  | F_shift_key of { field : int; shift : int }
+
+let step_op = function
+  | F_filter_band _ -> Primitive.Filter_band
+  | F_select _ -> Primitive.Select
+  | F_project _ -> Primitive.Project
+  | F_shift_key _ -> Primitive.Shift_key
+
+let step_name s = Primitive.name (step_op s)
+
+(* Record width after each step, threading projections through; [None] if
+   any step references a field outside the width it actually sees (the
+   in-TEE validity check before a fused chain may run). *)
+let width_after w steps =
+  let rec go cw = function
+    | [] -> Some cw
+    | F_filter_band { field; _ } :: rest | F_select { field; _ } :: rest ->
+        if field < 0 || field >= cw then None else go cw rest
+    | F_shift_key { field; shift } :: rest ->
+        if field < 0 || field >= cw || shift < 0 || shift > 31 then None else go cw rest
+    | F_project { fields } :: rest ->
+        if Array.length fields = 0 then None
+        else if Array.exists (fun f -> f < 0 || f >= cw) fields then None
+        else go (Array.length fields) rest
+  in
+  go w steps
+
+(* Widest row any step of the chain sees — scratch sizing for the
+   single-pass kernels (a projection may widen by duplicating fields). *)
+let max_width w steps =
+  let rec go cw acc = function
+    | [] -> acc
+    | F_project { fields } :: rest ->
+        let cw = Array.length fields in
+        go cw (max acc cw) rest
+    | _ :: rest -> go cw acc rest
+  in
+  go w w steps
+
+(* --- wire codec -----------------------------------------------------------
+
+   Canonical byte encoding of a chain, carried in the fused-plan SMC
+   descriptor and verbatim in the composite audit record (so the verifier
+   replays exactly the parameters the TEE executed). *)
+
+let u16 b v =
+  Buffer.add_char b (Char.chr (v land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff))
+
+let u32 b v =
+  u16 b (Int32.to_int (Int32.logand v 0xffffl));
+  u16 b (Int32.to_int (Int32.logand (Int32.shift_right_logical v 16) 0xffffl))
+
+let encode_steps steps =
+  let n = List.length steps in
+  if n > 0xff then invalid_arg "Fused.encode_steps: too many steps";
+  let b = Buffer.create 32 in
+  Buffer.add_char b (Char.chr n);
+  List.iter
+    (fun s ->
+      Buffer.add_char b (Char.chr (Primitive.to_id (step_op s)));
+      match s with
+      | F_filter_band { field; lo; hi } ->
+          u16 b field;
+          u32 b lo;
+          u32 b hi
+      | F_select { field; value } ->
+          u16 b field;
+          u32 b value
+      | F_project { fields } ->
+          u16 b (Array.length fields);
+          Array.iter (u16 b) fields
+      | F_shift_key { field; shift } ->
+          u16 b field;
+          u16 b shift)
+    steps;
+  Buffer.to_bytes b
+
+let decode_steps bytes =
+  let pos = ref 0 in
+  let len = Bytes.length bytes in
+  let byte () =
+    if !pos >= len then raise Exit;
+    let v = Char.code (Bytes.get bytes !pos) in
+    incr pos;
+    v
+  in
+  let u16 () =
+    let a = byte () in
+    a lor (byte () lsl 8)
+  in
+  let u32 () =
+    let lo = u16 () in
+    let hi = u16 () in
+    Int32.logor (Int32.of_int lo) (Int32.shift_left (Int32.of_int hi) 16)
+  in
+  try
+    let n = byte () in
+    let steps =
+      List.init n (fun _ ->
+          match Primitive.of_id (byte ()) with
+          | Some Primitive.Filter_band ->
+              let field = u16 () in
+              let lo = u32 () in
+              let hi = u32 () in
+              F_filter_band { field; lo; hi }
+          | Some Primitive.Select ->
+              let field = u16 () in
+              let value = u32 () in
+              F_select { field; value }
+          | Some Primitive.Project ->
+              let k = u16 () in
+              F_project { fields = Array.init k (fun _ -> u16 ()) }
+          | Some Primitive.Shift_key ->
+              let field = u16 () in
+              let shift = u16 () in
+              F_shift_key { field; shift }
+          | _ -> raise Exit)
+    in
+    if !pos = len then Some steps else None
+  with Exit -> None
+
+let pp fmt s =
+  match s with
+  | F_filter_band { field; lo; hi } ->
+      Format.fprintf fmt "FilterBand(f%d in [%ld,%ld])" field lo hi
+  | F_select { field; value } -> Format.fprintf fmt "Select(f%d = %ld)" field value
+  | F_project { fields } ->
+      Format.fprintf fmt "Project(%s)"
+        (String.concat "," (Array.to_list (Array.map string_of_int fields)))
+  | F_shift_key { field; shift } -> Format.fprintf fmt "ShiftKey(f%d >> %d)" field shift

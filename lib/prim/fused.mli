@@ -1,0 +1,51 @@
+(** Fused super-kernel descriptors (PR 7).
+
+    A fused chain is an ordered list of stateless per-record primitives
+    (band filter, equality select, projection, key shift) executed in one
+    single-pass kernel behind one trusted entry, instead of one SMC round
+    trip per primitive.  The chain descriptor is the call ABI of the
+    [Fused] SMC entry and — encoded with {!encode_steps} — the parameter
+    blob of the composite audit record the execution emits.
+
+    Chain semantics are defined by the unfused primitives they collapse:
+    running the steps left-to-right over each record, dropping it at the
+    first failing filter/select, must produce output byte-identical to
+    invoking {!Filter.filter_band}, {!Filter.select_eq}, {!Misc.project}
+    and {!Misc.shift_key} in sequence over whole batches. *)
+
+type step =
+  | F_filter_band of { field : int; lo : int32; hi : int32 }
+      (** keep records with [lo <= field <= hi] (signed compare, as
+          {!Filter.filter_band}) *)
+  | F_select of { field : int; value : int32 }  (** keep records with [field = value] *)
+  | F_project of { fields : int array }
+      (** re-emit the record as [fields] (reorder / narrow / duplicate);
+          subsequent steps see the projected width *)
+  | F_shift_key of { field : int; shift : int }
+      (** arithmetic right-shift of one field, as {!Misc.shift_key} *)
+
+val step_op : step -> Primitive.t
+(** The unfused primitive a step stands for. *)
+
+val step_name : step -> string
+
+val width_after : int -> step list -> int option
+(** [width_after w steps] is the record width after the whole chain runs
+    over width-[w] input, or [None] if any step references a field outside
+    the width it would actually see (or an invalid shift) — the validity
+    check a fused plan must pass before it executes. *)
+
+val max_width : int -> step list -> int
+(** Widest row any step of the chain sees; scratch sizing for the
+    single-pass kernels. *)
+
+val encode_steps : step list -> bytes
+(** Canonical byte encoding of a chain (at most 255 steps).  Injective:
+    equal encodings mean equal chains, which is what the composite audit
+    record's chain hash signs. *)
+
+val decode_steps : bytes -> step list option
+(** Inverse of {!encode_steps}; [None] on any malformed or trailing
+    bytes. *)
+
+val pp : Format.formatter -> step -> unit

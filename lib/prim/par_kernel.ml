@@ -516,6 +516,96 @@ let filter_band_raw ?(runner = serial) ?pieces ~w ~field ~lo ~hi ~src ~alloc () 
   end
 
 (* ------------------------------------------------------------------ *)
+(* Fused chain: one pass per record through the whole step list, via the
+   same per-piece count -> serial prefix -> parallel scatter shape as the
+   band filter, so fused kernels run under the `Work executor unchanged.
+   The chain is evaluated fully in BOTH passes (a projection or key shift
+   can change what a later filter sees), on a per-chunk scratch row. *)
+
+let fused_eval steps ~w ~(src : U.buf) ~r ~(row : int32 array) ~(tmp : int32 array) =
+  for f = 0 to w - 1 do
+    row.(f) <- get src ((r * w) + f)
+  done;
+  let rec go cw = function
+    | [] -> Some cw
+    | Fused.F_filter_band { field; lo; hi } :: rest ->
+        let v = Int32.to_int row.(field) in
+        if v >= Int32.to_int lo && v <= Int32.to_int hi then go cw rest else None
+    | Fused.F_select { field; value } :: rest ->
+        if row.(field) = value then go cw rest else None
+    | Fused.F_project { fields } :: rest ->
+        let dw = Array.length fields in
+        for i = 0 to dw - 1 do
+          tmp.(i) <- row.(fields.(i))
+        done;
+        Array.blit tmp 0 row 0 dw;
+        go dw rest
+    | Fused.F_shift_key { field; shift } :: rest ->
+        row.(field) <- Int32.shift_right row.(field) shift;
+        go cw rest
+  in
+  go w steps
+
+let fused_raw ?(runner = serial) ?pieces ~w ~steps ~src ~alloc () =
+  let dw =
+    match Fused.width_after w steps with
+    | Some d -> d
+    | None -> invalid_arg "Par_kernel.fused_raw: step chain invalid for input width"
+  in
+  let mw = max 1 (Fused.max_width w steps) in
+  if src.len = 0 then ignore (alloc 0)
+  else begin
+    let pieces = pieces_for runner pieces src.len in
+    let rs = ranges ~n:src.len ~pieces in
+    let mcounts = Array.make pieces 0 in
+    let count_chunks =
+      Array.mapi
+        (fun i (s, len) ->
+          {
+            scratch_pages = pages_for_records mw 2;
+            run =
+              (fun () ->
+                let row = Array.make mw 0l and tmp = Array.make mw 0l in
+                let c = ref 0 in
+                for r = src.off + s to src.off + s + len - 1 do
+                  if fused_eval steps ~w ~src:src.buf ~r ~row ~tmp <> None then incr c
+                done;
+                mcounts.(i) <- !c);
+          })
+        rs
+    in
+    runner.run_chunks count_chunks;
+    let offs = Array.make (pieces + 1) 0 in
+    for i = 0 to pieces - 1 do
+      offs.(i + 1) <- offs.(i) + mcounts.(i)
+    done;
+    let dst_buf, dst_off = alloc offs.(pieces) in
+    let write_chunks =
+      Array.mapi
+        (fun i (s, len) ->
+          {
+            scratch_pages = pages_for_records dw mcounts.(i);
+            run =
+              (fun () ->
+                let row = Array.make mw 0l and tmp = Array.make mw 0l in
+                let o = ref (dst_off + offs.(i)) in
+                for r = src.off + s to src.off + s + len - 1 do
+                  match fused_eval steps ~w ~src:src.buf ~r ~row ~tmp with
+                  | Some _ ->
+                      let b = !o * dw in
+                      for f = 0 to dw - 1 do
+                        set dst_buf (b + f) row.(f)
+                      done;
+                      incr o
+                  | None -> ()
+                done);
+          })
+        rs
+    in
+    runner.run_chunks write_chunks
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Chunked 1:1 projection and order-preserving concat. *)
 
 let project_raw ?(runner = serial) ?pieces ~w ~fields ~src ~dst_buf ~dst_off () =
@@ -650,6 +740,18 @@ let project ?runner ?pieces ~src ~dst ~fields () =
   let first = U.reserve dst n in
   project_raw ?runner ?pieces ~w ~fields ~src:(slice_of_uarray src) ~dst_buf:(U.raw dst)
     ~dst_off:first ()
+
+let fused ?runner ?pieces ~src ~dst ~steps () =
+  let w = U.width src in
+  (match Fused.width_after w steps with
+  | Some dw when dw = U.width dst -> ()
+  | Some _ -> invalid_arg "Par_kernel.fused: dst width mismatch"
+  | None -> invalid_arg "Par_kernel.fused: step chain invalid for input width");
+  let alloc kept =
+    let first = U.reserve dst kept in
+    (U.raw dst, first)
+  in
+  fused_raw ?runner ?pieces ~w ~steps ~src:(slice_of_uarray src) ~alloc ()
 
 let concat ?runner ~inputs ~dst () =
   match inputs with

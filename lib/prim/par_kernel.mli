@@ -151,6 +151,23 @@ val filter_band_raw :
 (** Order-preserving chunked band filter: per-piece match counts, serial
     prefix sum, parallel scatter at stable offsets. *)
 
+val fused_raw :
+  ?runner:runner ->
+  ?pieces:int ->
+  w:int ->
+  steps:Fused.step list ->
+  src:slice ->
+  alloc:(int -> Sbt_umem.Uarray.buf * int) ->
+  unit ->
+  unit
+(** Single-pass fused chain (PR 7): every record runs the whole
+    {!Fused.step} list on a per-chunk scratch row, dropped at the first
+    failing filter/select; survivors are scattered at stable offsets via
+    the same count -> prefix -> scatter shape as {!filter_band_raw}, so
+    the output is byte-identical to applying the unfused primitives in
+    sequence.  Raises [Invalid_argument] if the chain is invalid for the
+    input width ({!Fused.width_after}). *)
+
 val project_raw :
   ?runner:runner ->
   ?pieces:int ->
@@ -279,6 +296,17 @@ val project :
   fields:int array ->
   unit ->
   unit
+
+val fused :
+  ?runner:runner ->
+  ?pieces:int ->
+  src:Sbt_umem.Uarray.t ->
+  dst:Sbt_umem.Uarray.t ->
+  steps:Fused.step list ->
+  unit ->
+  unit
+(** uArray wrapper over {!fused_raw}; [dst] must have the chain's final
+    width ({!Fused.width_after}). *)
 
 val concat :
   ?runner:runner -> inputs:Sbt_umem.Uarray.t list -> dst:Sbt_umem.Uarray.t -> unit -> unit

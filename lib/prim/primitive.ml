@@ -76,6 +76,19 @@ let () = Array.iter (fun t -> Hashtbl.replace name_of (name t) t) by_id
 
 let of_name s = Hashtbl.find_opt name_of s
 
+(* Only stateless 1-in/1-out per-record operators may join a fused chain:
+   they neither reorder records, nor carry state across them, nor change
+   the record count other than by dropping — so a single left-to-right
+   pass per record reproduces the unfused composition byte for byte.
+   Everything else (sorts, merges, windowing, aggregations, joins) breaks
+   a chain. *)
+let fusable = function
+  | Filter_band | Select | Project | Shift_key -> true
+  | Sort | Merge | Kway_merge | Segment | Sum_cnt | Top_k | Concat | Join | Count | Sum
+  | Unique | Median | Min_max | Average | Sum_per_key | Count_per_key | Avg_per_key
+  | Median_per_key | Top_k_per_key ->
+      false
+
 let ingress_id = 100
 let egress_id = 101
 let windowing_id = 102

@@ -39,7 +39,16 @@ val to_id : t -> int
 
 val of_id : int -> t option
 val name : t -> string
+
 val of_name : string -> t option
+(** Total: [Some] for every name {!name} produces, [None] for any other
+    string (lookup is case-sensitive and never raises). *)
+
+val fusable : t -> bool
+(** Whether the primitive may appear inside a fused chain (PR 7): true
+    only for the stateless per-record operators [Filter_band], [Select],
+    [Project] and [Shift_key].  The verifier uses this to reject composite
+    audit records smuggling in a non-fusable op. *)
 
 val ingress_id : int
 (** Pseudo-op id used in audit records for data ingestion. *)

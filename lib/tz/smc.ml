@@ -1,14 +1,15 @@
-type entry = Init | Finalize | Debug | Invoke
+type entry = Init | Finalize | Debug | Invoke | Fused
 
-let entry_count = 4
+let entry_count = 5
 
 let entry_name = function
   | Init -> "init"
   | Finalize -> "finalize"
   | Debug -> "debug"
   | Invoke -> "invoke"
+  | Fused -> "fused"
 
-let entry_index = function Init -> 0 | Finalize -> 1 | Debug -> 2 | Invoke -> 3
+let entry_index = function Init -> 0 | Finalize -> 1 | Debug -> 2 | Invoke -> 3 | Fused -> 4
 
 exception Entry_busy of entry
 

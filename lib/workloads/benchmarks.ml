@@ -84,6 +84,21 @@ let win_sum ?windows ?events_per_window ?batch_events ?encrypted () =
         ~schema:Sbt_core.Event.default ~streams:1 ~seed:31L ~gen ();
   }
 
+(* The fusion showcase: five adjacent per-record batch stages.  With
+   --fuse on the whole chain runs as one fused super-kernel per segment;
+   the bench's fusion section measures the world-switch and audit-volume
+   savings on exactly this workload. *)
+let fps ?windows ?events_per_window ?batch_events ?encrypted () =
+  {
+    name = "FpsChain";
+    pipeline = P.fps_chain ();
+    target_delay_ms = 10.0;
+    spec =
+      base_spec ?windows ?events_per_window ?batch_events ?encrypted
+        ~schema:Sbt_core.Event.default ~streams:1 ~seed:43L
+        ~gen:(synthetic_gen ~nkeys:10_000) ();
+  }
+
 let filter ?windows ?events_per_window ?batch_events ?encrypted () =
   {
     name = "Filter";
@@ -127,6 +142,7 @@ let all ?windows ?events_per_window ?batch_events ?encrypted () =
     distinct ?windows ?events_per_window ?batch_events ?encrypted ();
     join ?windows ?events_per_window ?batch_events ?encrypted ();
     win_sum ?windows ?events_per_window ?batch_events ?encrypted ();
+    fps ?windows ?events_per_window ?batch_events ?encrypted ();
     filter ?windows ?events_per_window ?batch_events ?encrypted ();
     power ?windows ?events_per_window ?batch_events ?encrypted ();
   ]
@@ -137,6 +153,7 @@ let by_name name =
   | "distinct" -> Some distinct
   | "join" -> Some join
   | "winsum" -> Some win_sum
+  | "fps" -> Some fps
   | "filter" -> Some filter
   | "power" -> Some power
   | _ -> None

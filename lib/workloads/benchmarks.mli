@@ -18,11 +18,17 @@ val topk : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encry
 val distinct : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t
 val join : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t
 val win_sum : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t
+
+val fps : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t
+(** The fusion showcase ({!Sbt_core.Pipeline.fps_chain}): five adjacent
+    fusable per-record batch stages, run with [--fuse on|off] to measure
+    world-switch and audit-volume savings. *)
+
 val filter : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t
 val power : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t
 
 val all : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t list
-(** All six, in the paper's Figure 7 order. *)
+(** The paper's six (Figure 7 order) plus [fps]. *)
 
 val by_name : string -> (?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t) option
 

@@ -450,6 +450,96 @@ let test_verifier_open_window_not_flagged () =
   Alcotest.(check bool) "ok" true (V.ok r);
   Alcotest.(check int) "no windows verified" 0 r.V.windows_verified
 
+(* --- composite (fused) records ----------------------------------------------- *)
+
+(* A run whose three batch stages execute as one fused super-kernel: one
+   composite audit record claims the whole Filter∘Project∘Select chain.
+   The verifier must replay it as the equivalent unfused sequence and
+   reject forged compositions. *)
+module F = Sbt_prim.Fused
+
+let fused_steps =
+  [
+    F.F_filter_band { field = 1; lo = 0l; hi = 100l };
+    F.F_project { fields = [| 0; 1; 2 |] };
+    F.F_select { field = 0; value = 5l };
+  ]
+
+let fused_ops = List.map (fun s -> P.to_id (F.step_op s)) fused_steps
+let fused_params = F.encode_steps fused_steps
+
+let spec_fused =
+  {
+    V.batch_ops = fused_ops;
+    window_ops = [ P.to_id P.Sum ];
+    window_size = 1000;
+    window_slide = 1000;
+    freshness_bound = None;
+  }
+
+let fused_record ?(ops = fused_ops) ?(params = fused_params) ?chain () =
+  let chain = match chain with Some c -> c | None -> Record.chain_hash ~ops ~params in
+  Record.Fused { ts = 10; ops; params; chain; inputs = [ 1 ]; outputs = [ 3 ]; hints = [] }
+
+let fused_run fused =
+  [
+    Record.Ingress { ts = 1; uarray = 0; stream = 0; seq = 0 };
+    Record.Windowing { ts = 5; data_in = 0; win_no = 0; data_out = 1 };
+    fused;
+    Record.Ingress_watermark { ts = 15; id = wm_id; value = 1000 };
+    Record.Execution { ts = 25; op = P.to_id P.Sum; inputs = [ 3; wm_id ]; outputs = [ 5 ]; hints = [] };
+    Record.Egress { ts = 30; uarray = 5; win_no = 0 };
+  ]
+
+let check_fused_violation name pred records =
+  let r = V.verify spec_fused records in
+  if V.ok r then Alcotest.failf "%s: expected a violation" name;
+  if not (List.exists pred r.V.violations) then
+    Alcotest.failf "%s: wrong violation kind: %s" name (Format.asprintf "%a" V.pp_report r)
+
+let test_verifier_accepts_fused_run () =
+  let r = V.verify spec_fused (fused_run (fused_record ())) in
+  if not (V.ok r) then
+    Alcotest.failf "expected clean replay, got: %s" (Format.asprintf "%a" V.pp_report r);
+  Alcotest.(check int) "one window" 1 r.V.windows_verified
+
+let test_verifier_fused_tampered_chain () =
+  (* Flip one byte of the chain hash: the commitment no longer matches
+     the claimed ops/params. *)
+  let chain = Record.chain_hash ~ops:fused_ops ~params:fused_params in
+  Bytes.set chain 0 (Char.chr (Char.code (Bytes.get chain 0) lxor 0x01));
+  check_fused_violation "tampered chain"
+    (function V.Fused_chain_mismatch _ -> true | _ -> false)
+    (fused_run (fused_record ~chain ()))
+
+let test_verifier_fused_non_fusable_op () =
+  (* A Sort smuggled into the composite chain, with an honest hash over
+     the forged ops: the type gate must flag the op itself. *)
+  let ops = [ List.nth fused_ops 0; P.to_id P.Sort; List.nth fused_ops 2 ] in
+  check_fused_violation "non-fusable op"
+    (function V.Fused_non_fusable { op; _ } -> op = P.to_id P.Sort | _ -> false)
+    (fused_run (fused_record ~ops ()))
+
+let test_verifier_fused_reordered_chain () =
+  (* Internally consistent forgery — ops, params and chain all agree —
+     but the chain runs Project before Filter, against the declared
+     stage order.  Only the replay against the spec catches it. *)
+  let steps = [ List.nth fused_steps 1; List.nth fused_steps 0; List.nth fused_steps 2 ] in
+  let ops = List.map (fun s -> P.to_id (F.step_op s)) steps in
+  let params = F.encode_steps steps in
+  check_fused_violation "reordered chain"
+    (function V.Unexpected_batch_op _ -> true | _ -> false)
+    (fused_run (fused_record ~ops ~params ()))
+
+let test_verifier_fused_overlong_chain () =
+  (* The chain claims more stages than the pipeline declares. *)
+  let steps = fused_steps @ [ F.F_shift_key { field = 0; shift = 2 } ] in
+  let ops = List.map (fun s -> P.to_id (F.step_op s)) steps in
+  let params = F.encode_steps steps in
+  check_fused_violation "overlong chain"
+    (function V.Unexpected_batch_op { expected = -1; _ } -> true | _ -> false)
+    (fused_run (fused_record ~ops ~params ()))
+
 (* --- loss-aware verification -------------------------------------------------- *)
 
 let test_gap_reason_tags () =
@@ -735,6 +825,14 @@ let () =
           Alcotest.test_case "misleading hints" `Quick test_verifier_misleading_hints;
           Alcotest.test_case "empty windows ok" `Quick test_verifier_empty_windows_ok;
           Alcotest.test_case "open window not flagged" `Quick test_verifier_open_window_not_flagged;
+        ] );
+      ( "fused-records",
+        [
+          Alcotest.test_case "accepts honest composite" `Quick test_verifier_accepts_fused_run;
+          Alcotest.test_case "tampered chain hash" `Quick test_verifier_fused_tampered_chain;
+          Alcotest.test_case "non-fusable op smuggled" `Quick test_verifier_fused_non_fusable_op;
+          Alcotest.test_case "reordered op chain" `Quick test_verifier_fused_reordered_chain;
+          Alcotest.test_case "overlong chain" `Quick test_verifier_fused_overlong_chain;
         ] );
       ( "loss-aware",
         [

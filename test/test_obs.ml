@@ -581,6 +581,42 @@ let test_resilience_metrics_match () =
   Alcotest.(check int) "tee.invocations" r.Control.dp_stats.D.invocations
     (tee_counter "tee.invocations")
 
+(* --- fusion counters (PR 7) --------------------------------------------------- *)
+
+(* Pinned semantics: [smc.switches] is the data plane's completed
+   entry/exit pair count for the run, and [audit.bytes] is the total
+   compressed, authenticated audit payload uploaded — exactly what the
+   fusion bench reads. *)
+let fusion_run ~fuse =
+  let bench = B.fps ~windows:2 ~events_per_window:2_000 ~batch_events:250 () in
+  let cost = { Sbt_tz.Cost_model.default with Sbt_tz.Cost_model.host_scale = 0.0 } in
+  let platform = Sbt_tz.Platform.create ~cores:8 ~cost () in
+  let cfg = Control.Config.make ~cores:4 ~platform ~fuse () in
+  Control.run cfg bench.B.pipeline (B.frames bench)
+
+let test_fusion_counter_semantics () =
+  List.iter
+    (fun fuse ->
+      let r = fusion_run ~fuse in
+      let reg = r.Control.registry in
+      Alcotest.(check int) "smc.switches = dp switch pairs" r.Control.dp_stats.D.switch_pairs
+        (Metrics.find_counter reg "smc.switches");
+      Alcotest.(check int) "audit.bytes = uploaded payload bytes"
+        (List.fold_left
+           (fun acc (b : Sbt_attest.Log.batch) -> acc + Bytes.length b.Sbt_attest.Log.payload)
+           0 r.Control.audit)
+        (Metrics.find_counter reg "audit.bytes"))
+    [ false; true ]
+
+let test_fusion_counters_shrink () =
+  (* On the 5-stage FPS chain, fusion must reduce both counters while the
+     sealed results stay byte-identical. *)
+  let off = fusion_run ~fuse:false and on = fusion_run ~fuse:true in
+  let c r name = Metrics.find_counter r.Control.registry name in
+  Alcotest.(check bool) "fewer switches" true (c on "smc.switches" < c off "smc.switches");
+  Alcotest.(check bool) "less audit volume" true (c on "audit.bytes" < c off "audit.bytes");
+  Alcotest.(check bool) "results identical" true (off.Control.results = on.Control.results)
+
 (* --- clean-run metrics -------------------------------------------------------- *)
 
 let test_clean_run_counters () =
@@ -638,5 +674,7 @@ let () =
           Alcotest.test_case "golden span tree" `Quick test_golden_span_tree;
           Alcotest.test_case "resilience metrics match" `Quick test_resilience_metrics_match;
           Alcotest.test_case "clean-run counters" `Quick test_clean_run_counters;
+          Alcotest.test_case "fusion counter semantics" `Quick test_fusion_counter_semantics;
+          Alcotest.test_case "fusion shrinks switches and audit" `Quick test_fusion_counters_shrink;
         ] );
     ]

@@ -315,6 +315,61 @@ let test_shift_key () =
   Misc.shift_key ~src ~dst ~field:0 ~shift:8;
   Alcotest.(check (list (list int))) "houses" [ [ 1; 7 ]; [ 2; 8 ] ] (rows_of_ua dst)
 
+(* --- fused super-kernel (PR 7) ----------------------------------------------------- *)
+
+module F = Sbt_prim.Fused
+module PK = Sbt_prim.Par_kernel
+
+let fused_chain =
+  [
+    F.F_filter_band { field = 1; lo = -400l; hi = 400l };
+    F.F_shift_key { field = 0; shift = 3 };
+    F.F_project { fields = [| 1; 0 |] };
+    F.F_select { field = 1; value = 12l };
+  ]
+
+let test_fused_equals_unfused_sequence () =
+  (* The single-pass fused kernel must be byte-identical to running the
+     four primitives one after another. *)
+  let p = pool () in
+  let rows = random_rows ~width:3 ~n:2_000 77 in
+  let src = ua_of_list p ~width:3 rows in
+  (* Reference: the unfused sequence. *)
+  let s1 = fresh p ~width:3 ~capacity:2_000 in
+  Filter.filter_band ~src ~dst:s1 ~field:1 ~lo:(-400l) ~hi:400l;
+  U.produce s1;
+  let s2 = fresh p ~width:3 ~capacity:(U.length s1) in
+  Misc.shift_key ~src:s1 ~dst:s2 ~field:0 ~shift:3;
+  U.produce s2;
+  let s3 = fresh p ~width:2 ~capacity:(U.length s2) in
+  Misc.project ~src:s2 ~dst:s3 ~fields:[| 1; 0 |];
+  U.produce s3;
+  let s4 = fresh p ~width:2 ~capacity:(U.length s3) in
+  Filter.select_eq ~src:s3 ~dst:s4 ~field:1 ~value:12l;
+  U.produce s4;
+  (* Fused, serial and chunked. *)
+  List.iter
+    (fun pieces ->
+      let dst = U.create ~id:7 ~pool:p ~width:2 ~capacity:2_000 () in
+      PK.fused ~pieces ~src ~dst ~steps:fused_chain ();
+      Alcotest.(check (list (list int)))
+        (Printf.sprintf "identical to unfused (pieces=%d)" pieces)
+        (rows_of_ua s4) (rows_of_ua dst))
+    [ 1; 4 ]
+
+let test_fused_steps_codec () =
+  (match F.decode_steps (F.encode_steps fused_chain) with
+  | Some steps -> Alcotest.(check bool) "roundtrip" true (steps = fused_chain)
+  | None -> Alcotest.fail "decode failed");
+  Alcotest.(check bool) "garbage rejected" true
+    (F.decode_steps (Bytes.of_string "\255nonsense") = None);
+  Alcotest.(check bool) "empty rejected" true (F.decode_steps Bytes.empty = None)
+
+let test_fused_width_tracking () =
+  Alcotest.(check (option int)) "3 -> 2 through project" (Some 2) (F.width_after 3 fused_chain);
+  Alcotest.(check (option int)) "field out of width is invalid" None
+    (F.width_after 1 fused_chain)
+
 (* --- registry --------------------------------------------------------------------- *)
 
 let test_registry () =
@@ -329,6 +384,20 @@ let test_registry () =
   (* Pseudo-ids for audit records must not collide with primitive ids. *)
   Alcotest.(check bool) "pseudo ids distinct" true
     (P.ingress_id >= P.count && P.egress_id >= P.count && P.windowing_id >= P.count)
+
+let test_of_name_total () =
+  (* [of_name] is total: unknown and near-miss names return [None], never
+     raise.  Names are exact (case-sensitive) matches. *)
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "%S unknown" s) true (P.of_name s = None))
+    [ ""; "nope"; "sort"; "SORT"; " Sort"; "Sort "; "Sort2"; "Fused" ]
+
+let test_fusable_ops () =
+  let fusable = [ P.Filter_band; P.Select; P.Project; P.Shift_key ] in
+  List.iter
+    (fun prim ->
+      Alcotest.(check bool) (P.name prim) (List.mem prim fusable) (P.fusable prim))
+    P.all
 
 let () =
   let q = QCheck_alcotest.to_alcotest in
@@ -376,5 +445,16 @@ let () =
           Alcotest.test_case "top k records" `Quick test_top_k_records;
           Alcotest.test_case "shift key" `Quick test_shift_key;
         ] );
-      ("registry", [ Alcotest.test_case "ids names pseudo-ops" `Quick test_registry ]);
+      ( "fused",
+        [
+          Alcotest.test_case "equals unfused sequence" `Quick test_fused_equals_unfused_sequence;
+          Alcotest.test_case "steps codec" `Quick test_fused_steps_codec;
+          Alcotest.test_case "width tracking" `Quick test_fused_width_tracking;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "ids names pseudo-ops" `Quick test_registry;
+          Alcotest.test_case "of_name total" `Quick test_of_name_total;
+          Alcotest.test_case "fusable ops" `Quick test_fusable_ops;
+        ] );
     ]

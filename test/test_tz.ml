@@ -94,7 +94,9 @@ let test_platform_copy_charge () =
 (* --- SMC ---------------------------------------------------------------- *)
 
 let test_smc_entry_surface () =
-  Alcotest.(check int) "exactly four entries" 4 Tz.Smc.entry_count
+  (* The paper's four entries plus the PR 7 fused super-kernel entry. *)
+  Alcotest.(check int) "exactly five entries" 5 Tz.Smc.entry_count;
+  Alcotest.(check string) "fused entry named" "fused" (Tz.Smc.entry_name Tz.Smc.Fused)
 
 let test_smc_dispatch () =
   let p = Tz.Platform.create () in

@@ -129,16 +129,17 @@ let test_two_streams () =
 (* --- benchmarks ----------------------------------------------------------------- *)
 
 let test_six_benchmarks () =
+  (* The paper's six plus the PR 7 fusion showcase. *)
   let all = B.all ~windows:1 ~events_per_window:100 ~batch_events:50 () in
-  Alcotest.(check int) "six" 6 (List.length all);
+  Alcotest.(check int) "seven" 7 (List.length all);
   Alcotest.(check (list string)) "names"
-    [ "TopK"; "Distinct"; "Join"; "WinSum"; "Filter"; "Power" ]
+    [ "TopK"; "Distinct"; "Join"; "WinSum"; "FpsChain"; "Filter"; "Power" ]
     (List.map (fun b -> b.B.name) all)
 
 let test_by_name () =
   List.iter
     (fun n -> Alcotest.(check bool) n true (B.by_name n <> None))
-    [ "topk"; "distinct"; "join"; "winsum"; "filter"; "power" ];
+    [ "topk"; "distinct"; "join"; "winsum"; "fps"; "filter"; "power" ];
   Alcotest.(check bool) "unknown" true (B.by_name "nope" = None)
 
 let test_taxi_distinct_cardinality () =
