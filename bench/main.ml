@@ -541,7 +541,11 @@ let fig10_one (mk : ?windows:int -> ?events_per_window:int -> ?batch_events:int 
     if hints then Sbt_umem.Allocator.Hint_guided else Sbt_umem.Allocator.Producer_grouping
   in
   let cfg = Control.Config.make ~cores:8 ~alloc_mode ~hints_enabled:hints () in
-  let r = Control.run cfg bench.B.pipeline (B.frames bench) in
+  let r =
+    Sbt_core.Session.create ~verify:false cfg
+    |> Sbt_core.Session.add_tenant ~pipeline:bench.B.pipeline ~source:(B.frames bench)
+    |> Sbt_core.Session.run_single
+  in
   let samples = List.map float_of_int r.Control.mem_samples_bytes in
   let n = float_of_int (max 1 (List.length samples)) in
   let mean = List.fold_left ( +. ) 0.0 samples /. n in
@@ -682,7 +686,11 @@ let fig11 () =
 let fig12_one (mk : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> B.t) batch_events =
   let bench = mk ~windows ~events_per_window:epw ~batch_events () in
   let cfg = Control.default_config () in
-  let r = Control.run cfg bench.B.pipeline (B.frames bench) in
+  let r =
+    Sbt_core.Session.create ~verify:false cfg
+    |> Sbt_core.Session.add_tenant ~pipeline:bench.B.pipeline ~source:(B.frames bench)
+    |> Sbt_core.Session.run_single
+  in
   let records =
     List.concat_map (fun b -> Sbt_attest.Log.open_batch ~key:egress_key b) r.Control.audit
   in
@@ -1124,6 +1132,77 @@ let fusion () =
   Printf.printf "  wrote %s\n" (Bench_json.path ~section:"fusion" ())
 
 (* ------------------------------------------------------------------ *)
+(* Multi-tenant enclave: aggregate throughput and fairness (p99
+   per-tenant output delay) vs tenant count, N small pipelines
+   consolidated behind one Session (PR 8)                               *)
+
+let tenants_bench () =
+  section "[tenants] N pipelines in one enclave: aggregate rate and fairness (PR 8)";
+  let module Session = Sbt_core.Session in
+  let module Multi = Sbt_core.Multi in
+  let module V = Sbt_attest.Verifier in
+  let counts = if smoke then [ 1; 8 ] else if quick then [ 1; 8; 64 ] else [ 1; 8; 64; 256 ] in
+  let cost = { Sbt_tz.Cost_model.default with Sbt_tz.Cost_model.host_scale = 0.0 } in
+  let cfg = Sbt_core.Runtime.Config.make ~cores:4 ~cost () in
+  Printf.printf
+    "  N small tenant pipelines (taxi per-fleet, power per-district mixes) share the\n";
+  Printf.printf
+    "  enclave under DRR scheduling; fairness = p99 per-tenant output delay:\n";
+  Printf.printf "  %-4s %-9s %-10s %-12s %-11s %-11s %s\n" "N" "events" "agg-ev/s"
+    "makespan-ms" "p99-dly-ms" "max-dly-ms" "verdicts";
+  List.iter
+    (fun n ->
+      (* total work roughly constant across N: each tenant gets a slice *)
+      let epw_t = max 1_000 (epw / (4 * n)) in
+      let batch_t = max 250 (epw_t / 4) in
+      let session =
+        List.fold_left
+          (fun s i ->
+            match
+              B.mix ~windows:2 ~events_per_window:epw_t ~batch_events:batch_t
+                ~encrypted:true "mixed" i
+            with
+            | Some b -> Session.add_tenant ~id:i ~pipeline:b.B.pipeline ~source:(B.frames b) s
+            | None -> s)
+          (Session.create cfg)
+          (List.init n (fun i -> i))
+      in
+      let t0 = Unix.gettimeofday () in
+      let res = Session.run session in
+      let wall = Unix.gettimeofday () -. t0 in
+      let clean, degraded, violating =
+        match res.Multi.report with
+        | Some r -> (r.V.tenants_clean, r.V.tenants_degraded, r.V.tenants_violating)
+        | None -> (0, 0, 0)
+      in
+      ignore
+        (Bench_json.append ~section:"tenants"
+           [
+             ("tenants", J.num_of_int n);
+             ("events", J.num_of_int res.Multi.agg_events);
+             ("agg_events_per_s", J.Num res.Multi.agg_events_per_sec);
+             ("makespan_ms", J.Num (res.Multi.makespan_ns /. 1e6));
+             ("wall_ms", J.Num (wall *. 1e3));
+             ("p99_delay_ms", J.Num (res.Multi.p99_delay_ns /. 1e6));
+             ("max_delay_ms", J.Num (res.Multi.max_delay_ns /. 1e6));
+             ("clean", J.num_of_int clean);
+             ("degraded", J.num_of_int degraded);
+             ("violating", J.num_of_int violating);
+             ( "verified",
+               J.Bool (match res.Multi.report with Some r -> V.tenants_ok r | None -> false) );
+           ]);
+      Printf.printf "  %-4d %-9d %-10.0f %-12.2f %-11.2f %-11.2f %d/%d clean\n" n
+        res.Multi.agg_events res.Multi.agg_events_per_sec
+        (res.Multi.makespan_ns /. 1e6)
+        (res.Multi.p99_delay_ns /. 1e6)
+        (res.Multi.max_delay_ns /. 1e6)
+        clean n)
+    counts;
+  Printf.printf
+    "  (delays are per-tenant output delays under the merged DRR schedule)\n";
+  Printf.printf "  wrote %s\n" (Bench_json.path ~section:"tenants" ())
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1145,6 +1224,7 @@ let sections =
     ("resilience", resilience);
     ("recovery", recovery_bench);
     ("fleet", fleet_bench);
+    ("tenants", tenants_bench);
   ]
 
 let () =

@@ -364,6 +364,134 @@ let fleet name version windows events_per_window batch m partition_by kills upli
               r.V.partitions_present r.V.partitions_expected r.V.handoffs_verified;
           if not (V.fleet_ok r) then exit 2
 
+(* --- multi-tenant enclave ---------------------------------------------------
+
+   Admit N tenant pipelines into one enclave through the Session API:
+   per-tenant page quotas (an over-budget tenant sheds and degrades
+   alone), per-tenant opaque-ref namespaces, DRR-fair scheduling, and
+   per-tenant audit sub-streams judged independently.  --solo-tenant I
+   runs tenant I of the same N-tenant spec alone; its per-tenant output
+   files are byte-identical to the joint run's (the CI cmp smoke).
+   Exit 2 when any tenant's verdict is not clean (violations or
+   declared degradation). *)
+let tenants_run name version windows events_per_window batch n mix_name quotas solo hints fuse
+    exec_domains exec_mode deterministic exec_time_scale verbose audit_out results_out =
+  let module Session = Sbt_core.Session in
+  let module Multi = Sbt_core.Multi in
+  let module Runtime = Sbt_core.Runtime in
+  let module V = Sbt_attest.Verifier in
+  if n < 1 then begin
+    Printf.eprintf "--tenants must be >= 1\n";
+    exit 1
+  end;
+  let encrypted = match version with D.Full | D.Io_via_os -> true | _ -> false in
+  let workload i =
+    match mix_name with
+    | Some m -> (
+        match B.mix ~windows ~events_per_window ~batch_events:batch ~encrypted m i with
+        | Some b -> b
+        | None ->
+            Printf.eprintf "unknown tenant mix %S (%s)\n" m (String.concat "|" B.mix_names);
+            exit 1)
+    | None -> (
+        match B.by_name name with
+        | Some mk -> mk ~windows ~events_per_window ~batch_events:batch ~encrypted ()
+        | None ->
+            Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|fps|filter|power)\n"
+              name;
+            exit 1)
+  in
+  let quota_for id =
+    let pick sel = List.filter_map (fun (s, p) -> if s = sel then Some p else None) quotas in
+    match (List.rev (pick (Some id)), List.rev (pick None)) with
+    | p :: _, _ -> Some p
+    | [], p :: _ -> Some p
+    | [], [] -> None
+  in
+  let cost =
+    if deterministic then
+      let base =
+        match version with
+        | D.Insecure -> Sbt_tz.Cost_model.free
+        | D.Full | D.Clear_ingress | D.Io_via_os -> Sbt_tz.Cost_model.default
+      in
+      Some { base with Sbt_tz.Cost_model.host_scale = 0.0 }
+    else None
+  in
+  let cfg = Runtime.Config.make ~version ?cost ~hints_enabled:hints ~fuse () in
+  let engine =
+    match exec_domains with Some d -> `Domains d | None -> `Des cfg.Runtime.cores
+  in
+  let ids =
+    match solo with
+    | None -> List.init n (fun i -> i)
+    | Some i when i >= 0 && i < n -> [ i ]
+    | Some i ->
+        Printf.eprintf "--solo-tenant %d outside 0..%d\n" i (n - 1);
+        exit 1
+  in
+  let session =
+    List.fold_left
+      (fun s i ->
+        let b = workload i in
+        Session.add_tenant ~id:i ?quota_pages:(quota_for i) ~pipeline:b.B.pipeline
+          ~source:(B.frames b) s)
+      (Session.create ~engine ?exec_mode ?exec_time_scale cfg)
+      ids
+  in
+  let res = Session.run session in
+  Printf.printf
+    "tenants: %d in one enclave | %d events | agg %.2f Mev/s | p99 delay %.2f ms | max %.2f ms\n"
+    (List.length res.Multi.tenants) res.Multi.agg_events
+    (res.Multi.agg_events_per_sec /. 1e6)
+    (res.Multi.p99_delay_ns /. 1e6)
+    (res.Multi.max_delay_ns /. 1e6);
+  if verbose then
+    List.iter
+      (fun tr ->
+        let s = tr.Multi.tr_run.Runtime.dp_stats in
+        Printf.printf
+          "tenant %d: %d events | %d window(s) | %d shed(s) | mean delay %.2f ms | max %.2f ms\n"
+          tr.Multi.tr_id tr.Multi.tr_run.Runtime.total_events
+          (List.length tr.Multi.tr_run.Runtime.results)
+          s.D.sheds
+          (tr.Multi.tr_mean_delay_ns /. 1e6)
+          (tr.Multi.tr_max_delay_ns /. 1e6))
+      res.Multi.tenants;
+  (* durable per-tenant outputs: <path>.t<id>, byte-comparable with a
+     --solo-tenant run of the same spec *)
+  (match results_out with
+  | Some path ->
+      List.iter
+        (fun tr ->
+          Sbt_io.write_results
+            (Printf.sprintf "%s.t%d" path tr.Multi.tr_id)
+            tr.Multi.tr_run.Runtime.results)
+        res.Multi.tenants;
+      Printf.printf "sealed results written to %s.t<ID> (one file per tenant)\n" path
+  | None -> ());
+  (match audit_out with
+  | Some path ->
+      List.iter
+        (fun tr ->
+          Sbt_io.write_audit
+            (Printf.sprintf "%s.t%d" path tr.Multi.tr_id)
+            tr.Multi.tr_run.Runtime.verifier_spec tr.Multi.tr_run.Runtime.audit)
+        res.Multi.tenants;
+      Printf.printf "audit sub-streams written to %s.t<ID> (one file per tenant)\n" path
+  | None -> ());
+  (match res.Multi.exec with
+  | None -> ()
+  | Some e ->
+      let module E = Sbt_exec.Executor in
+      Printf.printf "exec: %d domains | wall %.1f ms | %d tasks (merged fair schedule)\n"
+        e.E.domains (e.E.wall_ns /. 1e6) e.E.tasks_executed);
+  match res.Multi.report with
+  | None -> ()
+  | Some report ->
+      Format.printf "%a" V.pp_tenants_report report;
+      if not (V.tenants_ok report) || report.V.tenants_degraded > 0 then exit 2
+
 open Cmdliner
 
 let name_arg =
@@ -657,11 +785,88 @@ let omit_manifests_arg =
           "Strip the sealed handoff manifests from the --audit-out bundle (the run itself \
            is honest) — sbt_verify must then refuse the cross-edge stitch (exit 2)")
 
+(* --- multi-tenant arguments ------------------------------------------------- *)
+
+let tenants_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "tenants" ]
+        ~doc:
+          "Admit $(docv) tenant pipelines into one enclave behind the Session API: \
+           per-tenant page quotas, per-tenant opaque-ref namespaces, deficit-round-robin \
+           fair scheduling and per-tenant audit sub-streams judged independently (exit 2 \
+           if any tenant's verdict is not clean)"
+        ~docv:"N")
+
+let tenant_quota_conv =
+  let parse s =
+    let fail () =
+      Error (`Msg (Printf.sprintf "bad tenant quota %S (expected PAGES or ID:PAGES)" s))
+    in
+    match String.split_on_char ':' s with
+    | [ p ] -> (
+        match int_of_string_opt p with
+        | Some pages when pages > 0 -> Ok (None, pages)
+        | _ -> fail ())
+    | [ i; p ] -> (
+        match (int_of_string_opt i, int_of_string_opt p) with
+        | Some id, Some pages when id >= 0 && pages > 0 -> Ok (Some id, pages)
+        | _ -> fail ())
+    | _ -> fail ()
+  in
+  let print fmt (sel, p) =
+    match sel with
+    | None -> Format.pp_print_int fmt p
+    | Some i -> Format.fprintf fmt "%d:%d" i p
+  in
+  Arg.conv (parse, print) ~docv:"[ID:]PAGES"
+
+let tenant_quota_arg =
+  Arg.(
+    value & opt_all tenant_quota_conv []
+    & info [ "tenant-quota" ]
+        ~doc:
+          "Secure-DRAM quota in 4 KiB pages, for every tenant ($(b,PAGES)) or one tenant \
+           ($(b,ID:PAGES)); repeatable, the most specific (and latest) spec wins.  An \
+           over-budget tenant sheds and degrades alone — co-tenants stay clean")
+
+let tenant_mix_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "tenant-mix" ]
+        ~doc:
+          "Assign tenant workloads round-robin from a named family ($(b,taxi)|$(b,power)|\
+           $(b,mixed)) instead of running every tenant on the positional BENCHMARK")
+
+let solo_tenant_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "solo-tenant" ]
+        ~doc:
+          "Run only tenant $(docv) of the --tenants spec, alone in the enclave; its \
+           per-tenant output files are byte-identical to the joint run's (cmp them)"
+        ~docv:"I")
+
 let dispatch name version windows epw batch cores_list target_ms hints fuse verbose frames_in
     audit_out trace_out exec_domains exec_mode deterministic exec_time_scale results_out resil
     fault_rates fault_seed ckpt_every max_restarts crash_at crash_site recover fleet_m
-    partition_by kills uplinks stragglers suspect_after recover_after rogue omit_manifests =
-  if fleet_m > 0 then
+    partition_by kills uplinks stragglers suspect_after recover_after rogue omit_manifests
+    tenants_n tenant_quotas tenant_mix solo_tenant =
+  if tenants_n > 0 || solo_tenant <> None then
+    if fleet_m > 0 || resil || recover || crash_at <> None then begin
+      Printf.eprintf
+        "--tenants/--solo-tenant do not compose with --fleet/--resilience/--recover/--crash-at\n";
+      exit 1
+    end
+    else if frames_in <> None then begin
+      Printf.eprintf "--tenants generates each tenant's source; --frames is not supported\n";
+      exit 1
+    end
+    else
+      tenants_run name version windows epw batch tenants_n tenant_mix tenant_quotas solo_tenant
+        hints fuse exec_domains exec_mode deterministic exec_time_scale verbose audit_out
+        results_out
+  else if fleet_m > 0 then
     fleet name version windows epw batch fleet_m partition_by kills uplinks stragglers
       suspect_after recover_after rogue omit_manifests ckpt_every deterministic verbose audit_out
       results_out
@@ -684,6 +889,6 @@ let cmd =
       $ resilience_arg $ fault_rates_arg $ fault_seed_arg $ ckpt_every_arg $ max_restarts_arg
       $ crash_at_arg $ crash_site_arg $ recover_arg $ fleet_arg $ partition_by_arg $ kills_arg
       $ uplinks_arg $ stragglers_arg $ suspect_after_arg $ recover_after_arg $ rogue_arg
-      $ omit_manifests_arg)
+      $ omit_manifests_arg $ tenants_arg $ tenant_quota_arg $ tenant_mix_arg $ solo_tenant_arg)
 
 let () = exit (Cmd.eval cmd)

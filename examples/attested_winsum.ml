@@ -22,7 +22,12 @@ let egress_key = Bytes.of_string "sbt-egress-key16"
 let run_edge () =
   let bench = B.win_sum ~windows:3 ~events_per_window:20_000 ~batch_events:4_000 () in
   let cfg = Control.Config.make () in
-  (Control.run cfg bench.B.pipeline (B.frames bench), bench)
+  let r =
+    Sbt_core.Session.create cfg
+    |> Sbt_core.Session.add_tenant ~pipeline:bench.B.pipeline ~source:(B.frames bench)
+    |> Sbt_core.Session.run_single
+  in
+  (r, bench)
 
 let verdict name report =
   Printf.printf "%-28s -> %s (%d records, %d windows, max delay %d us)\n" name

@@ -20,7 +20,11 @@ let run_in_tee_prediction () =
   print_endline "-- part 2: in-TEE EWMA next-window load prediction --";
   let bench = B.power ~windows:5 ~events_per_window:20_000 ~batch_events:5_000 () in
   let pipe = Sbt_core.Pipeline.load_predict ~alpha_percent:50 () in
-  let r = Sbt_core.Control.run (Sbt_core.Control.Config.make ()) pipe (B.frames bench) in
+  let r =
+    Sbt_core.Session.create (Sbt_core.Control.Config.make ())
+    |> Sbt_core.Session.add_tenant ~pipeline:pipe ~source:(B.frames bench)
+    |> Sbt_core.Session.run_single
+  in
   List.sort compare r.Sbt_core.Control.results
   |> List.iter (fun (w, sealed) ->
          let rows = D.open_result ~egress_key sealed in

@@ -26,7 +26,11 @@ let () =
   in
   let frames = Datagen.frames spec in
   let pipe = Pipeline.win_sum ~window_size_ticks:1000 ~window_slide_ticks:250 () in
-  let r = Control.run (Control.Config.make ()) pipe frames in
+  let r =
+    Sbt_core.Session.create (Control.Config.make ())
+    |> Sbt_core.Session.add_tenant ~pipeline:pipe ~source:frames
+    |> Sbt_core.Session.run_single
+  in
   List.sort compare r.Control.results
   |> List.iter (fun (w, sealed) ->
          let rows = D.open_result ~egress_key sealed in

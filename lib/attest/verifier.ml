@@ -29,6 +29,7 @@ type violation =
   | Handoff_mismatch of { partition : int; donor : int; recipient : int; reason : string }
   | Fused_chain_mismatch of { record_index : int }
   | Fused_non_fusable of { record_index : int; op : int }
+  | Tenant_log_unverifiable of { tenant : int; reason : string }
 
 let pp_violation fmt = function
   | Unknown_uarray { record_index; id } ->
@@ -81,6 +82,8 @@ let pp_violation fmt = function
       Format.fprintf fmt "record %d: fused chain hash does not match its ops/params" record_index
   | Fused_non_fusable { record_index; op } ->
       Format.fprintf fmt "record %d: fused chain contains non-fusable op %d" record_index op
+  | Tenant_log_unverifiable { tenant; reason } ->
+      Format.fprintf fmt "tenant %d: audit stream fails authentication (%s)" tenant reason
 
 type report = {
   violations : violation list;
@@ -887,3 +890,96 @@ let pp_fleet_report fmt fr =
       (List.length fr.fleet_violations);
     List.iter (fun v -> Format.fprintf fmt "  - %a@." pp_violation v) fr.fleet_violations
   end
+
+(* --- tenant-scope verification -----------------------------------------
+
+   Multi-tenant consolidation (one enclave, N pipelines) keeps the
+   verifier's unit of judgment the single tenant: each tenant's audit
+   sub-stream is MAC'd under its own KDF-derived key and replayed through
+   the ordinary [verify] completely independently, so one tenant's
+   violation — or an unverifiable stream — never taints another's
+   verdict.  There is deliberately no cross-tenant invariant here: the
+   in-enclave namespace guard (Dataplane.Cross_tenant_ref) is what keeps
+   dataflow from crossing tenants, and a guard failure aborts the run
+   long before any audit bytes reach us. *)
+
+let tenant_key ~base tenant =
+  if tenant = 0 then base
+  else Sbt_crypto.Kdf.derive ~master:base ~label:(Printf.sprintf "tenant-%d:egress" tenant) 16
+
+type tenant_chain = { tenant : int; t_spec : spec; t_audit : Log.batch list }
+type tenant_report = { tn_tenant : int; tn_report : report }
+
+type tenants_report = {
+  tenant_reports : tenant_report list;
+  tenants_total : int;
+  tenants_clean : int;
+  tenants_degraded : int;
+  tenants_violating : int;
+}
+
+let tenants_ok tr = List.for_all (fun t -> ok t.tn_report) tr.tenant_reports
+
+let empty_report violations =
+  {
+    violations;
+    misleading_hints = 0;
+    windows_verified = 0;
+    records_replayed = 0;
+    max_delay = 0;
+    delays = [];
+    declared_gaps = 0;
+    gap_events = 0;
+    lost_batches = 0;
+    loss_fraction = 0.0;
+    degraded_windows = [];
+  }
+
+let verify_tenants ~key chains =
+  let reports =
+    List.map
+      (fun c ->
+        let k = tenant_key ~base:key c.tenant in
+        let report =
+          match List.concat_map (fun b -> Log.open_batch ~key:k b) c.t_audit with
+          | records -> verify c.t_spec records
+          | exception Invalid_argument reason ->
+              empty_report [ Tenant_log_unverifiable { tenant = c.tenant; reason } ]
+        in
+        { tn_tenant = c.tenant; tn_report = report })
+      (List.sort (fun a b -> compare a.tenant b.tenant) chains)
+  in
+  let clean =
+    List.length
+      (List.filter (fun t -> ok t.tn_report && t.tn_report.declared_gaps = 0) reports)
+  in
+  let degraded =
+    List.length
+      (List.filter (fun t -> ok t.tn_report && t.tn_report.declared_gaps > 0) reports)
+  in
+  let violating = List.length (List.filter (fun t -> not (ok t.tn_report)) reports) in
+  {
+    tenant_reports = reports;
+    tenants_total = List.length reports;
+    tenants_clean = clean;
+    tenants_degraded = degraded;
+    tenants_violating = violating;
+  }
+
+let pp_tenants_report fmt tr =
+  Format.fprintf fmt "tenants: %d total — %d clean, %d degraded, %d violating@."
+    tr.tenants_total tr.tenants_clean tr.tenants_degraded tr.tenants_violating;
+  List.iter
+    (fun t ->
+      let r = t.tn_report in
+      if ok r then
+        if r.declared_gaps > 0 then
+          Format.fprintf fmt "tenant %d: DEGRADED (%.1f%% declared loss over %d window(s))@."
+            t.tn_tenant (100.0 *. r.loss_fraction)
+            (List.length r.degraded_windows)
+        else Format.fprintf fmt "tenant %d: OK (%d window(s))@." t.tn_tenant r.windows_verified
+      else begin
+        Format.fprintf fmt "tenant %d: %d VIOLATION(S)@." t.tn_tenant (List.length r.violations);
+        List.iter (fun v -> Format.fprintf fmt "  - %a@." pp_violation v) r.violations
+      end)
+    tr.tenant_reports

@@ -89,6 +89,11 @@ type violation =
           {!Sbt_prim.Primitive.fusable} forbids from fusing (or an id no
           primitive carries) — a stateful or windowing op hidden inside
           one opaque trusted entry *)
+  | Tenant_log_unverifiable of { tenant : int; reason : string }
+      (** a tenant's audit sub-stream fails authentication under its
+          derived key ({!tenant_key}) — that tenant's verdict is a
+          violation, but {!verify_tenants} still judges every other
+          tenant on its own stream *)
 
 val pp_violation : Format.formatter -> violation -> unit
 
@@ -191,3 +196,49 @@ val verify_fleet :
     [partitions <= 0]. *)
 
 val pp_fleet_report : Format.formatter -> fleet_report -> unit
+
+(** {2 Tenant-scope verification}
+
+    Multi-tenant consolidation (one enclave serving N pipelines) keeps
+    the verifier's unit of judgment the single tenant: each tenant's
+    audit sub-stream is authenticated under its own derived key and
+    replayed through {!verify} independently, so one tenant's violation
+    never taints another's verdict.  Cross-tenant dataflow is prevented
+    in-enclave (the opaque-ref namespace guard), not re-checked here. *)
+
+val tenant_key : base:bytes -> int -> bytes
+(** The egress/audit key of tenant [id], derived from the [base] key the
+    edge shares with the cloud: tenant 0 inherits [base] itself (the
+    single-tenant run is the 1-tenant special case, byte for byte),
+    tenant [id <> 0] gets [Kdf.derive ~master:base ~label:"tenant-<id>:egress"].
+    Derivation depends only on the tenant id — never on how many
+    co-tenants shared the enclave — so a tenant's sealed results and
+    audit stream are identical whether it ran jointly or solo. *)
+
+type tenant_chain = {
+  tenant : int;
+  t_spec : spec;  (** the tenant's declared pipeline *)
+  t_audit : Log.batch list;  (** its audit sub-stream, oldest first *)
+}
+
+type tenant_report = { tn_tenant : int; tn_report : report }
+
+type tenants_report = {
+  tenant_reports : tenant_report list;  (** tenant-ascending *)
+  tenants_total : int;
+  tenants_clean : int;  (** [ok] with no declared gaps *)
+  tenants_degraded : int;  (** [ok] but with declared loss (e.g. quota sheds) *)
+  tenants_violating : int;  (** not [ok] *)
+}
+
+val tenants_ok : tenants_report -> bool
+(** Every tenant report {!ok} (degraded-but-declared still counts as ok,
+    exactly as in single-tenant {!verify}). *)
+
+val verify_tenants : key:bytes -> tenant_chain list -> tenants_report
+(** Judge each tenant's audit sub-stream independently under
+    [tenant_key ~base:key tenant].  A sub-stream that fails its MAC
+    yields {!Tenant_log_unverifiable} for that tenant only — never an
+    exception — so co-tenants' verdicts are unaffected. *)
+
+val pp_tenants_report : Format.formatter -> tenants_report -> unit

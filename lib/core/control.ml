@@ -1,6 +1,7 @@
-(* The historical entry point: Control.run is Runtime.run on the DES
-   engine.  Types are equations onto Runtime's so existing call sites and
-   the new API interoperate without conversion. *)
+(* The historical entry point, now a thin wrapper over a 1-tenant
+   Session (deprecated — new code should build a Session directly).
+   Types are equations onto Runtime's so existing call sites and the new
+   API interoperate without conversion. *)
 
 type config = Runtime.config = {
   dp_config : Dataplane.config;
@@ -34,4 +35,7 @@ type run_result = Runtime.run_result = {
   work : (int -> Sbt_exec.Executor.work_fn option) option;
 }
 
-let run cfg pipe frames = Runtime.run ~engine:(`Des cfg.cores) cfg pipe frames
+let run cfg pipe frames =
+  Session.create ~engine:(`Des cfg.cores) ~verify:false cfg
+  |> Session.add_tenant ~pipeline:pipe ~source:frames
+  |> Session.run_single

@@ -45,5 +45,7 @@ type run_result = Runtime.run_result = {
 (** See {!Runtime.run_result} for per-field documentation. *)
 
 val run : config -> Pipeline.t -> Sbt_net.Frame.t list -> run_result
-(** [run cfg] = {!Runtime.run}[ ~engine:(`Des cfg.cores) cfg] — record
-    under the discrete-event engine at [cfg.cores] virtual cores. *)
+(** Deprecated wrapper: a 1-tenant {!Session} run under the
+    discrete-event engine at [cfg.cores] virtual cores, byte-identical
+    to the historical [Runtime.run ~engine:(`Des cfg.cores)].  New code
+    should build a {!Session} directly. *)

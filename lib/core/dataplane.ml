@@ -12,6 +12,16 @@ let version_name = function
   | Io_via_os -> "SBT IOviaOS"
   | Insecure -> "Insecure"
 
+(* A tenant namespace: the enclave-level ownership map for opaque refs
+   when several tenant pipelines share one TEE.  Every ref this data
+   plane mints is recorded against [ns_tenant] in the shared [ns_owners]
+   table; any incoming ref owned by a different tenant is rejected
+   in-TEE with {!Cross_tenant_ref} — a confused (or malicious) control
+   plane cannot cross-wire one tenant's buffers into another's pipeline.
+   The table is host-side bookkeeping: no virtual time, no RNG draws, no
+   audit bytes, so installing a namespace never perturbs observables. *)
+type namespace = { ns_tenant : int; ns_owners : (int64, int) Hashtbl.t }
+
 type config = {
   version : version;
   platform : Tz.Platform.t;
@@ -26,6 +36,10 @@ type config = {
   seed : int64;
   fault_plan : Sbt_fault.Fault.plan;
   tracer : Sbt_obs.Tracer.t option;
+  pool_budget_bytes : int option;
+      (* secure-pool budget override (page-granular tenant quotas);
+         [None] = the platform's full secure-DRAM region *)
+  namespace : namespace option;
 }
 
 module Config = struct
@@ -37,7 +51,7 @@ module Config = struct
       ?(egress_key = Bytes.of_string "sbt-egress-key16")
       ?(audit_flush_every = 256) ?audit_enabled ?(backpressure_threshold = 0.90)
       ?(adaptive_backpressure = false) ?(seed = 42L)
-      ?(fault_plan = Sbt_fault.Fault.none) ?tracer () =
+      ?(fault_plan = Sbt_fault.Fault.none) ?tracer ?pool_budget_bytes ?namespace () =
     let platform =
       match platform with
       | Some p -> p
@@ -70,6 +84,8 @@ module Config = struct
       seed;
       fault_plan;
       tracer;
+      pool_budget_bytes;
+      namespace;
     }
 
   let with_platform platform cfg = { cfg with platform }
@@ -154,6 +170,13 @@ type response =
 
 exception Rejected of string
 exception Overloaded of { stalled_ns : float }
+
+exception Cross_tenant_ref of { ref_ : int64; owner : int; tenant : int }
+(* A reference minted for one tenant arrived at another tenant's
+   dispatch.  Distinct from {!Opaque.Invalid_reference} (a fabricated or
+   stale ref): the ref is live in the enclave, just not this tenant's —
+   the namespace check fires before the per-tenant table lookup ever
+   sees it. *)
 
 (* Internal SMC message wrappers so the entire surface is the paper's
    four entries: init, finalize, debug, and one shared invoke. *)
@@ -275,7 +298,39 @@ let alloc_out t ?hint ?(scope = U.Streaming) ~producer ~width ~capacity () =
 
 let produce t ua = timed t `Mem (fun () -> Alloc.produce t.alloc ua)
 
+(* --- tenant namespace -------------------------------------------------- *)
+(* When several tenant pipelines share one enclave, every ref minted for a
+   tenant is recorded in the shared owner map.  [guard_ref] fires on refs
+   that are live but foreign — the confused-control-plane case — before
+   the per-tenant table lookup turns them into Invalid_reference.  All of
+   this is host-side bookkeeping on the shared Hashtbl: it never touches
+   virtual time, the RNG, or audit bytes, so a namespaced run is
+   observably identical to a solo run. *)
+
+let guard_ref t r =
+  match t.cfg.namespace with
+  | None -> ()
+  | Some ns -> (
+      match Hashtbl.find_opt ns.ns_owners r with
+      | Some owner when owner <> ns.ns_tenant ->
+          raise (Cross_tenant_ref { ref_ = r; owner; tenant = ns.ns_tenant })
+      | _ -> ())
+
+let mint_ref t ua =
+  let r = Opaque.register t.refs ua in
+  (match t.cfg.namespace with
+  | Some ns -> Hashtbl.replace ns.ns_owners r ns.ns_tenant
+  | None -> ());
+  r
+
+let drop_ref t r =
+  Opaque.remove t.refs r;
+  match t.cfg.namespace with
+  | Some ns -> Hashtbl.remove ns.ns_owners r
+  | None -> ()
+
 let retire_ref t r =
+  guard_ref t r;
   let ua = Opaque.resolve t.refs r in
   timed t `Mem (fun () ->
       (* State uArrays outlive primitive executions; never retire them
@@ -284,7 +339,7 @@ let retire_ref t r =
       | U.State -> ()
       | U.Streaming | U.Temporary ->
           Alloc.retire t.alloc ua;
-          Opaque.remove t.refs r)
+          drop_ref t r)
 
 let find_param params f = List.find_map f params
 
@@ -330,7 +385,22 @@ let do_ingest_events t ~payload ~encrypted ~stream ~seq ~mac =
      carries an escalating stall so a persistently full pool slows the
      source down harder each time (load shedding, not crash). *)
   let forced_shed = Sbt_fault.Fault.pool_sheds t.cfg.fault_plan ~stream ~seq in
-  if forced_shed || Pool.available_pages t.pool < Pool.pages_for_bytes (Bytes.length payload)
+  (* A quota-constrained tenant (pool_budget_bytes) sheds at admission
+     time, before operator state can outgrow what is left: a batch is
+     admitted only while committed bytes stay under 1/3 of the budget.
+     Window-close kernels (sort/merge) can transiently allocate about
+     as much again as the accumulated state, so admitting up to B/3
+     keeps the close-time peak under B.  Unconstrained pools keep the
+     exact historical check (payload fits), so default runs are
+     byte-identical. *)
+  let quota_shed =
+    match t.cfg.pool_budget_bytes with
+    | Some b -> Pool.committed_bytes t.pool + Bytes.length payload > b / 3
+    | None -> false
+  in
+  if
+    forced_shed || quota_shed
+    || Pool.available_pages t.pool < Pool.pages_for_bytes (Bytes.length payload)
   then begin
     t.sheds <- t.sheds + 1;
     Sbt_obs.Metrics.incr t.m_sheds;
@@ -398,7 +468,7 @@ let do_ingest_events t ~payload ~encrypted ~stream ~seq ~mac =
   Sbt_obs.Metrics.observe t.m_batch_events (float_of_int events);
   Sbt_obs.Metrics.set_gauge t.m_pool (float_of_int (Pool.committed_bytes t.pool));
   append_record t (Sbt_attest.Record.Ingress { ts = now_us t; uarray = U.id ua; stream; seq });
-  let r = Opaque.register t.refs ua in
+  let r = mint_ref t ua in
   Rs_ingested { out = { win = -1; ref_ = r; events }; stalled_ns }
 
 (* The edge vouches, from inside the TEE, that a frame was lost to a
@@ -451,6 +521,7 @@ let snapshot_input ua =
 let do_invoke (t : t) ~op ~inputs ~trigger ~params ~hints ~retire_inputs =
   t.invocations <- t.invocations + 1;
   Sbt_obs.Metrics.incr t.m_invocations;
+  List.iter (guard_ref t) inputs;
   let uas = List.map (Opaque.resolve t.refs) inputs in
   (match t.capture with
   | Some sink when capture_worthy op ->
@@ -713,7 +784,7 @@ let do_invoke (t : t) ~op ~inputs ~trigger ~params ~hints ~retire_inputs =
              hints = audit_hints;
            }));
   let out_refs =
-    List.map (fun (win, ua) -> { win; ref_ = Opaque.register t.refs ua; events = U.length ua }) outputs
+    List.map (fun (win, ua) -> { win; ref_ = mint_ref t ua; events = U.length ua }) outputs
   in
   if retire_inputs then List.iter (retire_ref t) inputs;
   Rs_outputs out_refs
@@ -729,6 +800,7 @@ let do_invoke_fused (t : t) ~steps ~inputs ~trigger ~hints ~retire_inputs =
   (match steps with
   | [] | [ _ ] -> raise (Rejected "fused: chain needs at least two steps")
   | _ -> ());
+  List.iter (guard_ref t) inputs;
   let uas = List.map (Opaque.resolve t.refs) inputs in
   let src = as_one uas in
   let w = U.width src in
@@ -787,13 +859,14 @@ let do_invoke_fused (t : t) ~steps ~inputs ~trigger ~hints ~retire_inputs =
          outputs = [ U.id dst ];
          hints = audit_hints;
        });
-  let out = { win = -1; ref_ = Opaque.register t.refs dst; events = U.length dst } in
+  let out = { win = -1; ref_ = mint_ref t dst; events = U.length dst } in
   if retire_inputs then List.iter (retire_ref t) inputs;
   Rs_outputs [ out ]
 
 let egress_nonce window = Int64.logor 0x4547000000000000L (Int64.of_int window)
 
 let do_egress t ~input ~window =
+  guard_ref t input;
   let ua = Opaque.resolve t.refs input in
   let events = U.length ua and width = U.width ua in
   let cipher =
@@ -842,6 +915,7 @@ let do_invoke_udf t ~name ~version ~inputs ~trigger ~value_field ~hints ~retire_
   in
   t.invocations <- t.invocations + 1;
   Sbt_obs.Metrics.incr t.m_invocations;
+  List.iter (guard_ref t) inputs;
   let src = as_one (List.map (Opaque.resolve t.refs) inputs) in
   let w = U.width src in
   if value_field < 0 || value_field >= w then raise (Rejected "udf: bad value field");
@@ -921,7 +995,7 @@ let do_invoke_udf t ~name ~version ~inputs ~trigger ~value_field ~hints ~retire_
   append_record t
     (Sbt_attest.Record.Execution
        { ts = now_us t; op = P.udf_id; inputs = in_ids; outputs = [ U.id dst ]; hints = audit_hints });
-  let out = { win = -1; ref_ = Opaque.register t.refs dst; events = U.length dst } in
+  let out = { win = -1; ref_ = mint_ref t dst; events = U.length dst } in
   if retire_inputs then List.iter (retire_ref t) inputs;
   Rs_outputs [ out ]
 
@@ -929,10 +1003,11 @@ let do_invoke_udf t ~name ~version ~inputs ~trigger ~value_field ~hints ~retire_
    plane never retires state behind the control plane's back, but the
    control plane replaces state each window and must free the old one). *)
 let do_retire t ~input =
+  guard_ref t input;
   let ua = Opaque.resolve t.refs input in
   timed t `Mem (fun () ->
       Alloc.retire t.alloc ua;
-      Opaque.remove t.refs input);
+      drop_ref t input);
   Rs_outputs []
 
 (* --- checkpoint sealing ------------------------------------------------
@@ -1058,7 +1133,11 @@ let dispatch t = function
   | R_checkpoint { control; watermark } -> do_checkpoint t ~control ~watermark
 
 let create cfg =
-  let budget = Tz.Platform.secure_bytes cfg.platform in
+  let budget =
+    match cfg.pool_budget_bytes with
+    | Some b -> b
+    | None -> Tz.Platform.secure_bytes cfg.platform
+  in
   let pool = Pool.create ~budget_bytes:budget in
   let alloc = Alloc.create ~mode:cfg.alloc_mode ~pool () in
   let rng = Sbt_crypto.Rng.create ~seed:cfg.seed in
@@ -1219,7 +1298,10 @@ let restore cfg ~expect_seq blob =
       | 1 -> Alloc.produce t.alloc ua
       | 2 -> invalid_arg "Dataplane.restore: retired array in checkpoint"
       | n -> invalid_arg (Printf.sprintf "Dataplane.restore: bad state tag %d" n));
-      Opaque.restore t.refs ~ref_ ua)
+      Opaque.restore t.refs ~ref_ ua;
+      match t.cfg.namespace with
+      | Some ns -> Hashtbl.replace ns.ns_owners ref_ ns.ns_tenant
+      | None -> ())
     arrays;
   Alloc.force_next_id t.alloc ~next:(C.get_int r);
   let control = C.get_bytes r in

@@ -19,6 +19,15 @@ type version =
 
 val version_name : version -> string
 
+type namespace = { ns_tenant : int; ns_owners : (int64, int) Hashtbl.t }
+(** A tenant namespace for multi-tenant enclaves (PR 8): [ns_owners] is
+    the enclave-level ownership map shared by every tenant's data plane,
+    [ns_tenant] the tenant this config's plane mints refs for.  A ref
+    presented by the wrong tenant raises {!Cross_tenant_ref} in-TEE.  The
+    map is host-side bookkeeping: it never perturbs virtual time, the
+    RNG, results, or audit bytes, so a namespaced run is observably
+    identical to a solo run. *)
+
 type config = {
   version : version;
   platform : Sbt_tz.Platform.t;
@@ -45,6 +54,13 @@ type config = {
           [None] (the default) records nothing.  Spans are keyed to the
           TEE's virtual clock and modeled/virtual costs, so enabling
           tracing cannot change any result, audit byte, or verdict. *)
+  pool_budget_bytes : int option;
+      (** secure-pool budget override, page-granular — how per-tenant
+          DRAM quotas are enforced ({!Sbt_core.Multi}); [None] (the
+          default) sizes the pool to the platform's full secure region *)
+  namespace : namespace option;
+      (** tenant namespace this plane mints and guards refs under;
+          [None] (the default, single-tenant) skips all guarding *)
 }
 
 (** Labelled construction and functional update for {!config} — the one
@@ -69,6 +85,8 @@ module Config : sig
     ?seed:int64 ->
     ?fault_plan:Sbt_fault.Fault.plan ->
     ?tracer:Sbt_obs.Tracer.t ->
+    ?pool_budget_bytes:int ->
+    ?namespace:namespace ->
     unit ->
     t
   (** Defaults reproduce the paper's Full engine on an 8-core, 512 MB
@@ -207,6 +225,12 @@ type response =
 exception Rejected of string
 (** Structurally invalid request (wrong arity, bad params, fabricated
     reference surfaced as {!Opaque.Invalid_reference} instead). *)
+
+exception Cross_tenant_ref of { ref_ : int64; owner : int; tenant : int }
+(** A live reference belonging to [owner] reached [tenant]'s dispatch: the
+    confused-control-plane case the tenant namespace exists to catch.
+    Distinct from {!Opaque.Invalid_reference} (fabricated/stale ref) —
+    the ownership check fires in-TEE before any table lookup. *)
 
 exception Overloaded of { stalled_ns : float }
 (** The secure pool cannot absorb this ingest (or the fault plan forced a

@@ -67,7 +67,9 @@ let run ?(cores_list = [ 2; 4; 8 ]) ?(target_delay_ms = 500.0) ?(version = D.Ful
     (* Capture heavy-kernel inputs only when a [`Work] measurement will
        replay them; snapshot copies are pure overhead otherwise. *)
     let capture = exec_domains <> None && exec_mode = Some `Work in
-    Runtime.run ~engine:(`Des max_cores) ~capture cfg pipe frames
+    Session.create ~engine:(`Des max_cores) ~capture ~verify:false cfg
+    |> Session.add_tenant ~pipeline:pipe ~source:frames
+    |> Session.run_single
   in
   (* Host noise shows up as inflated task costs; repeated recordings keep
      the least-noisy (cheapest) trace. *)

@@ -1046,7 +1046,7 @@ let exec_trace ?time_scale ?mode ?scratch_pages ~domains cfg (r : run_result) =
     ~registry:r.registry ~pool ?time_scale ?mode ?scratch_pages ?work:r.work ~domains
     r.trace
 
-let run ?engine ?exec_time_scale ?exec_mode ?capture cfg pipe frames =
+let run ?engine ?exec_time_scale ?exec_mode ?capture ?registry cfg pipe frames =
   let engine = match engine with Some e -> e | None -> `Des cfg.cores in
   (* [`Work] measurement needs kernel captures from the recording pass;
      capture them by default exactly when that mode is requested. *)
@@ -1054,12 +1054,12 @@ let run ?engine ?exec_time_scale ?exec_mode ?capture cfg pipe frames =
     match capture with Some c -> c | None -> exec_mode = Some `Work
   in
   match engine with
-  | `Des cores -> record ~recording_cores:cores ~capture cfg pipe frames
+  | `Des cores -> record ~recording_cores:cores ~capture ?registry cfg pipe frames
   | `Domains domains ->
       (* Record with cfg.cores untouched — [domains] sizes only the real
          executor — so a [`Domains n] run's observables match [`Des
          cfg.cores] byte for byte. *)
-      let r = record ~recording_cores:cfg.cores ~capture cfg pipe frames in
+      let r = record ~recording_cores:cfg.cores ~capture ?registry cfg pipe frames in
       let report =
         exec_trace ?time_scale:exec_time_scale ?mode:exec_mode ~domains cfg r
       in

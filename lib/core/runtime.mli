@@ -141,6 +141,7 @@ val run :
   ?exec_time_scale:float ->
   ?exec_mode:Sbt_exec.Executor.mode ->
   ?capture:bool ->
+  ?registry:Sbt_obs.Metrics.t ->
   config ->
   Pipeline.t ->
   Sbt_net.Frame.t list ->
@@ -148,6 +149,15 @@ val run :
 (** Execute the pipeline over the frame stream.  [engine] defaults to
     [`Des cfg.cores].  [exec_time_scale] and [exec_mode] apply only to
     the [`Domains _] measurement phase (see {!Sbt_exec.Executor.run}).
+
+    New code should prefer the {!Session} builder ([Session.create cfg
+    |> add_tenant ... |> run]) — this function is the engine underneath
+    it, kept public for the 1-tenant wrappers.
+
+    [registry] supplies the control-plane metrics registry (possibly a
+    {!Sbt_obs.Metrics.scoped} view, e.g. a tenant's [tenantN.*] scope);
+    by default a fresh registry is created.  Metrics are measurement
+    only — no observable depends on which registry absorbs them.
 
     [capture] records heavy-kernel input snapshots during the serial pass
     and populates {!run_result.work}; it defaults to [true] exactly when
@@ -291,7 +301,8 @@ val run_supervised :
   supervised
 (** Run under a normal-world supervisor with sealed TEE checkpoints
     every [ckpt_every] closed windows (default 1) and source-side frame
-    replay.  On an injected crash the supervisor unseals the latest
+    replay.  (New code should prefer {!Session.run_supervised}, which
+    generalizes this to N tenants.)  On an injected crash the supervisor unseals the latest
     checkpoint — rejecting tampered blobs ({!Sbt_recovery.Seal.Tamper})
     and blobs older than the newest checkpoint attested in the signed
     audit stream ({!Sbt_recovery.Seal.Rollback}) — rebuilds the data

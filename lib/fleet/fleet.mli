@@ -73,6 +73,22 @@ type summary = {
           fleet-scope totals ([fleet.*]) *)
 }
 
+val run_session :
+  ?registry:Sbt_obs.Metrics.t ->
+  ?ckpt_every:int ->
+  ?rogue_handoff:bool ->
+  ?plan:Sbt_fault.Fault.plan ->
+  scenario:Sbt_fault.Fault.fleet_scenario ->
+  nodes:int ->
+  batch_events:int ->
+  Sbt_core.Session.t ->
+  summary
+(** The {!Sbt_core.Session}-facing entry: partition the session's single
+    tenant pipeline across [nodes] edges and run the churn scenario.
+    Raises [Invalid_argument] unless the session admitted exactly one
+    tenant (a fleet partitions one workload; multi-tenant enclaves
+    compose per node via {!Sbt_core.Multi} instead). *)
+
 val run :
   ?registry:Sbt_obs.Metrics.t ->
   ?ckpt_every:int ->
@@ -85,7 +101,9 @@ val run :
   Sbt_core.Pipeline.t ->
   Sbt_net.Frame.t list ->
   summary
-(** Run the fleet over a cleartext workload frame stream (see
+(** Deprecated wrapper: builds a 1-tenant session and calls
+    {!run_session}.  Run the fleet over a cleartext workload frame
+    stream (see
     {!Partition.split} for partitioning rules; [batch_events] is the
     workload's batch size).  [ckpt_every] defaults to 1 so every beat is
     a consistent kill point.  [plan] supplies the reconnect backoff for

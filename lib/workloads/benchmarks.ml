@@ -159,3 +159,22 @@ let by_name name =
   | _ -> None
 
 let frames t = Datagen.frames t.spec
+
+(* Multi-tenant mixes: the named workload families the tenants bench and
+   `sbt_run --tenant-mix` drive through one enclave.  Tenant [i] of a mix
+   cycles through the family's constructors, so "hundreds of small
+   pipelines" need only a mix name and a count. *)
+let mix_names = [ "taxi"; "power"; "mixed" ]
+
+let mix ?windows ?events_per_window ?batch_events ?encrypted name i =
+  let pick ctors = List.nth ctors (i mod List.length ctors) in
+  let family =
+    match String.lowercase_ascii name with
+    | "taxi" -> Some [ topk; distinct ] (* per-fleet taxi analytics *)
+    | "power" -> Some [ power; win_sum ] (* per-district grid monitoring *)
+    | "mixed" -> Some [ topk; distinct; join; win_sum; fps; filter; power ]
+    | _ -> None
+  in
+  Option.map
+    (fun ctors -> (pick ctors) ?windows ?events_per_window ?batch_events ?encrypted ())
+    family

@@ -33,3 +33,20 @@ val all : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encryp
 val by_name : string -> (?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t) option
 
 val frames : t -> Sbt_net.Frame.t list
+
+val mix_names : string list
+(** The named multi-tenant workload mixes: ["taxi"] (per-fleet taxi
+    analytics: topk/distinct), ["power"] (per-district grid monitoring:
+    power/winsum), ["mixed"] (all seven benchmarks round-robin). *)
+
+val mix :
+  ?windows:int ->
+  ?events_per_window:int ->
+  ?batch_events:int ->
+  ?encrypted:bool ->
+  string ->
+  int ->
+  t option
+(** [mix name i] is tenant [i]'s workload in the named mix — tenants
+    cycle through the mix's constructors — or [None] for an unknown mix
+    name. *)

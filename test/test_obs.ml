@@ -645,6 +645,38 @@ let test_clean_run_counters () =
   in
   Alcotest.(check int) "batch histogram count" 8 batch_count
 
+(* Tenant-scope registries (PR 8): each tenant's engine counters live
+   under [tenant<id>.*] in the shared root, and the enclave aggregates
+   under [tenants.*] must equal the per-tenant sums. *)
+let test_tenant_scoped_registries () =
+  let module Multi = Sbt_core.Multi in
+  let module Runtime = Sbt_core.Runtime in
+  let cost = { Sbt_tz.Cost_model.default with Sbt_tz.Cost_model.host_scale = 0.0 } in
+  let cfg = Runtime.Config.make ~cores:4 ~cost () in
+  let tenant id =
+    let b = B.win_sum ~windows:2 ~events_per_window:2_000 ~batch_events:500 () in
+    { Multi.id; pipeline = b.B.pipeline; source = B.frames b; quota_pages = None }
+  in
+  let res = Multi.run cfg [ tenant 0; tenant 1 ] in
+  let reg = res.Multi.registry in
+  let frames id = Metrics.find_counter reg (Printf.sprintf "tenant%d.control.frames" id) in
+  Alcotest.(check int) "tenant0 frames scoped" 8 (frames 0);
+  Alcotest.(check int) "tenant1 frames scoped" 8 (frames 1);
+  Alcotest.(check int) "tenants.count" 2 (Metrics.find_counter reg "tenants.count");
+  let sum f = List.fold_left (fun a tr -> a + f tr) 0 res.Multi.tenants in
+  Alcotest.(check int)
+    "tenants.events = per-tenant sum"
+    (sum (fun tr -> tr.Multi.tr_run.Runtime.total_events))
+    (Metrics.find_counter reg "tenants.events");
+  Alcotest.(check int)
+    "tenants.windows = per-tenant sum"
+    (sum (fun tr -> List.length tr.Multi.tr_run.Runtime.results))
+    (Metrics.find_counter reg "tenants.windows");
+  Alcotest.(check int) "clean enclave: no sheds" 0 (Metrics.find_counter reg "tenants.sheds");
+  Alcotest.(check int)
+    "clean enclave: no declared gaps" 0
+    (Metrics.find_counter reg "tenants.gaps_declared")
+
 let () =
   Alcotest.run "obs"
     [
@@ -676,5 +708,6 @@ let () =
           Alcotest.test_case "clean-run counters" `Quick test_clean_run_counters;
           Alcotest.test_case "fusion counter semantics" `Quick test_fusion_counter_semantics;
           Alcotest.test_case "fusion shrinks switches and audit" `Quick test_fusion_counters_shrink;
+          Alcotest.test_case "tenant-scoped registries" `Quick test_tenant_scoped_registries;
         ] );
     ]
