@@ -1,7 +1,8 @@
 module U = Sbt_umem.Uarray
 module Pool = Sbt_umem.Page_pool
+module Slab = Sbt_umem.Slab
 
-type chunk = { scratch_pages : int; run : unit -> unit }
+type chunk = { scratch_bytes : int; run : unit -> unit }
 type runner = { width : int; run_chunks : chunk array -> unit }
 
 type slice = { buf : U.buf; off : int; len : int }
@@ -53,7 +54,18 @@ let blit_records ~(src : U.buf) ~src_r ~(dst : U.buf) ~dst_r ~w ~n =
 
 let host_buf cells : U.buf = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout (max 1 cells)
 
-let pages_for_records w n = Pool.pages_for_bytes (n * w * 4)
+let bytes_for_records w n = n * w * 4
+
+(* Domain-local slab arena backing the real small kernel scratch (the
+   flat per-piece window tables below).  Each domain lazily gets its own
+   arena over a private 4 MB host-modeling pool, so chunk bodies running
+   on executor workers allocate scratch without locks; usage is strictly
+   transient (alloc and free within one chunk), so an arena never holds
+   more than a page or two per size class. *)
+let scratch_arena_key =
+  Domain.DLS.new_key (fun () -> Slab.over_pool (Pool.create ~budget_bytes:(4 * 1024 * 1024)))
+
+let scratch_arena () = Domain.DLS.get scratch_arena_key
 
 (* Contiguous record-range splits: piece [i] covers
    [i*n/pieces, (i+1)*n/pieces).  Pieces may be empty when n < pieces. *)
@@ -184,7 +196,7 @@ let merge_sorted_runs ~runner ~pieces ~w ~kf ~runs ~total ~dst_buf ~dst_off =
             let out_off = p * total / pieces in
             let out_len = ((p + 1) * total / pieces) - out_off in
             {
-              scratch_pages = pages_for_records w out_len;
+              scratch_bytes = bytes_for_records w out_len;
               run =
                 (fun () ->
                   if out_len > 0 then
@@ -227,7 +239,7 @@ let sort_raw ?(runner = serial) ?pieces ~w ~key_field ~src ~dst_buf ~dst_off () 
         Array.map
           (fun (s, len) ->
             {
-              scratch_pages = pages_for_records w (2 * len);
+              scratch_bytes = bytes_for_records w (2 * len);
               run =
                 (fun () ->
                   if len > 0 then begin
@@ -252,15 +264,62 @@ let sort_raw ?(runner = serial) ?pieces ~w ~key_field ~src ~dst_buf ~dst_off () 
    scatter — piece [i]'s records land after pieces [0..i-1]'s within every
    window, which is exactly the serial record order. *)
 
+(* The per-piece partial table.  When the piece's window range is dense
+   enough to fit a slab slot (the overwhelmingly common case: a batch
+   spans a handful of windows), counting runs over a flat slot-backed
+   array — one increment per record instead of two hash probes and a
+   boxed option — and only the non-zero cells are folded into the
+   Hashtbl the merge layer expects.  The table contents are identical
+   either way, so sealed results cannot depend on the path taken. *)
 let window_counts_of_piece (buf : U.buf) ~w ~ts_field ~size ~slide ~off ~len =
   let t = Hashtbl.create 32 in
-  for r = off to off + len - 1 do
-    let ts = Int32.to_int (get buf ((r * w) + ts_field)) in
-    let lo, hi = Segment.windows_of ~ts ~size ~slide in
-    for win = lo to hi do
-      Hashtbl.replace t win (1 + Option.value ~default:0 (Hashtbl.find_opt t win))
+  let via_hashtbl () =
+    for r = off to off + len - 1 do
+      let ts = Int32.to_int (get buf ((r * w) + ts_field)) in
+      let lo, hi = Segment.windows_of ~ts ~size ~slide in
+      for win = lo to hi do
+        Hashtbl.replace t win (1 + Option.value ~default:0 (Hashtbl.find_opt t win))
+      done
     done
-  done;
+  in
+  if len > 0 && Slab.enabled () then begin
+    let lo_min = ref max_int and hi_max = ref min_int in
+    for r = off to off + len - 1 do
+      let ts = Int32.to_int (get buf ((r * w) + ts_field)) in
+      let lo, hi = Segment.windows_of ~ts ~size ~slide in
+      if lo < !lo_min then lo_min := lo;
+      if hi > !hi_max then hi_max := hi
+    done;
+    let range = !hi_max - !lo_min + 1 in
+    if range > 0 && Slab.fits (range * 4) then begin
+      let arena = scratch_arena () in
+      match Slab.alloc arena ~bytes:(range * 4) with
+      | exception Pool.Out_of_secure_memory _ -> via_hashtbl ()
+      | ptr ->
+          let counts = Slab.view arena ptr in
+          Fun.protect
+            ~finally:(fun () -> Slab.free arena ptr)
+            (fun () ->
+              for i = 0 to range - 1 do
+                Bigarray.Array1.unsafe_set counts i 0l
+              done;
+              for r = off to off + len - 1 do
+                let ts = Int32.to_int (get buf ((r * w) + ts_field)) in
+                let lo, hi = Segment.windows_of ~ts ~size ~slide in
+                for win = lo to hi do
+                  let i = win - !lo_min in
+                  Bigarray.Array1.unsafe_set counts i
+                    (Int32.add (Bigarray.Array1.unsafe_get counts i) 1l)
+                done
+              done;
+              for i = 0 to range - 1 do
+                let c = Bigarray.Array1.unsafe_get counts i in
+                if c <> 0l then Hashtbl.replace t (!lo_min + i) (Int32.to_int c)
+              done)
+    end
+    else via_hashtbl ()
+  end
+  else via_hashtbl ();
   t
 
 let segment_count_tables ~runner ~pieces ~w ~ts_field ~size ~slide ~src =
@@ -270,7 +329,7 @@ let segment_count_tables ~runner ~pieces ~w ~ts_field ~size ~slide ~src =
     Array.mapi
       (fun i (s, len) ->
         {
-          scratch_pages = Pool.pages_for_bytes (len * 16);
+          scratch_bytes = len * 16;
           run =
             (fun () ->
               tables.(i) <-
@@ -330,7 +389,7 @@ let segment_raw ?(runner = serial) ?pieces ~w ~ts_field ~window_size ?slide ~src
       (fun i (s, len) ->
         let written = Hashtbl.fold (fun _ c a -> a + c) tables.(i) 0 in
         {
-          scratch_pages = pages_for_records w written;
+          scratch_bytes = bytes_for_records w written;
           run =
             (fun () ->
               let cursors = Hashtbl.create 32 in
@@ -432,7 +491,7 @@ let per_key_raw ?(runner = serial) ?pieces ~w ~key_field ~value_field ~agg ~src 
       let count_chunks =
         Array.mapi
           (fun i range ->
-            { scratch_pages = 0; run = (fun () -> gcounts.(i) <- groups_in src ~w ~kf range) })
+            { scratch_bytes = 0; run = (fun () -> gcounts.(i) <- groups_in src ~w ~kf range) })
           rs
       in
       runner.run_chunks count_chunks;
@@ -445,7 +504,7 @@ let per_key_raw ?(runner = serial) ?pieces ~w ~key_field ~value_field ~agg ~src 
         Array.mapi
           (fun i range ->
             {
-              scratch_pages = pages_for_records 2 gcounts.(i);
+              scratch_bytes = bytes_for_records 2 gcounts.(i);
               run =
                 (fun () ->
                   ignore
@@ -478,7 +537,7 @@ let filter_band_raw ?(runner = serial) ?pieces ~w ~field ~lo ~hi ~src ~alloc () 
       Array.mapi
         (fun i (s, len) ->
           {
-            scratch_pages = 0;
+            scratch_bytes = 0;
             run =
               (fun () ->
                 let c = ref 0 in
@@ -499,7 +558,7 @@ let filter_band_raw ?(runner = serial) ?pieces ~w ~field ~lo ~hi ~src ~alloc () 
       Array.mapi
         (fun i (s, len) ->
           {
-            scratch_pages = pages_for_records w mcounts.(i);
+            scratch_bytes = bytes_for_records w mcounts.(i);
             run =
               (fun () ->
                 let o = ref (dst_off + offs.(i)) in
@@ -562,7 +621,7 @@ let fused_raw ?(runner = serial) ?pieces ~w ~steps ~src ~alloc () =
       Array.mapi
         (fun i (s, len) ->
           {
-            scratch_pages = pages_for_records mw 2;
+            scratch_bytes = bytes_for_records mw 2;
             run =
               (fun () ->
                 let row = Array.make mw 0l and tmp = Array.make mw 0l in
@@ -584,7 +643,7 @@ let fused_raw ?(runner = serial) ?pieces ~w ~steps ~src ~alloc () =
       Array.mapi
         (fun i (s, len) ->
           {
-            scratch_pages = pages_for_records dw mcounts.(i);
+            scratch_bytes = bytes_for_records dw mcounts.(i);
             run =
               (fun () ->
                 let row = Array.make mw 0l and tmp = Array.make mw 0l in
@@ -617,7 +676,7 @@ let project_raw ?(runner = serial) ?pieces ~w ~fields ~src ~dst_buf ~dst_off () 
       Array.map
         (fun (s, len) ->
           {
-            scratch_pages = pages_for_records dw len;
+            scratch_bytes = bytes_for_records dw len;
             run =
               (fun () ->
                 for r = s to s + len - 1 do
@@ -642,7 +701,7 @@ let concat_raw ?(runner = serial) ~w ~inputs ~dst_buf ~dst_off () =
     Array.mapi
       (fun i s ->
         {
-          scratch_pages = pages_for_records w s.len;
+          scratch_bytes = bytes_for_records w s.len;
           run =
             (fun () ->
               blit_records ~src:s.buf ~src_r:s.off ~dst:dst_buf ~dst_r:(dst_off + offs.(i)) ~w

@@ -4,7 +4,7 @@
     the big cores inside the TEE.  This module is the chunking substrate
     and the parallel kernel variants: contiguous record-range splits over
     {!Sbt_umem.Uarray.raw} buffers, per-chunk scratch accounted in
-    {!Sbt_umem.Page_pool} pages, and deterministic stitching so every
+    {!Sbt_umem.Slab} slots or {!Sbt_umem.Page_pool} pages, and deterministic stitching so every
     parallel variant produces output {e byte-identical} to its serial
     counterpart (see DESIGN.md §9 for the determinism argument).
 
@@ -14,10 +14,12 @@
     (or interleaving) yields the same result. *)
 
 type chunk = {
-  scratch_pages : int;
+  scratch_bytes : int;
       (** Modeled secure-memory scratch footprint of this chunk, in
-          {!Sbt_umem.Page_pool} pages; the executor commits/releases it on
-          the executing domain's pool shard. *)
+          bytes.  The executor accounts it on the executing domain's
+          slab arena (slot-granular, for footprints within the
+          {!Sbt_umem.Slab} size classes) or pool shard (page-granular
+          beyond them, or with the slab disabled). *)
   run : unit -> unit;
 }
 

@@ -1,0 +1,310 @@
+module Pool = Page_pool
+
+(* --- free-slot bitmaps --------------------------------------------------
+
+   One int64 word per 64 slots, bit set = slot free (the POOL_PAGE_T
+   free_ptrs_bmap shape).  Allocation is find-first-set; a 2048-byte page
+   of 64-byte slots needs exactly one word, larger classes a fraction. *)
+
+module Bitmap = struct
+  let make ~slots =
+    if slots <= 0 then invalid_arg "Slab.Bitmap.make: slots must be positive";
+    let words = (slots + 63) / 64 in
+    let bm = Array.make words 0L in
+    for w = 0 to words - 1 do
+      let bits = min 64 (slots - (w * 64)) in
+      bm.(w) <-
+        (if bits = 64 then -1L else Int64.sub (Int64.shift_left 1L bits) 1L)
+    done;
+    bm
+
+  (* Count trailing zeros of a non-zero word by binary descent. *)
+  let ctz64 x =
+    let n = ref 0 and x = ref x in
+    if Int64.equal (Int64.logand !x 0xFFFFFFFFL) 0L then begin
+      n := !n + 32;
+      x := Int64.shift_right_logical !x 32
+    end;
+    if Int64.equal (Int64.logand !x 0xFFFFL) 0L then begin
+      n := !n + 16;
+      x := Int64.shift_right_logical !x 16
+    end;
+    if Int64.equal (Int64.logand !x 0xFFL) 0L then begin
+      n := !n + 8;
+      x := Int64.shift_right_logical !x 8
+    end;
+    if Int64.equal (Int64.logand !x 0xFL) 0L then begin
+      n := !n + 4;
+      x := Int64.shift_right_logical !x 4
+    end;
+    if Int64.equal (Int64.logand !x 0x3L) 0L then begin
+      n := !n + 2;
+      x := Int64.shift_right_logical !x 2
+    end;
+    if Int64.equal (Int64.logand !x 0x1L) 0L then incr n;
+    !n
+
+  let find_first_set bm =
+    let words = Array.length bm in
+    let rec go w =
+      if w >= words then -1
+      else if not (Int64.equal bm.(w) 0L) then (w * 64) + ctz64 bm.(w)
+      else go (w + 1)
+    in
+    go 0
+
+  let mask i = Int64.shift_left 1L (i land 63)
+  let test bm i = not (Int64.equal (Int64.logand bm.(i lsr 6) (mask i)) 0L)
+  let set bm i = bm.(i lsr 6) <- Int64.logor bm.(i lsr 6) (mask i)
+  let clear bm i = bm.(i lsr 6) <- Int64.logand bm.(i lsr 6) (Int64.lognot (mask i))
+end
+
+(* --- size classes ------------------------------------------------------- *)
+
+let size_classes = [| 64; 128; 256; 512; 1024; 2048 |]
+let n_classes = Array.length size_classes
+let max_class_bytes = size_classes.(n_classes - 1)
+let fits bytes = bytes > 0 && bytes <= max_class_bytes
+
+let class_of_bytes bytes =
+  if not (fits bytes) then
+    invalid_arg (Printf.sprintf "Slab: %d bytes outside slab classes (1..%d)" bytes max_class_bytes);
+  let rec go c = if size_classes.(c) >= bytes then c else go (c + 1) in
+  go 0
+
+let class_bytes_for bytes = size_classes.(class_of_bytes bytes)
+
+(* --- global switch ------------------------------------------------------ *)
+
+let switch = Atomic.make true
+let enabled () = Atomic.get switch
+let set_enabled v = Atomic.set switch v
+
+(* --- slab pages and arenas ---------------------------------------------- *)
+
+type page = {
+  cls : int;
+  p_slot_bytes : int;
+  slots : int;
+  bitmap : int64 array;
+  mutable free_slots : int;
+  pid : int;
+  store : Uarray.buf; (* page_size bytes of real backing, as int32 cells *)
+}
+
+type source = Pool_src of Pool.t | Shard_src of Pool.shard
+
+type ptr = int
+
+type t = {
+  source : source;
+  pages : (int, page) Hashtbl.t; (* pid -> page: O(1) free by arithmetic *)
+  partial : page list array; (* per class, pages with >= 1 free slot *)
+  mutable next_pid : int;
+  allocs : int array; (* per class *)
+  frees : int array;
+  mutable live : int; (* bytes in allocated slots *)
+  mutable live_hw : int;
+  mutable held : int; (* bytes of slab pages held *)
+  mutable held_hw : int;
+  mutable frag_hw : int; (* peak held - live *)
+  mutable refills : int; (* pages drawn from the source *)
+  mutable drains : int; (* pages returned to the source *)
+  (* Counter values already pushed to a registry, so [publish] adds only
+     the delta and stays safe to call repeatedly (e.g. once per metrics
+     quote) without double counting. *)
+  pub_allocs : int array;
+  pub_frees : int array;
+  mutable pub_refills : int;
+  mutable pub_drains : int;
+}
+
+let make source =
+  {
+    source;
+    pages = Hashtbl.create 64;
+    partial = Array.make n_classes [];
+    next_pid = 0;
+    allocs = Array.make n_classes 0;
+    frees = Array.make n_classes 0;
+    live = 0;
+    live_hw = 0;
+    held = 0;
+    held_hw = 0;
+    frag_hw = 0;
+    refills = 0;
+    drains = 0;
+    pub_allocs = Array.make n_classes 0;
+    pub_frees = Array.make n_classes 0;
+    pub_refills = 0;
+    pub_drains = 0;
+  }
+
+let over_pool pool = make (Pool_src pool)
+let over_shard shard = make (Shard_src shard)
+
+let source_commit t ~pages =
+  match t.source with
+  | Pool_src p -> Pool.commit p ~pages
+  | Shard_src s -> Pool.shard_commit s ~pages
+
+let source_release t ~pages =
+  match t.source with
+  | Pool_src p -> Pool.release p ~pages
+  | Shard_src s -> Pool.shard_release s ~pages
+
+let note_frag t =
+  let f = t.held - t.live in
+  if f > t.frag_hw then t.frag_hw <- f
+
+let new_page t cls =
+  (* The only point an allocation touches the shared pool: one whole slab
+     page.  Shard-backed arenas additionally batch this behind the
+     shard's (adaptive) bulk refill, so parent-lock traffic is O(pages /
+     refill chunk), not O(allocations). *)
+  source_commit t ~pages:1;
+  t.refills <- t.refills + 1;
+  let sb = size_classes.(cls) in
+  let slots = Pool.page_size / sb in
+  let p =
+    {
+      cls;
+      p_slot_bytes = sb;
+      slots;
+      bitmap = Bitmap.make ~slots;
+      free_slots = slots;
+      pid = t.next_pid;
+      store = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout (Pool.page_size / 4);
+    }
+  in
+  t.next_pid <- t.next_pid + 1;
+  Hashtbl.replace t.pages p.pid p;
+  t.partial.(cls) <- p :: t.partial.(cls);
+  t.held <- t.held + Pool.page_size;
+  if t.held > t.held_hw then t.held_hw <- t.held;
+  note_frag t;
+  p
+
+let alloc t ~bytes =
+  let cls = class_of_bytes bytes in
+  let page = match t.partial.(cls) with p :: _ -> p | [] -> new_page t cls in
+  let slot = Bitmap.find_first_set page.bitmap in
+  (* A page on the partial list always has a free slot. *)
+  assert (slot >= 0);
+  Bitmap.clear page.bitmap slot;
+  page.free_slots <- page.free_slots - 1;
+  if page.free_slots = 0 then t.partial.(cls) <- List.tl t.partial.(cls);
+  t.allocs.(cls) <- t.allocs.(cls) + 1;
+  t.live <- t.live + page.p_slot_bytes;
+  if t.live > t.live_hw then t.live_hw <- t.live;
+  (page.pid * Pool.page_size) + (slot * page.p_slot_bytes)
+
+let page_of t ptr =
+  let pid = ptr / Pool.page_size in
+  match Hashtbl.find_opt t.pages pid with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Slab: pointer 0x%x not from this arena" ptr)
+
+let slot_of page ptr =
+  let off = ptr mod Pool.page_size in
+  if off mod page.p_slot_bytes <> 0 then
+    invalid_arg (Printf.sprintf "Slab: misaligned pointer 0x%x" ptr);
+  off / page.p_slot_bytes
+
+let free t ptr =
+  let page = page_of t ptr in
+  let slot = slot_of page ptr in
+  if Bitmap.test page.bitmap slot then
+    invalid_arg (Printf.sprintf "Slab: double free of 0x%x" ptr);
+  Bitmap.set page.bitmap slot;
+  page.free_slots <- page.free_slots + 1;
+  if page.free_slots = 1 then t.partial.(page.cls) <- page :: t.partial.(page.cls);
+  t.frees.(page.cls) <- t.frees.(page.cls) + 1;
+  t.live <- t.live - page.p_slot_bytes;
+  note_frag t
+
+let view t ptr =
+  let page = page_of t ptr in
+  let slot = slot_of page ptr in
+  Bigarray.Array1.sub page.store (slot * page.p_slot_bytes / 4) (page.p_slot_bytes / 4)
+
+let slot_bytes t ptr = (page_of t ptr).p_slot_bytes
+
+let drain t =
+  (* Window close: give every fully-free slab page back to the source in
+     one sweep.  Partial pages stay — their slack is what makes parent
+     accounting a conservative bound rather than an exact census. *)
+  let freed = ref 0 in
+  Hashtbl.iter (fun _ p -> if p.free_slots = p.slots then incr freed) t.pages;
+  if !freed > 0 then begin
+    let keep = Hashtbl.create (Hashtbl.length t.pages) in
+    Hashtbl.iter (fun pid p -> if p.free_slots < p.slots then Hashtbl.replace keep pid p) t.pages;
+    Hashtbl.reset t.pages;
+    Hashtbl.iter (fun pid p -> Hashtbl.replace t.pages pid p) keep;
+    for c = 0 to n_classes - 1 do
+      t.partial.(c) <- List.filter (fun p -> p.free_slots < p.slots) t.partial.(c)
+    done;
+    source_release t ~pages:!freed;
+    t.drains <- t.drains + !freed;
+    t.held <- t.held - (!freed * Pool.page_size);
+    note_frag t
+  end
+
+(* --- introspection / metrics -------------------------------------------- *)
+
+type class_stats = { cls_bytes : int; cls_allocs : int; cls_frees : int }
+
+type stats = {
+  per_class : class_stats array;
+  live_bytes : int;
+  live_high_water_bytes : int;
+  held_bytes : int;
+  held_high_water_bytes : int;
+  frag_high_water_bytes : int;
+  refills : int;
+  drains : int;
+}
+
+let stats t =
+  {
+    per_class =
+      Array.init n_classes (fun c ->
+          { cls_bytes = size_classes.(c); cls_allocs = t.allocs.(c); cls_frees = t.frees.(c) });
+    live_bytes = t.live;
+    live_high_water_bytes = t.live_hw;
+    held_bytes = t.held;
+    held_high_water_bytes = t.held_hw;
+    frag_high_water_bytes = t.frag_hw;
+    refills = t.refills;
+    drains = t.drains;
+  }
+
+let live_bytes t = t.live
+let held_bytes t = t.held
+
+let publish t reg =
+  let open Sbt_obs.Metrics in
+  for c = 0 to n_classes - 1 do
+    let da = t.allocs.(c) - t.pub_allocs.(c) in
+    if da > 0 then add (counter reg (Printf.sprintf "umem.slab.alloc.%d" size_classes.(c))) da;
+    t.pub_allocs.(c) <- t.allocs.(c);
+    let df = t.frees.(c) - t.pub_frees.(c) in
+    if df > 0 then add (counter reg (Printf.sprintf "umem.slab.free.%d" size_classes.(c))) df;
+    t.pub_frees.(c) <- t.frees.(c)
+  done;
+  (* Gauges track high-water in the registry: publishing the arena's own
+     peaks (then its current values) pins both value and high_water. *)
+  let setf name peak now =
+    let g = gauge reg name in
+    set_gauge g (float_of_int peak);
+    set_gauge g (float_of_int now)
+  in
+  setf "umem.slab.live_bytes" t.live_hw t.live;
+  setf "umem.slab.held_bytes" t.held_hw t.held;
+  setf "umem.slab.frag_bytes" t.frag_hw (t.held - t.live);
+  let dr = t.refills - t.pub_refills in
+  if dr > 0 then add (counter reg "umem.arena.refills") dr;
+  t.pub_refills <- t.refills;
+  let dd = t.drains - t.pub_drains in
+  if dd > 0 then add (counter reg "umem.arena.drains") dd;
+  t.pub_drains <- t.drains

@@ -1,0 +1,130 @@
+(** Size-class slab allocator for small transient secure-memory objects.
+
+    The uArray region allocator keeps bulk stream data fast, but small
+    transient allocations — per-piece segment tables, merge scratch,
+    fused-step rows, egress staging, growable-vector backing — previously
+    funnelled through shared {!Page_pool} commit/release paths at page
+    granularity: a 24-byte scratch row pinned a full 4 KB page.
+
+    A slab arena carves whole pool pages into fixed-size slots of one of
+    six size classes (64..2048 bytes) tracked by a per-page free-slot
+    bitmap (the [POOL_PAGE_T] shape): allocation is find-first-set on the
+    bitmap, free is O(1) address arithmetic back to (page, slot).  An
+    arena is single-owner (one domain) and lock-free; it touches its
+    backing {!Page_pool} (or {!Page_pool.shard}) only in bulk — one page
+    per slab refill, and empty-page returns at {!drain} (window close).
+    Pages held by an arena are counted as committed in the parent pool,
+    so pool committed/high-water accounting (Figures 7/10, per-tenant
+    quotas) stays a conservative bound on real usage. *)
+
+type t
+(** A per-domain arena.  Not thread-safe: exactly one domain may use a
+    given arena, matching the {!Page_pool.shard} ownership rule. *)
+
+type ptr = int
+(** Opaque slot address: [page_id * page_size + slot * class_bytes].
+    Only meaningful to the arena that returned it. *)
+
+val size_classes : int array
+(** The slot sizes in bytes: [\[|64; 128; 256; 512; 1024; 2048|\]]. *)
+
+val max_class_bytes : int
+(** 2048 — requests above this must use the page-granular paths. *)
+
+val fits : int -> bool
+(** [fits bytes] is true when [0 < bytes <= max_class_bytes]. *)
+
+val class_bytes_for : int -> int
+(** Slot size of the smallest class covering a request.
+    Raises [Invalid_argument] unless [fits bytes]. *)
+
+(** {2 Global switch}
+
+    Process-wide allocator toggle ([sbt_run --slab on|off]).  Call sites
+    fall back to their historical page-granular / host paths when
+    disabled; sealed results, audit streams, and verdicts are
+    byte-identical either way (property-tested and CI-cmp'd). *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** {2 Arenas} *)
+
+val over_pool : Page_pool.t -> t
+(** Arena drawing slab pages directly from a pool (single-threaded
+    contexts: the data plane, benches, tests). *)
+
+val over_shard : Page_pool.shard -> t
+(** Arena drawing slab pages through a domain's pool shard (the
+    real-parallel executor): refills ride the shard's bulk quota chunks
+    and {!drain} + {!Page_pool.merge_shard} folds everything back at
+    window close. *)
+
+val alloc : t -> bytes:int -> ptr
+(** Allocate one slot of the smallest class covering [bytes].  Raises
+    [Invalid_argument] unless [fits bytes]; propagates
+    {!Page_pool.Out_of_secure_memory} when a needed slab-page refill
+    exceeds the backing pool's budget. *)
+
+val free : t -> ptr -> unit
+(** O(1) by address arithmetic.  Raises [Invalid_argument] on a pointer
+    the arena does not own, a misaligned address, or a double free. *)
+
+val view : t -> ptr -> Uarray.buf
+(** The slot's backing store as an int32 view of [class_bytes / 4]
+    cells, valid until the slot is freed. *)
+
+val slot_bytes : t -> ptr -> int
+(** The class size backing [ptr] (>= the requested bytes). *)
+
+val drain : t -> unit
+(** Window close: return every fully-free slab page to the backing
+    pool/shard.  Partially-occupied pages stay held (and counted as
+    committed in the parent — the conservative bound). *)
+
+(** {2 Introspection / metrics} *)
+
+type class_stats = { cls_bytes : int; cls_allocs : int; cls_frees : int }
+
+type stats = {
+  per_class : class_stats array;
+  live_bytes : int;  (** bytes in currently-allocated slots *)
+  live_high_water_bytes : int;
+  held_bytes : int;  (** slab pages currently held, live or not *)
+  held_high_water_bytes : int;
+  frag_high_water_bytes : int;
+      (** peak of [held_bytes - live_bytes]: internal fragmentation plus
+          empty-page slack not yet drained *)
+  refills : int;  (** slab pages drawn from the backing pool *)
+  drains : int;  (** slab pages returned at {!drain} *)
+}
+
+val stats : t -> stats
+val live_bytes : t -> int
+val held_bytes : t -> int
+
+val publish : t -> Sbt_obs.Metrics.t -> unit
+(** Register and populate the [umem.*] metrics from this arena's
+    counters: [umem.slab.alloc.<class>] / [umem.slab.free.<class>]
+    counters, [umem.slab.live_bytes] / [umem.slab.held_bytes] /
+    [umem.slab.frag_bytes] gauges (high-water tracked by the registry),
+    and [umem.arena.refills] / [umem.arena.drains] counters.  Counter
+    pushes are deltas since the arena's last publish, so republishing
+    (e.g. once per metrics quote) never double-counts; several arenas
+    publishing into one registry sum. *)
+
+(** {2 Free-slot bitmaps}
+
+    Exposed for direct testing (word-boundary cases) and reuse. *)
+
+module Bitmap : sig
+  val make : slots:int -> int64 array
+  (** All [slots] bits set (free). *)
+
+  val find_first_set : int64 array -> int
+  (** Index of the lowest set bit, or [-1] when none. *)
+
+  val test : int64 array -> int -> bool
+  val set : int64 array -> int -> unit
+  val clear : int64 array -> int -> unit
+end
