@@ -121,7 +121,9 @@ let write_spec buf (spec : V.spec) =
   List.iter (write_u32 buf) spec.V.window_ops;
   write_u32 buf spec.V.window_size;
   write_u32 buf spec.V.window_slide;
-  write_u32 buf (match spec.V.freshness_bound with None -> 0 | Some b -> b + 1)
+  write_u32 buf (match spec.V.freshness_bound with None -> 0 | Some b -> b + 1);
+  write_u32 buf spec.V.late_policy;
+  write_u32 buf (match spec.V.session_gap with None -> 0 | Some g -> g)
 
 let read_spec ic =
   let n_batch_ops = read_u32 ic in
@@ -132,7 +134,10 @@ let read_spec ic =
   let window_slide = read_u32 ic in
   let fb = read_u32 ic in
   let freshness_bound = if fb = 0 then None else Some (fb - 1) in
-  { V.batch_ops; window_ops; window_size; window_slide; freshness_bound }
+  let late_policy = read_u32 ic in
+  let sg = read_u32 ic in
+  let session_gap = if sg = 0 then None else Some sg in
+  { V.batch_ops; window_ops; window_size; window_slide; freshness_bound; late_policy; session_gap }
 
 let write_batch buf (b : Log.batch) =
   write_u32 buf b.Log.seq;

@@ -37,25 +37,67 @@ let fuse_of_string = function
   | "off" -> Ok false
   | s -> Error (`Msg (Printf.sprintf "unknown fuse setting %S (on|off)" s))
 
-let run name version windows events_per_window batch cores_list target_ms hints fuse verbose frames_in audit_out trace_out exec_domains exec_mode deterministic exec_time_scale results_out =
+let late_policy_of_string = function
+  | "silent" -> Ok D.Silent
+  | "drop" -> Ok D.Drop_declare
+  | "retract" -> Ok D.Retract_reemit
+  | s -> Error (`Msg (Printf.sprintf "unknown late policy %S (silent|drop|retract)" s))
+
+(* A disordered source advertises the tightest heuristic watermark
+   (zero disorder slack), so real lateness actually surfaces as late
+   data for the declared policy to handle; at rate 0 the punctuated
+   stream is byte-identical to the historical generator's. *)
+let disordered_frames ~seed ~rate (spec : Sbt_workloads.Datagen.spec) =
+  Sbt_workloads.Datagen.frames
+    {
+      spec with
+      Sbt_workloads.Datagen.disorder = Fault.disorder_plan ~seed ~rate ();
+      watermark = Sbt_workloads.Datagen.Heuristic 0;
+    }
+
+let session_pipeline session_gap (pipe : Sbt_core.Pipeline.t) =
+  match session_gap with
+  | Some g -> Sbt_core.Pipeline.with_session_gap pipe ~gap_ticks:g
+  | None -> pipe
+
+let run name version windows events_per_window batch cores_list target_ms hints fuse verbose
+    frames_in audit_out trace_out exec_domains exec_mode deterministic exec_time_scale
+    results_out disorder late_policy session_gap undeclared_late fault_seed =
   match B.by_name name with
   | None ->
-      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|fps|filter|power)\n" name;
+      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|fps|filter|power|vitals)\n" name;
       exit 1
   | Some mk ->
+      let module V = Sbt_attest.Verifier in
       let encrypted = match version with D.Full | D.Io_via_os -> true | _ -> false in
       let bench = mk ~windows ~events_per_window ~batch_events:batch ~encrypted () in
       let target = Option.value ~default:bench.B.target_delay_ms target_ms in
+      let pipeline = session_pipeline session_gap bench.B.pipeline in
       let frames =
-        match frames_in with Some path -> Sbt_io.read_frames path | None -> B.frames bench
+        match frames_in with
+        | Some path -> Sbt_io.read_frames path
+        | None ->
+            if disorder > 0.0 then disordered_frames ~seed:fault_seed ~rate:disorder bench.B.spec
+            else B.frames bench
       in
       let tracer =
         match trace_out with Some _ -> Some (Sbt_obs.Tracer.create ()) | None -> None
       in
       let outcome =
-        Runner.run ~cores_list ~target_delay_ms:target ~version ~hints_enabled:hints ~fuse
-          ?tracer ~deterministic ?exec_domains ?exec_mode ?exec_time_scale bench.B.pipeline
-          frames
+        try
+          Runner.run ~cores_list ~target_delay_ms:target ~version ~hints_enabled:hints ~fuse
+            ~late_policy ?tracer ~deterministic ?exec_domains ?exec_mode ?exec_time_scale
+            pipeline frames
+        with Invalid_argument msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1
+      in
+      (* --undeclared-late presents the log under a quote claiming the
+         silent policy: the declaration the verifier trusts omits what
+         the edge actually did, and the replay must flag the mismatch. *)
+      let spec_out =
+        if undeclared_late then { outcome.Runner.spec with V.late_policy = 0 }
+        else outcome.Runner.spec
       in
       (match (trace_out, tracer) with
       | Some path, Some tr ->
@@ -65,14 +107,25 @@ let run name version windows events_per_window batch cores_list target_ms hints 
       | _ -> ());
       (match audit_out with
       | Some path ->
-          Sbt_io.write_audit path outcome.Runner.spec outcome.Runner.audit;
+          Sbt_io.write_audit path spec_out outcome.Runner.audit;
           Printf.printf "audit log written to %s (verify with sbt_verify)\n" path
       | None -> ());
       (match results_out with
       | Some path ->
-          Sbt_io.write_results path outcome.Runner.results;
+          (* the cloud-side merge: corrected windows carry their final
+             (highest-generation) bytes, re-sealed under the canonical
+             egress nonce — identical to [results] when nothing was
+             corrected, byte-comparable against an in-order run *)
+          Sbt_io.write_results path outcome.Runner.results_corrected;
           Printf.printf "sealed results written to %s\n" path
       | None -> ());
+      if disorder > 0.0 || late_policy <> D.Silent || session_gap <> None then begin
+        let r = outcome.Runner.verifier_report in
+        Printf.printf
+          "late data: %d drop(s) covering %d event(s) | %d correction(s) across %d window(s)\n"
+          r.V.late_drops r.V.late_events r.V.corrections
+          (List.length r.V.corrected_windows)
+      end;
       Format.printf "%a" Runner.pp_outcome outcome;
       (match outcome.Runner.exec with
       | None -> ()
@@ -98,7 +151,22 @@ let run name version windows events_per_window batch cores_list target_ms hints 
           outcome.Runner.audit_raw_bytes outcome.Runner.audit_compressed_bytes;
         Format.printf "verifier: %a" Sbt_attest.Verifier.pp_report outcome.Runner.verifier_report
       end;
-      if not outcome.Runner.verified then exit 2
+      let stripped_ok =
+        if not undeclared_late then true
+        else begin
+          let key = (D.default_config ~version ()).D.egress_key in
+          let records =
+            List.concat_map
+              (fun b -> Sbt_attest.Log.open_batch ~key b)
+              outcome.Runner.audit
+          in
+          let r = Sbt_attest.Verifier.verify spec_out records in
+          Printf.printf "undeclared-late check: %d violation(s) under the stripped declaration\n"
+            (List.length r.Sbt_attest.Verifier.violations);
+          Sbt_attest.Verifier.ok r
+        end
+      in
+      if not (outcome.Runner.verified && stripped_ok) then exit 2
 
 (* --- crash/recovery --------------------------------------------------------
 
@@ -113,7 +181,7 @@ let recovery name version windows events_per_window batch ckpt_every max_restart
     crash_site recover deterministic verbose audit_out results_out =
   match B.by_name name with
   | None ->
-      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|fps|filter|power)\n" name;
+      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|fps|filter|power|vitals)\n" name;
       exit 1
   | Some mk ->
       let module Runtime = Sbt_core.Runtime in
@@ -192,7 +260,7 @@ let recovery name version windows events_per_window batch ckpt_every max_restart
 let resilience name version windows events_per_window batch fault_rates fault_seed =
   match B.by_name name with
   | None ->
-      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|fps|filter|power)\n" name;
+      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|fps|filter|power|vitals)\n" name;
       exit 1
   | Some mk ->
       let encrypted = match version with D.Full | D.Io_via_os -> true | _ -> false in
@@ -267,7 +335,7 @@ let fleet name version windows events_per_window batch m partition_by kills upli
     results_out =
   match B.by_name name with
   | None ->
-      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|fps|filter|power)\n" name;
+      Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|fps|filter|power|vitals)\n" name;
       exit 1
   | Some mk ->
       let module Runtime = Sbt_core.Runtime in
@@ -375,7 +443,8 @@ let fleet name version windows events_per_window batch m partition_by kills upli
    Exit 2 when any tenant's verdict is not clean (violations or
    declared degradation). *)
 let tenants_run name version windows events_per_window batch n mix_name quotas solo hints fuse
-    exec_domains exec_mode deterministic exec_time_scale verbose audit_out results_out =
+    exec_domains exec_mode deterministic exec_time_scale disorder late_policy session_gap
+    fault_seed verbose audit_out results_out =
   let module Session = Sbt_core.Session in
   let module Multi = Sbt_core.Multi in
   let module Runtime = Sbt_core.Runtime in
@@ -397,7 +466,7 @@ let tenants_run name version windows events_per_window batch n mix_name quotas s
         match B.by_name name with
         | Some mk -> mk ~windows ~events_per_window ~batch_events:batch ~encrypted ()
         | None ->
-            Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|fps|filter|power)\n"
+            Printf.eprintf "unknown benchmark %S (topk|distinct|join|winsum|fps|filter|power|vitals)\n"
               name;
             exit 1)
   in
@@ -418,7 +487,7 @@ let tenants_run name version windows events_per_window batch n mix_name quotas s
       Some { base with Sbt_tz.Cost_model.host_scale = 0.0 }
     else None
   in
-  let cfg = Runtime.Config.make ~version ?cost ~hints_enabled:hints ~fuse () in
+  let cfg = Runtime.Config.make ~version ?cost ~hints_enabled:hints ~fuse ~late_policy () in
   let engine =
     match exec_domains with Some d -> `Domains d | None -> `Des cfg.Runtime.cores
   in
@@ -430,16 +499,26 @@ let tenants_run name version windows events_per_window batch n mix_name quotas s
         Printf.eprintf "--solo-tenant %d outside 0..%d\n" i (n - 1);
         exit 1
   in
+  let source (b : B.t) =
+    if disorder > 0.0 then disordered_frames ~seed:fault_seed ~rate:disorder b.B.spec
+    else B.frames b
+  in
   let session =
     List.fold_left
       (fun s i ->
         let b = workload i in
-        Session.add_tenant ~id:i ?quota_pages:(quota_for i) ~pipeline:b.B.pipeline
-          ~source:(B.frames b) s)
+        Session.add_tenant ~id:i ?quota_pages:(quota_for i)
+          ~pipeline:(session_pipeline session_gap b.B.pipeline)
+          ~source:(source b) s)
       (Session.create ~engine ?exec_mode ?exec_time_scale cfg)
       ids
   in
-  let res = Session.run session in
+  let res =
+    try Session.run session
+    with Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+  in
   Printf.printf
     "tenants: %d in one enclave | %d events | agg %.2f Mev/s | p99 delay %.2f ms | max %.2f ms\n"
     (List.length res.Multi.tenants) res.Multi.agg_events
@@ -863,12 +942,89 @@ let solo_tenant_arg =
            per-tenant output files are byte-identical to the joint run's (cmp them)"
         ~docv:"I")
 
+(* --- disorder / late-data arguments ------------------------------------------ *)
+
+let disorder_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "disorder" ]
+        ~doc:
+          "Delay each source event with probability $(docv) (seeded by --fault-seed; same \
+           seed, same permutation): delayed events keep their event time but re-arrive up \
+           to one window late, behind a zero-slack heuristic watermark, so they surface as \
+           late data for --late-policy to handle.  0 keeps the historical in-order stream \
+           byte-identical"
+        ~docv:"P")
+
+let late_policy_arg =
+  let policy_conv =
+    Arg.conv
+      (late_policy_of_string, fun fmt p -> Format.pp_print_string fmt (D.late_policy_name p))
+      ~docv:"POLICY"
+  in
+  Arg.(
+    value & opt policy_conv D.Silent
+    & info [ "late-policy" ]
+        ~doc:
+          "Attested late-data policy: $(b,silent) (historical default — late segments are \
+           discarded, which the verifier flags as vanished dataflow), $(b,drop) \
+           (drop+declare: a signed Late_drop record feeds the degradation verdict), or \
+           $(b,retract) (retract-and-reemit: the closed window reopens and a sealed \
+           Correction record supersedes the prior egress; --results-out then carries the \
+           cloud-side merged bytes)")
+
+let session_gap_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "session-gap" ]
+        ~doc:
+          "Close windows by event-time inactivity gaps of $(docv) ticks (session windows) \
+           instead of the fixed grid; needs an in-order source, so it conflicts with \
+           --disorder"
+        ~docv:"TICKS")
+
+let undeclared_late_arg =
+  Arg.(
+    value & flag
+    & info [ "undeclared-late" ]
+        ~doc:
+          "Adversarial demo: write/verify the audit under a declaration that claims the \
+           silent policy although the run handled late data — the verifier must flag \
+           Undeclared_late_handling (exit 2)")
+
 let dispatch name version windows epw batch cores_list target_ms hints fuse slab verbose
     frames_in audit_out trace_out exec_domains exec_mode deterministic exec_time_scale
     results_out resil fault_rates fault_seed ckpt_every max_restarts crash_at crash_site recover
     fleet_m partition_by kills uplinks stragglers suspect_after recover_after rogue
-    omit_manifests tenants_n tenant_quotas tenant_mix solo_tenant =
+    omit_manifests tenants_n tenant_quotas tenant_mix solo_tenant disorder late_policy
+    session_gap undeclared_late =
   Sbt_umem.Slab.set_enabled slab;
+  let disorder_active =
+    disorder > 0.0 || late_policy <> D.Silent || session_gap <> None || undeclared_late
+  in
+  if disorder < 0.0 || disorder > 1.0 then begin
+    Printf.eprintf "--disorder must be a probability in [0, 1]\n";
+    exit 1
+  end;
+  (match session_gap with
+  | Some g when g <= 0 ->
+      Printf.eprintf "--session-gap must be a positive tick count\n";
+      exit 1
+  | _ -> ());
+  (* Disorder composes with --exec/--fuse/--tenants, but the recovery and
+     fleet paths checkpoint/partition on the fixed window grid and make
+     byte-identity claims that late reopenings would falsify. *)
+  if disorder_active && (fleet_m > 0 || recover || crash_at <> None || resil) then begin
+    Printf.eprintf
+      "--disorder/--late-policy/--session-gap/--undeclared-late do not compose with \
+       --fleet/--recover/--crash-at/--resilience\n";
+    exit 1
+  end;
+  if session_gap <> None && disorder > 0.0 then begin
+    Printf.eprintf
+      "sessions need in-order event times; --session-gap does not compose with --disorder\n";
+    exit 1
+  end;
   if tenants_n > 0 || solo_tenant <> None then
     if fleet_m > 0 || resil || recover || crash_at <> None then begin
       Printf.eprintf
@@ -879,10 +1035,14 @@ let dispatch name version windows epw batch cores_list target_ms hints fuse slab
       Printf.eprintf "--tenants generates each tenant's source; --frames is not supported\n";
       exit 1
     end
+    else if undeclared_late then begin
+      Printf.eprintf "--undeclared-late applies to single-pipeline runs, not --tenants\n";
+      exit 1
+    end
     else
       tenants_run name version windows epw batch tenants_n tenant_mix tenant_quotas solo_tenant
-        hints fuse exec_domains exec_mode deterministic exec_time_scale verbose audit_out
-        results_out
+        hints fuse exec_domains exec_mode deterministic exec_time_scale disorder late_policy
+        session_gap fault_seed verbose audit_out results_out
   else if fleet_m > 0 then
     fleet name version windows epw batch fleet_m partition_by kills uplinks stragglers
       suspect_after recover_after rogue omit_manifests ckpt_every deterministic verbose audit_out
@@ -894,6 +1054,7 @@ let dispatch name version windows epw batch cores_list target_ms hints fuse slab
   else
     run name version windows epw batch cores_list target_ms hints fuse verbose frames_in
       audit_out trace_out exec_domains exec_mode deterministic exec_time_scale results_out
+      disorder late_policy session_gap undeclared_late fault_seed
 
 let cmd =
   let doc = "Run a StreamBox-TZ benchmark pipeline" in
@@ -907,6 +1068,7 @@ let cmd =
       $ resilience_arg $ fault_rates_arg $ fault_seed_arg $ ckpt_every_arg $ max_restarts_arg
       $ crash_at_arg $ crash_site_arg $ recover_arg $ fleet_arg $ partition_by_arg $ kills_arg
       $ uplinks_arg $ stragglers_arg $ suspect_after_arg $ recover_after_arg $ rogue_arg
-      $ omit_manifests_arg $ tenants_arg $ tenant_quota_arg $ tenant_mix_arg $ solo_tenant_arg)
+      $ omit_manifests_arg $ tenants_arg $ tenant_quota_arg $ tenant_mix_arg $ solo_tenant_arg
+      $ disorder_arg $ late_policy_arg $ session_gap_arg $ undeclared_late_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -151,7 +151,19 @@ let split records =
           Buffer.add_char c.counts (Char.unsafe_chr (List.length hints land 0xFF));
           List.iter put_used_id inputs;
           List.iter put_new_id outputs;
-          List.iter put_hint hints)
+          List.iter put_hint hints
+      | Record.Late_drop { ts; uarray; win_no; events } ->
+          Buffer.add_char c.tags '\008';
+          put_ts ts;
+          put_used_id uarray;
+          put_win win_no;
+          put_val events
+      | Record.Correction { ts; uarray; win_no; gen } ->
+          Buffer.add_char c.tags '\009';
+          put_ts ts;
+          put_used_id uarray;
+          put_win win_no;
+          put_val gen)
     records;
   c
 
@@ -327,6 +339,18 @@ let decompress data =
           let outputs = List.init n_out (fun _ -> get_new_id ()) in
           let hints = List.init n_h (fun _ -> get_hint ()) in
           Record.Fused { ts; ops; params; chain; inputs; outputs; hints }
+      | 8 ->
+          let ts = get_ts () in
+          let uarray = get_used_id () in
+          let win_no = get_win () in
+          let events = get_val () in
+          Record.Late_drop { ts; uarray; win_no; events }
+      | 9 ->
+          let ts = get_ts () in
+          let uarray = get_used_id () in
+          let win_no = get_win () in
+          let gen = get_val () in
+          Record.Correction { ts; uarray; win_no; gen }
       | t -> invalid_arg (Printf.sprintf "Columnar.decompress: bad tag %d" t))
 
 let raw_size records = Bytes.length (Record.encode_all records)

@@ -36,6 +36,8 @@ type t =
       outputs : int list;
       hints : int64 list;
     }
+  | Late_drop of { ts : int; uarray : int; win_no : int; events : int }
+  | Correction of { ts : int; uarray : int; win_no : int; gen : int }
 
 (* The composite record's chain hash commits to the ordered op ids AND
    their parameter blob: reordering the chain, swapping an op, or editing
@@ -77,6 +79,10 @@ let pp fmt = function
       let ints l = String.concat "," (List.map string_of_int l) in
       Format.fprintf fmt "ts=%d FUSED ops=%s in=%s out=%s hints=%d" ts (ints ops) (ints inputs)
         (ints outputs) (List.length hints)
+  | Late_drop { ts; uarray; win_no; events } ->
+      Format.fprintf fmt "ts=%d LATE-DROP data=%d win_no=%d events=%d" ts uarray win_no events
+  | Correction { ts; uarray; win_no; gen } ->
+      Format.fprintf fmt "ts=%d CORRECTION data=%d win_no=%d gen=%d" ts uarray win_no gen
 
 let tag = function
   | Ingress _ -> 0
@@ -87,11 +93,13 @@ let tag = function
   | Gap _ -> 5
   | Checkpoint _ -> 6
   | Fused _ -> 7
+  | Late_drop _ -> 8
+  | Correction _ -> 9
 
 let ts_of = function
   | Ingress { ts; _ } | Ingress_watermark { ts; _ } | Windowing { ts; _ }
   | Execution { ts; _ } | Egress { ts; _ } | Gap { ts; _ } | Checkpoint { ts; _ }
-  | Fused { ts; _ } ->
+  | Fused { ts; _ } | Late_drop { ts; _ } | Correction { ts; _ } ->
       ts
 
 let encode_row buf r =
@@ -167,6 +175,16 @@ let encode_row buf r =
           u32 (Int64.to_int (Int64.logand h 0xFFFFFFFFL));
           u32 (Int64.to_int (Int64.shift_right_logical h 32)))
         hints
+  | Late_drop { ts; uarray; win_no; events } ->
+      u32 ts;
+      u32 uarray;
+      u16 win_no;
+      u32 events
+  | Correction { ts; uarray; win_no; gen } ->
+      u32 ts;
+      u32 uarray;
+      u16 win_no;
+      u16 gen
 
 let decode_row data pos =
   let byte () =
@@ -259,6 +277,18 @@ let decode_row data pos =
             Int64.logor (Int64.of_int lo) (Int64.shift_left (Int64.of_int hi) 32))
       in
       Fused { ts; ops; params; chain; inputs; outputs; hints }
+  | 8 ->
+      let ts = u32 () in
+      let uarray = u32 () in
+      let win_no = u16 () in
+      let events = u32 () in
+      Late_drop { ts; uarray; win_no; events }
+  | 9 ->
+      let ts = u32 () in
+      let uarray = u32 () in
+      let win_no = u16 () in
+      let gen = u16 () in
+      Correction { ts; uarray; win_no; gen }
   | t -> invalid_arg (Printf.sprintf "Record.decode_row: bad tag %d" t)
 
 let encode_all records =

@@ -72,6 +72,19 @@ type t =
           replays it as the equivalent unfused chain and rejects forged
           compositions: a [chain] that does not match [ops]/[params], or
           an op {!Sbt_prim.Primitive.fusable} says cannot be fused. *)
+  | Late_drop of { ts : int; uarray : int; win_no : int; events : int }
+      (** [events] late records destined for already-closed window
+          [win_no] were dropped {e and declared} under the drop+declare
+          policy.  Like {!Gap}, the declaration downgrades what would be
+          a violation into reported degradation — but only when the
+          attested policy actually is drop+declare; under any other
+          declared policy the verifier fires [Undeclared_late_handling]. *)
+  | Correction of { ts : int; uarray : int; win_no : int; gen : int }
+      (** Window [win_no] was reopened for late data and re-emitted as
+          correction generation [gen] (1-based, contiguous) under the
+          retract-and-reemit policy.  The sealed correction supersedes
+          the window's prior egress; the cloud-side merge applies
+          corrections in generation order. *)
 
 val chain_hash : ops:int list -> params:bytes -> bytes
 (** 16-byte truncated SHA-256 commitment to a fused chain: the ordered op

@@ -4,6 +4,8 @@ type spec = {
   window_size : int;
   window_slide : int;
   freshness_bound : int option;
+  late_policy : int;
+  session_gap : int option;
 }
 
 type violation =
@@ -30,6 +32,9 @@ type violation =
   | Fused_chain_mismatch of { record_index : int }
   | Fused_non_fusable of { record_index : int; op : int }
   | Tenant_log_unverifiable of { tenant : int; reason : string }
+  | Undeclared_late_handling of { record_index : int; window : int }
+  | Correction_mismatch of { window : int; expected_gen : int; got_gen : int }
+  | Retraction_without_reemit of { window : int; declared : int; replayed : int }
 
 let pp_violation fmt = function
   | Unknown_uarray { record_index; id } ->
@@ -84,6 +89,17 @@ let pp_violation fmt = function
       Format.fprintf fmt "record %d: fused chain contains non-fusable op %d" record_index op
   | Tenant_log_unverifiable { tenant; reason } ->
       Format.fprintf fmt "tenant %d: audit stream fails authentication (%s)" tenant reason
+  | Undeclared_late_handling { record_index; window } ->
+      Format.fprintf fmt
+        "record %d: late data of window %d handled under a policy the quote never declared"
+        record_index window
+  | Correction_mismatch { window; expected_gen; got_gen } ->
+      Format.fprintf fmt "window %d: correction generation %d where %d was expected" window got_gen
+        expected_gen
+  | Retraction_without_reemit { window; declared; replayed } ->
+      Format.fprintf fmt
+        "window %d: replayed %d evaluation(s) but only %d emission(s) were declared" window
+        replayed declared
 
 type report = {
   violations : violation list;
@@ -97,6 +113,10 @@ type report = {
   lost_batches : int;
   loss_fraction : float;
   degraded_windows : int list;
+  late_drops : int;
+  late_events : int;
+  corrections : int;
+  corrected_windows : int list;
 }
 
 let ok r = r.violations = []
@@ -162,6 +182,15 @@ let verify spec records =
   in
   let declared_gaps = ref 0 and gap_events = ref 0 in
   let gap_windows : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  (* Late-data accounting.  [corr_gens] keeps correction generations per
+     window in record order; [late_drop_windows] suppresses
+     [Missing_egress] the same way declared gaps do — a window whose
+     entire content arrived late and was (declaredly) dropped never
+     egresses, and that is degradation, not tampering. *)
+  let late_drops = ref 0 and late_events = ref 0 in
+  let late_drop_windows : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let corr_gens : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+  let corrections_of w = match Hashtbl.find_opt corr_gens w with None -> [] | Some l -> List.rev l in
   let register_output window stage_done id =
     if Hashtbl.mem table id then violate (Double_consumption { record_index = -1; id })
     else if stage_done then begin
@@ -405,8 +434,54 @@ let verify spec records =
       | Record.Checkpoint _ ->
           (* State sealing has no dataflow of its own; its sequence
              numbers matter to [verify_epochs], not to single-log replay. *)
-          ())
+          ()
+      | Record.Late_drop { ts = _; uarray; win_no; events } -> (
+          (* Declared late shedding is only a declaration when the quote
+             committed to drop+declare; under any other attested policy
+             the record is itself the deviation. *)
+          if spec.late_policy <> 1 then
+            violate (Undeclared_late_handling { record_index = idx; window = win_no });
+          incr late_drops;
+          late_events := !late_events + events;
+          Hashtbl.replace late_drop_windows win_no ();
+          match Hashtbl.find_opt table uarray with
+          | Some (Ready r) when r.ready_window = win_no ->
+              r.read <- true;
+              note_consumed ~idx uarray
+          | Some (Batch _ | Watermark _ | Segment _ | Ready _ | Group_mid _) ->
+              violate (Mixed_window_inputs { record_index = idx })
+          | None -> violate (Unknown_uarray { record_index = idx; id = uarray }))
+      | Record.Correction { ts = _; uarray; win_no; gen } -> (
+          if spec.late_policy <> 2 then
+            violate (Undeclared_late_handling { record_index = idx; window = win_no });
+          Hashtbl.replace corr_gens win_no
+            (gen :: (match Hashtbl.find_opt corr_gens win_no with None -> [] | Some l -> l));
+          (* A correction externalizes a window result exactly like an
+             egress, but supersedes rather than duplicates the original:
+             it neither bumps the egress count nor touches the delay
+             accounting (freshness is judged on first emission). *)
+          match Hashtbl.find_opt table uarray with
+          | Some (Group_mid g) when g.mid_window = win_no && not g.egressed ->
+              g.egressed <- true;
+              note_consumed ~idx uarray
+          | Some (Ready r) when r.ready_window = win_no && spec.window_ops = [] ->
+              r.read <- true;
+              note_consumed ~idx uarray
+          | Some (Batch _ | Watermark _ | Segment _ | Ready _ | Group_mid _) ->
+              violate (Egress_of_non_result { record_index = idx; id = uarray })
+          | None -> violate (Unknown_uarray { record_index = idx; id = uarray })))
     records;
+  (* Correction generations must be contiguous from 1 in emission order:
+     a skipped, repeated, or reordered generation means the cloud-side
+     merge would apply a different history than the TEE emitted. *)
+  Hashtbl.iter
+    (fun w gens ->
+      List.iteri
+        (fun i g ->
+          if g <> i + 1 then
+            violate (Correction_mismatch { window = w; expected_gen = i + 1; got_gen = g }))
+        (List.rev gens))
+    corr_gens;
   (* Final sweep. *)
   Hashtbl.iter
     (fun id prov ->
@@ -425,21 +500,55 @@ let verify spec records =
     let win_end = (w * spec.window_slide) + spec.window_size in
     List.find_map (fun (value, ts) -> if value >= win_end then Some ts else None) wms_in_order
   in
+  let session_mode = spec.session_gap <> None in
   Hashtbl.iter
     (fun w s ->
-      match closing_wm_ts w with
+      let n_corr = List.length (corrections_of w) in
+      (* Session windows close by inactivity gap, not by a spec-derivable
+         watermark boundary, so the sweep judges exactly the sessions the
+         log emitted (completeness across sessions has no static window
+         grid to check against).  [Some None] = "closed, but no watermark
+         timestamp to measure delay from". *)
+      let closing =
+        if session_mode then if s.egress_count > 0 || n_corr > 0 then Some None else None
+        else Option.map Option.some (closing_wm_ts w)
+      in
+      match closing with
       | None -> () (* window still open at end of log: nothing to assert yet *)
       | Some wm_ts ->
           incr windows_verified;
-          if s.egress_count = 0 then begin
-            (* A window named by a declared gap may legitimately have shed
-               all its remaining work: degradation, not violation. *)
-            if not (Hashtbl.mem gap_windows w) then violate (Missing_egress { window = w })
+          if s.egress_count = 0 && n_corr = 0 then begin
+            (* A window named by a declared gap (or one whose whole
+               content was declaredly dropped as late) may legitimately
+               have shed all its remaining work: degradation, not
+               violation. *)
+            if not (Hashtbl.mem gap_windows w || Hashtbl.mem late_drop_windows w) then
+              violate (Missing_egress { window = w })
           end
           else begin
-            let expected = List.sort compare spec.window_ops in
+            (* Every emission — the original egress and each correction —
+               replays the whole window chain, so the op multiset scales
+               with the emission count.  More replays than emissions is
+               the retract-without-reemit signature: a window was
+               reopened and re-evaluated, but the superseding result
+               never left the TEE. *)
+            let runs = n_corr + (if s.egress_count > 0 then 1 else 0) in
+            let n_copies k = List.concat (List.init k (fun _ -> spec.window_ops)) in
+            let expected = List.sort compare (n_copies runs) in
             let got = List.sort compare s.group_ops in
-            if expected <> got then violate (Window_ops_mismatch { window = w; expected; got });
+            if expected <> got then begin
+              let wlen = List.length spec.window_ops in
+              let glen = List.length got in
+              if
+                wlen > 0
+                && glen mod wlen = 0
+                && glen / wlen > runs
+                && List.sort compare (n_copies (glen / wlen)) = got
+              then
+                violate
+                  (Retraction_without_reemit { window = w; declared = runs; replayed = glen / wlen })
+              else violate (Window_ops_mismatch { window = w; expected; got })
+            end;
             let unread =
               List.filter
                 (fun id ->
@@ -449,15 +558,15 @@ let verify spec records =
                 s.ready_ids
             in
             if unread <> [] then violate (Unprocessed_window_data { window = w; ids = unread });
-            match s.egress_ts with
-            | Some ets ->
+            match (s.egress_ts, wm_ts) with
+            | Some ets, Some wm_ts ->
                 let d = ets - wm_ts in
                 delays := (w, d) :: !delays;
                 if d > !max_delay then max_delay := d;
                 (match spec.freshness_bound with
                 | Some bound when d > bound -> violate (Stale_result { window = w; delay = d; bound })
                 | Some _ | None -> ())
-            | None -> ()
+            | _, _ -> ()
           end)
     windows;
   (* Misleading hints: successor consumed before its predecessor. *)
@@ -511,7 +620,15 @@ let verify spec records =
     gap_events = !gap_events;
     lost_batches = !lost_batches;
     loss_fraction;
-    degraded_windows = List.sort compare (Hashtbl.fold (fun w () acc -> w :: acc) gap_windows []);
+    degraded_windows =
+      (let degraded = Hashtbl.copy gap_windows in
+       Hashtbl.iter (fun w () -> Hashtbl.replace degraded w ()) late_drop_windows;
+       List.sort compare (Hashtbl.fold (fun w () acc -> w :: acc) degraded []));
+    late_drops = !late_drops;
+    late_events = !late_events;
+    corrections = Hashtbl.fold (fun _ gens acc -> acc + List.length gens) corr_gens 0;
+    corrected_windows =
+      List.sort compare (Hashtbl.fold (fun w _ acc -> w :: acc) corr_gens []);
   }
 
 let pp_report fmt r =
@@ -523,6 +640,12 @@ let pp_report fmt r =
        degraded windows: %s@."
       r.declared_gaps r.lost_batches (100.0 *. r.loss_fraction) r.gap_events
       (String.concat "," (List.map string_of_int r.degraded_windows));
+  if r.late_drops > 0 then
+    Format.fprintf fmt "late data: %d declared drop(s), ~%d event(s) shed past the watermark@."
+      r.late_drops r.late_events;
+  if r.corrections > 0 then
+    Format.fprintf fmt "late data: %d correction(s) re-emitted over window(s) %s@." r.corrections
+      (String.concat "," (List.map string_of_int r.corrected_windows));
   if r.violations = [] then Format.fprintf fmt "verdict: OK@."
   else begin
     Format.fprintf fmt "verdict: %d VIOLATION(S)@." (List.length r.violations);
@@ -933,6 +1056,10 @@ let empty_report violations =
     lost_batches = 0;
     loss_fraction = 0.0;
     degraded_windows = [];
+    late_drops = 0;
+    late_events = 0;
+    corrections = 0;
+    corrected_windows = [];
   }
 
 let verify_tenants ~key chains =

@@ -33,6 +33,20 @@ type spec = {
           paper's fixed windows. *)
   freshness_bound : int option;
       (** Max tolerated output delay in data-plane timestamp ticks. *)
+  late_policy : int;
+      (** The attested late-data policy the quote declared: 0 = silent
+          (pre-disorder default: late data must simply never surface in
+          the audit stream), 1 = drop+declare ({!Record.Late_drop}
+          expected), 2 = retract-and-reemit ({!Record.Correction}
+          expected).  Late-handling records under any {e other} policy
+          fire {!Undeclared_late_handling}. *)
+  session_gap : int option;
+      (** [Some g]: windows are gap-based sessions (closed after [g]
+          ticks of per-window inactivity) rather than a fixed grid.
+          Sessions have no spec-derivable closing watermark, so the
+          sweep judges exactly the sessions the log emitted — op
+          multiset and consumption per emitted window — and skips the
+          grid-based completeness and freshness checks. *)
 }
 
 type violation =
@@ -94,6 +108,21 @@ type violation =
           derived key ({!tenant_key}) — that tenant's verdict is a
           violation, but {!verify_tenants} still judges every other
           tenant on its own stream *)
+  | Undeclared_late_handling of { record_index : int; window : int }
+      (** a {!Record.Late_drop} or {!Record.Correction} record appears
+          although the quote declared a different late-data policy — the
+          edge handled disorder, but not the way it promised to *)
+  | Correction_mismatch of { window : int; expected_gen : int; got_gen : int }
+      (** a window's correction generations are not contiguous from 1 in
+          emission order (skipped, repeated, or reordered) — the
+          cloud-side merge would apply a different history than the TEE
+          emitted *)
+  | Retraction_without_reemit of { window : int; declared : int; replayed : int }
+      (** the log replays more whole-window evaluations than it declares
+          emissions (original egress + corrections): a closed window was
+          reopened and re-evaluated but the superseding result never
+          left the TEE — downstream still trusts a result the edge
+          itself retracted *)
 
 val pp_violation : Format.formatter -> violation -> unit
 
@@ -110,7 +139,12 @@ type report = {
   loss_fraction : float;
       (** lost batches over the expected batch count (per-stream observed
           sequence ranges); 0 on a clean run *)
-  degraded_windows : int list;  (** windows named by declared gaps *)
+  degraded_windows : int list;
+      (** windows named by declared gaps or declared late drops *)
+  late_drops : int;  (** {!Record.Late_drop} records replayed *)
+  late_events : int;  (** events the edge declared dropped as late *)
+  corrections : int;  (** {!Record.Correction} records replayed *)
+  corrected_windows : int list;  (** windows with at least one correction *)
 }
 
 val ok : report -> bool

@@ -17,6 +17,7 @@ let default_config = Runtime.default_config
 
 type run_result = Runtime.run_result = {
   results : (int * Dataplane.sealed_result) list;
+  corrections : (int * int * Dataplane.sealed_result) list;
   trace : Sbt_sim.Trace.t;
   dp_stats : Dataplane.stats;
   pool_high_water_bytes : int;

@@ -25,6 +25,7 @@ val default_config : ?version:Dataplane.version -> ?cores:int -> unit -> config
 
 type run_result = Runtime.run_result = {
   results : (int * Dataplane.sealed_result) list;  (** per closed window *)
+  corrections : (int * int * Dataplane.sealed_result) list;
   trace : Sbt_sim.Trace.t;
   dp_stats : Dataplane.stats;
   pool_high_water_bytes : int;

@@ -23,6 +23,19 @@ let version_name = function
    audit bytes, so installing a namespace never perturbs observables. *)
 type namespace = { ns_tenant : int; ns_owners : (int64, int) Hashtbl.t }
 
+(* What the TEE does with a record whose window already closed.  The
+   policy is part of the attestation surface: anything but [Silent]
+   registers as a "tee.late_policy" gauge in the quoted metrics snapshot,
+   and the verifier holds the audit stream to the declared code. *)
+type late_policy = Silent | Drop_declare | Retract_reemit
+
+let late_policy_code = function Silent -> 0 | Drop_declare -> 1 | Retract_reemit -> 2
+
+let late_policy_name = function
+  | Silent -> "silent"
+  | Drop_declare -> "drop-declare"
+  | Retract_reemit -> "retract-reemit"
+
 type config = {
   version : version;
   platform : Tz.Platform.t;
@@ -36,6 +49,7 @@ type config = {
   adaptive_backpressure : bool;
   seed : int64;
   fault_plan : Sbt_fault.Fault.plan;
+  late_policy : late_policy;
   tracer : Sbt_obs.Tracer.t option;
   pool_budget_bytes : int option;
       (* secure-pool budget override (page-granular tenant quotas);
@@ -52,7 +66,8 @@ module Config = struct
       ?(egress_key = Bytes.of_string "sbt-egress-key16")
       ?(audit_flush_every = 256) ?audit_enabled ?(backpressure_threshold = 0.90)
       ?(adaptive_backpressure = false) ?(seed = 42L)
-      ?(fault_plan = Sbt_fault.Fault.none) ?tracer ?pool_budget_bytes ?namespace () =
+      ?(fault_plan = Sbt_fault.Fault.none) ?(late_policy = Silent) ?tracer
+      ?pool_budget_bytes ?namespace () =
     let platform =
       match platform with
       | Some p -> p
@@ -84,6 +99,7 @@ module Config = struct
       adaptive_backpressure;
       seed;
       fault_plan;
+      late_policy;
       tracer;
       pool_budget_bytes;
       namespace;
@@ -118,6 +134,7 @@ type param =
   | P_hi of int32
   | P_shift of int
   | P_fields of int array
+  | P_session_gap of int
 
 type request =
   | R_ingest_events of { payload : bytes; encrypted : bool; stream : int; seq : int; mac : bytes }
@@ -145,6 +162,8 @@ type request =
       retire_inputs : bool;
     }
   | R_egress of { input : int64; window : int }
+  | R_late_drop of { input : int64; window : int }
+  | R_egress_correction of { input : int64; window : int; gen : int }
   | R_install_udf of { udf : Udf.t; cert : bytes }
   | R_invoke_udf of {
       name : string;
@@ -224,6 +243,16 @@ type t = {
   mutable next_ckpt_seq : int;
   mutable ingest_width : int; (* set per stream schema via first ingest params *)
   mutable capture : (capture -> unit) option; (* heavy-kernel snapshot sink *)
+  (* Session-window state (only touched when a Segment invocation carries
+     P_session_gap).  Assignment is global and in-order over the event
+     stream: a new session opens after [sess_gap] ticks of event-time
+     silence.  [sess_ends] remembers each session's last event time so
+     egress can refuse to seal a session the watermark has not closed. *)
+  mutable sess_gap : int; (* 0 = no session windowing seen yet *)
+  mutable sess_last_ts : int;
+  mutable sess_next_id : int;
+  sess_ends : (int, int) Hashtbl.t;
+  mutable last_wm : int; (* highest ingested watermark (-1 before any) *)
   udfs : (string * int, Udf.t) Hashtbl.t; (* certified-and-installed UDFs *)
   (* TEE-side metrics registry: never read across the boundary directly;
      exported only as an attested snapshot via [metrics_quote]. *)
@@ -490,6 +519,7 @@ let do_declare_gap t ~stream ~seq ~events ~windows ~reason =
 let do_ingest_watermark t ~value =
   (* Watermark ids come from the allocator's id sequence so all audit
      identifiers stay near-monotonic (better delta compression, 7). *)
+  if value > t.last_wm then t.last_wm <- value;
   let id = Alloc.reserve_id t.alloc in
   append_record t (Sbt_attest.Record.Ingress_watermark { ts = now_us t; id; value });
   Rs_watermark { audit_id = id; value }
@@ -569,33 +599,86 @@ let do_invoke (t : t) ~op ~inputs ~trigger ~params ~hints ~retire_inputs =
         let dst = mk ~width ~capacity:total () in
         timed t `Compute (fun () -> Sbt_prim.Merge.kway ~inputs:uas ~dst ~key_field:kf);
         [ (-1, dst) ]
-    | P.Segment ->
+    | P.Segment -> (
         let src = as_one uas in
-        let ws =
-          match find_param params (function P_window_size w -> Some w | _ -> None) with
-          | Some w -> w
-          | None -> raise (Rejected "segment: missing window size")
-        in
         let tf =
           Option.value ~default:2 (find_param params (function P_ts_field f -> Some f | _ -> None))
         in
-        let slide =
-          Option.value ~default:ws (find_param params (function P_slide v -> Some v | _ -> None))
-        in
-        let counts =
-          timed t `Compute (fun () ->
-              Sbt_prim.Segment.count_per_window ~src ~ts_field:tf ~window_size:ws ~slide ())
-        in
-        let dsts =
-          List.mapi
-            (fun i (win, count) -> (win, mk ~i ~width:(U.width src) ~capacity:count ()))
-            counts
-        in
-        timed t `Compute (fun () ->
-            Sbt_prim.Segment.segment ~src ~ts_field:tf ~window_size:ws ~slide
-              ~dst_for_window:(fun w -> List.assoc w dsts)
-              ());
-        List.map (fun (w, d) -> (w, d)) dsts
+        match find_param params (function P_session_gap g -> Some g | _ -> None) with
+        | Some gap ->
+            (* Gap-based session windowing.  Assignment is global, stateful
+               and in-order: the enclave remembers the last event time
+               across batches, opens a new session after [gap] ticks of
+               silence, and records each session's end so egress can hold a
+               session open until the watermark clears end + gap. *)
+            if gap <= 0 then raise (Rejected "segment: session gap must be positive");
+            t.sess_gap <- gap;
+            let n = U.length src in
+            let w = U.width src in
+            let ids = Array.make (max n 1) 0 in
+            timed t `Compute (fun () ->
+                for i = 0 to n - 1 do
+                  let ts = Int32.to_int (U.get_field src i tf) in
+                  if ts < t.sess_last_ts then
+                    raise (Rejected "segment: session windows need in-order event times");
+                  if t.sess_next_id = 0 || ts - t.sess_last_ts > gap then
+                    t.sess_next_id <- t.sess_next_id + 1;
+                  let sid = t.sess_next_id - 1 in
+                  ids.(i) <- sid;
+                  t.sess_last_ts <- ts;
+                  Hashtbl.replace t.sess_ends sid ts
+                done);
+            (* Distinct session ids in first-appearance order (ids are
+               non-decreasing, so this is also ascending id order). *)
+            let order = ref [] in
+            Array.iteri
+              (fun i sid ->
+                if i < n then
+                  match !order with s :: _ when s = sid -> () | _ -> order := sid :: !order)
+              ids;
+            let sids = List.rev !order in
+            let count sid =
+              let c = ref 0 in
+              for i = 0 to n - 1 do
+                if ids.(i) = sid then incr c
+              done;
+              !c
+            in
+            let dsts =
+              List.mapi (fun i sid -> (sid, mk ~i ~width:w ~capacity:(count sid) ())) sids
+            in
+            timed t `Compute (fun () ->
+                let row = Array.make w 0l in
+                for i = 0 to n - 1 do
+                  for f = 0 to w - 1 do
+                    row.(f) <- U.get_field src i f
+                  done;
+                  U.append (List.assoc ids.(i) dsts) row
+                done);
+            dsts
+        | None ->
+            let ws =
+              match find_param params (function P_window_size w -> Some w | _ -> None) with
+              | Some w -> w
+              | None -> raise (Rejected "segment: missing window size")
+            in
+            let slide =
+              Option.value ~default:ws (find_param params (function P_slide v -> Some v | _ -> None))
+            in
+            let counts =
+              timed t `Compute (fun () ->
+                  Sbt_prim.Segment.count_per_window ~src ~ts_field:tf ~window_size:ws ~slide ())
+            in
+            let dsts =
+              List.mapi
+                (fun i (win, count) -> (win, mk ~i ~width:(U.width src) ~capacity:count ()))
+                counts
+            in
+            timed t `Compute (fun () ->
+                Sbt_prim.Segment.segment ~src ~ts_field:tf ~window_size:ws ~slide
+                  ~dst_for_window:(fun w -> List.assoc w dsts)
+                  ());
+            List.map (fun (w, d) -> (w, d)) dsts)
     | P.Sum_cnt ->
         let src = as_one uas in
         let vf = value_field params 1 in
@@ -872,7 +955,16 @@ let do_invoke_fused (t : t) ~steps ~inputs ~trigger ~hints ~retire_inputs =
 
 let egress_nonce window = Int64.logor 0x4547000000000000L (Int64.of_int window)
 
-let do_egress t ~input ~window =
+(* Corrections seal under their own nonce domain ("CT" vs the egress
+   "EG"), keyed by (window, generation): a superseded result and its
+   correction can never be confused or replayed for one another, and the
+   cloud-side merge re-seals the winning generation under the canonical
+   egress nonce so corrected output is byte-compatible with an in-order
+   run. *)
+let correction_nonce ~window ~gen =
+  Int64.logor 0x4354000000000000L (Int64.of_int ((window * 256) + gen))
+
+let seal_out t ~input ~window ~nonce ~mk_record =
   guard_ref t input;
   let ua = Opaque.resolve t.refs input in
   let events = U.length ua and width = U.width ua in
@@ -909,7 +1001,7 @@ let do_egress t ~input ~window =
         match t.cfg.version with
         | Insecure -> payload
         | Full | Clear_ingress | Io_via_os ->
-            let ctr = Sbt_crypto.Ctr.create ~key:t.cfg.egress_key ~nonce:(egress_nonce window) in
+            let ctr = Sbt_crypto.Ctr.create ~key:t.cfg.egress_key ~nonce in
             Sbt_crypto.Ctr.xcrypt ctr ~pos:0L payload 0 (Bytes.length payload);
             payload)
   in
@@ -919,11 +1011,45 @@ let do_egress t ~input ~window =
     | Full | Clear_ingress | Io_via_os ->
         timed t `Crypto (fun () -> Sbt_crypto.Hmac.mac ~key:t.cfg.egress_key cipher)
   in
-  append_record t (Sbt_attest.Record.Egress { ts = now_us t; uarray = U.id ua; win_no = window });
+  append_record t (mk_record ~ts:(now_us t) ~uarray:(U.id ua));
   retire_ref t input;
   (* Audit records are flushed upon externalizing any result (paper §7). *)
   flush_log t;
   Rs_egress { window; cipher; tag; events; width }
+
+let do_egress t ~input ~window =
+  (* A session window may only seal once the watermark clears its end
+     plus the gap — the in-TEE half of session close (the control plane
+     schedules the close; the enclave refuses a premature one).  Fixed
+     windows never populate [sess_ends], so this is inert by default. *)
+  (match Hashtbl.find_opt t.sess_ends window with
+  | Some end_ts when t.last_wm < end_ts + t.sess_gap ->
+      raise
+        (Rejected
+           (Printf.sprintf "egress: session %d still open (last event %d, gap %d, watermark %d)"
+              window end_ts t.sess_gap t.last_wm))
+  | _ -> ());
+  seal_out t ~input ~window ~nonce:(egress_nonce window) ~mk_record:(fun ~ts ~uarray ->
+      Sbt_attest.Record.Egress { ts; uarray; win_no = window })
+
+(* Drop+declare: the late batch dies inside the TEE, but its death is a
+   signed audit fact (window, events) rather than silence — the verifier
+   downgrades the would-be violation to declared degradation iff the
+   quoted policy is drop+declare. *)
+let do_late_drop t ~input ~window =
+  guard_ref t input;
+  let ua = Opaque.resolve t.refs input in
+  let events = U.length ua in
+  append_record t
+    (Sbt_attest.Record.Late_drop { ts = now_us t; uarray = U.id ua; win_no = window; events });
+  retire_ref t input;
+  Rs_outputs []
+
+let do_egress_correction t ~input ~window ~gen =
+  if gen <= 0 || gen > 255 then raise (Rejected "correction: generation out of range");
+  seal_out t ~input ~window
+    ~nonce:(correction_nonce ~window ~gen)
+    ~mk_record:(fun ~ts ~uarray -> Sbt_attest.Record.Correction { ts; uarray; win_no = window; gen })
 
 (* --- certified UDFs (paper 4.2) ---------------------------------------- *)
 
@@ -1154,6 +1280,9 @@ let dispatch t = function
       traced_prim t "fused" (fun () ->
           do_invoke_fused t ~steps ~inputs ~trigger ~hints ~retire_inputs)
   | R_egress { input; window } -> traced_prim t "seal" (fun () -> do_egress t ~input ~window)
+  | R_late_drop { input; window } -> do_late_drop t ~input ~window
+  | R_egress_correction { input; window; gen } ->
+      traced_prim t "seal" (fun () -> do_egress_correction t ~input ~window ~gen)
   | R_install_udf { udf; cert } -> do_install_udf t ~udf ~cert
   | R_invoke_udf { name; version; inputs; trigger; value_field; hints; retire_inputs; state_output } ->
       traced_prim t ("udf:" ^ name) (fun () ->
@@ -1199,6 +1328,11 @@ let create cfg =
       next_ckpt_seq = 0;
       ingest_width = 3;
       capture = None;
+      sess_gap = 0;
+      sess_last_ts = 0;
+      sess_next_id = 0;
+      sess_ends = Hashtbl.create 16;
+      last_wm = -1;
       udfs = Hashtbl.create 8;
       reg;
       m_events = Sbt_obs.Metrics.counter reg "tee.events_ingested";
@@ -1211,6 +1345,14 @@ let create cfg =
       m_pool = Sbt_obs.Metrics.gauge reg "tee.pool_committed_bytes";
     }
   in
+  (* The declared late-data policy is part of the attestation surface: any
+     policy but Silent registers as a gauge in the quoted metrics
+     snapshot, so the cloud verifier can hold the audit stream to it.
+     Silent registers nothing — default quote bytes stay identical. *)
+  if cfg.late_policy <> Silent then
+    Sbt_obs.Metrics.set_gauge
+      (Sbt_obs.Metrics.gauge reg "tee.late_policy")
+      (float_of_int (late_policy_code cfg.late_policy));
   (* Observers go in before Init so a trace's "smc" span count equals the
      platform's switch-pair count exactly. *)
   (match cfg.tracer with
@@ -1386,6 +1528,28 @@ let open_result ~egress_key (r : sealed_result) =
   in
   Array.init r.events (fun i ->
       Array.init r.width (fun f -> Bytes.get_int32_le payload (4 * ((i * r.width) + f))))
+
+(* Cloud-side correction merge: authenticate the winning correction,
+   open it under its (window, gen) nonce, and re-seal the plaintext
+   under the canonical egress nonce — after the merge, corrected output
+   is byte-identical to what an in-order run seals for the window.
+   Identity on unauthenticated (Insecure) results, which are plaintext
+   under either nonce. *)
+let reseal_correction ~egress_key ~gen (r : sealed_result) =
+  if Bytes.length r.tag = 0 then r
+  else begin
+    if not (Sbt_crypto.Hmac.verify ~key:egress_key ~tag:r.tag r.cipher) then
+      invalid_arg "Dataplane.reseal_correction: MAC verification failed";
+    let p = Bytes.copy r.cipher in
+    let open_ctr =
+      Sbt_crypto.Ctr.create ~key:egress_key ~nonce:(correction_nonce ~window:r.window ~gen)
+    in
+    Sbt_crypto.Ctr.xcrypt open_ctr ~pos:0L p 0 (Bytes.length p);
+    let seal_ctr = Sbt_crypto.Ctr.create ~key:egress_key ~nonce:(egress_nonce r.window) in
+    Sbt_crypto.Ctr.xcrypt seal_ctr ~pos:0L p 0 (Bytes.length p);
+    let tag = Sbt_crypto.Hmac.mac ~key:egress_key p in
+    { r with cipher = p; tag }
+  end
 
 let stats (t : t) =
   {

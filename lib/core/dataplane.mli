@@ -28,6 +28,29 @@ type namespace = { ns_tenant : int; ns_owners : (int64, int) Hashtbl.t }
     RNG, results, or audit bytes, so a namespaced run is observably
     identical to a solo run. *)
 
+(** What the TEE does with a record whose window has already closed (the
+    out-of-order story).  The policy is part of the attestation surface:
+    anything but [Silent] is registered as a ["tee.late_policy"] gauge in
+    the quoted metrics snapshot, and
+    {!Sbt_attest.Verifier.Undeclared_late_handling} fires when the audit
+    stream shows late handling the quote never declared. *)
+type late_policy =
+  | Silent  (** late data is retired without a trace (the historical behaviour) *)
+  | Drop_declare
+      (** late data is dropped in-TEE but declared: a signed
+          {!Sbt_attest.Record.Late_drop} record feeds the verifier's
+          degradation verdict *)
+  | Retract_reemit
+      (** a closed window reopens: the enclave re-runs the window plan
+          over {originals + late data} and seals a superseding
+          {!Sbt_attest.Record.Correction}; the cloud merge applies
+          corrections in generation order *)
+
+val late_policy_code : late_policy -> int
+(** The attested wire code: 0 = silent, 1 = drop+declare, 2 = retract+reemit. *)
+
+val late_policy_name : late_policy -> string
+
 type config = {
   version : version;
   platform : Sbt_tz.Platform.t;
@@ -49,6 +72,9 @@ type config = {
           sheds); {!Sbt_fault.Fault.none} by default — the injection path
           is then never consulted and behaviour is identical to a build
           without the fault layer *)
+  late_policy : late_policy;
+      (** attested late-data policy; [Silent] (the default) keeps the
+          historical behaviour and quote bytes *)
   tracer : Sbt_obs.Tracer.t option;
       (** virtual-time trace sink shared with the DES and control plane;
           [None] (the default) records nothing.  Spans are keyed to the
@@ -84,6 +110,7 @@ module Config : sig
     ?adaptive_backpressure:bool ->
     ?seed:int64 ->
     ?fault_plan:Sbt_fault.Fault.plan ->
+    ?late_policy:late_policy ->
     ?tracer:Sbt_obs.Tracer.t ->
     ?pool_budget_bytes:int ->
     ?namespace:namespace ->
@@ -130,6 +157,13 @@ type param =
   | P_hi of int32
   | P_shift of int
   | P_fields of int array
+  | P_session_gap of int
+      (** Segment only: switch from the fixed window grid to gap-based
+          session windowing.  Assignment is stateful, global and in-order
+          across batches (a new session opens after the gap's worth of
+          event-time silence); the "window" number of each output is the
+          session id, and egress refuses to seal a session until the
+          watermark clears its last event time plus the gap. *)
 
 type request =
   | R_ingest_events of {
@@ -177,6 +211,15 @@ type request =
           {!Rejected} if the chain has fewer than two steps or is invalid
           for the input width ({!Sbt_prim.Fused.width_after}). *)
   | R_egress of { input : int64; window : int }
+  | R_late_drop of { input : int64; window : int }
+      (** Drop+declare a late batch: the input dies in-TEE, but a signed
+          {!Sbt_attest.Record.Late_drop} (window, event count) makes the
+          loss a declared, attested fact rather than silence. *)
+  | R_egress_correction of { input : int64; window : int; gen : int }
+      (** Seal a superseding result for an already-egressed window under
+          the correction nonce domain for ([window], [gen]); emits a
+          {!Sbt_attest.Record.Correction}.  Generations are 1-based and
+          must stay within a byte ({!Rejected} otherwise). *)
   | R_install_udf of { udf : Udf.t; cert : bytes }
       (** Admit a certified UDF (paper §4.2); the certificate must verify
           under the trusted party's key or the request is {!Rejected}. *)
@@ -277,6 +320,15 @@ val audit_records_for_test : t -> Sbt_attest.Record.t list
 val open_result : egress_key:bytes -> sealed_result -> int32 array array
 (** Decrypt and authenticate an egressed window result (the cloud
     consumer's view).  Raises [Invalid_argument] on a bad MAC. *)
+
+val reseal_correction : egress_key:bytes -> gen:int -> sealed_result -> sealed_result
+(** The cloud-side correction merge step: authenticate a
+    [R_egress_correction] result, open it under its (window, [gen])
+    correction nonce and re-seal it under the canonical egress nonce.
+    After the merge the corrected window is byte-identical to what an
+    in-order run would have sealed, so {!open_result} (and any downstream
+    consumer) treats it like an original.  Raises [Invalid_argument] on a
+    bad MAC; identity on unauthenticated ([Insecure]) results. *)
 
 (** {2 Accounting} *)
 

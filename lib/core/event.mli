@@ -24,3 +24,23 @@ val bytes_per_event : schema -> int
 
 val ticks_per_second : int
 (** 1000: event-time resolution of all workloads and window sizes. *)
+
+(** {2 Event time vs arrival order}
+
+    Windowing consults only [event_ts] (the in-record timestamp);
+    [arrival_ts] is when the network actually delivered the event.  The
+    two coincide on an orderly stream — disorder is their divergence, and
+    a watermark policy is a promise about how large it may get. *)
+
+type timing = { event_ts : int; arrival_ts : int }
+
+val timing : event_ts:int -> arrival_ts:int -> timing
+(** Raises [Invalid_argument] if [arrival_ts < event_ts]. *)
+
+val delay_ticks : timing -> int
+(** How long the event was in flight, in event-time ticks. *)
+
+val is_late : timing -> watermark:int -> bool
+(** The watermark frontier already passed the event's time: its window
+    may have closed, and the configured late-data policy decides what
+    happens to it. *)

@@ -30,11 +30,14 @@ type wctx = {
   retire_ref : int64 -> unit;
 }
 
+type window_kind = [ `Fixed | `Session of int ]
+
 type t = {
   name : string;
   schema : Event.schema;
   window_size_ticks : int;
   window_slide_ticks : int;
+  window_kind : window_kind;
   streams : int;
   batch_ops : batch_op list;
   window_ops : P.t list;
@@ -50,7 +53,15 @@ let batch_op_primitive = function
   | B_select _ -> P.Select
   | B_shift_key _ -> P.Shift_key
 
-let verifier_spec ?freshness_bound_us p =
+let session_gap p = match p.window_kind with `Fixed -> None | `Session g -> Some g
+
+let with_session_gap p ~gap_ticks =
+  if gap_ticks <= 0 then invalid_arg "Pipeline.with_session_gap: gap must be positive";
+  if p.batch_ops <> [] then
+    invalid_arg "Pipeline.with_session_gap: session windows need a pipeline with no batch stages";
+  { p with window_kind = `Session gap_ticks }
+
+let verifier_spec ?freshness_bound_us ?(late_policy = 0) p =
   {
     Sbt_attest.Verifier.batch_ops = List.map (fun op -> P.to_id (batch_op_primitive op)) p.batch_ops;
     window_ops =
@@ -59,6 +70,8 @@ let verifier_spec ?freshness_bound_us p =
     window_size = p.window_size_ticks;
     window_slide = p.window_slide_ticks;
     freshness_bound = freshness_bound_us;
+    late_policy;
+    session_gap = session_gap p;
   }
 
 let default_window = Event.ticks_per_second (* 1-second windows, as in §9.2 *)
@@ -75,6 +88,7 @@ let win_sum ?(window_size_ticks = default_window) ?window_slide_ticks () =
     streams = 1;
     batch_ops = [];
     window_ops = [ P.Sum ];
+    window_kind = `Fixed;
     window_udf_invocations = 0;
     udfs = [];
     plan =
@@ -93,6 +107,7 @@ let filter ?(window_size_ticks = default_window) ?(lo = 0l) ?(hi = 42949672l) ()
     streams = 1;
     batch_ops = [ B_filter_band { field = Event.default.value_field; lo; hi } ];
     window_ops = [ P.Concat ];
+    window_kind = `Fixed;
     window_udf_invocations = 0;
     udfs = [];
     plan = (fun ctx -> one (ctx.invoke P.Concat (refs_of ctx.ready)));
@@ -122,6 +137,7 @@ let fps_chain ?(window_size_ticks = default_window) () =
         B_filter_band { field = vf; lo = 0l; hi = 1431655765l };
       ];
     window_ops = [ P.Concat ];
+    window_kind = `Fixed;
     window_udf_invocations = 0;
     udfs = [];
     plan = (fun ctx -> one (ctx.invoke P.Concat (refs_of ctx.ready)));
@@ -142,6 +158,7 @@ let group_topk ?(window_size_ticks = default_window) ?(k = 10) () =
     streams = 1;
     batch_ops = [ sorted_batch ];
     window_ops = [ P.Kway_merge; P.Top_k_per_key ];
+    window_kind = `Fixed;
     window_udf_invocations = 0;
     udfs = [];
     plan =
@@ -162,6 +179,7 @@ let distinct ?(window_size_ticks = default_window) () =
     streams = 1;
     batch_ops = [ sorted_batch ];
     window_ops = [ P.Kway_merge; P.Unique; P.Count ];
+    window_kind = `Fixed;
     window_udf_invocations = 0;
     udfs = [];
     plan =
@@ -180,6 +198,7 @@ let temp_join ?(window_size_ticks = default_window) () =
     streams = 2;
     batch_ops = [ sorted_batch ];
     window_ops = [ P.Kway_merge; P.Kway_merge; P.Join ];
+    window_kind = `Fixed;
     window_udf_invocations = 0;
     udfs = [];
     plan =
@@ -206,6 +225,7 @@ let power_grid ?(window_size_ticks = default_window) ?(k = 10) () =
     batch_ops = [ B_sort { key_field = Event.power.key_field; secondary_value = None } ];
     window_ops =
       [ P.Kway_merge; P.Avg_per_key; P.Average; P.Filter_band; P.Shift_key; P.Count_per_key; P.Top_k ];
+    window_kind = `Fixed;
     window_udf_invocations = 0;
     udfs = [];
     plan =
@@ -239,6 +259,7 @@ let union_count ?(window_size_ticks = default_window) () =
     streams = 2;
     batch_ops = [];
     window_ops = [ P.Concat; P.Count ];
+    window_kind = `Fixed;
     window_udf_invocations = 0;
     udfs = [];
     plan =
@@ -284,6 +305,7 @@ let load_predict ?(window_size_ticks = default_window) ?(alpha_percent = 50) () 
     streams = 1;
     batch_ops = [ B_sort { key_field = Event.power.key_field; secondary_value = None } ];
     window_ops = [ P.Kway_merge; P.Avg_per_key; P.Shift_key; P.Avg_per_key; P.Join ];
+    window_kind = `Fixed;
     window_udf_invocations = 1;
     udfs = [ (ewma, cert) ];
     plan =
@@ -339,6 +361,7 @@ let keyed_pipeline name op extra_params ?(window_size_ticks = default_window) ()
     streams = 1;
     batch_ops = [ sorted_batch ];
     window_ops = [ P.Kway_merge; op ];
+    window_kind = `Fixed;
     window_udf_invocations = 0;
     udfs = [];
     plan =
@@ -368,12 +391,45 @@ let count_by_window ?(window_size_ticks = default_window) () =
     streams = 1;
     batch_ops = [];
     window_ops = [ P.Concat; P.Count ];
+    window_kind = `Fixed;
     window_udf_invocations = 0;
     udfs = [];
     plan =
       (fun ctx ->
         let all = one (ctx.invoke P.Concat (refs_of ctx.ready)) in
         one (ctx.invoke P.Count [ all ]));
+  }
+
+let vitals ?(window_size_ticks = default_window) () =
+  (* Medical telemetry (after the TEE medical-streaming case study):
+     per-patient vital averages per window.  Deliberately has no batch
+     stages — all work happens at window close over whatever segments are
+     ready — so a correction re-run over {originals + late arrivals} is
+     just the same plan on a longer ready list.  Concat order varies with
+     arrival order; the in-window Sort re-canonicalizes, and Avg_per_key
+     folds each key run order-independently, so the sealed output bytes
+     depend only on the window's event multiset.  That is what makes the
+     retract-and-reemit convergence property (disorder-permuted input ==
+     in-order run, byte for byte) provable rather than aspirational. *)
+  {
+    name = "Vitals";
+    schema = Event.default;
+    window_size_ticks;
+    window_slide_ticks = window_size_ticks;
+    window_kind = `Fixed;
+    streams = 1;
+    batch_ops = [];
+    window_ops = [ P.Concat; P.Sort; P.Avg_per_key ];
+    window_udf_invocations = 0;
+    udfs = [];
+    plan =
+      (fun ctx ->
+        let all = one (ctx.invoke P.Concat (refs_of ctx.ready)) in
+        let sorted = one (ctx.invoke P.Sort ~params:[ D.P_key_field 0 ] [ all ]) in
+        one
+          (ctx.invoke P.Avg_per_key
+             ~params:[ D.P_key_field 0; D.P_value_field Event.default.value_field ]
+             [ sorted ]));
   }
 
 let min_max ?(window_size_ticks = default_window) () =
@@ -385,6 +441,7 @@ let min_max ?(window_size_ticks = default_window) () =
     streams = 1;
     batch_ops = [];
     window_ops = [ P.Concat; P.Min_max ];
+    window_kind = `Fixed;
     window_udf_invocations = 0;
     udfs = [];
     plan =

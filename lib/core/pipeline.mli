@@ -53,6 +53,12 @@ type wctx = {
           replaces). *)
 }
 
+type window_kind = [ `Fixed | `Session of int ]
+(** [`Fixed]: the grid of [window_slide_ticks]-spaced windows (sliding
+    when slide < size).  [`Session gap]: windows are per-window activity
+    sessions — window [w] starts at its first event and closes once the
+    watermark clears its last event time plus [gap] ticks of silence. *)
+
 type t = {
   name : string;
   schema : Event.schema;
@@ -60,6 +66,7 @@ type t = {
   window_slide_ticks : int;
       (** window [w] covers [\[w*slide, w*slide + size)]; equal to
           [window_size_ticks] for the paper's fixed windows *)
+  window_kind : window_kind;
   streams : int;  (** 1, or 2 for joins *)
   batch_ops : batch_op list;
   window_ops : Sbt_prim.Primitive.t list;
@@ -74,7 +81,21 @@ type t = {
 
 val batch_op_primitive : batch_op -> Sbt_prim.Primitive.t
 
-val verifier_spec : ?freshness_bound_us:int -> t -> Sbt_attest.Verifier.spec
+val session_gap : t -> int option
+(** [Some gap] for session-windowed pipelines, [None] for the fixed grid. *)
+
+val with_session_gap : t -> gap_ticks:int -> t
+(** Turn a fixed-window pipeline into a gap-based session pipeline:
+    events are assigned to activity sessions in-TEE (a new session opens
+    after [gap_ticks] of event-time silence) and a session closes only
+    when the watermark clears its end plus the gap.  Requires a pipeline
+    with no batch stages (session assignment happens at windowing time);
+    raises [Invalid_argument] otherwise or if [gap_ticks <= 0]. *)
+
+val verifier_spec : ?freshness_bound_us:int -> ?late_policy:int -> t -> Sbt_attest.Verifier.spec
+(** [late_policy] is the attested policy code the run declared (0 =
+    silent, 1 = drop+declare, 2 = retract-and-reemit; default 0); the
+    session gap is taken from the pipeline's [window_kind]. *)
 
 (** {2 The paper's six benchmark pipelines (§9.2)} *)
 
@@ -125,3 +146,11 @@ val avg_per_key : ?window_size_ticks:int -> unit -> t
 val median_per_key : ?window_size_ticks:int -> unit -> t
 val count_by_window : ?window_size_ticks:int -> unit -> t
 val min_max : ?window_size_ticks:int -> unit -> t
+
+val vitals : ?window_size_ticks:int -> unit -> t
+(** Medical telemetry: per-patient (key) average vitals per window, after
+    the TEE medical-streaming case study.  No batch stages, and the
+    window plan (Concat, Sort, Avg_per_key) is insensitive to segment
+    arrival order, so a retract-and-reemit correction over
+    {originals + late arrivals} reproduces the in-order run's bytes
+    exactly — the disorder workhorse. *)

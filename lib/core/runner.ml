@@ -23,6 +23,8 @@ type outcome = {
   verifier_report : Sbt_attest.Verifier.report;
   loss : Runtime.Loss.t;
   results : (int * D.sealed_result) list;
+  corrections : (int * int * D.sealed_result) list;
+  results_corrected : (int * D.sealed_result) list;
   audit : Sbt_attest.Log.batch list;
   spec : Sbt_attest.Verifier.spec;
   registry : Sbt_obs.Metrics.t;
@@ -35,12 +37,44 @@ let mean = function
   | [] -> 0.0
   | l -> List.fold_left ( +. ) 0.0 (List.map float_of_int l) /. float_of_int (List.length l)
 
+(* The cloud-side correction merge: for every corrected window keep the
+   highest generation, re-seal it under the canonical egress nonce
+   ({!Dataplane.reseal_correction}) and splice it over the original
+   egress (or in, for a window whose only output was a correction).
+   Result: ascending-window sealed output byte-compatible with an
+   in-order run. *)
+let merge_corrections ~egress_key results corrections =
+  let best : (int, int * D.sealed_result) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (w, gen, s) ->
+      match Hashtbl.find_opt best w with
+      | Some (g, _) when g >= gen -> ()
+      | _ -> Hashtbl.replace best w (gen, s))
+    corrections;
+  let merged =
+    List.map
+      (fun (w, s) ->
+        match Hashtbl.find_opt best w with
+        | Some (gen, c) ->
+            Hashtbl.remove best w;
+            (w, D.reseal_correction ~egress_key ~gen c)
+        | None -> (w, s))
+      results
+  in
+  let extra =
+    Hashtbl.fold
+      (fun w (gen, c) acc -> (w, D.reseal_correction ~egress_key ~gen c) :: acc)
+      best []
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) (merged @ extra)
+
 let run ?(cores_list = [ 2; 4; 8 ]) ?(target_delay_ms = 500.0) ?(version = D.Full)
     ?(hints_enabled = true) ?(fuse = false)
     ?(alloc_mode = Sbt_umem.Allocator.Hint_guided)
     ?(sort_algorithm = Sbt_prim.Sort.Radix) ?(secure_mb = 512) ?(repeats = 1)
-    ?(fault_plan = Sbt_fault.Fault.none) ?tracer ?(deterministic = false)
-    ?exec_domains ?exec_time_scale ?exec_mode (pipe : Pipeline.t) frames =
+    ?(fault_plan = Sbt_fault.Fault.none) ?(late_policy = D.Silent) ?tracer
+    ?(deterministic = false) ?exec_domains ?exec_time_scale ?exec_mode
+    (pipe : Pipeline.t) frames =
   let max_cores = List.fold_left max 1 cores_list in
   (* Deterministic runs zero the host_scale so no measured host time leaks
      into costs — recordings become byte-reproducible across processes. *)
@@ -56,7 +90,7 @@ let run ?(cores_list = [ 2; 4; 8 ]) ?(target_delay_ms = 500.0) ?(version = D.Ful
   in
   let cfg =
     Runtime.Config.make ~version ~cores:max_cores ~secure_mb ?cost ~alloc_mode
-      ~sort_algorithm ~fault_plan ?tracer ~hints_enabled ~fuse ()
+      ~sort_algorithm ~fault_plan ~late_policy ?tracer ~hints_enabled ~fuse ()
   in
   let record () =
     (* With repeats > 1 the trace buffer would accumulate every
@@ -142,6 +176,11 @@ let run ?(cores_list = [ 2; 4; 8 ]) ?(target_delay_ms = 500.0) ?(version = D.Ful
     verifier_report = report;
     loss = r.Control.loss;
     results = List.sort (fun (a, _) (b, _) -> compare a b) r.Control.results;
+    corrections = r.Control.corrections;
+    results_corrected =
+      merge_corrections ~egress_key
+        (List.sort (fun (a, _) (b, _) -> compare a b) r.Control.results)
+        r.Control.corrections;
     audit = r.Control.audit;
     spec = r.Control.verifier_spec;
     registry = r.Control.registry;

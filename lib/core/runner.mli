@@ -29,6 +29,14 @@ type outcome = {
   verifier_report : Sbt_attest.Verifier.report;
   loss : Runtime.Loss.t;  (** what graceful degradation dropped and declared *)
   results : (int * Dataplane.sealed_result) list;  (** sorted by window *)
+  corrections : (int * int * Dataplane.sealed_result) list;
+      (** (window, generation, sealed) correction egress under
+          retract-and-reemit, in emission order; empty otherwise *)
+  results_corrected : (int * Dataplane.sealed_result) list;
+      (** the cloud-side merge: [results] with each corrected window
+          replaced by its highest-generation correction re-sealed under
+          the canonical egress nonce ({!Dataplane.reseal_correction}) —
+          byte-comparable against an in-order run's [results] *)
   audit : Sbt_attest.Log.batch list;  (** the signed upload, oldest first *)
   spec : Sbt_attest.Verifier.spec;  (** the declaration the verifier used *)
   registry : Sbt_obs.Metrics.t;  (** control-plane metrics for the kept recording *)
@@ -38,6 +46,17 @@ type outcome = {
       (** real-parallel wall-clock report for the kept recording —
           [Some] iff [exec_domains] was passed *)
 }
+
+val merge_corrections :
+  egress_key:bytes ->
+  (int * Dataplane.sealed_result) list ->
+  (int * int * Dataplane.sealed_result) list ->
+  (int * Dataplane.sealed_result) list
+(** [merge_corrections ~egress_key results corrections] applies the
+    cloud-side merge in order: for every window the highest-generation
+    correction wins, is re-sealed under the canonical egress nonce and
+    replaces (or, for a window with no original egress, joins) the
+    sealed results; output sorted by window. *)
 
 val run :
   ?cores_list:int list ->
@@ -50,6 +69,7 @@ val run :
   ?secure_mb:int ->
   ?repeats:int ->
   ?fault_plan:Sbt_fault.Fault.plan ->
+  ?late_policy:Dataplane.late_policy ->
   ?tracer:Sbt_obs.Tracer.t ->
   ?deterministic:bool ->
   ?exec_domains:int ->

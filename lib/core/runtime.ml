@@ -17,8 +17,8 @@ module Config = struct
 
   let make ?version ?(cores = 8) ?secure_mb ?cost ?platform ?alloc_mode
       ?sort_algorithm ?ingress_key ?egress_key ?audit_flush_every ?audit_enabled
-      ?backpressure_threshold ?adaptive_backpressure ?seed ?fault_plan ?tracer
-      ?(hints_enabled = true) ?(fuse = false) ?dp_config () =
+      ?backpressure_threshold ?adaptive_backpressure ?seed ?fault_plan ?late_policy
+      ?tracer ?(hints_enabled = true) ?(fuse = false) ?dp_config () =
     let dp_config =
       match dp_config with
       | Some c -> c
@@ -26,7 +26,7 @@ module Config = struct
           D.Config.make ?version ~cores ?secure_mb ?cost ?platform ?alloc_mode
             ?sort_algorithm ?ingress_key ?egress_key ?audit_flush_every
             ?audit_enabled ?backpressure_threshold ?adaptive_backpressure ?seed
-            ?fault_plan ?tracer ()
+            ?fault_plan ?late_policy ?tracer ()
     in
     { dp_config; cores; hints_enabled; fuse }
 
@@ -203,6 +203,9 @@ let replay_capture runner (c : D.capture) =
 
 type run_result = {
   results : (int * D.sealed_result) list;
+  corrections : (int * int * D.sealed_result) list;
+      (* (window, gen, sealed) — superseding re-emissions under the
+         retract-and-reemit late policy, in emission order *)
   trace : Trace.t;
   dp_stats : D.stats;
   pool_high_water_bytes : int;
@@ -363,6 +366,11 @@ let record ~recording_cores ?(capture = false) ?ckpt_every ?on_checkpoint ?resum
     | Some (rt, ctl) -> (rt, Some ctl)
   in
   let ctl_or v f = match resume_ctl with None -> v | Some c -> f c in
+  (* Retract-and-reemit re-runs the window plan over {original + late}
+     segments, so those segments must reach the plan unmodified; batch
+     stages would have consumed them long before the close. *)
+  if cfg.dp_config.D.late_policy = D.Retract_reemit && pipe.Pipeline.batch_ops <> [] then
+    invalid_arg "Runtime: retract-and-reemit needs a pipeline with no batch stages";
   D.set_ingest_width dp pipe.Pipeline.schema.Event.width;
   let platform = cfg.dp_config.D.platform in
   let cost = platform.Sbt_tz.Platform.cost in
@@ -459,6 +467,12 @@ let record ~recording_cores ?(capture = false) ?ckpt_every ?on_checkpoint ?resum
         ws
   in
   let results = ref [] in
+  let corrections = ref [] in
+  (* Under retract-and-reemit, plan inputs and intermediates stay live
+     past the close (a later correction re-runs the plan over them). *)
+  let protect = cfg.dp_config.D.late_policy = D.Retract_reemit in
+  let correction_gen : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let max_wm_seen = ref 0 in
   let mem_samples = ref [] in
   (* Wrap a work function with secure-clock propagation and modeled-cost
      extraction (world switches, boundary copies, crypto scaling, stalls). *)
@@ -641,6 +655,105 @@ let record ~recording_cores ?(capture = false) ?ckpt_every ?on_checkpoint ?resum
     tasks_total := !tasks_total + Des.tasks_executed !des;
     base_ns := Float.max !base_ns (Des.makespan_ns !des)
   in
+  (* The shared window-plan execution path, used by ordinary closes,
+     session closes and retract-and-reemit corrections.  Under the
+     protecting policy every invocation runs with [retire_inputs:false]
+     and the produced intermediates are swept after sealing — minus the
+     result (retired by the seal itself) and anything the plan retired
+     explicitly — so the window's ready segments outlive the close and a
+     later correction can re-run the plan over {originals + late}. *)
+  let run_plan_and_seal ~w ~ready ~seal =
+    let trigger_used = ref false in
+    let produced = ref [] in
+    let explicit = ref [] in
+    let plain_retire r =
+      match D.call dp (D.R_retire { input = r }) with
+      | D.Rs_outputs [] -> ()
+      | _ -> failwith "control: unexpected retire response"
+    in
+    let invoke ?(params = []) ?(hints = []) ?(retire = true) op inputs =
+      let trigger =
+        if !trigger_used then None
+        else begin
+          trigger_used := true;
+          Some !wm_audit_ref
+        end
+      in
+      let hints = if cfg.hints_enabled && hints = [] then [] else hints in
+      match
+        D.call dp
+          (D.R_invoke
+             { op; inputs; trigger; params; hints; retire_inputs = retire && not protect })
+      with
+      | D.Rs_outputs outs ->
+          let refs = List.map (fun (o : D.output) -> o.D.ref_) outs in
+          if protect then produced := refs @ !produced;
+          refs
+      | D.Rs_watermark _ | D.Rs_egress _ | D.Rs_ingested _ | D.Rs_checkpoint _ ->
+          failwith "control: unexpected invoke response"
+    in
+    let invoke_udf ?(hints = []) ?(retire = true) ?(state_output = false) ~name ~version
+        ~value_field inputs =
+      let trigger =
+        if !trigger_used then None
+        else begin
+          trigger_used := true;
+          Some !wm_audit_ref
+        end
+      in
+      match
+        D.call dp
+          (D.R_invoke_udf
+             {
+               name;
+               version;
+               inputs;
+               trigger;
+               value_field;
+               hints;
+               retire_inputs = retire && not protect;
+               state_output;
+             })
+      with
+      | D.Rs_outputs outs ->
+          let refs = List.map (fun (o : D.output) -> o.D.ref_) outs in
+          if protect then produced := refs @ !produced;
+          refs
+      | D.Rs_watermark _ | D.Rs_egress _ | D.Rs_ingested _ | D.Rs_checkpoint _ ->
+          failwith "control: unexpected UDF invoke response"
+    in
+    let retire_ref r =
+      plain_retire r;
+      if protect then explicit := r :: !explicit
+    in
+    let ctx = { Pipeline.window = w; ready; invoke; invoke_udf; retire_ref } in
+    (* Sample steady memory while the window's data is still live
+       (before the plan consumes it). *)
+    mem_samples := D.pool_committed_bytes dp :: !mem_samples;
+    let result_ref = pipe.Pipeline.plan ctx in
+    seal result_ref;
+    if protect then
+      List.iter
+        (fun r -> if r <> result_ref && not (List.mem r !explicit) then plain_retire r)
+        (List.rev !produced)
+  in
+  let run_close w ws =
+    Sbt_obs.Metrics.incr c_closes;
+    instant "window-close" ~args:[ ("win", Sbt_obs.Tracer.Int w) ];
+    if ws.ready = [] then
+      (* Every batch of this window was lost and declared as a gap:
+         degrade by producing no result rather than invoking the plan on
+         nothing. *)
+      0.0
+    else begin
+      run_plan_and_seal ~w ~ready:(List.rev ws.ready) ~seal:(fun result_ref ->
+          match D.call dp (D.R_egress { input = result_ref; window = w }) with
+          | D.Rs_egress sealed -> results := (w, sealed) :: !results
+          | D.Rs_outputs _ | D.Rs_watermark _ | D.Rs_ingested _ | D.Rs_checkpoint _ ->
+              failwith "control: unexpected egress response");
+      0.0
+    end
+  in
   let take_checkpoint ~next_frame_idx ~watermark =
     (* Quiesce: drain everything scheduled so far, then start a fresh DES
        for the next segment.  Cross-segment orderings (previous close,
@@ -784,11 +897,15 @@ let record ~recording_cores ?(capture = false) ?ckpt_every ?on_checkpoint ?resum
                           inputs = [ !batch_ref ];
                           trigger = None;
                           params =
-                            [
-                              D.P_window_size pipe.Pipeline.window_size_ticks;
-                              D.P_slide pipe.Pipeline.window_slide_ticks;
-                              D.P_ts_field pipe.Pipeline.schema.Event.ts_field;
-                            ];
+                            ([
+                               D.P_window_size pipe.Pipeline.window_size_ticks;
+                               D.P_slide pipe.Pipeline.window_slide_ticks;
+                               D.P_ts_field pipe.Pipeline.schema.Event.ts_field;
+                             ]
+                            @
+                            match Pipeline.session_gap pipe with
+                            | Some g -> [ D.P_session_gap g ]
+                            | None -> []);
                           hints = (if cfg.hints_enabled then [ D.H_parallel ] else []);
                           retire_inputs = true;
                         })
@@ -797,11 +914,31 @@ let record ~recording_cores ?(capture = false) ?ckpt_every ?on_checkpoint ?resum
                     List.iter
                       (fun (o : D.output) ->
                         if o.D.win < closed_below then begin
-                          (* late segment: reclaim its memory, leave its
-                             audit trail unconsumed *)
-                          match D.call dp (D.R_retire { input = o.D.ref_ }) with
-                          | D.Rs_outputs [] -> ()
-                          | _ -> failwith "control: unexpected retire response"
+                          match cfg.dp_config.D.late_policy with
+                          | D.Silent -> (
+                              (* late segment: reclaim its memory, leave its
+                                 audit trail unconsumed — precisely because
+                                 the drop is silent, the cloud verifier
+                                 flags the incident *)
+                              match D.call dp (D.R_retire { input = o.D.ref_ }) with
+                              | D.Rs_outputs [] -> ()
+                              | _ -> failwith "control: unexpected retire response")
+                          | D.Drop_declare -> (
+                              (* the drop becomes a signed Late_drop audit
+                                 fact: declared degradation, not silence *)
+                              match
+                                D.call dp
+                                  (D.R_late_drop { input = o.D.ref_; window = o.D.win })
+                              with
+                              | D.Rs_outputs [] -> ()
+                              | _ -> failwith "control: unexpected late-drop response")
+                          | D.Retract_reemit ->
+                              (* the late segment joins the closed window's
+                                 (still live) ready list; the correction
+                                 task scheduled below re-runs the plan *)
+                              let ws = win o.D.win in
+                              ws.ready <- (stream, o.D.ref_) :: ws.ready;
+                              set_last_ready ws stream o.D.ref_
                         end
                         else begin
                           let ws = win o.D.win in
@@ -839,9 +976,57 @@ let record ~recording_cores ?(capture = false) ?ckpt_every ?on_checkpoint ?resum
                 in
                 ws.dep_tasks <- (stage_task, stage_idx) :: ws.dep_tasks
               end)
-            frame_windows
+            frame_windows;
+          (* Retract-and-reemit: windows this frame touches that already
+             closed get a correction scheduled right here, at
+             graph-construction time, from the frame's own window
+             metadata.  The correction chains behind the windowing task
+             (which routes the late segments into the window's ready
+             list) and the previous close/correction, so generations stay
+             ordered and contiguous. *)
+          if protect then
+            List.filter (fun w -> w < closed_below) frame_windows
+            |> List.sort_uniq compare
+            |> List.iter (fun w ->
+                   let deps =
+                     (windowing_task, windowing_idx) :: Option.to_list !last_close
+                   in
+                   let corr_task, corr_idx =
+                     add_task ~deps ~role:(Trace.Egress_of w)
+                       ~label:(Printf.sprintf "correct:w%d" w)
+                       (fun () ->
+                         match Hashtbl.find_opt windows w with
+                         | None -> 0.0 (* the late batch was lost: nothing to correct *)
+                         | Some ws when ws.ready = [] -> 0.0
+                         | Some ws ->
+                             let gen =
+                               1 + Option.value ~default:0 (Hashtbl.find_opt correction_gen w)
+                             in
+                             Hashtbl.replace correction_gen w gen;
+                             instant "window-correct"
+                               ~args:
+                                 [
+                                   ("win", Sbt_obs.Tracer.Int w);
+                                   ("gen", Sbt_obs.Tracer.Int gen);
+                                 ];
+                             run_plan_and_seal ~w ~ready:(List.rev ws.ready)
+                               ~seal:(fun result_ref ->
+                                 match
+                                   D.call dp
+                                     (D.R_egress_correction
+                                        { input = result_ref; window = w; gen })
+                                 with
+                                 | D.Rs_egress sealed ->
+                                     corrections := (w, gen, sealed) :: !corrections
+                                 | D.Rs_outputs _ | D.Rs_watermark _ | D.Rs_ingested _
+                                 | D.Rs_checkpoint _ ->
+                                     failwith "control: unexpected correction response");
+                             0.0)
+                   in
+                   last_close := Some (corr_task, corr_idx))
       | Sbt_net.Frame.Watermark { seq; value } ->
           let arrival = !cum_events in
+          if value > !max_wm_seen then max_wm_seen := value;
           let wm_task, wm_idx =
             add_task ~arrival ~label:(Printf.sprintf "watermark:%d" seq) (fun () ->
                 match D.call dp (D.R_ingest_watermark { value }) with
@@ -851,11 +1036,15 @@ let record ~recording_cores ?(capture = false) ?ckpt_every ?on_checkpoint ?resum
                 | D.Rs_outputs _ | D.Rs_egress _ | D.Rs_ingested _ | D.Rs_checkpoint _ ->
                     failwith "control: unexpected watermark response")
           in
-          (* Close, in order, every window whose end has passed. *)
+          (* Close, in order, every window whose end has passed.  Session
+             windows are exempt: which sessions exist is in-TEE state the
+             control plane only learns after the windowing tasks run, so
+             their closes are scheduled after the last frame instead. *)
           while
-            (!next_window_to_close * pipe.Pipeline.window_slide_ticks)
-            + pipe.Pipeline.window_size_ticks
-            <= value
+            Pipeline.session_gap pipe = None
+            && (!next_window_to_close * pipe.Pipeline.window_slide_ticks)
+               + pipe.Pipeline.window_size_ticks
+               <= value
           do
             let w = !next_window_to_close in
             incr next_window_to_close;
@@ -876,83 +1065,7 @@ let record ~recording_cores ?(capture = false) ?ckpt_every ?on_checkpoint ?resum
                 let close_task, close_idx =
                   add_task ~deps:close_deps ~role:(Trace.Egress_of w)
                     ~label:(Printf.sprintf "close:w%d" w)
-                    (fun () ->
-                      Sbt_obs.Metrics.incr c_closes;
-                      instant "window-close" ~args:[ ("win", Sbt_obs.Tracer.Int w) ];
-                      let trigger_used = ref false in
-                      let invoke ?(params = []) ?(hints = []) ?(retire = true) op inputs =
-                        let trigger =
-                          if !trigger_used then None
-                          else begin
-                            trigger_used := true;
-                            Some !wm_audit_ref
-                          end
-                        in
-                        let hints =
-                          if cfg.hints_enabled && hints = [] then [] else hints
-                        in
-                        match
-                          D.call dp
-                            (D.R_invoke { op; inputs; trigger; params; hints; retire_inputs = retire })
-                        with
-                        | D.Rs_outputs outs -> List.map (fun (o : D.output) -> o.D.ref_) outs
-                        | D.Rs_watermark _ | D.Rs_egress _ | D.Rs_ingested _
-                        | D.Rs_checkpoint _ ->
-                            failwith "control: unexpected invoke response"
-                      in
-                      let invoke_udf ?(hints = []) ?(retire = true) ?(state_output = false)
-                          ~name ~version ~value_field inputs =
-                        let trigger =
-                          if !trigger_used then None
-                          else begin
-                            trigger_used := true;
-                            Some !wm_audit_ref
-                          end
-                        in
-                        match
-                          D.call dp
-                            (D.R_invoke_udf
-                               {
-                                 name;
-                                 version;
-                                 inputs;
-                                 trigger;
-                                 value_field;
-                                 hints;
-                                 retire_inputs = retire;
-                                 state_output;
-                               })
-                        with
-                        | D.Rs_outputs outs -> List.map (fun (o : D.output) -> o.D.ref_) outs
-                        | D.Rs_watermark _ | D.Rs_egress _ | D.Rs_ingested _
-                        | D.Rs_checkpoint _ ->
-                            failwith "control: unexpected UDF invoke response"
-                      in
-                      let retire_ref r =
-                        match D.call dp (D.R_retire { input = r }) with
-                        | D.Rs_outputs [] -> ()
-                        | _ -> failwith "control: unexpected retire response"
-                      in
-                      if ws.ready = [] then
-                        (* Every batch of this window was lost and declared
-                           as a gap: degrade by producing no result rather
-                           than invoking the plan on nothing. *)
-                        0.0
-                      else begin
-                        let ctx =
-                          { Pipeline.window = w; ready = List.rev ws.ready; invoke; invoke_udf; retire_ref }
-                        in
-                        (* Sample steady memory while the window's data is
-                           still live (before the plan consumes it). *)
-                        mem_samples := D.pool_committed_bytes dp :: !mem_samples;
-                        let result_ref = pipe.Pipeline.plan ctx in
-                        (match D.call dp (D.R_egress { input = result_ref; window = w }) with
-                        | D.Rs_egress sealed -> results := (w, sealed) :: !results
-                        | D.Rs_outputs _ | D.Rs_watermark _ | D.Rs_ingested _
-                        | D.Rs_checkpoint _ ->
-                            failwith "control: unexpected egress response");
-                        0.0
-                      end)
+                    (fun () -> run_close w ws)
                 in
                 last_close := Some (close_task, close_idx)
           done;
@@ -961,7 +1074,57 @@ let record ~recording_cores ?(capture = false) ?ckpt_every ?on_checkpoint ?resum
               take_checkpoint ~next_frame_idx:(frame_offset + frame_i + 1) ~watermark:value
           | Some _ | None -> ()))
     frames;
+  (* Session close scheduling: drain everything so the windowing tasks
+     have populated the session table, then close each discovered
+     session behind one synthetic final watermark that clears every
+     session's last event time plus the gap (the in-TEE egress check
+     refuses anything earlier). *)
+  (match Pipeline.session_gap pipe with
+  | None -> ()
+  | Some gap ->
+      drain_segment ();
+      des := fresh_des ();
+      Hashtbl.iter (fun _ ws -> ws.dep_tasks <- []) windows;
+      last_close := None;
+      D.set_now_ns dp !base_ns;
+      let final_wm = !max_wm_seen + gap + 1 in
+      let wm_task, wm_idx =
+        add_task ~arrival:!cum_events ~label:"wm:session-final" (fun () ->
+            match D.call dp (D.R_ingest_watermark { value = final_wm }) with
+            | D.Rs_watermark { audit_id; _ } ->
+                wm_audit_ref := audit_id;
+                0.0
+            | D.Rs_outputs _ | D.Rs_egress _ | D.Rs_ingested _ | D.Rs_checkpoint _ ->
+                failwith "control: unexpected watermark response")
+      in
+      Hashtbl.fold (fun w _ acc -> w :: acc) windows []
+      |> List.sort compare
+      |> List.iter (fun w ->
+             let ws = win w in
+             ws.closed <- true;
+             let close_deps = (wm_task, wm_idx) :: Option.to_list !last_close in
+             let close_task, close_idx =
+               add_task ~deps:close_deps ~role:(Trace.Egress_of w)
+                 ~label:(Printf.sprintf "close:s%d" w)
+                 (fun () -> run_close w ws)
+             in
+             last_close := Some (close_task, close_idx)));
   drain_segment ();
+  (* Retract-and-reemit kept every window's segments alive for possible
+     corrections; reclaim them now that no more can arrive (R_retire is
+     audit-silent, so the sweep leaves no trace in the signed log). *)
+  if protect then
+    Hashtbl.fold (fun w _ acc -> w :: acc) windows []
+    |> List.sort compare
+    |> List.iter (fun w ->
+           let ws = win w in
+           List.iter
+             (fun (_, r) ->
+               match D.call dp (D.R_retire { input = r }) with
+               | D.Rs_outputs [] -> ()
+               | _ -> failwith "control: unexpected retire response")
+             (List.rev ws.ready);
+           ws.ready <- []);
   D.finalize dp;
   (* Assemble the trace: node order is schedule order (reverse of the
      accumulation list). *)
@@ -1013,12 +1176,16 @@ let record ~recording_cores ?(capture = false) ?ckpt_every ?on_checkpoint ?resum
   let tee_metrics, tee_quote = D.metrics_quote dp ~nonce:(Bytes.of_string "sbt-run-final") in
   {
     results = List.rev !results;
+    corrections = List.rev !corrections;
     trace;
     dp_stats;
     pool_high_water_bytes = D.pool_high_water_bytes dp;
     mem_samples_bytes = List.rev !mem_samples;
     audit = D.uploaded_batches dp;
-    verifier_spec = Pipeline.verifier_spec pipe;
+    verifier_spec =
+      Pipeline.verifier_spec
+        ~late_policy:(D.late_policy_code cfg.dp_config.D.late_policy)
+        pipe;
     makespan_ns = !base_ns;
     total_events = !total_events;
     tasks_executed = !tasks_total;

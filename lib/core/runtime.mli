@@ -56,6 +56,7 @@ module Config : sig
     ?adaptive_backpressure:bool ->
     ?seed:int64 ->
     ?fault_plan:Sbt_fault.Fault.plan ->
+    ?late_policy:Dataplane.late_policy ->
     ?tracer:Sbt_obs.Tracer.t ->
     ?hints_enabled:bool ->
     ?fuse:bool ->
@@ -102,6 +103,12 @@ end
 
 type run_result = {
   results : (int * Dataplane.sealed_result) list;  (** per closed window *)
+  corrections : (int * int * Dataplane.sealed_result) list;
+      (** (window, generation, sealed) — superseding re-emissions under
+          the retract-and-reemit late policy, in emission order.
+          Generations are 1-based and contiguous per window; apply with
+          {!Dataplane.reseal_correction} (highest generation wins).
+          Empty under any other policy. *)
   trace : Sbt_sim.Trace.t;
   dp_stats : Dataplane.stats;
   pool_high_water_bytes : int;

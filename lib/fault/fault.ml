@@ -21,6 +21,7 @@ type site =
   | Uplink
   | Crash_control
   | Crash_reboot
+  | Disorder
 
 exception Crash of site
 
@@ -31,6 +32,7 @@ let site_tag = function
   | Uplink -> 0x44
   | Crash_control -> 0x55
   | Crash_reboot -> 0x66
+  | Disorder -> 0x77
 
 let site_name = function
   | Ingress_link -> "ingress-link"
@@ -39,6 +41,7 @@ let site_name = function
   | Uplink -> "uplink"
   | Crash_control -> "crash-control"
   | Crash_reboot -> "crash-reboot"
+  | Disorder -> "disorder"
 
 type spec = {
   drop_p : float;
@@ -56,6 +59,7 @@ type plan = {
   smc : spec;
   pool : spec;
   uplink : spec;
+  disorder : spec;
   retry_budget : int;
   backoff_base_ns : float;
   backoff_cap_ns : float;
@@ -69,6 +73,7 @@ let none =
     smc = quiet;
     pool = quiet;
     uplink = quiet;
+    disorder = quiet;
     retry_budget = 3;
     backoff_base_ns = 50_000.0;
     backoff_cap_ns = 10_000_000.0;
@@ -97,6 +102,7 @@ let spec_for plan site =
   | Smc_boundary -> plan.smc
   | Secure_pool -> plan.pool
   | Uplink -> plan.uplink
+  | Disorder -> plan.disorder
   (* Crash sites trigger on an executed-task count, not a probability. *)
   | Crash_control | Crash_reboot -> quiet
 
@@ -169,6 +175,30 @@ let pool_sheds plan ~stream ~seq =
 
 let uplink_drops plan ~seq =
   chance plan ~site:Uplink ~salt:1 ~stream:0 ~seq plan.uplink.drop_p
+
+(* --- disorder (reorder/delay) site ------------------------------------------
+
+   The source-side fault site: an event is held back in flight and
+   re-arrives later than its event time says it should.  Keyed by the
+   event's stable identity (stream, global event index), so a disorder
+   plan permutes the arrival order identically run to run — the
+   reproducibility contract every other site already honors.  The site
+   never drops or damages anything; it only decouples arrival order
+   from event time, which is exactly what the watermark/late-data
+   machinery must survive. *)
+
+let disorder_plan ?(seed = 9L) ~rate () =
+  { none with seed; disorder = { quiet with drop_p = rate } }
+
+let delays_event plan ~stream ~seq =
+  chance plan ~site:Disorder ~salt:1 ~stream ~seq plan.disorder.drop_p
+
+(* Lateness in ticks for a delayed event: uniform in [1, max]. *)
+let lateness_ticks plan ~stream ~seq ~max:m =
+  if m <= 0 then 0
+  else
+    let x = draw plan ~site:Disorder ~salt:2 ~stream ~seq in
+    1 + Int64.to_int (Int64.rem (Int64.shift_right_logical x 8) (Int64.of_int m))
 
 (* Exponential backoff with full deterministic jitter, attempt >= 1.
    [retrier] decorrelates concurrent retriers contending on the same

@@ -16,6 +16,10 @@ type site =
   | Uplink
   | Crash_control  (** the untrusted control process is killed mid-run *)
   | Crash_reboot  (** the whole edge box reboots (TEE state also lost) *)
+  | Disorder
+      (** the source-side reorder/delay site: events re-arrive later than
+          their event time (never lost, never damaged) — what watermark
+          policies and late-data handling must survive *)
 
 exception Crash of site
 (** Raised at an injected crash point.  Both crash sites lose all
@@ -44,6 +48,9 @@ type plan = {
   smc : spec;
   pool : spec;
   uplink : spec;
+  disorder : spec;
+      (** reorder/delay site: [drop_p] is the per-event delay probability
+          (nothing is actually dropped); applied source-side by [Datagen] *)
   retry_budget : int;  (** SMC retries before degrading to a gap *)
   backoff_base_ns : float;  (** first-retry backoff; doubles per attempt *)
   backoff_cap_ns : float;  (** upper bound on any single backoff *)
@@ -78,6 +85,18 @@ val pool_sheds : plan -> stream:int -> seq:int -> bool
 
 val uplink_drops : plan -> seq:int -> bool
 (** Whether the uplink loses audit batch [seq]. *)
+
+val disorder_plan : ?seed:int64 -> rate:float -> unit -> plan
+(** A plan delaying each event with probability [rate] and nothing else;
+    the source-side disorder knob [Datagen] consumes. *)
+
+val delays_event : plan -> stream:int -> seq:int -> bool
+(** Whether event [seq] of [stream] is delayed in flight ([seq] is the
+    event's global generation index, not a frame number). *)
+
+val lateness_ticks : plan -> stream:int -> seq:int -> max:int -> int
+(** Deterministic lateness for a delayed event: uniform in [1, max]
+    event-time ticks (0 when [max <= 0]). *)
 
 val crash_after : plan -> (site * int) option
 (** The plan's crash point, if any. *)

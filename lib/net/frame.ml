@@ -44,6 +44,21 @@ let payload_bytes = function
   | Events { payload; _ } -> Bytes.length payload
   | Watermark _ -> 8
 
+(* A watermark is a promise — "no event time below [value] is still in
+   flight" — and a promise cannot be taken back: a frame regressing below
+   the stream's last emitted value would retroactively legitimize data
+   the edge already classified as late.  Constructing one is a programming
+   error at the source, so it is rejected here rather than at the edge. *)
+let watermark ?last ~seq ~value () =
+  (match last with
+  | Some prev when value < prev ->
+      invalid_arg
+        (Printf.sprintf "Frame.watermark: regression (value %d < last emitted %d)" value prev)
+  | _ -> ());
+  Watermark { seq; value }
+
+let watermark_value = function Watermark { value; _ } -> Some value | Events _ -> None
+
 let ctr_pos seq = Int64.shift_left (Int64.of_int seq) 32
 
 (* Authenticated bytes: a 12-byte little-endian header binding the frame

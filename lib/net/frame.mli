@@ -32,6 +32,18 @@ val unpack_events : width:int -> bytes -> int32 array array
 (** Test helper; the data plane unpacks straight into uArrays instead. *)
 
 val payload_bytes : t -> int
+
+val watermark : ?last:int -> seq:int -> value:int -> unit -> t
+(** Checked watermark constructor: raises [Invalid_argument] when [value]
+    regresses below [last] (the stream's previously emitted watermark).
+    A watermark is a promise that no earlier event time is still in
+    flight; regressing would retroactively legitimize data already
+    classified as late, so a regression is rejected at construction. *)
+
+val watermark_value : t -> int option
+(** [watermark_value f] is [Some value] for a [Watermark] frame and
+    [None] for [Events]. *)
+
 val encrypt_payload : key:bytes -> stream_nonce:int64 -> t -> t
 (** En/decrypt an [Events] payload in a fresh copy (CTR position =
     [seq * 2^32]); identity on watermarks and on already-(un)encrypted

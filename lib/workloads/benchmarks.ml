@@ -136,6 +136,28 @@ let power ?windows ?events_per_window ?batch_events ?encrypted () =
         ~schema:Sbt_core.Event.power ~streams:1 ~seed:41L ~gen ();
   }
 
+(* Medical vitals model: 200 patients, heart-rate random walks (bpm x 10
+   fixed point), keyed by patient id.  The pipeline's sort + per-key
+   average canonicalizes segment contents, so sealed output is
+   arrival-order-insensitive — the basis of the disorder property. *)
+let patients = 200
+
+let vitals ?windows ?events_per_window ?batch_events ?encrypted () =
+  let rates = Array.make patients 750 in
+  let gen rng ~ts =
+    let p = Rng.int_below rng patients in
+    rates.(p) <- max 400 (min 1_800 (rates.(p) + Rng.int_below rng 31 - 15));
+    [| Int32.of_int p; Int32.of_int rates.(p); ts |]
+  in
+  {
+    name = "Vitals";
+    pipeline = P.vitals ();
+    target_delay_ms = 500.0;
+    spec =
+      base_spec ?windows ?events_per_window ?batch_events ?encrypted
+        ~schema:Sbt_core.Event.default ~streams:1 ~seed:53L ~gen ();
+  }
+
 let all ?windows ?events_per_window ?batch_events ?encrypted () =
   [
     topk ?windows ?events_per_window ?batch_events ?encrypted ();
@@ -156,6 +178,7 @@ let by_name name =
   | "fps" -> Some fps
   | "filter" -> Some filter
   | "power" -> Some power
+  | "vitals" -> Some vitals
   | _ -> None
 
 let frames t = Datagen.frames t.spec

@@ -27,6 +27,12 @@ val fps : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encryp
 val filter : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t
 val power : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t
 
+val vitals : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t
+(** Medical vitals ({!Sbt_core.Pipeline.vitals}): patient-keyed
+    heart-rate walks through sort + per-key average — sealed output is
+    insensitive to arrival order, the reference workload for disorder
+    and late-data runs.  Not part of the paper's six ({!all}). *)
+
 val all : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> ?encrypted:bool -> unit -> t list
 (** The paper's six (Figure 7 order) plus [fps]. *)
 

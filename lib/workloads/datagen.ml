@@ -1,5 +1,8 @@
 module Frame = Sbt_net.Frame
 module Rng = Sbt_crypto.Rng
+module Fault = Sbt_fault.Fault
+
+type watermark_strategy = Punctuation | Heuristic of int
 
 type spec = {
   schema : Sbt_core.Event.schema;
@@ -14,6 +17,9 @@ type spec = {
   key : bytes;
   seed : int64;
   gen_record : Rng.t -> ts:int32 -> int32 array;
+  disorder : Fault.plan;
+  max_lateness_ticks : int;
+  watermark : watermark_strategy;
 }
 
 let default_key = Bytes.of_string "sbt-ingress-k16!"
@@ -35,6 +41,9 @@ let default_spec ?(windows = 4) ?(events_per_window = 100_000) ?(batch_events = 
     key = default_key;
     seed = 7L;
     gen_record = uniform_record;
+    disorder = Fault.none;
+    max_lateness_ticks = Sbt_core.Event.ticks_per_second;
+    watermark = Punctuation;
   }
 
 let total_events spec = spec.windows * spec.events_per_window
@@ -51,9 +60,42 @@ type stream_state = {
 let frames spec =
   if spec.windows <= 0 || spec.events_per_window <= 0 then invalid_arg "Datagen.frames";
   let rng = Rng.create ~seed:spec.seed in
+  let n = total_events spec in
+  (* Pass 1: source order.  Records consume the RNG in generation order,
+     so a disorder plan only permutes delivery — every record's bytes are
+     identical to the in-order run's. *)
+  let evs =
+    Array.init n (fun idx ->
+        let w = idx / spec.events_per_window in
+        let i = idx mod spec.events_per_window in
+        (* Event times advance uniformly within the window. *)
+        let ts = (w * spec.window_ticks) + (i * spec.window_ticks / spec.events_per_window) in
+        let stream = if spec.streams = 1 then 0 else i mod spec.streams in
+        let record = spec.gen_record rng ~ts:(Int32.of_int ts) in
+        let lateness =
+          if Fault.delays_event spec.disorder ~stream ~seq:idx then
+            Fault.lateness_ticks spec.disorder ~stream ~seq:idx
+              ~max:spec.max_lateness_ticks
+          else 0
+        in
+        (ts + lateness, idx, ts, stream, record))
+  in
+  (* Arrival order; ties break on generation index, so zero disorder is
+     the identity permutation. *)
+  Array.sort
+    (fun (a, ia, _, _, _) (b, ib, _, _, _) -> compare (a, ia) (b, ib))
+    evs;
+  (* Punctuation needs "smallest event time still undelivered". *)
+  let suffix_min = Array.make (n + 1) max_int in
+  for pos = n - 1 downto 0 do
+    let _, _, ts, _, _ = evs.(pos) in
+    suffix_min.(pos) <- min ts suffix_min.(pos + 1)
+  done;
   let out = ref [] in
   let states = Array.init spec.streams (fun _ -> { buffer = []; buffered = 0; windows_touched = []; seq = 0 }) in
   let wm_seq = ref 0 in
+  let last_wm = ref None in
+  let max_ts_seen = ref (-1) in
   let flush stream st =
     if st.buffered > 0 then begin
       let records = Array.of_list (List.rev st.buffer) in
@@ -83,30 +125,49 @@ let frames spec =
       st.windows_touched <- []
     end
   in
-  for w = 0 to spec.windows - 1 do
-    let base_ts = w * spec.window_ticks in
-    for i = 0 to spec.events_per_window - 1 do
-      (* Event times advance uniformly within the window. *)
-      let ts =
-        Int32.of_int (base_ts + (i * spec.window_ticks / spec.events_per_window))
-      in
-      let stream = if spec.streams = 1 then 0 else i mod spec.streams in
+  let emit_watermark value =
+    (* Monotone by construction (clamped to the last emission); the
+       assert and the checked constructor both guard the invariant. *)
+    let value = match !last_wm with Some l -> max l value | None -> value in
+    (match !last_wm with Some l -> assert (value >= l) | None -> ());
+    out := Frame.watermark ?last:!last_wm ~seq:!wm_seq ~value () :: !out;
+    incr wm_seq;
+    last_wm := Some value
+  in
+  Array.iteri
+    (fun pos (_, _, ts, stream, record) ->
+      if ts > !max_ts_seen then max_ts_seen := ts;
       let st = states.(stream) in
-      let record = spec.gen_record rng ~ts in
       st.buffer <- record :: st.buffer;
       st.buffered <- st.buffered + 1;
       let size = Option.value ~default:spec.window_ticks spec.window_span_ticks in
-      let lo, hi =
-        Sbt_prim.Segment.windows_of ~ts:(Int32.to_int ts) ~size ~slide:spec.window_ticks
-      in
+      let lo, hi = Sbt_prim.Segment.windows_of ~ts ~size ~slide:spec.window_ticks in
       for wi = lo to hi do
         if not (List.mem wi st.windows_touched) then st.windows_touched <- wi :: st.windows_touched
       done;
-      if st.buffered >= spec.batch_events then flush stream st
-    done;
-    (* Window complete: flush partials, then the watermark. *)
+      if st.buffered >= spec.batch_events then flush stream st;
+      (* One watermark per window's worth of deliveries — the in-order
+         cadence, whatever the permutation did. *)
+      if (pos + 1) mod spec.events_per_window = 0 then begin
+        Array.iteri flush states;
+        let w = pos / spec.events_per_window in
+        match spec.watermark with
+        | Punctuation ->
+            (* Exact: never overtakes an undelivered event, so punctuated
+               sources produce no late data — windows just close later. *)
+            emit_watermark (min ((w + 1) * spec.window_ticks) suffix_min.(pos + 1))
+        | Heuristic bound ->
+            (* Bounded-disorder estimate: admits late data whenever real
+               lateness exceeds [bound]. *)
+            emit_watermark (max 0 (!max_ts_seen - bound))
+      end)
+    evs;
+  (* The source closing the stream is itself punctuation: everything has
+     been delivered, so the final watermark is exact under either
+     strategy. *)
+  let final = spec.windows * spec.window_ticks in
+  if !last_wm <> Some final then begin
     Array.iteri flush states;
-    out := Frame.Watermark { seq = !wm_seq; value = (w + 1) * spec.window_ticks } :: !out;
-    incr wm_seq
-  done;
+    emit_watermark final
+  end;
   List.rev !out

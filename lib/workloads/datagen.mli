@@ -4,7 +4,23 @@
     event times increase monotonically; after all events of a window have
     been emitted, a watermark carrying the window's end time follows; a
     final watermark closes the last window.  Batches may span window
-    boundaries, exactly as in a real stream. *)
+    boundaries, exactly as in a real stream.
+
+    A [disorder] fault plan splits event time from arrival order: each
+    delayed event keeps its timestamp but re-arrives [1, max_lateness]
+    ticks later (seeded, deterministic — same plan, same permutation).
+    The {!watermark_strategy} then decides what the source claims about
+    completeness, which is exactly what the in-TEE window close trusts. *)
+
+type watermark_strategy =
+  | Punctuation
+      (** per-source punctuation: the generator emits the largest value
+          that no undelivered event precedes — exact, so disorder delays
+          window closes but never produces late data *)
+  | Heuristic of int
+      (** bounded-disorder estimate [max_ts_seen - bound]: cheap, but any
+          event later than [bound] ticks arrives behind the watermark and
+          becomes late data the engine's late policy must handle *)
 
 type spec = {
   schema : Sbt_core.Event.schema;
@@ -25,6 +41,12 @@ type spec = {
   gen_record : Sbt_crypto.Rng.t -> ts:int32 -> int32 array;
       (** Fill one record given its event time; must return [schema.width]
           fields with the timestamp at [schema.ts_field]. *)
+  disorder : Sbt_fault.Fault.plan;
+      (** the reorder/delay plan ({!Sbt_fault.Fault.disorder_plan});
+          [Fault.none] keeps the stream byte-identical to the historical
+          in-order generator *)
+  max_lateness_ticks : int;  (** upper bound on injected lateness *)
+  watermark : watermark_strategy;
 }
 
 val default_spec : ?windows:int -> ?events_per_window:int -> ?batch_events:int -> unit -> spec

@@ -268,6 +268,8 @@ let spec =
     window_size = 1000;
     window_slide = 1000;
     freshness_bound = None;
+    late_policy = 0;
+    session_gap = None;
   }
 
 let wm_id = 1_000_000_000
@@ -475,6 +477,8 @@ let spec_fused =
     window_size = 1000;
     window_slide = 1000;
     freshness_bound = None;
+    late_policy = 0;
+    session_gap = None;
   }
 
 let fused_record ?(ops = fused_ops) ?(params = fused_params) ?chain () =

@@ -120,6 +120,7 @@ let pipeline_of_chain batch_ops =
     schema = Event.default;
     window_size_ticks = 1000;
     window_slide_ticks = 1000;
+    window_kind = `Fixed;
     streams = 1;
     batch_ops;
     window_ops = [ P.Concat ];
